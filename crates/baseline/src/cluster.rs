@@ -1,0 +1,373 @@
+//! A structured (DHT) key-value cluster used as the comparison baseline.
+
+use std::collections::HashMap;
+
+use dataflasks_store::{DataStore, MemoryStore};
+use dataflasks_types::{Key, NodeId, StoredObject, Value, Version};
+
+use crate::ring::HashRing;
+
+/// Message counters of the DHT baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DhtStats {
+    /// Messages exchanged to perform client operations (routing, replication
+    /// and acknowledgements) — comparable to DataFlasks' request messages.
+    pub request_messages: u64,
+    /// Messages exchanged to transfer data during rebalancing after
+    /// membership changes.
+    pub rebalance_messages: u64,
+    /// Puts accepted.
+    pub puts: u64,
+    /// Gets answered with an object.
+    pub gets_hit: u64,
+    /// Gets answered with a miss.
+    pub gets_missed: u64,
+    /// Operations that failed because no replica was reachable.
+    pub unavailable: u64,
+}
+
+struct DhtNode {
+    store: MemoryStore,
+    alive: bool,
+}
+
+/// A DHT-style replicated key-value store with consistent-hashing placement.
+///
+/// The baseline follows the structured design the paper's introduction
+/// contrasts DataFlasks with (Dynamo/Cassandra-style): every node knows the
+/// full ring, a client request is routed to the key's coordinator in one hop
+/// and the coordinator forwards it to the other `replication_factor - 1`
+/// replicas. Ownership is tied to ring positions, so when nodes crash the
+/// keys they owned become unavailable until an explicit rebalance (repair)
+/// pass re-replicates them — the brittleness under churn that motivates the
+/// epidemic design.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_baseline::DhtCluster;
+/// use dataflasks_types::{Key, Value, Version};
+///
+/// let mut dht = DhtCluster::new(10, 3);
+/// dht.put(Key::from_user_key("a"), Version::new(1), Value::from_bytes(b"x"));
+/// assert!(dht.get(Key::from_user_key("a")).is_some());
+/// ```
+pub struct DhtCluster {
+    ring: HashRing,
+    nodes: HashMap<NodeId, DhtNode>,
+    replication_factor: usize,
+    next_node_id: u64,
+    stats: DhtStats,
+}
+
+impl DhtCluster {
+    /// Creates a cluster of `node_count` nodes replicating every key on
+    /// `replication_factor` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replication_factor` is zero.
+    #[must_use]
+    pub fn new(node_count: usize, replication_factor: usize) -> Self {
+        assert!(replication_factor > 0, "replication factor must be positive");
+        let mut cluster = Self {
+            ring: HashRing::new(16),
+            nodes: HashMap::new(),
+            replication_factor,
+            next_node_id: 0,
+            stats: DhtStats::default(),
+        };
+        for _ in 0..node_count {
+            cluster.join();
+        }
+        cluster
+    }
+
+    /// The configured replication factor.
+    #[must_use]
+    pub fn replication_factor(&self) -> usize {
+        self.replication_factor
+    }
+
+    /// Number of alive nodes.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.nodes.values().filter(|n| n.alive).count()
+    }
+
+    /// Message counters.
+    #[must_use]
+    pub fn stats(&self) -> DhtStats {
+        self.stats
+    }
+
+    /// Adds a brand-new node to the ring, returning its identity. The new
+    /// node starts empty; call [`Self::rebalance`] to move data onto it.
+    pub fn join(&mut self) -> NodeId {
+        let id = NodeId::new(self.next_node_id);
+        self.next_node_id += 1;
+        self.ring.add_node(id);
+        self.nodes.insert(
+            id,
+            DhtNode {
+                store: MemoryStore::unbounded(),
+                alive: true,
+            },
+        );
+        id
+    }
+
+    /// Crashes a node: its replicas are lost and the ring routes around it.
+    pub fn crash(&mut self, node: NodeId) {
+        if let Some(entry) = self.nodes.get_mut(&node) {
+            entry.alive = false;
+            entry.store = MemoryStore::unbounded();
+        }
+        self.ring.remove_node(node);
+    }
+
+    /// Identifiers of the alive nodes.
+    #[must_use]
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.alive)
+            .map(|(&id, _)| id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Stores an object on the key's replica set. Returns the number of
+    /// replicas written (zero means the operation was unavailable).
+    pub fn put(&mut self, key: Key, version: Version, value: Value) -> usize {
+        let replicas = self.ring.replicas(key, self.replication_factor);
+        if replicas.is_empty() {
+            self.stats.unavailable += 1;
+            return 0;
+        }
+        // One hop from the client to the coordinator, one to each other
+        // replica, and one acknowledgement back from each replica.
+        self.stats.request_messages += 1 + (replicas.len() as u64 - 1) + replicas.len() as u64;
+        let mut written = 0;
+        for replica in replicas {
+            if let Some(node) = self.nodes.get_mut(&replica) {
+                if node.alive
+                    && node
+                        .store
+                        .put(StoredObject::new(key, version, value.clone()))
+                        .is_ok()
+                {
+                    written += 1;
+                }
+            }
+        }
+        if written > 0 {
+            self.stats.puts += 1;
+        } else {
+            self.stats.unavailable += 1;
+        }
+        written
+    }
+
+    /// Reads the latest version of `key` from its replica set.
+    pub fn get(&mut self, key: Key) -> Option<StoredObject> {
+        let replicas = self.ring.replicas(key, self.replication_factor);
+        if replicas.is_empty() {
+            self.stats.unavailable += 1;
+            return None;
+        }
+        // One hop to the coordinator plus, on a miss there, one to each
+        // further replica probed, plus the reply.
+        self.stats.request_messages += 2;
+        for (index, replica) in replicas.iter().enumerate() {
+            if index > 0 {
+                self.stats.request_messages += 2;
+            }
+            if let Some(node) = self.nodes.get(replica) {
+                if node.alive {
+                    if let Some(object) = node.store.get_latest(key) {
+                        self.stats.gets_hit += 1;
+                        return Some(object);
+                    }
+                }
+            }
+        }
+        self.stats.gets_missed += 1;
+        None
+    }
+
+    /// Number of alive replicas currently holding `key`.
+    #[must_use]
+    pub fn replication_of(&self, key: Key) -> usize {
+        self.nodes
+            .values()
+            .filter(|n| n.alive && n.store.get_latest(key).is_some())
+            .count()
+    }
+
+    /// Fraction of `keys` that can still be read (at least one alive replica).
+    #[must_use]
+    pub fn availability(&self, keys: &[Key]) -> f64 {
+        if keys.is_empty() {
+            return 1.0;
+        }
+        let readable = keys.iter().filter(|&&k| self.replication_of(k) > 0).count();
+        readable as f64 / keys.len() as f64
+    }
+
+    /// Repairs placement after membership changes: every stored object is
+    /// copied to the replica set the current ring assigns it to. Returns the
+    /// number of objects transferred (each transfer costs one message plus an
+    /// acknowledgement).
+    pub fn rebalance(&mut self) -> usize {
+        // Collect the authoritative copies first to avoid borrowing conflicts.
+        let mut latest: HashMap<Key, StoredObject> = HashMap::new();
+        for node in self.nodes.values().filter(|n| n.alive) {
+            for key in node.store.keys() {
+                if let Some(object) = node.store.get_latest(key) {
+                    latest
+                        .entry(key)
+                        .and_modify(|existing| {
+                            if object.version > existing.version {
+                                *existing = object.clone();
+                            }
+                        })
+                        .or_insert(object);
+                }
+            }
+        }
+        let mut transferred = 0;
+        for (key, object) in latest {
+            for replica in self.ring.replicas(key, self.replication_factor) {
+                if let Some(node) = self.nodes.get_mut(&replica) {
+                    if node.alive && node.store.latest_version(key) < Some(object.version) {
+                        let _ = node.store.put(object.clone());
+                        transferred += 1;
+                        self.stats.rebalance_messages += 2;
+                    }
+                }
+            }
+        }
+        transferred
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(count: usize) -> Vec<Key> {
+        (0..count)
+            .map(|i| Key::from_user_key(&format!("user{i}")))
+            .collect()
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor must be positive")]
+    fn zero_replication_is_rejected() {
+        let _ = DhtCluster::new(3, 0);
+    }
+
+    #[test]
+    fn puts_replicate_to_the_configured_factor() {
+        let mut dht = DhtCluster::new(10, 3);
+        for key in keys(50) {
+            let written = dht.put(key, Version::new(1), Value::from_bytes(b"v"));
+            assert_eq!(written, 3);
+            assert_eq!(dht.replication_of(key), 3);
+        }
+        assert_eq!(dht.stats().puts, 50);
+        assert!(dht.stats().request_messages > 0);
+    }
+
+    #[test]
+    fn gets_find_stored_objects_and_miss_unknown_keys() {
+        let mut dht = DhtCluster::new(8, 3);
+        let key = Key::from_user_key("present");
+        dht.put(key, Version::new(2), Value::from_bytes(b"x"));
+        let read = dht.get(key).unwrap();
+        assert_eq!(read.version, Version::new(2));
+        assert!(dht.get(Key::from_user_key("absent")).is_none());
+        assert_eq!(dht.stats().gets_hit, 1);
+        assert_eq!(dht.stats().gets_missed, 1);
+    }
+
+    #[test]
+    fn crashing_all_replicas_loses_the_key_until_rebalance_cannot_help() {
+        let mut dht = DhtCluster::new(10, 2);
+        let key = Key::from_user_key("fragile");
+        dht.put(key, Version::new(1), Value::from_bytes(b"v"));
+        // Crash every replica that holds the key.
+        let holders: Vec<NodeId> = dht
+            .alive_nodes()
+            .into_iter()
+            .filter(|&n| dht.nodes[&n].store.get_latest(key).is_some())
+            .collect();
+        assert_eq!(holders.len(), 2);
+        for node in holders {
+            dht.crash(node);
+        }
+        assert_eq!(dht.replication_of(key), 0);
+        assert!(dht.get(key).is_none());
+        // Rebalancing cannot resurrect data whose every replica died.
+        dht.rebalance();
+        assert_eq!(dht.replication_of(key), 0);
+        assert!((dht.availability(&[key]) - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rebalance_restores_replication_after_partial_failure() {
+        let mut dht = DhtCluster::new(12, 3);
+        let all_keys = keys(100);
+        for &key in &all_keys {
+            dht.put(key, Version::new(1), Value::from_bytes(b"v"));
+        }
+        // Crash one node: some keys drop to 2 replicas but remain readable.
+        let victim = dht.alive_nodes()[0];
+        dht.crash(victim);
+        assert!((dht.availability(&all_keys) - 1.0).abs() < f64::EPSILON);
+        let degraded = all_keys.iter().filter(|&&k| dht.replication_of(k) < 3).count();
+        assert!(degraded > 0, "the crash should degrade some keys");
+        let transferred = dht.rebalance();
+        assert!(transferred > 0);
+        for &key in &all_keys {
+            assert_eq!(dht.replication_of(key), 3, "rebalance must restore r=3");
+        }
+        assert!(dht.stats().rebalance_messages >= 2 * transferred as u64);
+    }
+
+    #[test]
+    fn joining_nodes_take_over_keys_after_rebalance() {
+        let mut dht = DhtCluster::new(4, 2);
+        let all_keys = keys(50);
+        for &key in &all_keys {
+            dht.put(key, Version::new(1), Value::from_bytes(b"v"));
+        }
+        let newcomer = dht.join();
+        dht.rebalance();
+        let owned_by_newcomer = all_keys
+            .iter()
+            .filter(|&&k| dht.nodes[&newcomer].store.get_latest(k).is_some())
+            .count();
+        assert!(owned_by_newcomer > 0, "the new node should receive data");
+        assert_eq!(dht.alive_count(), 5);
+    }
+
+    #[test]
+    fn availability_of_no_keys_is_one() {
+        let dht = DhtCluster::new(3, 2);
+        assert_eq!(dht.availability(&[]), 1.0);
+    }
+
+    #[test]
+    fn operations_on_an_empty_cluster_are_unavailable() {
+        let mut dht = DhtCluster::new(1, 2);
+        let only = dht.alive_nodes()[0];
+        dht.crash(only);
+        assert_eq!(dht.put(Key::from_user_key("a"), Version::new(1), Value::default()), 0);
+        assert!(dht.get(Key::from_user_key("a")).is_none());
+        assert_eq!(dht.stats().unavailable, 2);
+    }
+}

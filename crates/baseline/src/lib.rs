@@ -1,0 +1,33 @@
+//! Structured (DHT) key-value baseline for comparison experiments.
+//!
+//! The paper's introduction argues that tuple-stores built on structured
+//! peer-to-peer overlays (DHTs) assume "moderately stable environments" and
+//! degrade when churn becomes the rule. This crate provides that structured
+//! counterpoint so the extension experiments can compare the two designs
+//! under identical workloads and churn:
+//!
+//! * [`HashRing`] — consistent hashing with virtual nodes,
+//! * [`DhtCluster`] — a Dynamo-style replicated store (full-membership
+//!   routing, successor-list replication, explicit rebalance/repair), with
+//!   message accounting comparable to DataFlasks' request-message metric.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_baseline::DhtCluster;
+//! use dataflasks_types::{Key, Value, Version};
+//!
+//! let mut dht = DhtCluster::new(16, 3);
+//! let key = Key::from_user_key("answer");
+//! dht.put(key, Version::new(1), Value::from_bytes(b"42"));
+//! assert_eq!(dht.replication_of(key), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod ring;
+
+pub use cluster::{DhtCluster, DhtStats};
+pub use ring::HashRing;

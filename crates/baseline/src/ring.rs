@@ -1,0 +1,233 @@
+//! Consistent-hashing ring with virtual nodes.
+
+use std::collections::BTreeMap;
+
+use dataflasks_types::{hashing::splitmix64, Key, NodeId};
+
+/// A consistent-hashing ring mapping keys to nodes.
+///
+/// Each physical node is placed at `virtual_nodes` pseudo-random positions on
+/// a 64-bit ring; a key is owned by the first node clockwise from its hash,
+/// and replicated on the next distinct physical nodes. This is the classic
+/// structured (DHT) placement that DataFlasks' unstructured design is
+/// compared against.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_baseline::HashRing;
+/// use dataflasks_types::{Key, NodeId};
+///
+/// let mut ring = HashRing::new(8);
+/// ring.add_node(NodeId::new(1));
+/// ring.add_node(NodeId::new(2));
+/// let owner = ring.primary(Key::from_user_key("a")).unwrap();
+/// assert!(owner == NodeId::new(1) || owner == NodeId::new(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    virtual_nodes: usize,
+    positions: BTreeMap<u64, NodeId>,
+    members: usize,
+}
+
+impl HashRing {
+    /// Creates an empty ring placing each node at `virtual_nodes` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `virtual_nodes` is zero.
+    #[must_use]
+    pub fn new(virtual_nodes: usize) -> Self {
+        assert!(virtual_nodes > 0, "a ring needs at least one virtual node");
+        Self {
+            virtual_nodes,
+            positions: BTreeMap::new(),
+            members: 0,
+        }
+    }
+
+    /// Number of physical nodes on the ring.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.members
+    }
+
+    /// Returns `true` if the ring has no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.members == 0
+    }
+
+    /// Adds a node; no-op if it is already present.
+    pub fn add_node(&mut self, node: NodeId) {
+        if self.contains(node) {
+            return;
+        }
+        for replica in 0..self.virtual_nodes {
+            let position = Self::position_of(node, replica);
+            self.positions.insert(position, node);
+        }
+        self.members += 1;
+    }
+
+    /// Removes a node; no-op if it is absent.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if !self.contains(node) {
+            return;
+        }
+        self.positions.retain(|_, owner| *owner != node);
+        self.members -= 1;
+    }
+
+    /// Returns `true` if `node` is on the ring.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        (0..self.virtual_nodes).any(|r| self.positions.get(&Self::position_of(node, r)) == Some(&node))
+    }
+
+    /// The node owning `key` (the first node clockwise from the key's hash).
+    #[must_use]
+    pub fn primary(&self, key: Key) -> Option<NodeId> {
+        self.replicas(key, 1).into_iter().next()
+    }
+
+    /// The first `count` *distinct physical* nodes clockwise from `key`
+    /// (primary first). Returns fewer when the ring has fewer members.
+    #[must_use]
+    pub fn replicas(&self, key: Key, count: usize) -> Vec<NodeId> {
+        if self.positions.is_empty() || count == 0 {
+            return Vec::new();
+        }
+        let start = splitmix64(key.as_u64());
+        let mut replicas = Vec::with_capacity(count);
+        for (_, &node) in self
+            .positions
+            .range(start..)
+            .chain(self.positions.range(..start))
+        {
+            if !replicas.contains(&node) {
+                replicas.push(node);
+                if replicas.len() == count || replicas.len() == self.members {
+                    break;
+                }
+            }
+        }
+        replicas
+    }
+
+    fn position_of(node: NodeId, replica: usize) -> u64 {
+        splitmix64(node.as_u64().wrapping_mul(31).wrapping_add(replica as u64 * 0x9e37))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    #[should_panic(expected = "at least one virtual node")]
+    fn zero_virtual_nodes_is_rejected() {
+        let _ = HashRing::new(0);
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(4);
+        assert!(ring.is_empty());
+        assert_eq!(ring.primary(Key::from_user_key("a")), None);
+        assert!(ring.replicas(Key::from_user_key("a"), 3).is_empty());
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent() {
+        let mut ring = HashRing::new(4);
+        ring.add_node(NodeId::new(1));
+        ring.add_node(NodeId::new(1));
+        assert_eq!(ring.len(), 1);
+        ring.remove_node(NodeId::new(1));
+        ring.remove_node(NodeId::new(1));
+        assert!(ring.is_empty());
+        assert!(!ring.contains(NodeId::new(1)));
+    }
+
+    #[test]
+    fn replicas_are_distinct_physical_nodes() {
+        let mut ring = HashRing::new(8);
+        for i in 0..10u64 {
+            ring.add_node(NodeId::new(i));
+        }
+        for probe in 0..50u64 {
+            let key = Key::from_user_key(&format!("key{probe}"));
+            let replicas = ring.replicas(key, 3);
+            assert_eq!(replicas.len(), 3);
+            let unique: std::collections::HashSet<_> = replicas.iter().collect();
+            assert_eq!(unique.len(), 3);
+        }
+    }
+
+    #[test]
+    fn asking_for_more_replicas_than_nodes_returns_all_nodes() {
+        let mut ring = HashRing::new(4);
+        ring.add_node(NodeId::new(1));
+        ring.add_node(NodeId::new(2));
+        let replicas = ring.replicas(Key::from_user_key("a"), 5);
+        assert_eq!(replicas.len(), 2);
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_with_virtual_nodes() {
+        let mut ring = HashRing::new(32);
+        for i in 0..10u64 {
+            ring.add_node(NodeId::new(i));
+        }
+        let mut counts: HashMap<NodeId, usize> = HashMap::new();
+        for i in 0..10_000u64 {
+            let key = Key::from_user_key(&format!("key{i}"));
+            *counts.entry(ring.primary(key).unwrap()).or_default() += 1;
+        }
+        let min = counts.values().copied().min().unwrap();
+        let max = counts.values().copied().max().unwrap();
+        assert!(
+            (max as f64) / (min as f64) < 3.0,
+            "imbalanced ring: min {min}, max {max}"
+        );
+    }
+
+    #[test]
+    fn removing_a_node_only_moves_its_keys() {
+        let mut ring = HashRing::new(16);
+        for i in 0..8u64 {
+            ring.add_node(NodeId::new(i));
+        }
+        let keys: Vec<Key> = (0..500u64)
+            .map(|i| Key::from_user_key(&format!("key{i}")))
+            .collect();
+        let before: Vec<Option<NodeId>> = keys.iter().map(|&k| ring.primary(k)).collect();
+        ring.remove_node(NodeId::new(3));
+        let mut moved = 0;
+        for (key, owner_before) in keys.iter().zip(&before) {
+            let owner_after = ring.primary(*key);
+            if *owner_before != Some(NodeId::new(3)) {
+                assert_eq!(owner_after, *owner_before, "unaffected key moved");
+            } else {
+                assert_ne!(owner_after, Some(NodeId::new(3)));
+                moved += 1;
+            }
+        }
+        assert!(moved > 0, "some keys should have been owned by node 3");
+    }
+
+    #[test]
+    fn primary_is_first_replica() {
+        let mut ring = HashRing::new(8);
+        for i in 0..5u64 {
+            ring.add_node(NodeId::new(i));
+        }
+        for i in 0..20u64 {
+            let key = Key::from_user_key(&format!("k{i}"));
+            assert_eq!(ring.primary(key), Some(ring.replicas(key, 3)[0]));
+        }
+    }
+}

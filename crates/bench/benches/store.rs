@@ -1,0 +1,130 @@
+//! Micro-benchmarks of the data-store substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dataflasks::prelude::*;
+
+fn bench_memory_store_put_get(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/memory");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for value_size in [64usize, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("put", value_size),
+            &value_size,
+            |b, &value_size| {
+                let mut store = MemoryStore::unbounded();
+                let value = Value::filled(value_size, 0x5A);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    store
+                        .put(StoredObject::new(
+                            Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                            Version::new(1),
+                            value.clone(),
+                        ))
+                        .unwrap()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("get", value_size),
+            &value_size,
+            |b, &value_size| {
+                let mut store = MemoryStore::unbounded();
+                let keys: Vec<Key> = (0..10_000u64)
+                    .map(|i| Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                    .collect();
+                for &key in &keys {
+                    store
+                        .put(StoredObject::new(key, Version::new(1), Value::filled(value_size, 1)))
+                        .unwrap();
+                }
+                let mut i = 0usize;
+                b.iter(|| {
+                    i = (i + 1) % keys.len();
+                    store.get_latest(keys[i])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_log_store_put(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/log");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("put_128B", |b| {
+        let dir = std::env::temp_dir().join(format!("dataflasks-bench-log-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut store = LogStore::open(&dir).unwrap();
+        let value = Value::filled(128, 0x5A);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            store
+                .put(StoredObject::new(
+                    Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                    Version::new(1),
+                    value.clone(),
+                ))
+                .unwrap()
+        });
+        drop(store);
+        std::fs::remove_dir_all(&dir).ok();
+    });
+    group.finish();
+}
+
+fn bench_anti_entropy_digest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/anti_entropy");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for keys in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::new("digest", keys), &keys, |b, &keys| {
+            let mut store = MemoryStore::unbounded();
+            for i in 0..keys as u64 {
+                store
+                    .put(StoredObject::new(
+                        Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                        Version::new(1),
+                        Value::filled(32, 2),
+                    ))
+                    .unwrap();
+            }
+            b.iter(|| store.digest());
+        });
+        group.bench_with_input(
+            BenchmarkId::new("diff_and_ship", keys),
+            &keys,
+            |b, &keys| {
+                let mut ours = MemoryStore::unbounded();
+                let mut theirs = MemoryStore::unbounded();
+                for i in 0..keys as u64 {
+                    let key = Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    ours.put(StoredObject::new(key, Version::new(2), Value::filled(32, 2)))
+                        .unwrap();
+                    if i % 10 != 0 {
+                        theirs
+                            .put(StoredObject::new(key, Version::new(2), Value::filled(32, 2)))
+                            .unwrap();
+                    }
+                }
+                let remote = theirs.digest();
+                b.iter(|| ours.objects_newer_than(&remote, 256));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    store,
+    bench_memory_store_put_get,
+    bench_log_store_put,
+    bench_anti_entropy_digest
+);
+criterion_main!(store);

@@ -1,0 +1,38 @@
+//! Figure 3 — average number of messages per node with a constant number of
+//! slices (k = 10), N ∈ {500, …, 3000}, YCSB write-only workload.
+//!
+//! Run with `cargo run -p dataflasks-bench --release --bin fig3`.
+//! Optional arguments: a comma-separated list of node counts (defaults to the
+//! paper's sweep) to run a reduced version, e.g. `fig3 100,200,400`.
+
+use dataflasks_bench::{figure3_config, run_sweep, PAPER_NODE_COUNTS};
+
+fn main() {
+    let node_counts = parse_node_counts();
+    let results = run_sweep(
+        "Figure 3: messages per node, constant number of slices (k = 10), write-only workload",
+        &node_counts,
+        figure3_config,
+    );
+    let first = results.first().map(|r| r.request_messages_per_node.mean);
+    let last = results.last().map(|r| r.request_messages_per_node.mean);
+    if let (Some(first), Some(last)) = (first, last) {
+        println!(
+            "# shape check: {:.1} msgs/node at N={} vs {:.1} at N={} (paper: roughly constant)",
+            first,
+            node_counts.first().unwrap(),
+            last,
+            node_counts.last().unwrap()
+        );
+    }
+}
+
+fn parse_node_counts() -> Vec<usize> {
+    match std::env::args().nth(1) {
+        Some(arg) => arg
+            .split(',')
+            .filter_map(|part| part.trim().parse().ok())
+            .collect(),
+        None => PAPER_NODE_COUNTS.to_vec(),
+    }
+}

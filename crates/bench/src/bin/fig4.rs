@@ -1,0 +1,39 @@
+//! Figure 4 — average number of messages per node with the number of slices
+//! proportional to the number of nodes (constant slice size, hence constant
+//! replication factor), N ∈ {500, …, 3000}, YCSB write-only workload.
+//!
+//! Run with `cargo run -p dataflasks-bench --release --bin fig4`.
+//! Optional arguments: a comma-separated list of node counts, e.g.
+//! `fig4 100,200,400` for a reduced sweep.
+
+use dataflasks_bench::{figure4_config, run_sweep, PAPER_NODE_COUNTS};
+
+fn main() {
+    let node_counts = parse_node_counts();
+    let results = run_sweep(
+        "Figure 4: messages per node, slices proportional to nodes (slice size 50), write-only workload",
+        &node_counts,
+        figure4_config,
+    );
+    let first = results.first().map(|r| r.request_messages_per_node.mean);
+    let last = results.last().map(|r| r.request_messages_per_node.mean);
+    if let (Some(first), Some(last)) = (first, last) {
+        println!(
+            "# shape check: {:.1} msgs/node at N={} vs {:.1} at N={} (paper: grows sub-linearly with N)",
+            first,
+            node_counts.first().unwrap(),
+            last,
+            node_counts.last().unwrap()
+        );
+    }
+}
+
+fn parse_node_counts() -> Vec<usize> {
+    match std::env::args().nth(1) {
+        Some(arg) => arg
+            .split(',')
+            .filter_map(|part| part.trim().parse().ok())
+            .collect(),
+        None => PAPER_NODE_COUNTS.to_vec(),
+    }
+}

@@ -1,0 +1,72 @@
+//! Extension experiment — load-balancer ablation (paper §VII).
+//!
+//! The paper's prototype hands clients a random contact node and §VII argues
+//! that a smarter load balancer (knowing which node to contact for each
+//! request) would "reduce dissemination mechanisms to the minimum". This
+//! experiment compares the random policy with the slice-aware cache
+//! implemented in this repository on an update-heavy workload (repeated
+//! writes to the same records, where the cache can actually learn).
+//!
+//! Run with `cargo run -p dataflasks-bench --release --bin lb_ablation`.
+
+use dataflasks::prelude::*;
+
+fn main() {
+    let nodes = parse_arg(1, 200);
+    let records = parse_arg(2, 50);
+    let updates = parse_arg(3, 400);
+    println!("# Load-balancer ablation: {nodes} nodes, 4 slices, {records} records, {updates} updates");
+    println!("policy,request_messages_per_node,success_ratio");
+    for (label, policy) in [
+        ("random", LoadBalancerPolicy::Random),
+        ("slice_aware", LoadBalancerPolicy::SliceAware),
+    ] {
+        let (messages, success) = run(nodes, records, updates, policy);
+        println!("{label},{messages:.1},{success:.3}");
+    }
+    println!("# expectation: the slice-aware cache sends follow-up operations straight to a");
+    println!("# member of the responsible slice, skipping the global search phase and");
+    println!("# lowering the per-node request-message count.");
+}
+
+fn run(nodes: usize, records: usize, updates: usize, policy: LoadBalancerPolicy) -> (f64, f64) {
+    let slices = 4u32;
+    let config = NodeConfig::for_system_size(nodes, slices).without_anti_entropy();
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.set_client_policy(policy);
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    // Update-heavy workload over a small record set: version v of record r.
+    let spec = WorkloadSpec {
+        record_count: records,
+        operation_count: updates,
+        read_proportion: 0.0,
+        update_proportion: 1.0,
+        insert_proportion: 0.0,
+        key_distribution: KeyDistribution::Uniform,
+        value_size: 128,
+    };
+    let mut generator = WorkloadGenerator::new(spec, 0xAB1A);
+    let mut at = sim.now();
+    for op in generator.load_phase() {
+        at += Duration::from_millis(50);
+        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+    }
+    for op in generator.transaction_phase() {
+        at += Duration::from_millis(50);
+        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+    }
+    sim.run_until(at + Duration::from_secs(30));
+
+    let report = sim.cluster_report();
+    (report.request_messages_per_node.mean, sim.success_ratio())
+}
+
+fn parse_arg(index: usize, default: usize) -> usize {
+    std::env::args()
+        .nth(index)
+        .and_then(|arg| arg.parse().ok())
+        .unwrap_or(default)
+}

@@ -1,0 +1,267 @@
+//! Experiment harness shared by the figure-regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every experiment follows the same skeleton (build a simulated cluster, let
+//! the gossip substrate converge, drive a YCSB-style workload, report the
+//! per-node message statistics), so the harness lives here and the binaries
+//! only differ in the parameter sweep they run. See `DESIGN.md` §4 for the
+//! experiment-to-paper mapping and `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use dataflasks::prelude::*;
+use dataflasks::sim::Distribution;
+
+/// Parameters of one write-workload experiment run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of nodes in the simulated cluster.
+    pub nodes: usize,
+    /// Number of slices the system is divided into.
+    pub slices: u32,
+    /// Number of write operations driven through the cluster.
+    pub operations: usize,
+    /// Virtual time granted to the gossip substrate before the workload
+    /// starts (peer sampling and slicing must converge first).
+    pub warmup: Duration,
+    /// Virtual time granted after the last operation for dissemination to
+    /// finish.
+    pub drain: Duration,
+    /// Interval between consecutive client operations.
+    pub op_interval: Duration,
+    /// Payload size of written values, in bytes.
+    pub value_size: usize,
+    /// Whether anti-entropy repair runs during the experiment (the paper's
+    /// configuration leaves it off; the churn experiment turns it on).
+    pub anti_entropy: bool,
+    /// Contact-selection policy of the client.
+    pub policy: LoadBalancerPolicy,
+    /// Seed controlling every random choice of the run.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// The configuration skeleton used by the paper's two figures: a
+    /// write-only load over a warmed-up cluster with the prototype's random
+    /// load balancer and no anti-entropy.
+    #[must_use]
+    pub fn paper_default(nodes: usize, slices: u32, operations: usize) -> Self {
+        Self {
+            nodes,
+            slices,
+            operations,
+            warmup: Duration::from_secs(60),
+            drain: Duration::from_secs(30),
+            op_interval: Duration::from_millis(50),
+            value_size: 128,
+            anti_entropy: false,
+            policy: LoadBalancerPolicy::Random,
+            seed: 0xDF2013,
+        }
+    }
+}
+
+/// The measurements extracted from one experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentResult {
+    /// Number of nodes simulated.
+    pub nodes: usize,
+    /// Number of slices configured.
+    pub slices: u32,
+    /// Number of operations driven.
+    pub operations: usize,
+    /// Per-node request messages (sent + received requests and replies) —
+    /// the paper's Figure 3/4 metric.
+    pub request_messages_per_node: Distribution,
+    /// Per-node total messages including background gossip.
+    pub total_messages_per_node: Distribution,
+    /// Fraction of operations that completed successfully.
+    pub success_ratio: f64,
+    /// Mean number of replicas holding each written object at the end.
+    pub mean_replication: f64,
+    /// Number of distinct slices that ended up populated.
+    pub populated_slices: usize,
+}
+
+impl ExperimentResult {
+    /// The CSV header matching [`Self::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "nodes,slices,operations,request_msgs_per_node_mean,request_msgs_per_node_stddev,total_msgs_per_node_mean,success_ratio,mean_replication,populated_slices"
+    }
+
+    /// One CSV row of the result.
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{:.1},{:.1},{:.1},{:.3},{:.1},{}",
+            self.nodes,
+            self.slices,
+            self.operations,
+            self.request_messages_per_node.mean,
+            self.request_messages_per_node.std_dev,
+            self.total_messages_per_node.mean,
+            self.success_ratio,
+            self.mean_replication,
+            self.populated_slices
+        )
+    }
+}
+
+/// Runs one write-only-workload experiment (the setting of Figures 3 and 4).
+#[must_use]
+pub fn run_write_experiment(config: ExperimentConfig) -> ExperimentResult {
+    let mut node_config = NodeConfig::for_system_size(config.nodes, config.slices);
+    if !config.anti_entropy {
+        node_config = node_config.without_anti_entropy();
+    }
+    let mut sim = Simulation::new(SimConfig {
+        seed: config.seed,
+        ..SimConfig::default()
+    });
+    sim.set_client_policy(config.policy);
+    sim.spawn_cluster(config.nodes, node_config);
+    sim.run_for(config.warmup);
+
+    let client = sim.add_client();
+    let spec = WorkloadSpec::write_only(config.operations, 0).with_value_size(config.value_size);
+    let mut generator = WorkloadGenerator::new(spec, config.seed ^ 0x5EED);
+    let operations: Vec<Operation> = generator.load_phase().collect();
+    let mut written_keys = Vec::with_capacity(operations.len());
+    let mut at = sim.now();
+    for op in operations {
+        written_keys.push(op.key);
+        at += config.op_interval;
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
+    }
+    sim.run_until(at + config.drain);
+
+    let report = sim.cluster_report();
+    let mean_replication = if written_keys.is_empty() {
+        0.0
+    } else {
+        written_keys
+            .iter()
+            .map(|&k| sim.replication_factor(k) as f64)
+            .sum::<f64>()
+            / written_keys.len() as f64
+    };
+    ExperimentResult {
+        nodes: config.nodes,
+        slices: config.slices,
+        operations: config.operations,
+        request_messages_per_node: report.request_messages_per_node,
+        total_messages_per_node: report.total_messages_per_node,
+        success_ratio: sim.success_ratio(),
+        mean_replication,
+        populated_slices: sim.slice_populations().len(),
+    }
+}
+
+/// The node counts swept by the paper's figures.
+pub const PAPER_NODE_COUNTS: [usize; 6] = [500, 1000, 1500, 2000, 2500, 3000];
+
+/// Number of objects each slice is provisioned for when sizing the workload
+/// (the YCSB load is proportional to the system capacity, see DESIGN.md §4).
+pub const OBJECTS_PER_SLICE: usize = 40;
+
+/// Builds the Figure 3 configuration for a given system size: a constant
+/// number of slices (ten, as in the paper), so the system capacity — and the
+/// write-only load filling it — stays constant across the sweep.
+#[must_use]
+pub fn figure3_config(nodes: usize) -> ExperimentConfig {
+    let slices = 10;
+    ExperimentConfig::paper_default(nodes, slices, OBJECTS_PER_SLICE * slices as usize)
+}
+
+/// Builds the Figure 4 configuration for a given system size: the number of
+/// slices grows proportionally to the node count (constant slice size of 50
+/// nodes, i.e. constant replication factor), so the capacity — and the load —
+/// grows with the system.
+#[must_use]
+pub fn figure4_config(nodes: usize) -> ExperimentConfig {
+    let slices = (nodes / 50).max(1) as u32;
+    ExperimentConfig::paper_default(nodes, slices, OBJECTS_PER_SLICE * slices as usize)
+}
+
+/// Runs a sweep and prints one CSV row per system size (plus the header).
+pub fn run_sweep<F>(label: &str, node_counts: &[usize], config_for: F) -> Vec<ExperimentResult>
+where
+    F: Fn(usize) -> ExperimentConfig,
+{
+    println!("# {label}");
+    println!("{}", ExperimentResult::csv_header());
+    let mut results = Vec::with_capacity(node_counts.len());
+    for &nodes in node_counts {
+        let result = run_write_experiment(config_for(nodes));
+        println!("{}", result.to_csv_row());
+        results.push(result);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_configs_follow_the_paper_scaling() {
+        let f3_small = figure3_config(500);
+        let f3_large = figure3_config(3000);
+        assert_eq!(f3_small.slices, 10);
+        assert_eq!(f3_large.slices, 10);
+        assert_eq!(f3_small.operations, f3_large.operations);
+
+        let f4_small = figure4_config(500);
+        let f4_large = figure4_config(3000);
+        assert_eq!(f4_small.slices, 10);
+        assert_eq!(f4_large.slices, 60);
+        assert!(f4_large.operations > f4_small.operations);
+        assert_eq!(f4_large.operations, OBJECTS_PER_SLICE * 60);
+    }
+
+    #[test]
+    fn small_write_experiment_produces_consistent_results() {
+        let mut config = ExperimentConfig::paper_default(40, 4, 20);
+        config.warmup = Duration::from_secs(40);
+        config.drain = Duration::from_secs(20);
+        let result = run_write_experiment(config);
+        assert_eq!(result.nodes, 40);
+        assert_eq!(result.operations, 20);
+        assert!(result.success_ratio > 0.8, "success {}", result.success_ratio);
+        assert!(result.mean_replication >= 1.0, "replication {}", result.mean_replication);
+        assert!(result.request_messages_per_node.mean > 0.0);
+        assert!(
+            result.total_messages_per_node.mean >= result.request_messages_per_node.mean,
+            "total must include gossip"
+        );
+        assert!(result.populated_slices >= 2);
+        let row = result.to_csv_row();
+        assert_eq!(row.split(',').count(), ExperimentResult::csv_header().split(',').count());
+    }
+
+    #[test]
+    fn csv_header_and_row_have_matching_arity() {
+        let result = ExperimentResult {
+            nodes: 1,
+            slices: 1,
+            operations: 0,
+            request_messages_per_node: Distribution::from_samples(&[1.0]),
+            total_messages_per_node: Distribution::from_samples(&[2.0]),
+            success_ratio: 1.0,
+            mean_replication: 0.0,
+            populated_slices: 1,
+        };
+        assert_eq!(
+            result.to_csv_row().split(',').count(),
+            ExperimentResult::csv_header().split(',').count()
+        );
+    }
+}

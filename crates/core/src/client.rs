@@ -1,0 +1,531 @@
+//! The DataFlasks client library.
+//!
+//! The client library implements the `put(key, value)` / `get(key)` API on
+//! top of the epidemic substrate. It asks the Load Balancer for a contact
+//! node, attaches a unique request identifier to every operation and absorbs
+//! the multiple replies that epidemic dissemination produces (paper §V: "The
+//! second component must know how to handle multiple replies for the same
+//! request"): the first reply completes the operation, later ones only update
+//! the slice cache of the load balancer.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use dataflasks_types::{Duration, Key, NodeId, RequestId, SimTime, StoredObject, Value, Version};
+
+use crate::load_balancer::LoadBalancer;
+use crate::message::{ClientReply, ClientRequest, ReplyBody};
+
+/// Outcome of a completed client operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperationOutcome {
+    /// A replica acknowledged the put.
+    PutAcked {
+        /// Version that was acknowledged.
+        version: Version,
+    },
+    /// A replica returned the requested object.
+    GetHit {
+        /// The object returned by the first replica to answer.
+        object: StoredObject,
+    },
+    /// The responsible slice answered but did not hold the object (or the
+    /// requested version).
+    GetMiss,
+    /// No reply arrived before the client-side timeout.
+    TimedOut,
+}
+
+/// A finished operation as reported by [`ClientLibrary::on_reply`] or
+/// [`ClientLibrary::expire_pending`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedOperation {
+    /// Identifier of the operation.
+    pub request: RequestId,
+    /// Key the operation addressed.
+    pub key: Key,
+    /// How the operation ended.
+    pub outcome: OperationOutcome,
+    /// Time from issue to completion (or to expiry for timeouts).
+    pub latency: Duration,
+}
+
+/// Aggregate statistics kept by a client library instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Puts issued.
+    pub puts_issued: u64,
+    /// Gets issued.
+    pub gets_issued: u64,
+    /// Puts acknowledged by at least one replica.
+    pub puts_acked: u64,
+    /// Gets answered with an object.
+    pub gets_hit: u64,
+    /// Gets answered only with misses.
+    pub gets_missed: u64,
+    /// Operations that expired without any reply.
+    pub timeouts: u64,
+    /// Redundant replies absorbed after an operation already completed.
+    pub duplicate_replies: u64,
+    /// Sum of completion latencies in milliseconds (for averaging).
+    pub latency_sum_ms: u64,
+    /// Number of completed (non-timeout) operations.
+    pub completed: u64,
+}
+
+impl ClientStats {
+    /// Mean completion latency over the completed operations, in
+    /// milliseconds.
+    #[must_use]
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.latency_sum_ms as f64 / self.completed as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct PendingOperation {
+    key: Key,
+    is_put: bool,
+    issued_at: SimTime,
+    /// A responsible replica answered "not found". The operation is kept
+    /// pending because another replica may still answer with the object
+    /// (epidemic dissemination produces many independent replies); only when
+    /// the timeout fires is the miss reported.
+    saw_miss: bool,
+}
+
+/// The client library: issues operations and collects replies.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_core::{ClientLibrary, LoadBalancer, LoadBalancerPolicy};
+/// use dataflasks_types::{Key, NodeId, SimTime, SlicePartition, Value, Version};
+/// use rand::SeedableRng;
+///
+/// let lb = LoadBalancer::new(LoadBalancerPolicy::Random, vec![NodeId::new(1)], SlicePartition::new(10));
+/// let mut client = ClientLibrary::new(7, lb);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let issued = client
+///     .put(Key::from_user_key("a"), Version::new(1), Value::from_bytes(b"x"), SimTime::ZERO, &mut rng)
+///     .expect("at least one contact is known");
+/// assert_eq!(issued.contact, NodeId::new(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientLibrary {
+    id: u64,
+    next_sequence: u64,
+    load_balancer: LoadBalancer,
+    pending: HashMap<RequestId, PendingOperation>,
+    stats: ClientStats,
+}
+
+/// An operation handed to the transport: the contact node to deliver it to
+/// and the request payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssuedRequest {
+    /// Node the request must be delivered to.
+    pub contact: NodeId,
+    /// The request payload.
+    pub request: ClientRequest,
+}
+
+impl ClientLibrary {
+    /// Creates a client library with the given identifier and load balancer.
+    #[must_use]
+    pub fn new(id: u64, load_balancer: LoadBalancer) -> Self {
+        Self {
+            id,
+            next_sequence: 0,
+            load_balancer,
+            pending: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client identifier replies are addressed to.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Number of operations still waiting for their first reply.
+    #[must_use]
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Access to the embedded load balancer (e.g. to refresh contacts).
+    pub fn load_balancer_mut(&mut self) -> &mut LoadBalancer {
+        &mut self.load_balancer
+    }
+
+    /// Issues a put operation. Returns `None` if no contact node is known.
+    pub fn put<R: Rng>(
+        &mut self,
+        key: Key,
+        version: Version,
+        value: Value,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Option<IssuedRequest> {
+        let contact = self.load_balancer.pick(Some(key), rng)?;
+        let id = self.next_request_id();
+        self.pending.insert(
+            id,
+            PendingOperation {
+                key,
+                is_put: true,
+                issued_at: now,
+                saw_miss: false,
+            },
+        );
+        self.stats.puts_issued += 1;
+        Some(IssuedRequest {
+            contact,
+            request: ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            },
+        })
+    }
+
+    /// Issues a get operation. Returns `None` if no contact node is known.
+    pub fn get<R: Rng>(
+        &mut self,
+        key: Key,
+        version: Option<Version>,
+        now: SimTime,
+        rng: &mut R,
+    ) -> Option<IssuedRequest> {
+        let contact = self.load_balancer.pick(Some(key), rng)?;
+        let id = self.next_request_id();
+        self.pending.insert(
+            id,
+            PendingOperation {
+                key,
+                is_put: false,
+                issued_at: now,
+                saw_miss: false,
+            },
+        );
+        self.stats.gets_issued += 1;
+        Some(IssuedRequest {
+            contact,
+            request: ClientRequest::Get { id, key, version },
+        })
+    }
+
+    /// Processes a reply.
+    ///
+    /// The first *positive* reply (a put acknowledgement or a get hit)
+    /// completes the operation and is returned. A "not found" reply does not
+    /// complete a get immediately — epidemic dissemination produces replies
+    /// from many independent replicas and a later one may still hold the
+    /// object — it is remembered and reported by [`Self::expire_pending`] if
+    /// nothing better arrives. Replies for already-completed operations are
+    /// absorbed (and still teach the load balancer which slice the responder
+    /// belongs to).
+    pub fn on_reply(&mut self, reply: &ClientReply, now: SimTime) -> Option<CompletedOperation> {
+        if let Some(slice) = reply.responder_slice {
+            self.load_balancer.learn(reply.responder, slice);
+        }
+        if !self.pending.contains_key(&reply.request) {
+            self.stats.duplicate_replies += 1;
+            return None;
+        }
+        if matches!(reply.body, ReplyBody::GetMiss { .. }) {
+            let pending = self
+                .pending
+                .get_mut(&reply.request)
+                .expect("presence checked above");
+            pending.saw_miss = true;
+            return None;
+        }
+        let pending = self
+            .pending
+            .remove(&reply.request)
+            .expect("presence checked above");
+        let latency = now.saturating_since(pending.issued_at);
+        let outcome = match &reply.body {
+            ReplyBody::PutAck { version, .. } => {
+                self.stats.puts_acked += 1;
+                OperationOutcome::PutAcked { version: *version }
+            }
+            ReplyBody::GetHit { object } => {
+                self.stats.gets_hit += 1;
+                OperationOutcome::GetHit {
+                    object: object.clone(),
+                }
+            }
+            ReplyBody::GetMiss { .. } => unreachable!("handled above"),
+        };
+        self.stats.completed += 1;
+        self.stats.latency_sum_ms += latency.as_millis();
+        Some(CompletedOperation {
+            request: reply.request,
+            key: pending.key,
+            outcome,
+            latency,
+        })
+    }
+
+    /// Expires every pending operation issued more than `timeout` ago.
+    /// Gets for which at least one responsible replica answered "not found"
+    /// are reported as [`OperationOutcome::GetMiss`]; operations that heard
+    /// nothing at all are reported as [`OperationOutcome::TimedOut`].
+    pub fn expire_pending(&mut self, now: SimTime, timeout: Duration) -> Vec<CompletedOperation> {
+        let expired_ids: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter(|(_, op)| now.saturating_since(op.issued_at) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut expired = Vec::with_capacity(expired_ids.len());
+        for id in expired_ids {
+            let op = self.pending.remove(&id).expect("id was just collected");
+            let outcome = if op.saw_miss && !op.is_put {
+                self.stats.gets_missed += 1;
+                self.stats.completed += 1;
+                OperationOutcome::GetMiss
+            } else {
+                self.stats.timeouts += 1;
+                OperationOutcome::TimedOut
+            };
+            expired.push(CompletedOperation {
+                request: id,
+                key: op.key,
+                outcome,
+                latency: now.saturating_since(op.issued_at),
+            });
+        }
+        expired
+    }
+
+    fn next_request_id(&mut self) -> RequestId {
+        let id = RequestId::new(self.id, self.next_sequence);
+        self.next_sequence += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load_balancer::LoadBalancerPolicy;
+    use dataflasks_types::SlicePartition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn client(contacts: u64) -> ClientLibrary {
+        let lb = LoadBalancer::new(
+            LoadBalancerPolicy::Random,
+            (0..contacts).map(NodeId::new).collect(),
+            SlicePartition::new(4),
+        );
+        ClientLibrary::new(42, lb)
+    }
+
+    fn ack(request: RequestId, responder: u64) -> ClientReply {
+        ClientReply {
+            request,
+            responder: NodeId::new(responder),
+            responder_slice: Some(dataflasks_types::SliceId::new(1)),
+            body: ReplyBody::PutAck {
+                key: Key::from_user_key("k"),
+                version: Version::new(1),
+            },
+        }
+    }
+
+    #[test]
+    fn requests_get_unique_increasing_ids() {
+        let mut c = client(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = c
+            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .unwrap();
+        let b = c
+            .get(Key::from_user_key("a"), None, SimTime::ZERO, &mut rng)
+            .unwrap();
+        assert_ne!(a.request.id(), b.request.id());
+        assert_eq!(a.request.id().client(), 42);
+        assert_eq!(c.pending_count(), 2);
+        assert_eq!(c.stats().puts_issued, 1);
+        assert_eq!(c.stats().gets_issued, 1);
+    }
+
+    #[test]
+    fn no_contacts_means_no_request() {
+        let mut c = client(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(c
+            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .is_none());
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn first_reply_completes_and_duplicates_are_absorbed() {
+        let mut c = client(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let issued = c
+            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .unwrap();
+        let id = issued.request.id();
+        let t1 = SimTime::from_millis(25);
+        let done = c.on_reply(&ack(id, 1), t1).expect("first reply completes");
+        assert_eq!(done.request, id);
+        assert_eq!(done.latency, Duration::from_millis(25));
+        assert!(matches!(done.outcome, OperationOutcome::PutAcked { .. }));
+        // Subsequent replies for the same request are duplicates.
+        assert!(c.on_reply(&ack(id, 2), SimTime::from_millis(30)).is_none());
+        assert!(c.on_reply(&ack(id, 3), SimTime::from_millis(31)).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.puts_acked, 1);
+        assert_eq!(stats.duplicate_replies, 2);
+        assert_eq!(stats.completed, 1);
+        assert!((stats.mean_latency_ms() - 25.0).abs() < f64::EPSILON);
+        assert_eq!(c.pending_count(), 0);
+    }
+
+    #[test]
+    fn get_replies_report_hits_and_misses() {
+        let mut c = client(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let hit_req = c
+            .get(Key::from_user_key("hit"), None, SimTime::ZERO, &mut rng)
+            .unwrap();
+        let miss_req = c
+            .get(Key::from_user_key("miss"), None, SimTime::ZERO, &mut rng)
+            .unwrap();
+        let object = StoredObject::new(Key::from_user_key("hit"), Version::new(2), Value::from_bytes(b"v"));
+        let hit_reply = ClientReply {
+            request: hit_req.request.id(),
+            responder: NodeId::new(1),
+            responder_slice: None,
+            body: ReplyBody::GetHit { object: object.clone() },
+        };
+        let miss_reply = ClientReply {
+            request: miss_req.request.id(),
+            responder: NodeId::new(2),
+            responder_slice: None,
+            body: ReplyBody::GetMiss {
+                key: Key::from_user_key("miss"),
+            },
+        };
+        let hit = c.on_reply(&hit_reply, SimTime::from_millis(5)).unwrap();
+        assert_eq!(hit.outcome, OperationOutcome::GetHit { object });
+        // A "not found" reply does not complete the operation immediately:
+        // another replica may still answer with the object.
+        assert!(c.on_reply(&miss_reply, SimTime::from_millis(6)).is_none());
+        assert_eq!(c.pending_count(), 1);
+        // When the timeout fires the miss is reported (not a timeout).
+        let expired = c.expire_pending(SimTime::from_millis(5_000), Duration::from_millis(1_000));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].outcome, OperationOutcome::GetMiss);
+        assert_eq!(c.stats().gets_hit, 1);
+        assert_eq!(c.stats().gets_missed, 1);
+        assert_eq!(c.stats().timeouts, 0);
+    }
+
+    #[test]
+    fn late_hit_overrides_an_earlier_miss() {
+        let mut c = client(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let issued = c
+            .get(Key::from_user_key("slow-hit"), None, SimTime::ZERO, &mut rng)
+            .unwrap();
+        let id = issued.request.id();
+        let miss = ClientReply {
+            request: id,
+            responder: NodeId::new(1),
+            responder_slice: None,
+            body: ReplyBody::GetMiss {
+                key: Key::from_user_key("slow-hit"),
+            },
+        };
+        assert!(c.on_reply(&miss, SimTime::from_millis(5)).is_none());
+        let object = StoredObject::new(
+            Key::from_user_key("slow-hit"),
+            Version::new(1),
+            Value::from_bytes(b"found"),
+        );
+        let hit = ClientReply {
+            request: id,
+            responder: NodeId::new(2),
+            responder_slice: None,
+            body: ReplyBody::GetHit { object: object.clone() },
+        };
+        let done = c.on_reply(&hit, SimTime::from_millis(9)).unwrap();
+        assert_eq!(done.outcome, OperationOutcome::GetHit { object });
+        assert_eq!(c.stats().gets_hit, 1);
+        assert_eq!(c.stats().gets_missed, 0);
+    }
+
+    #[test]
+    fn pending_operations_expire_after_the_timeout() {
+        let mut c = client(3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let issued = c
+            .put(Key::from_user_key("slow"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .unwrap();
+        assert!(c
+            .expire_pending(SimTime::from_millis(100), Duration::from_millis(500))
+            .is_empty());
+        let expired = c.expire_pending(SimTime::from_millis(600), Duration::from_millis(500));
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].request, issued.request.id());
+        assert_eq!(expired[0].outcome, OperationOutcome::TimedOut);
+        assert_eq!(c.stats().timeouts, 1);
+        assert_eq!(c.pending_count(), 0);
+        // A late reply after expiry is counted as a duplicate.
+        assert!(c
+            .on_reply(&ack(issued.request.id(), 1), SimTime::from_millis(700))
+            .is_none());
+        assert_eq!(c.stats().duplicate_replies, 1);
+    }
+
+    #[test]
+    fn replies_teach_the_load_balancer() {
+        let lb = LoadBalancer::new(
+            LoadBalancerPolicy::SliceAware,
+            (0..8).map(NodeId::new).collect(),
+            SlicePartition::new(2),
+        );
+        let mut c = ClientLibrary::new(7, lb);
+        let mut rng = StdRng::seed_from_u64(0);
+        let key_slice0 = SlicePartition::new(2).range_start(dataflasks_types::SliceId::new(1));
+        let issued = c.put(key_slice0, Version::new(1), Value::default(), SimTime::ZERO, &mut rng).unwrap();
+        let reply = ClientReply {
+            request: issued.request.id(),
+            responder: NodeId::new(5),
+            responder_slice: Some(dataflasks_types::SliceId::new(1)),
+            body: ReplyBody::PutAck { key: key_slice0, version: Version::new(1) },
+        };
+        c.on_reply(&reply, SimTime::from_millis(1));
+        // The next operation on the same slice goes straight to the learned node.
+        let next = c.put(key_slice0, Version::new(2), Value::default(), SimTime::from_millis(2), &mut rng).unwrap();
+        assert_eq!(next.contact, NodeId::new(5));
+    }
+
+    #[test]
+    fn mean_latency_of_no_completions_is_zero() {
+        let c = client(1);
+        assert_eq!(c.stats().mean_latency_ms(), 0.0);
+        assert_eq!(c.id(), 42);
+    }
+}

@@ -1,0 +1,124 @@
+//! Bounded duplicate-suppression cache for request identifiers.
+
+use std::collections::{HashSet, VecDeque};
+
+use dataflasks_types::RequestId;
+
+/// A bounded first-in-first-out set of request identifiers.
+///
+/// Epidemic dissemination delivers the same request to a node through several
+/// paths; the node forwards (and applies) it only the first time. The cache
+/// is bounded so that memory stays constant regardless of how long the node
+/// runs: once full, remembering a new request forgets the oldest one, which
+/// is safe because by then the corresponding dissemination has long finished.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_core::dedup::DedupCache;
+/// use dataflasks_types::RequestId;
+///
+/// let mut cache = DedupCache::new(2);
+/// assert!(cache.first_sighting(RequestId::new(1, 1)));
+/// assert!(!cache.first_sighting(RequestId::new(1, 1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct DedupCache {
+    capacity: usize,
+    seen: HashSet<RequestId>,
+    order: VecDeque<RequestId>,
+}
+
+impl DedupCache {
+    /// Creates a cache remembering at most `capacity` request identifiers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "dedup cache needs a non-zero capacity");
+        Self {
+            capacity,
+            seen: HashSet::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Records `id` and returns `true` if it had not been seen before.
+    pub fn first_sighting(&mut self, id: RequestId) -> bool {
+        if self.seen.contains(&id) {
+            return false;
+        }
+        if self.order.len() == self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        self.order.push_back(id);
+        self.seen.insert(id);
+        true
+    }
+
+    /// Returns `true` if `id` is currently remembered.
+    #[must_use]
+    pub fn contains(&self, id: RequestId) -> bool {
+        self.seen.contains(&id)
+    }
+
+    /// Number of identifiers currently remembered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if nothing is remembered yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = DedupCache::new(0);
+    }
+
+    #[test]
+    fn first_sighting_is_true_exactly_once() {
+        let mut cache = DedupCache::new(8);
+        let id = RequestId::new(1, 1);
+        assert!(cache.first_sighting(id));
+        assert!(!cache.first_sighting(id));
+        assert!(!cache.first_sighting(id));
+        assert!(cache.contains(id));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let mut cache = DedupCache::new(3);
+        for seq in 0..3 {
+            assert!(cache.first_sighting(RequestId::new(0, seq)));
+        }
+        assert!(cache.first_sighting(RequestId::new(0, 3)));
+        assert_eq!(cache.len(), 3);
+        assert!(!cache.contains(RequestId::new(0, 0)), "oldest evicted");
+        assert!(cache.contains(RequestId::new(0, 3)));
+        // The evicted id is treated as new again (harmless late duplicate).
+        assert!(cache.first_sighting(RequestId::new(0, 0)));
+    }
+
+    #[test]
+    fn is_empty_reflects_contents() {
+        let mut cache = DedupCache::new(2);
+        assert!(cache.is_empty());
+        cache.first_sighting(RequestId::new(1, 1));
+        assert!(!cache.is_empty());
+    }
+}

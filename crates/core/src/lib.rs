@@ -1,0 +1,72 @@
+//! DataFlasks: an epidemic dependable key-value substrate.
+//!
+//! This crate implements the paper's primary contribution — the DataFlasks
+//! node and its client library — on top of the substrates provided by the
+//! sibling crates (`dataflasks-membership`, `dataflasks-slicing`,
+//! `dataflasks-store`):
+//!
+//! * [`DataFlasksNode`] — the node state machine bundling the Peer Sampling
+//!   Service, the Slice Manager, the request Handler, the Data Store and the
+//!   anti-entropy repair extension (paper §IV and §V),
+//! * [`ClientLibrary`] and [`LoadBalancer`] — the client-side components
+//!   (paper §V), including the slice-aware contact cache the paper's §VII
+//!   identifies as an optimisation path,
+//! * [`Message`], [`Output`], [`TimerKind`] — the sans-io interface through
+//!   which an environment (the discrete-event simulator of `dataflasks-sim`
+//!   or the threaded runtime of `dataflasks-runtime`) drives the node,
+//! * [`NodeStats`] — the per-node message accounting the paper's evaluation
+//!   (Figures 3 and 4) is based on.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_core::{ClientRequest, DataFlasksNode, Output};
+//! use dataflasks_membership::NodeDescriptor;
+//! use dataflasks_store::{DataStore, MemoryStore};
+//! use dataflasks_types::{Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version};
+//!
+//! // A single-slice, two-node toy system.
+//! let config = NodeConfig::for_system_size(2, 1);
+//! let mut node = DataFlasksNode::new(
+//!     NodeId::new(0),
+//!     config,
+//!     NodeProfile::default(),
+//!     MemoryStore::unbounded(),
+//!     1,
+//! );
+//! node.bootstrap([NodeDescriptor::new(NodeId::new(1), NodeProfile::default())]);
+//!
+//! // With a single slice the node is responsible for every key, so a client
+//! // put is stored locally and acknowledged immediately.
+//! let outputs = node.handle_client_request(
+//!     7,
+//!     ClientRequest::Put {
+//!         id: RequestId::new(7, 0),
+//!         key: Key::from_user_key("greeting"),
+//!         version: Version::new(1),
+//!         value: Value::from_bytes(b"hello"),
+//!     },
+//!     SimTime::ZERO,
+//! );
+//! assert!(outputs.iter().any(|o| matches!(o, Output::Reply { .. })));
+//! assert_eq!(node.store().len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod dedup;
+pub mod load_balancer;
+pub mod message;
+pub mod node;
+pub mod stats;
+
+pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, OperationOutcome};
+pub use load_balancer::{LoadBalancer, LoadBalancerPolicy};
+pub use message::{
+    ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,
+    PutRequest, ReplyBody, TimerKind,
+};
+pub use node::DataFlasksNode;
+pub use stats::{MessageKind, NodeStats};

@@ -1,0 +1,257 @@
+//! The Load Balancer service.
+//!
+//! The Load Balancer "provides the Client Library with references to nodes
+//! that can answer client requests" (paper §V). The paper's prototype uses a
+//! random contact node and §VII identifies smarter, cache-based policies as
+//! an optimisation path; both are implemented here so the `lb_ablation`
+//! experiment can quantify the difference.
+
+use std::collections::HashMap;
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use dataflasks_types::{Key, NodeId, SliceId, SlicePartition};
+
+/// Contact-selection policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBalancerPolicy {
+    /// Pick a uniformly random contact node (the paper's prototype).
+    Random,
+    /// Prefer a node known to belong to the slice responsible for the
+    /// requested key, learned from earlier replies; fall back to random when
+    /// the slice has no cached member yet (paper §VII optimisation).
+    SliceAware,
+}
+
+/// The Load Balancer: hands the client library a contact node per operation.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_core::{LoadBalancer, LoadBalancerPolicy};
+/// use dataflasks_types::{NodeId, SlicePartition};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let contacts = vec![NodeId::new(1), NodeId::new(2), NodeId::new(3)];
+/// let mut lb = LoadBalancer::new(LoadBalancerPolicy::Random, contacts, SlicePartition::new(10));
+/// assert!(lb.pick(None, &mut rng).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadBalancer {
+    policy: LoadBalancerPolicy,
+    contacts: Vec<NodeId>,
+    partition: SlicePartition,
+    slice_cache: HashMap<SliceId, Vec<NodeId>>,
+    cache_per_slice: usize,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a load balancer over the given contact nodes.
+    #[must_use]
+    pub fn new(policy: LoadBalancerPolicy, contacts: Vec<NodeId>, partition: SlicePartition) -> Self {
+        Self {
+            policy,
+            contacts,
+            partition,
+            slice_cache: HashMap::new(),
+            cache_per_slice: 8,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    /// The active policy.
+    #[must_use]
+    pub fn policy(&self) -> LoadBalancerPolicy {
+        self.policy
+    }
+
+    /// Number of contact nodes currently known.
+    #[must_use]
+    pub fn contact_count(&self) -> usize {
+        self.contacts.len()
+    }
+
+    /// How often a slice-aware pick was served from the cache.
+    #[must_use]
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits
+    }
+
+    /// How often a slice-aware pick fell back to a random contact.
+    #[must_use]
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses
+    }
+
+    /// Replaces the set of contact nodes (e.g. refreshed from the Peer
+    /// Sampling Service).
+    pub fn set_contacts(&mut self, contacts: Vec<NodeId>) {
+        self.contacts = contacts;
+    }
+
+    /// Updates the key-space partition (needed when the slice count is
+    /// reconfigured); the slice cache is invalidated because slice indices
+    /// change meaning.
+    pub fn set_partition(&mut self, partition: SlicePartition) {
+        if partition != self.partition {
+            self.partition = partition;
+            self.slice_cache.clear();
+        }
+    }
+
+    /// Picks a contact node for an operation on `key` (or `None` for
+    /// key-agnostic traffic). Returns `None` only when no contact is known.
+    pub fn pick<R: Rng>(&mut self, key: Option<Key>, rng: &mut R) -> Option<NodeId> {
+        if self.contacts.is_empty() {
+            return None;
+        }
+        if self.policy == LoadBalancerPolicy::SliceAware {
+            if let Some(key) = key {
+                let slice = self.partition.slice_of(key);
+                if let Some(candidates) = self.slice_cache.get(&slice) {
+                    if let Some(&node) = candidates.choose(rng) {
+                        self.cache_hits += 1;
+                        return Some(node);
+                    }
+                }
+                self.cache_misses += 1;
+            }
+        }
+        self.contacts.choose(rng).copied()
+    }
+
+    /// Records that `node` answered from `slice`; slice-aware picks will
+    /// prefer it for keys of that slice.
+    pub fn learn(&mut self, node: NodeId, slice: SliceId) {
+        let entry = self.slice_cache.entry(slice).or_default();
+        if !entry.contains(&node) {
+            entry.push(node);
+            if entry.len() > self.cache_per_slice {
+                entry.remove(0);
+            }
+        }
+    }
+
+    /// Forgets `node` everywhere (suspected dead).
+    pub fn forget(&mut self, node: NodeId) {
+        self.contacts.retain(|&c| c != node);
+        for members in self.slice_cache.values_mut() {
+            members.retain(|&c| c != node);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn contacts(n: u64) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn empty_contact_list_yields_none() {
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::Random, vec![], SlicePartition::new(4));
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(lb.pick(None, &mut rng), None);
+        assert_eq!(lb.contact_count(), 0);
+    }
+
+    #[test]
+    fn random_policy_spreads_over_contacts() {
+        let mut lb = LoadBalancer::new(
+            LoadBalancerPolicy::Random,
+            contacts(10),
+            SlicePartition::new(4),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(lb.pick(None, &mut rng).unwrap());
+        }
+        assert!(seen.len() >= 8, "random picks should cover most contacts");
+    }
+
+    #[test]
+    fn slice_aware_policy_prefers_learned_members() {
+        let partition = SlicePartition::new(4);
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::SliceAware, contacts(20), partition);
+        let mut rng = StdRng::seed_from_u64(2);
+        let key = Key::from_user_key("hot");
+        let slice = partition.slice_of(key);
+        // Before learning: random fallback (cache miss).
+        let _ = lb.pick(Some(key), &mut rng);
+        assert_eq!(lb.cache_misses(), 1);
+        lb.learn(NodeId::new(3), slice);
+        for _ in 0..10 {
+            assert_eq!(lb.pick(Some(key), &mut rng), Some(NodeId::new(3)));
+        }
+        assert_eq!(lb.cache_hits(), 10);
+    }
+
+    #[test]
+    fn learning_is_bounded_per_slice_and_deduplicated() {
+        let partition = SlicePartition::new(2);
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::SliceAware, contacts(64), partition);
+        for i in 0..32u64 {
+            lb.learn(NodeId::new(i), SliceId::new(0));
+            lb.learn(NodeId::new(i), SliceId::new(0));
+        }
+        let mut rng = StdRng::seed_from_u64(3);
+        // Every cached pick must come from the last 8 learned nodes.
+        let key = partition.range_start(SliceId::new(0));
+        for _ in 0..50 {
+            let picked = lb.pick(Some(key), &mut rng).unwrap();
+            assert!(picked.as_u64() >= 24, "evicted entry {picked} returned");
+        }
+    }
+
+    #[test]
+    fn forget_removes_a_node_everywhere() {
+        let partition = SlicePartition::new(2);
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::SliceAware, contacts(3), partition);
+        lb.learn(NodeId::new(1), SliceId::new(0));
+        lb.forget(NodeId::new(1));
+        assert_eq!(lb.contact_count(), 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert_ne!(lb.pick(None, &mut rng), Some(NodeId::new(1)));
+        }
+    }
+
+    #[test]
+    fn repartitioning_invalidates_the_cache() {
+        let partition = SlicePartition::new(2);
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::SliceAware, contacts(10), partition);
+        lb.learn(NodeId::new(1), SliceId::new(0));
+        lb.set_partition(SlicePartition::new(8));
+        let mut rng = StdRng::seed_from_u64(5);
+        let key = Key::from_raw(0);
+        let _ = lb.pick(Some(key), &mut rng);
+        // Cache was cleared, so this pick is a miss even for slice 0 keys.
+        assert_eq!(lb.cache_hits(), 0);
+        assert!(lb.cache_misses() >= 1);
+        // Same partition again keeps the cache.
+        lb.learn(NodeId::new(2), SliceId::new(0));
+        lb.set_partition(SlicePartition::new(8));
+        let _ = lb.pick(Some(Key::from_raw(0)), &mut rng);
+        assert!(lb.cache_hits() >= 1);
+    }
+
+    #[test]
+    fn set_contacts_replaces_the_pool() {
+        let mut lb = LoadBalancer::new(LoadBalancerPolicy::Random, contacts(2), SlicePartition::new(2));
+        lb.set_contacts(vec![NodeId::new(9)]);
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(lb.pick(None, &mut rng), Some(NodeId::new(9)));
+        assert_eq!(lb.contact_count(), 1);
+        assert_eq!(lb.policy(), LoadBalancerPolicy::Random);
+    }
+}

@@ -1,0 +1,1042 @@
+//! The DataFlasks node state machine.
+//!
+//! A [`DataFlasksNode`] bundles the four services of the paper's architecture
+//! (Figure 2): the Peer Sampling Service, the Slice Manager, the request
+//! Handler and the Data Store, plus the anti-entropy repair extension. It is
+//! written sans-io: every input (a protocol message, a client request or a
+//! periodic timer) is handled by a method that returns the [`Output`]s to
+//! deliver, and the environment — the discrete-event simulator or the
+//! threaded runtime — owns the transport and the clock.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling, SliceView};
+use dataflasks_slicing::{OrderedSlicer, Slicer};
+use dataflasks_store::{DataStore, PutOutcome, StoreDigest};
+use dataflasks_types::{
+    Key, NodeConfig, NodeId, NodeProfile, SimTime, SliceId, SlicePartition, StoredObject,
+};
+
+use crate::dedup::DedupCache;
+use crate::message::{
+    ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,
+    PutRequest, ReplyBody, TimerKind,
+};
+use crate::stats::{MessageKind, NodeStats};
+
+/// The DataFlasks node: slice manager, request handler, peer sampling and
+/// data store, driven entirely by explicit inputs.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_core::{ClientRequest, DataFlasksNode, TimerKind};
+/// use dataflasks_membership::NodeDescriptor;
+/// use dataflasks_store::MemoryStore;
+/// use dataflasks_types::{Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version};
+///
+/// let config = NodeConfig::for_system_size(10, 2);
+/// let mut node = DataFlasksNode::new(
+///     NodeId::new(0),
+///     config,
+///     NodeProfile::default(),
+///     MemoryStore::unbounded(),
+///     42,
+/// );
+/// node.bootstrap([NodeDescriptor::new(NodeId::new(1), NodeProfile::default())]);
+/// // A shuffle timer produces a shuffle message for the bootstrap contact.
+/// let outputs = node.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
+/// assert!(!outputs.is_empty());
+/// ```
+#[derive(Debug)]
+pub struct DataFlasksNode<S> {
+    id: NodeId,
+    config: NodeConfig,
+    partition: SlicePartition,
+    cyclon: CyclonProtocol,
+    slicer: OrderedSlicer,
+    slice_view: SliceView,
+    store: S,
+    dedup: DedupCache,
+    stats: NodeStats,
+    rng: StdRng,
+    current_slice: Option<SliceId>,
+}
+
+impl<S: DataStore> DataFlasksNode<S> {
+    /// Creates a node with the given configuration, locally measured profile
+    /// and backing store. `seed` makes the node's randomised choices
+    /// deterministic (each node should receive a distinct seed).
+    #[must_use]
+    pub fn new(id: NodeId, config: NodeConfig, profile: NodeProfile, store: S, seed: u64) -> Self {
+        let partition = SlicePartition::new(config.slicing.slice_count);
+        let cyclon = CyclonProtocol::with_profile(id, config.pss, profile);
+        let slicer = OrderedSlicer::new(id, profile, config.slicing, partition);
+        let slice_view = SliceView::new(id, config.pss.intra_view_size);
+        let dedup = DedupCache::new(config.dissemination.dedup_cache_size);
+        let rng = StdRng::seed_from_u64(seed ^ id.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut node = Self {
+            id,
+            config,
+            partition,
+            cyclon,
+            slicer,
+            slice_view,
+            store,
+            dedup,
+            stats: NodeStats::new(),
+            rng,
+            current_slice: None,
+        };
+        node.refresh_slice_assignment();
+        node
+    }
+
+    /// The node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's configuration.
+    #[must_use]
+    pub fn config(&self) -> &NodeConfig {
+        &self.config
+    }
+
+    /// The key-space partition the node currently uses.
+    #[must_use]
+    pub fn partition(&self) -> SlicePartition {
+        self.partition
+    }
+
+    /// The slice the node currently belongs to.
+    #[must_use]
+    pub fn slice(&self) -> Option<SliceId> {
+        self.current_slice
+    }
+
+    /// The node's locally measured profile.
+    #[must_use]
+    pub fn profile(&self) -> NodeProfile {
+        self.slicer.profile()
+    }
+
+    /// Message and operation counters.
+    #[must_use]
+    pub fn stats(&self) -> &NodeStats {
+        &self.stats
+    }
+
+    /// Read access to the backing data store.
+    #[must_use]
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Write access to the backing data store (used by tests and recovery
+    /// tooling; protocol traffic goes through the message handlers).
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Number of peers in the global (Cyclon) view.
+    #[must_use]
+    pub fn view_len(&self) -> usize {
+        self.cyclon.view().len()
+    }
+
+    /// Number of known peers of the node's own slice.
+    #[must_use]
+    pub fn slice_view_len(&self) -> usize {
+        self.slice_view.len()
+    }
+
+    /// Returns `true` if this node's slice is responsible for `key`.
+    #[must_use]
+    pub fn is_responsible_for(&self, key: Key) -> bool {
+        self.current_slice
+            .is_some_and(|slice| self.partition.owns(slice, key))
+    }
+
+    /// Seeds the global view with bootstrap contacts.
+    pub fn bootstrap<I>(&mut self, contacts: I)
+    where
+        I: IntoIterator<Item = NodeDescriptor>,
+    {
+        for contact in contacts {
+            self.slicer.observe(contact.id(), contact.profile());
+            self.slice_view.observe(contact);
+            self.cyclon.view_mut().insert(contact);
+        }
+        self.refresh_slice_assignment();
+    }
+
+    /// Reconfigures the number of slices (dynamic replication management).
+    /// The new partition takes effect immediately; objects now outside the
+    /// node's range are kept until [`Self::prune_foreign_data`] is called or
+    /// anti-entropy hands them over.
+    pub fn set_slice_count(&mut self, slice_count: u32) {
+        self.partition = SlicePartition::new(slice_count);
+        self.slicer.set_partition(self.partition);
+        self.config.slicing.slice_count = slice_count;
+        self.refresh_slice_assignment();
+    }
+
+    /// Drops every stored object whose key is outside the node's current
+    /// slice range, returning how many keys were removed.
+    pub fn prune_foreign_data(&mut self) -> usize {
+        match self.current_slice {
+            Some(slice) => self.store.retain_slice(self.partition, slice),
+            None => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Input handlers
+    // ------------------------------------------------------------------
+
+    /// Handles a protocol message from another node.
+    pub fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output> {
+        let _ = now;
+        self.stats.record_received(message.kind());
+        match message {
+            Message::Shuffle(request) => {
+                let response = self.cyclon.handle_request(from, request, &mut self.rng);
+                self.absorb_membership_knowledge();
+                self.send_to(from, Message::ShuffleReply(response))
+            }
+            Message::ShuffleReply(response) => {
+                self.cyclon.handle_response(response);
+                self.absorb_membership_knowledge();
+                Vec::new()
+            }
+            Message::Newscast(_) => Vec::new(),
+            Message::SliceGossip(exchange) => {
+                let reply = self.slicer.handle_exchange(exchange, &mut self.rng);
+                self.refresh_slice_assignment();
+                self.send_to(from, Message::SliceGossipReply(reply))
+            }
+            Message::SliceGossipReply(reply) => {
+                self.slicer.handle_reply(reply);
+                self.refresh_slice_assignment();
+                Vec::new()
+            }
+            Message::Put(request) => self.handle_put(request),
+            Message::Get(request) => self.handle_get(request),
+            Message::AntiEntropyDigest { digest } => self.handle_anti_entropy_digest(from, &digest),
+            Message::AntiEntropyReply { objects, digest } => {
+                self.handle_anti_entropy_reply(from, objects, &digest)
+            }
+            Message::AntiEntropyPush { objects } => {
+                self.apply_repair_objects(objects);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Handles an operation submitted by a client library to this node (the
+    /// contact node chosen by the load balancer).
+    pub fn handle_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+        now: SimTime,
+    ) -> Vec<Output> {
+        let _ = now;
+        self.dedup.first_sighting(request.id());
+        match request {
+            ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            } => {
+                let object = StoredObject::new(key, version, value);
+                let request = PutRequest {
+                    id,
+                    client,
+                    object,
+                    phase: DisseminationPhase::Global,
+                    ttl: self.global_ttl(),
+                };
+                self.handle_put_locally_and_forward(request, true)
+            }
+            ClientRequest::Get { id, key, version } => {
+                let request = GetRequest {
+                    id,
+                    client,
+                    key,
+                    version,
+                    phase: DisseminationPhase::Global,
+                    ttl: self.global_ttl(),
+                };
+                self.handle_get_locally_and_forward(request, true)
+            }
+        }
+    }
+
+    /// Handles one periodic timer.
+    pub fn on_timer(&mut self, timer: TimerKind, now: SimTime) -> Vec<Output> {
+        let _ = now;
+        match timer {
+            TimerKind::PssShuffle => self.on_pss_timer(),
+            TimerKind::SliceGossip => self.on_slice_gossip_timer(),
+            TimerKind::AntiEntropy => self.on_anti_entropy_timer(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Periodic protocol rounds
+    // ------------------------------------------------------------------
+
+    fn on_pss_timer(&mut self) -> Vec<Output> {
+        self.cyclon.set_slice(self.current_slice);
+        self.slice_view
+            .age_and_expire(self.config.pss.max_descriptor_age);
+        match self.cyclon.initiate_shuffle(&mut self.rng) {
+            Some((target, request)) => {
+                self.absorb_membership_knowledge();
+                self.send_to(target, Message::Shuffle(request))
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn on_slice_gossip_timer(&mut self) -> Vec<Output> {
+        self.slicer.advance_round();
+        self.refresh_slice_assignment();
+        let Some(peer) = self.cyclon.view().random_peer(&mut self.rng) else {
+            return Vec::new();
+        };
+        let exchange = self.slicer.create_exchange(&mut self.rng);
+        self.send_to(peer, Message::SliceGossip(exchange))
+    }
+
+    fn on_anti_entropy_timer(&mut self) -> Vec<Output> {
+        if !self.config.replication.anti_entropy_enabled {
+            return Vec::new();
+        }
+        let Some(peer) = self.slice_view.random_peer(&mut self.rng) else {
+            return Vec::new();
+        };
+        let digest = self.store.digest();
+        self.send_to(peer, Message::AntiEntropyDigest { digest })
+    }
+
+    // ------------------------------------------------------------------
+    // Request dissemination (paper §IV-B)
+    // ------------------------------------------------------------------
+
+    fn handle_put(&mut self, request: PutRequest) -> Vec<Output> {
+        if !self.dedup.first_sighting(request.id) {
+            self.stats.requests_duplicate += 1;
+            return Vec::new();
+        }
+        self.handle_put_locally_and_forward(request, false)
+    }
+
+    fn handle_get(&mut self, request: GetRequest) -> Vec<Output> {
+        if !self.dedup.first_sighting(request.id) {
+            self.stats.requests_duplicate += 1;
+            return Vec::new();
+        }
+        self.handle_get_locally_and_forward(request, false)
+    }
+
+    fn handle_put_locally_and_forward(
+        &mut self,
+        mut request: PutRequest,
+        from_client: bool,
+    ) -> Vec<Output> {
+        let target_slice = self.partition.slice_of(request.object.key);
+        let mut outputs = Vec::new();
+        if self.current_slice == Some(target_slice) {
+            // This node is a responsible replica: store and acknowledge.
+            let version = request.object.version;
+            let key = request.object.key;
+            match self.store.put(request.object.clone()) {
+                Ok(outcome) => {
+                    if outcome.changed() {
+                        self.stats.puts_stored += 1;
+                    } else {
+                        self.stats.puts_ignored += 1;
+                    }
+                    outputs.extend(self.reply_to(
+                        request.client,
+                        request.id,
+                        ReplyBody::PutAck { key, version },
+                    ));
+                }
+                Err(_) => {
+                    // A full replica cannot store more data; it still keeps
+                    // forwarding so other replicas receive the object.
+                    self.stats.puts_ignored += 1;
+                }
+            }
+            // Switch to (or continue) intra-slice dissemination.
+            let ttl = if request.phase == DisseminationPhase::Global {
+                self.config.dissemination.intra_ttl
+            } else {
+                request.ttl.saturating_sub(1)
+            };
+            if ttl > 0 {
+                request.phase = DisseminationPhase::IntraSlice;
+                request.ttl = ttl;
+                let peers = self.intra_slice_targets(target_slice);
+                for peer in peers {
+                    outputs.extend(self.send_to(peer, Message::Put(request.clone())));
+                }
+            }
+        } else {
+            // Not responsible: keep the epidemic search going while the TTL
+            // allows it.
+            if request.phase == DisseminationPhase::Global && request.ttl > 0 {
+                request.ttl -= 1;
+                let fanout = self.config.dissemination.global_fanout;
+                let peers = self.global_targets(fanout, target_slice);
+                if peers.is_empty() && from_client {
+                    // An isolated contact node cannot make progress.
+                    self.stats.requests_expired += 1;
+                }
+                for peer in peers {
+                    outputs.extend(self.send_to(peer, Message::Put(request.clone())));
+                }
+            } else {
+                self.stats.requests_expired += 1;
+            }
+        }
+        outputs
+    }
+
+    fn handle_get_locally_and_forward(
+        &mut self,
+        mut request: GetRequest,
+        from_client: bool,
+    ) -> Vec<Output> {
+        let target_slice = self.partition.slice_of(request.key);
+        let mut outputs = Vec::new();
+        if self.current_slice == Some(target_slice) {
+            let body = match self.store.get(request.key, request.version) {
+                Some(object) => {
+                    self.stats.gets_hit += 1;
+                    ReplyBody::GetHit { object }
+                }
+                None => {
+                    self.stats.gets_missed += 1;
+                    ReplyBody::GetMiss { key: request.key }
+                }
+            };
+            outputs.extend(self.reply_to(request.client, request.id, body));
+            let ttl = if request.phase == DisseminationPhase::Global {
+                self.config.dissemination.intra_ttl
+            } else {
+                request.ttl.saturating_sub(1)
+            };
+            if ttl > 0 {
+                request.phase = DisseminationPhase::IntraSlice;
+                request.ttl = ttl;
+                let peers = self.intra_slice_targets(target_slice);
+                for peer in peers {
+                    outputs.extend(self.send_to(peer, Message::Get(request.clone())));
+                }
+            }
+        } else if request.phase == DisseminationPhase::Global && request.ttl > 0 {
+            request.ttl -= 1;
+            let fanout = self.config.dissemination.global_fanout;
+            let peers = self.global_targets(fanout, target_slice);
+            if peers.is_empty() && from_client {
+                self.stats.requests_expired += 1;
+            }
+            for peer in peers {
+                outputs.extend(self.send_to(peer, Message::Get(request.clone())));
+            }
+        } else {
+            self.stats.requests_expired += 1;
+        }
+        outputs
+    }
+
+    /// Peers to forward an intra-slice dissemination to: the intra-slice view
+    /// first, completed with global-view peers that advertise the target
+    /// slice.
+    fn intra_slice_targets(&mut self, slice: SliceId) -> Vec<NodeId> {
+        let fanout = self.config.dissemination.intra_fanout;
+        let mut peers = self.slice_view.sample_peers(fanout, &mut self.rng);
+        if peers.len() < fanout {
+            for descriptor in self.cyclon.view().iter() {
+                if peers.len() >= fanout {
+                    break;
+                }
+                if descriptor.slice() == Some(slice) && !peers.contains(&descriptor.id()) {
+                    peers.push(descriptor.id());
+                }
+            }
+        }
+        peers
+    }
+
+    /// Peers to forward a global-phase dissemination to. Peers known to be in
+    /// the target slice are always included (so the search ends as soon as the
+    /// view knows a member), the rest are random.
+    fn global_targets(&mut self, fanout: usize, target_slice: SliceId) -> Vec<NodeId> {
+        let mut peers: Vec<NodeId> = self
+            .cyclon
+            .view()
+            .iter()
+            .filter(|d| d.slice() == Some(target_slice))
+            .map(NodeDescriptor::id)
+            .take(fanout)
+            .collect();
+        if peers.len() < fanout {
+            for peer in self
+                .cyclon
+                .view()
+                .sample_peers(fanout, &mut self.rng)
+            {
+                if peers.len() >= fanout {
+                    break;
+                }
+                if !peers.contains(&peer) {
+                    peers.push(peer);
+                }
+            }
+        }
+        peers
+    }
+
+    /// Number of global-phase hops: enough for the epidemic search to reach a
+    /// member of any slice with high probability, derived from the current
+    /// slice count (the scarcer the slices, the deeper the search). This is
+    /// the paper's §IV-B optimisation: "it is sufficient to reach only the
+    /// percentage of system nodes that guarantees that some nodes of the
+    /// target slice are reached", so the search is *not* sized to cover the
+    /// whole system.
+    fn global_ttl(&self) -> u32 {
+        let redundancy = 3.0;
+        let nodes_to_reach = (redundancy * f64::from(self.partition.slice_count())).max(2.0);
+        let fanout = (self.config.dissemination.global_fanout.max(2)) as f64;
+        (nodes_to_reach.ln() / fanout.ln()).ceil() as u32 + 1
+    }
+
+    // ------------------------------------------------------------------
+    // Anti-entropy replica repair (paper §VII, implemented extension)
+    // ------------------------------------------------------------------
+
+    fn handle_anti_entropy_digest(&mut self, from: NodeId, remote: &StoreDigest) -> Vec<Output> {
+        let objects = self.store.objects_newer_than(
+            remote,
+            self.config.replication.max_objects_per_exchange,
+        );
+        let digest = self.store.digest();
+        self.send_to(from, Message::AntiEntropyReply { objects, digest })
+    }
+
+    fn handle_anti_entropy_reply(
+        &mut self,
+        from: NodeId,
+        objects: Vec<StoredObject>,
+        remote: &StoreDigest,
+    ) -> Vec<Output> {
+        self.apply_repair_objects(objects);
+        let push = self.store.objects_newer_than(
+            remote,
+            self.config.replication.max_objects_per_exchange,
+        );
+        if push.is_empty() {
+            Vec::new()
+        } else {
+            self.send_to(from, Message::AntiEntropyPush { objects: push })
+        }
+    }
+
+    fn apply_repair_objects(&mut self, objects: Vec<StoredObject>) {
+        for object in objects {
+            // Only accept objects this node's slice is responsible for;
+            // anti-entropy must not re-spread foreign data.
+            if !self.is_responsible_for(object.key) {
+                continue;
+            }
+            if let Ok(outcome) = self.store.put(object) {
+                if outcome == PutOutcome::Stored {
+                    self.stats.objects_repaired += 1;
+                    self.stats.puts_stored += 1;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Internal plumbing
+    // ------------------------------------------------------------------
+
+    /// Feeds knowledge gathered by the Peer Sampling Service into the slicing
+    /// protocol (attribute samples) and the intra-slice view (peers
+    /// advertising the same slice).
+    fn absorb_membership_knowledge(&mut self) {
+        let descriptors: Vec<NodeDescriptor> = self.cyclon.view().iter().copied().collect();
+        for descriptor in descriptors {
+            self.slicer.observe(descriptor.id(), descriptor.profile());
+            self.slice_view.observe(descriptor);
+        }
+    }
+
+    /// Recomputes the local slice assignment and reacts to changes.
+    fn refresh_slice_assignment(&mut self) {
+        let new_slice = self.slicer.current_slice();
+        if new_slice != self.current_slice {
+            if self.current_slice.is_some() {
+                self.stats.slice_changes += 1;
+            }
+            self.current_slice = new_slice;
+            self.slice_view.set_slice(new_slice);
+            self.cyclon.set_slice(new_slice);
+            self.absorb_membership_knowledge();
+        }
+    }
+
+    fn send_to(&mut self, to: NodeId, message: Message) -> Vec<Output> {
+        self.stats.record_sent(message.kind());
+        vec![Output::Send { to, message }]
+    }
+
+    fn reply_to(&mut self, client: ClientId, request: dataflasks_types::RequestId, body: ReplyBody) -> Vec<Output> {
+        self.stats.record_sent(MessageKind::Reply);
+        vec![Output::Reply {
+            client,
+            reply: ClientReply {
+                request,
+                responder: self.id,
+                responder_slice: self.current_slice,
+                body,
+            },
+        }]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_store::MemoryStore;
+    use dataflasks_types::{RequestId, Value, Version};
+
+    fn test_config() -> NodeConfig {
+        NodeConfig::for_system_size(16, 2)
+    }
+
+    fn node(id: u64, capacity: u64) -> DataFlasksNode<MemoryStore> {
+        DataFlasksNode::new(
+            NodeId::new(id),
+            test_config(),
+            NodeProfile::with_capacity_and_tie_break(capacity, id),
+            MemoryStore::unbounded(),
+            0xD47A,
+        )
+    }
+
+    fn descriptor(id: u64, capacity: u64, slice: Option<u32>) -> NodeDescriptor {
+        NodeDescriptor::new(
+            NodeId::new(id),
+            NodeProfile::with_capacity_and_tie_break(capacity, id),
+        )
+        .with_slice(slice.map(SliceId::new))
+    }
+
+    #[test]
+    fn new_node_has_a_slice_and_empty_views() {
+        let n = node(0, 100);
+        assert!(n.slice().is_some());
+        assert_eq!(n.view_len(), 0);
+        assert_eq!(n.slice_view_len(), 0);
+        assert_eq!(n.store().len(), 0);
+        assert_eq!(n.stats().total_messages(), 0);
+        assert_eq!(n.partition().slice_count(), 2);
+    }
+
+    #[test]
+    fn bootstrap_populates_views_and_slicer() {
+        let mut n = node(0, 100);
+        n.bootstrap([descriptor(1, 10, None), descriptor(2, 1_000, None)]);
+        assert_eq!(n.view_len(), 2);
+        // One peer below us, one above: rank 1/3 → slice 0 of 2.
+        assert_eq!(n.slice(), Some(SliceId::new(0)));
+    }
+
+    #[test]
+    fn pss_timer_emits_a_shuffle_and_counts_it() {
+        let mut n = node(0, 100);
+        n.bootstrap([descriptor(1, 10, None)]);
+        let outputs = n.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
+        assert_eq!(outputs.len(), 1);
+        match &outputs[0] {
+            Output::Send { to, message } => {
+                assert_eq!(*to, NodeId::new(1));
+                assert!(matches!(message, Message::Shuffle(_)));
+            }
+            Output::Reply { .. } => panic!("expected a send"),
+        }
+        assert_eq!(n.stats().sent(MessageKind::Membership), 1);
+    }
+
+    #[test]
+    fn pss_timer_with_empty_view_is_a_noop() {
+        let mut n = node(0, 100);
+        assert!(n.on_timer(TimerKind::PssShuffle, SimTime::ZERO).is_empty());
+        assert!(n.on_timer(TimerKind::SliceGossip, SimTime::ZERO).is_empty());
+        assert!(n.on_timer(TimerKind::AntiEntropy, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn shuffle_request_gets_a_reply_and_feeds_the_slicer() {
+        let mut a = node(1, 100);
+        let mut b = node(2, 900);
+        a.bootstrap([descriptor(2, 900, None)]);
+        let outputs = a.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
+        let Output::Send { message, .. } = &outputs[0] else {
+            panic!("expected send");
+        };
+        let replies = b.handle_message(NodeId::new(1), message.clone(), SimTime::ZERO);
+        assert_eq!(replies.len(), 1);
+        assert!(matches!(
+            replies[0],
+            Output::Send {
+                to,
+                message: Message::ShuffleReply(_)
+            } if to == NodeId::new(1)
+        ));
+        assert_eq!(b.stats().received(MessageKind::Membership), 1);
+        assert_eq!(b.stats().sent(MessageKind::Membership), 1);
+    }
+
+    #[test]
+    fn slice_gossip_round_trip_updates_assignments() {
+        let mut a = node(1, 10);
+        let mut b = node(2, 1_000);
+        a.bootstrap([descriptor(2, 1_000, None)]);
+        b.bootstrap([descriptor(1, 10, None)]);
+        let outputs = a.on_timer(TimerKind::SliceGossip, SimTime::ZERO);
+        let Output::Send { to, message } = &outputs[0] else {
+            panic!("expected send");
+        };
+        assert_eq!(*to, NodeId::new(2));
+        let replies = b.handle_message(NodeId::new(1), message.clone(), SimTime::ZERO);
+        assert!(matches!(
+            replies[0],
+            Output::Send {
+                message: Message::SliceGossipReply(_),
+                ..
+            }
+        ));
+        // Low-capacity node in slice 0, high-capacity node in slice 1.
+        assert_eq!(a.slice(), Some(SliceId::new(0)));
+        assert_eq!(b.slice(), Some(SliceId::new(1)));
+    }
+
+    /// Builds a small fully-converged two-slice system for request tests:
+    /// node ids 0..8, capacities increasing with the id, everyone knows
+    /// everyone (views and slices are warm).
+    fn warm_cluster() -> Vec<DataFlasksNode<MemoryStore>> {
+        let count = 8u64;
+        let mut nodes: Vec<DataFlasksNode<MemoryStore>> =
+            (0..count).map(|i| node(i, (i + 1) * 100)).collect();
+        // Let every node observe every other node's true profile, then refresh
+        // slices and views twice so intra-slice views pick up advertised slices.
+        for _ in 0..2 {
+            let descriptors: Vec<NodeDescriptor> = nodes
+                .iter()
+                .map(|n| {
+                    NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice())
+                })
+                .collect();
+            for n in nodes.iter_mut() {
+                let others: Vec<NodeDescriptor> = descriptors
+                    .iter()
+                    .copied()
+                    .filter(|d| d.id() != n.id())
+                    .collect();
+                n.bootstrap(others);
+            }
+        }
+        nodes
+    }
+
+    /// Delivers outputs until the network is quiet, returning the replies.
+    fn run_to_quiescence(
+        nodes: &mut [DataFlasksNode<MemoryStore>],
+        mut pending: Vec<(NodeId, Output)>,
+    ) -> Vec<ClientReply> {
+        let mut replies = Vec::new();
+        let mut guard = 0;
+        while let Some((from, output)) = pending.pop() {
+            guard += 1;
+            assert!(guard < 100_000, "dissemination did not quiesce");
+            match output {
+                Output::Send { to, message } => {
+                    let index = to.as_u64() as usize;
+                    let outs = nodes[index].handle_message(from, message, SimTime::ZERO);
+                    let sender = nodes[index].id();
+                    pending.extend(outs.into_iter().map(|o| (sender, o)));
+                }
+                Output::Reply { reply, .. } => replies.push(reply),
+            }
+        }
+        replies
+    }
+
+    #[test]
+    fn put_reaches_every_replica_of_the_target_slice() {
+        let mut nodes = warm_cluster();
+        let key = Key::from_user_key("object-1");
+        let target = nodes[0].partition().slice_of(key);
+        let request = ClientRequest::Put {
+            id: RequestId::new(9, 0),
+            key,
+            version: Version::new(1),
+            value: Value::from_bytes(b"hello"),
+        };
+        let outputs = nodes[0].handle_client_request(77, request, SimTime::ZERO);
+        let origin = nodes[0].id();
+        let replies = run_to_quiescence(
+            &mut nodes,
+            outputs.into_iter().map(|o| (origin, o)).collect(),
+        );
+        // Every node of the target slice stored the object.
+        for n in &nodes {
+            if n.slice() == Some(target) {
+                assert!(
+                    n.store().get_latest(key).is_some(),
+                    "replica {} missing the object",
+                    n.id()
+                );
+            } else {
+                assert!(n.store().get_latest(key).is_none());
+            }
+        }
+        // The client received at least one acknowledgement carrying the slice.
+        assert!(!replies.is_empty());
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r.body, ReplyBody::PutAck { .. })));
+        assert!(replies.iter().all(|r| r.responder_slice == Some(target)));
+    }
+
+    #[test]
+    fn get_returns_the_stored_object_and_misses_unknown_keys() {
+        let mut nodes = warm_cluster();
+        let key = Key::from_user_key("object-2");
+        let put = ClientRequest::Put {
+            id: RequestId::new(9, 1),
+            key,
+            version: Version::new(4),
+            value: Value::from_bytes(b"payload"),
+        };
+        let outs = nodes[1].handle_client_request(5, put, SimTime::ZERO);
+        let origin = nodes[1].id();
+        run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
+
+        let get = ClientRequest::Get {
+            id: RequestId::new(9, 2),
+            key,
+            version: Some(Version::new(4)),
+        };
+        let outs = nodes[2].handle_client_request(5, get, SimTime::ZERO);
+        let origin = nodes[2].id();
+        let replies =
+            run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
+        let hit = replies
+            .iter()
+            .find(|r| matches!(r.body, ReplyBody::GetHit { .. }))
+            .expect("expected at least one hit");
+        match &hit.body {
+            ReplyBody::GetHit { object } => {
+                assert_eq!(object.value.as_slice(), b"payload");
+                assert_eq!(object.version, Version::new(4));
+            }
+            _ => unreachable!(),
+        }
+
+        // A key nobody stored produces only misses (from the responsible slice).
+        let get_missing = ClientRequest::Get {
+            id: RequestId::new(9, 3),
+            key: Key::from_user_key("never-written"),
+            version: None,
+        };
+        let outs = nodes[3].handle_client_request(5, get_missing, SimTime::ZERO);
+        let origin = nodes[3].id();
+        let replies =
+            run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
+        assert!(replies
+            .iter()
+            .all(|r| matches!(r.body, ReplyBody::GetMiss { .. })));
+    }
+
+    #[test]
+    fn duplicate_requests_are_forwarded_only_once() {
+        let mut n = node(0, 100);
+        n.bootstrap([
+            descriptor(1, 200, Some(1)),
+            descriptor(2, 300, Some(1)),
+            descriptor(3, 400, Some(1)),
+        ]);
+        let put = PutRequest {
+            id: RequestId::new(1, 0),
+            client: 1,
+            object: StoredObject::new(Key::from_raw(u64::MAX), Version::new(1), Value::default()),
+            phase: DisseminationPhase::Global,
+            ttl: 4,
+        };
+        let first = n.handle_message(NodeId::new(9), Message::Put(put.clone()), SimTime::ZERO);
+        assert!(!first.is_empty());
+        let second = n.handle_message(NodeId::new(8), Message::Put(put), SimTime::ZERO);
+        assert!(second.is_empty());
+        assert_eq!(n.stats().requests_duplicate, 1);
+    }
+
+    #[test]
+    fn expired_ttl_stops_global_dissemination() {
+        let mut n = node(0, 100);
+        n.bootstrap([descriptor(1, 200, None)]);
+        // Key owned by a slice this node does not belong to, TTL already zero.
+        let key = if n.is_responsible_for(Key::from_raw(0)) {
+            Key::from_raw(u64::MAX)
+        } else {
+            Key::from_raw(0)
+        };
+        let put = PutRequest {
+            id: RequestId::new(1, 1),
+            client: 1,
+            object: StoredObject::new(key, Version::new(1), Value::default()),
+            phase: DisseminationPhase::Global,
+            ttl: 0,
+        };
+        let outputs = n.handle_message(NodeId::new(9), Message::Put(put), SimTime::ZERO);
+        assert!(outputs.is_empty());
+        assert_eq!(n.stats().requests_expired, 1);
+    }
+
+    #[test]
+    fn anti_entropy_repairs_a_stale_replica() {
+        let mut nodes = warm_cluster();
+        let key = Key::from_user_key("repair-me");
+        let target = nodes[0].partition().slice_of(key);
+        // Find two replicas of the target slice and seed only one of them.
+        let replica_ids: Vec<usize> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.slice() == Some(target))
+            .map(|(i, _)| i)
+            .collect();
+        assert!(replica_ids.len() >= 2, "need at least two replicas");
+        let (seeded, stale) = (replica_ids[0], replica_ids[1]);
+        nodes[seeded]
+            .store_mut()
+            .put(StoredObject::new(key, Version::new(7), Value::from_bytes(b"x")))
+            .unwrap();
+        assert!(nodes[stale].store().get_latest(key).is_none());
+
+        // Drive anti-entropy from the stale replica until it talks to the
+        // seeded one (its random peer choice may pick others first).
+        let mut repaired = false;
+        for _ in 0..32 {
+            let outs = nodes[stale].on_timer(TimerKind::AntiEntropy, SimTime::ZERO);
+            let origin = nodes[stale].id();
+            run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
+            if nodes[stale].store().get_latest(key).is_some() {
+                repaired = true;
+                break;
+            }
+        }
+        assert!(repaired, "anti-entropy never repaired the stale replica");
+        assert!(nodes[stale].stats().objects_repaired >= 1);
+    }
+
+    #[test]
+    fn anti_entropy_is_disabled_by_configuration() {
+        let config = test_config().without_anti_entropy();
+        let mut n = DataFlasksNode::new(
+            NodeId::new(0),
+            config,
+            NodeProfile::default(),
+            MemoryStore::unbounded(),
+            1,
+        );
+        n.bootstrap([descriptor(1, 100, Some(0))]);
+        assert!(n.on_timer(TimerKind::AntiEntropy, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn anti_entropy_never_imports_foreign_keys() {
+        let mut n = node(0, 100);
+        n.bootstrap([descriptor(1, 1_000, None)]); // we are the low node → slice 0
+        let own_slice = n.slice().unwrap();
+        let foreign_slice =
+            SliceId::new((own_slice.index() + 1) % n.partition().slice_count());
+        let foreign_key = n.partition().range_start(foreign_slice);
+        let outputs = n.handle_message(
+            NodeId::new(1),
+            Message::AntiEntropyPush {
+                objects: vec![StoredObject::new(
+                    foreign_key,
+                    Version::new(1),
+                    Value::default(),
+                )],
+            },
+            SimTime::ZERO,
+        );
+        assert!(outputs.is_empty());
+        assert_eq!(n.store().len(), 0);
+    }
+
+    #[test]
+    fn reconfiguring_the_slice_count_changes_the_partition() {
+        let mut n = node(0, 100);
+        assert_eq!(n.partition().slice_count(), 2);
+        n.set_slice_count(8);
+        assert_eq!(n.partition().slice_count(), 8);
+        assert_eq!(n.config().slicing.slice_count, 8);
+        assert!(n.slice().unwrap().index() < 8);
+    }
+
+    #[test]
+    fn prune_foreign_data_drops_keys_outside_the_slice() {
+        let mut n = node(0, 100);
+        n.bootstrap([descriptor(1, 1_000, None)]);
+        // Insert objects across the whole key space directly into the store.
+        for i in 0..32u64 {
+            n.store_mut()
+                .put(StoredObject::new(
+                    Key::from_raw(i.wrapping_mul(0x1111_1111_1111_1111)),
+                    Version::new(1),
+                    Value::default(),
+                ))
+                .unwrap();
+        }
+        let before = n.store().len();
+        let removed = n.prune_foreign_data();
+        assert!(removed > 0);
+        assert_eq!(n.store().len() + removed, before);
+        let slice = n.slice().unwrap();
+        for key in n.store().keys() {
+            assert!(n.partition().owns(slice, key));
+        }
+    }
+
+    #[test]
+    fn stats_track_request_traffic() {
+        let mut nodes = warm_cluster();
+        let request = ClientRequest::Put {
+            id: RequestId::new(2, 0),
+            key: Key::from_user_key("counted"),
+            version: Version::new(1),
+            value: Value::from_bytes(b"v"),
+        };
+        let outs = nodes[0].handle_client_request(1, request, SimTime::ZERO);
+        let origin = nodes[0].id();
+        run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
+        let total_request_messages: u64 = nodes.iter().map(|n| n.stats().request_messages()).sum();
+        assert!(total_request_messages > 0);
+        let stored: u64 = nodes.iter().map(|n| n.stats().puts_stored).sum();
+        assert!(stored > 0);
+    }
+}

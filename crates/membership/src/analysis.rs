@@ -1,0 +1,232 @@
+//! Overlay-graph analysis utilities.
+//!
+//! The quality of an epidemic substrate depends on the partial views forming
+//! a well-mixed, connected overlay whose in-degree distribution is close to
+//! uniform. These helpers compute the statistics used by the test-suite and
+//! by the evaluation harness to verify that property on a collection of
+//! views (one per node).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use dataflasks_types::NodeId;
+
+use crate::view::PartialView;
+
+/// Summary statistics of the in-degree distribution of an overlay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Number of nodes considered.
+    pub nodes: usize,
+    /// Mean in-degree.
+    pub mean: f64,
+    /// Standard deviation of the in-degree.
+    pub std_dev: f64,
+    /// Smallest in-degree observed.
+    pub min: usize,
+    /// Largest in-degree observed.
+    pub max: usize,
+}
+
+/// Computes in-degree statistics over a collection of views (one per node).
+///
+/// The in-degree of a node is the number of other views that contain it.
+/// A healthy peer-sampling overlay has a mean close to the view size and a
+/// small standard deviation (no hub nodes, no forgotten nodes).
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_membership::{analysis, NodeDescriptor, PartialView};
+/// use dataflasks_types::{NodeId, NodeProfile};
+///
+/// let mut a = PartialView::new(NodeId::new(0), 4);
+/// a.insert(NodeDescriptor::new(NodeId::new(1), NodeProfile::default()));
+/// let mut b = PartialView::new(NodeId::new(1), 4);
+/// b.insert(NodeDescriptor::new(NodeId::new(0), NodeProfile::default()));
+/// let stats = analysis::in_degree_stats(&[a, b]);
+/// assert_eq!(stats.nodes, 2);
+/// assert!((stats.mean - 1.0).abs() < f64::EPSILON);
+/// ```
+#[must_use]
+pub fn in_degree_stats(views: &[PartialView]) -> DegreeStats {
+    let mut in_degree: HashMap<NodeId, usize> = views.iter().map(|v| (v.owner(), 0)).collect();
+    for view in views {
+        for descriptor in view.iter() {
+            if let Some(count) = in_degree.get_mut(&descriptor.id()) {
+                *count += 1;
+            }
+        }
+    }
+    let nodes = in_degree.len();
+    if nodes == 0 {
+        return DegreeStats {
+            nodes: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0,
+            max: 0,
+        };
+    }
+    let degrees: Vec<usize> = in_degree.values().copied().collect();
+    let mean = degrees.iter().sum::<usize>() as f64 / nodes as f64;
+    let variance = degrees
+        .iter()
+        .map(|&d| {
+            let diff = d as f64 - mean;
+            diff * diff
+        })
+        .sum::<f64>()
+        / nodes as f64;
+    DegreeStats {
+        nodes,
+        mean,
+        std_dev: variance.sqrt(),
+        min: degrees.iter().copied().min().unwrap_or(0),
+        max: degrees.iter().copied().max().unwrap_or(0),
+    }
+}
+
+/// Returns the number of nodes reachable from `start` by following view
+/// edges (breadth-first search over the directed overlay graph).
+///
+/// A value equal to the number of views means the overlay is strongly
+/// connected from `start`, which is what epidemic dissemination requires.
+#[must_use]
+pub fn reachable_from(views: &[PartialView], start: NodeId) -> usize {
+    let adjacency: HashMap<NodeId, Vec<NodeId>> = views
+        .iter()
+        .map(|v| (v.owner(), v.peer_ids()))
+        .collect();
+    let mut visited: HashSet<NodeId> = HashSet::new();
+    let mut queue = VecDeque::new();
+    if adjacency.contains_key(&start) {
+        visited.insert(start);
+        queue.push_back(start);
+    }
+    while let Some(node) = queue.pop_front() {
+        if let Some(neighbours) = adjacency.get(&node) {
+            for &next in neighbours {
+                if adjacency.contains_key(&next) && visited.insert(next) {
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    visited.len()
+}
+
+/// Returns `true` if every node can reach every other node through view
+/// edges. Quadratic in the number of nodes; intended for tests and offline
+/// analysis, not for the protocol hot path.
+#[must_use]
+pub fn is_strongly_connected(views: &[PartialView]) -> bool {
+    views
+        .iter()
+        .all(|v| reachable_from(views, v.owner()) == views.len())
+}
+
+/// Fraction of view entries pointing to nodes that are no longer part of the
+/// system (`alive` is the set of live nodes). Used to quantify how quickly
+/// the membership protocols forget departed nodes under churn.
+#[must_use]
+pub fn dead_link_ratio(views: &[PartialView], alive: &HashSet<NodeId>) -> f64 {
+    let mut total = 0usize;
+    let mut dead = 0usize;
+    for view in views {
+        for descriptor in view.iter() {
+            total += 1;
+            if !alive.contains(&descriptor.id()) {
+                dead += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        dead as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptor::NodeDescriptor;
+    use dataflasks_types::NodeProfile;
+
+    fn view_with(owner: u64, peers: &[u64], capacity: usize) -> PartialView {
+        let mut view = PartialView::new(NodeId::new(owner), capacity);
+        for &p in peers {
+            view.insert(NodeDescriptor::new(NodeId::new(p), NodeProfile::default()));
+        }
+        view
+    }
+
+    #[test]
+    fn empty_overlay_has_zeroed_stats() {
+        let stats = in_degree_stats(&[]);
+        assert_eq!(stats.nodes, 0);
+        assert_eq!(stats.mean, 0.0);
+    }
+
+    #[test]
+    fn ring_overlay_has_uniform_in_degree() {
+        let views: Vec<PartialView> = (0..10u64)
+            .map(|i| view_with(i, &[(i + 1) % 10], 4))
+            .collect();
+        let stats = in_degree_stats(&views);
+        assert_eq!(stats.nodes, 10);
+        assert!((stats.mean - 1.0).abs() < f64::EPSILON);
+        assert_eq!(stats.std_dev, 0.0);
+        assert_eq!(stats.min, 1);
+        assert_eq!(stats.max, 1);
+    }
+
+    #[test]
+    fn star_overlay_has_skewed_in_degree() {
+        // Everyone points at node 0; node 0 points at node 1.
+        let mut views = vec![view_with(0, &[1], 4)];
+        views.extend((1..6u64).map(|i| view_with(i, &[0], 4)));
+        let stats = in_degree_stats(&views);
+        assert_eq!(stats.max, 5);
+        assert!(stats.std_dev > 1.0);
+    }
+
+    #[test]
+    fn reachability_on_a_ring_is_complete() {
+        let views: Vec<PartialView> = (0..8u64)
+            .map(|i| view_with(i, &[(i + 1) % 8], 4))
+            .collect();
+        assert_eq!(reachable_from(&views, NodeId::new(0)), 8);
+        assert!(is_strongly_connected(&views));
+    }
+
+    #[test]
+    fn reachability_detects_partitions() {
+        // Two disjoint rings of 4.
+        let mut views: Vec<PartialView> = (0..4u64)
+            .map(|i| view_with(i, &[(i + 1) % 4], 4))
+            .collect();
+        views.extend((4..8u64).map(|i| view_with(i, &[4 + (i + 1 - 4) % 4], 4)));
+        assert_eq!(reachable_from(&views, NodeId::new(0)), 4);
+        assert!(!is_strongly_connected(&views));
+    }
+
+    #[test]
+    fn reachability_of_unknown_start_is_zero() {
+        let views = vec![view_with(0, &[1], 4), view_with(1, &[0], 4)];
+        assert_eq!(reachable_from(&views, NodeId::new(99)), 0);
+    }
+
+    #[test]
+    fn dead_link_ratio_counts_departed_nodes() {
+        let views = vec![view_with(0, &[1, 2], 4), view_with(1, &[0, 2], 4)];
+        let alive: HashSet<NodeId> = [NodeId::new(0), NodeId::new(1)].into_iter().collect();
+        let ratio = dead_link_ratio(&views, &alive);
+        assert!((ratio - 0.5).abs() < f64::EPSILON);
+        let all_alive: HashSet<NodeId> = [NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+            .into_iter()
+            .collect();
+        assert_eq!(dead_link_ratio(&views, &all_alive), 0.0);
+        assert_eq!(dead_link_ratio(&[], &all_alive), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Node descriptors exchanged by the gossip protocols.
+
+use std::fmt;
+
+use dataflasks_types::{NodeId, NodeProfile, SliceId};
+
+/// A descriptor of a remote node as kept in a partial view and exchanged in
+/// gossip messages.
+///
+/// Besides the node identity and its gossip *age* (number of shuffle rounds
+/// since the descriptor was created), DataFlasks descriptors carry the
+/// node's locally measured [`NodeProfile`] and the slice the node currently
+/// believes it belongs to. Piggybacking these two fields on the membership
+/// gossip is what lets the slicing protocol collect attribute samples and the
+/// request handler discover intra-slice peers without extra message types.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_membership::NodeDescriptor;
+/// use dataflasks_types::{NodeId, NodeProfile, SliceId};
+///
+/// let mut d = NodeDescriptor::new(NodeId::new(4), NodeProfile::with_capacity(500));
+/// assert_eq!(d.age(), 0);
+/// d.increase_age();
+/// assert_eq!(d.age(), 1);
+/// let d = d.with_slice(Some(SliceId::new(2)));
+/// assert_eq!(d.slice(), Some(SliceId::new(2)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeDescriptor {
+    id: NodeId,
+    age: u32,
+    profile: NodeProfile,
+    slice: Option<SliceId>,
+}
+
+impl NodeDescriptor {
+    /// Creates a fresh (age zero) descriptor for a node with the given
+    /// profile and no known slice.
+    #[must_use]
+    pub fn new(id: NodeId, profile: NodeProfile) -> Self {
+        Self {
+            id,
+            age: 0,
+            profile,
+            slice: None,
+        }
+    }
+
+    /// Identity of the described node.
+    #[must_use]
+    pub const fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Gossip age of the descriptor, in shuffle rounds.
+    #[must_use]
+    pub const fn age(&self) -> u32 {
+        self.age
+    }
+
+    /// Locally measured profile of the described node.
+    #[must_use]
+    pub const fn profile(&self) -> NodeProfile {
+        self.profile
+    }
+
+    /// Slice the described node believes it belongs to, if it has decided.
+    #[must_use]
+    pub const fn slice(&self) -> Option<SliceId> {
+        self.slice
+    }
+
+    /// Returns a copy of the descriptor with its age reset to zero, used when
+    /// a node advertises itself in a shuffle.
+    #[must_use]
+    pub fn refreshed(mut self) -> Self {
+        self.age = 0;
+        self
+    }
+
+    /// Returns a copy of the descriptor carrying the given slice assignment.
+    #[must_use]
+    pub fn with_slice(mut self, slice: Option<SliceId>) -> Self {
+        self.slice = slice;
+        self
+    }
+
+    /// Returns a copy of the descriptor carrying the given age.
+    #[must_use]
+    pub fn with_age(mut self, age: u32) -> Self {
+        self.age = age;
+        self
+    }
+
+    /// Increments the descriptor age by one shuffle round (saturating).
+    pub fn increase_age(&mut self) {
+        self.age = self.age.saturating_add(1);
+    }
+
+    /// Returns `true` if this descriptor is fresher (strictly younger) than
+    /// `other`. Only meaningful for descriptors of the same node.
+    #[must_use]
+    pub fn is_fresher_than(&self, other: &Self) -> bool {
+        self.age < other.age
+    }
+}
+
+impl fmt::Display for NodeDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.slice {
+            Some(slice) => write!(f, "{}(age={}, {}, {})", self.id, self.age, self.profile, slice),
+            None => write!(f, "{}(age={}, {})", self.id, self.age, self.profile),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_descriptor_is_fresh_and_unsliced() {
+        let d = NodeDescriptor::new(NodeId::new(1), NodeProfile::with_capacity(10));
+        assert_eq!(d.age(), 0);
+        assert_eq!(d.slice(), None);
+        assert_eq!(d.profile().capacity(), 10);
+    }
+
+    #[test]
+    fn age_increments_and_saturates() {
+        let mut d = NodeDescriptor::new(NodeId::new(1), NodeProfile::default()).with_age(u32::MAX - 1);
+        d.increase_age();
+        assert_eq!(d.age(), u32::MAX);
+        d.increase_age();
+        assert_eq!(d.age(), u32::MAX);
+    }
+
+    #[test]
+    fn refreshed_resets_age_only() {
+        let d = NodeDescriptor::new(NodeId::new(1), NodeProfile::with_capacity(3))
+            .with_age(9)
+            .with_slice(Some(SliceId::new(1)));
+        let r = d.refreshed();
+        assert_eq!(r.age(), 0);
+        assert_eq!(r.slice(), Some(SliceId::new(1)));
+        assert_eq!(r.profile().capacity(), 3);
+    }
+
+    #[test]
+    fn freshness_comparison() {
+        let young = NodeDescriptor::new(NodeId::new(1), NodeProfile::default()).with_age(1);
+        let old = NodeDescriptor::new(NodeId::new(1), NodeProfile::default()).with_age(5);
+        assert!(young.is_fresher_than(&old));
+        assert!(!old.is_fresher_than(&young));
+        assert!(!young.is_fresher_than(&young));
+    }
+
+    #[test]
+    fn display_includes_slice_when_known() {
+        let d = NodeDescriptor::new(NodeId::new(2), NodeProfile::with_capacity(1))
+            .with_slice(Some(SliceId::new(3)));
+        assert!(d.to_string().contains("s3"));
+        let undecided = NodeDescriptor::new(NodeId::new(2), NodeProfile::with_capacity(1));
+        assert!(!undecided.to_string().contains("s3"));
+    }
+}

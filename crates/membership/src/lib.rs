@@ -1,0 +1,100 @@
+//! Peer Sampling Service for DataFlasks.
+//!
+//! Epidemic protocols rely on every node holding a small *partial view* of
+//! the system that is continuously refreshed so that it behaves like a
+//! uniformly random sample of all live nodes. This crate implements the
+//! membership substrate the paper builds on:
+//!
+//! * [`NodeDescriptor`] and [`PartialView`] — the bounded, age-tracked view
+//!   data structure shared by all gossip protocols,
+//! * [`CyclonProtocol`] — the Cyclon shuffle protocol \[Voulgaris et al. 2005\],
+//!   the Peer Sampling Service used by DataFlasks,
+//! * [`NewscastProtocol`] — a Newscast-style alternative (freshness-based
+//!   merge of full views), provided for comparison experiments,
+//! * [`SliceView`] — the *intra-slice* view used once a request has reached
+//!   its target slice (dissemination then stays inside the slice),
+//! * [`analysis`] — graph statistics (in-degree distribution, reachability)
+//!   used by the test-suite and the evaluation harness to check that views
+//!   are indeed close to uniformly random.
+//!
+//! All protocols are written sans-io: they consume decoded messages and
+//! return messages to send, so the same code runs in the discrete-event
+//! simulator and in the threaded runtime.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
+//! use dataflasks_types::{NodeId, NodeProfile, PssConfig};
+//! use rand::SeedableRng;
+//!
+//! let cfg = PssConfig::default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let me = NodeId::new(0);
+//! let mut cyclon = CyclonProtocol::new(me, cfg);
+//!
+//! // Bootstrap with one known contact.
+//! cyclon.view_mut().insert(NodeDescriptor::new(NodeId::new(1), NodeProfile::default()));
+//!
+//! // Initiate a shuffle: returns the chosen peer and the request to send.
+//! let (peer, _request) = cyclon.initiate_shuffle(&mut rng).expect("view not empty");
+//! assert_eq!(peer, NodeId::new(1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cyclon;
+pub mod descriptor;
+pub mod newscast;
+pub mod slice_view;
+pub mod view;
+
+pub use cyclon::{CyclonProtocol, ShuffleRequest, ShuffleResponse};
+pub use descriptor::NodeDescriptor;
+pub use newscast::{NewscastExchange, NewscastProtocol};
+pub use slice_view::SliceView;
+pub use view::PartialView;
+
+/// Common behaviour of the peer-sampling protocols in this crate.
+///
+/// The DataFlasks node is generic over its Peer Sampling Service through
+/// this trait so that Cyclon (the default) and Newscast can be swapped in
+/// experiments without touching the node logic.
+pub trait PeerSampling {
+    /// The node this protocol instance runs on.
+    fn local_id(&self) -> dataflasks_types::NodeId;
+
+    /// Read access to the current partial view.
+    fn view(&self) -> &PartialView;
+
+    /// Write access to the current partial view (used for bootstrapping and
+    /// by the failure detector to purge descriptors of dead nodes).
+    fn view_mut(&mut self) -> &mut PartialView;
+
+    /// Selects up to `n` distinct random peers from the view.
+    fn random_peers<R: rand::Rng>(&self, n: usize, rng: &mut R) -> Vec<dataflasks_types::NodeId> {
+        self.view().sample_peers(n, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_types::{NodeId, NodeProfile, PssConfig};
+
+    #[test]
+    fn peer_sampling_trait_is_usable_with_both_protocols() {
+        fn view_len<P: PeerSampling>(p: &P) -> usize {
+            p.view().len()
+        }
+        let mut cyclon = CyclonProtocol::new(NodeId::new(0), PssConfig::default());
+        cyclon
+            .view_mut()
+            .insert(NodeDescriptor::new(NodeId::new(1), NodeProfile::default()));
+        let newscast = NewscastProtocol::new(NodeId::new(2), PssConfig::default());
+        assert_eq!(view_len(&cyclon), 1);
+        assert_eq!(view_len(&newscast), 0);
+    }
+}

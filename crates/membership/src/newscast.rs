@@ -1,0 +1,257 @@
+//! A Newscast-style peer sampling protocol.
+//!
+//! Newscast (Voulgaris et al.) is a simpler gossip membership protocol than
+//! Cyclon: on every round a node picks a random neighbour and both sides
+//! exchange their *entire* view plus a fresh descriptor of themselves; each
+//! side then keeps the freshest `view_size` descriptors of the union.
+//! DataFlasks uses Cyclon by default, but Newscast is provided so that the
+//! membership substrate can be compared experimentally (Newscast refreshes
+//! faster under churn at the cost of a more skewed in-degree distribution).
+
+use rand::Rng;
+
+use dataflasks_types::{NodeId, NodeProfile, PssConfig, SliceId};
+
+use crate::descriptor::NodeDescriptor;
+use crate::view::PartialView;
+use crate::PeerSampling;
+
+/// A Newscast exchange payload: the sender's full view plus its own fresh
+/// descriptor. The same payload type is used for the request and the reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewscastExchange {
+    /// Descriptors advertised by the sender.
+    pub descriptors: Vec<NodeDescriptor>,
+}
+
+/// State machine of the Newscast protocol for one node.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_membership::{NewscastProtocol, NodeDescriptor, PeerSampling};
+/// use dataflasks_types::{NodeId, NodeProfile, PssConfig};
+/// use rand::SeedableRng;
+///
+/// let cfg = PssConfig::default();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut a = NewscastProtocol::new(NodeId::new(1), cfg);
+/// let mut b = NewscastProtocol::new(NodeId::new(2), cfg);
+/// a.bootstrap([NodeDescriptor::new(NodeId::new(2), NodeProfile::default())]);
+///
+/// let (peer, exchange) = a.initiate_exchange(&mut rng).unwrap();
+/// let reply = b.handle_exchange(a.local_id(), exchange);
+/// a.handle_reply(reply);
+/// assert_eq!(peer, NodeId::new(2));
+/// assert!(b.view().contains(NodeId::new(1)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewscastProtocol {
+    local_id: NodeId,
+    config: PssConfig,
+    profile: NodeProfile,
+    slice: Option<SliceId>,
+    view: PartialView,
+    exchanges: u64,
+}
+
+impl NewscastProtocol {
+    /// Creates a Newscast instance for `local_id` with an empty view.
+    #[must_use]
+    pub fn new(local_id: NodeId, config: PssConfig) -> Self {
+        Self {
+            local_id,
+            config,
+            profile: NodeProfile::default(),
+            slice: None,
+            view: PartialView::new(local_id, config.view_size),
+            exchanges: 0,
+        }
+    }
+
+    /// Sets the profile advertised in the node's own descriptor.
+    pub fn set_profile(&mut self, profile: NodeProfile) {
+        self.profile = profile;
+    }
+
+    /// Sets the slice advertised in the node's own descriptor.
+    pub fn set_slice(&mut self, slice: Option<SliceId>) {
+        self.slice = slice;
+    }
+
+    /// Number of exchanges (initiated plus answered) this node took part in.
+    #[must_use]
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Seeds the view with bootstrap contacts.
+    pub fn bootstrap<I>(&mut self, contacts: I)
+    where
+        I: IntoIterator<Item = NodeDescriptor>,
+    {
+        for contact in contacts {
+            self.view.insert(contact);
+        }
+    }
+
+    /// A fresh descriptor of the local node.
+    #[must_use]
+    pub fn self_descriptor(&self) -> NodeDescriptor {
+        NodeDescriptor::new(self.local_id, self.profile).with_slice(self.slice)
+    }
+
+    /// Starts one exchange round: ages the view, picks a random neighbour and
+    /// returns the payload to send to it. Returns `None` on an empty view.
+    pub fn initiate_exchange<R: Rng>(&mut self, rng: &mut R) -> Option<(NodeId, NewscastExchange)> {
+        self.view.age_and_expire(self.config.max_descriptor_age);
+        let target = self.view.random_peer(rng)?;
+        self.exchanges += 1;
+        Some((target, self.payload()))
+    }
+
+    /// Handles an exchange initiated by `from`: merges the received
+    /// descriptors and returns the reply payload.
+    pub fn handle_exchange(&mut self, from: NodeId, exchange: NewscastExchange) -> NewscastExchange {
+        self.exchanges += 1;
+        let reply = self.payload();
+        self.absorb(from, exchange);
+        reply
+    }
+
+    /// Handles the reply to an exchange this node initiated.
+    pub fn handle_reply(&mut self, reply: NewscastExchange) {
+        self.view.merge_freshest(&reply.descriptors);
+    }
+
+    /// Drops the descriptor of a suspected-dead peer.
+    pub fn purge(&mut self, peer: NodeId) {
+        self.view.remove(peer);
+    }
+
+    fn payload(&self) -> NewscastExchange {
+        let mut descriptors = vec![self.self_descriptor()];
+        descriptors.extend(self.view.iter().copied());
+        NewscastExchange { descriptors }
+    }
+
+    fn absorb(&mut self, from: NodeId, exchange: NewscastExchange) {
+        self.view.merge_freshest(&exchange.descriptors);
+        // Knowing the initiator keeps the overlay connected even if the merge
+        // dropped its descriptor for freshness reasons; a blank placeholder is
+        // only added when the initiator is not already known.
+        if !self.view.contains(from) {
+            self.view
+                .insert(NodeDescriptor::new(from, NodeProfile::default()));
+        }
+    }
+}
+
+impl PeerSampling for NewscastProtocol {
+    fn local_id(&self) -> NodeId {
+        self.local_id
+    }
+
+    fn view(&self) -> &PartialView {
+        &self.view
+    }
+
+    fn view_mut(&mut self) -> &mut PartialView {
+        &mut self.view
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn descriptor(id: u64) -> NodeDescriptor {
+        NodeDescriptor::new(NodeId::new(id), NodeProfile::default())
+    }
+
+    #[test]
+    fn exchange_requires_a_non_empty_view() {
+        let mut p = NewscastProtocol::new(NodeId::new(0), PssConfig::default());
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(p.initiate_exchange(&mut rng).is_none());
+    }
+
+    #[test]
+    fn payload_always_contains_fresh_self_descriptor() {
+        let mut p = NewscastProtocol::new(NodeId::new(3), PssConfig::default());
+        p.bootstrap([descriptor(1)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let (_, exchange) = p.initiate_exchange(&mut rng).unwrap();
+        assert_eq!(exchange.descriptors[0].id(), NodeId::new(3));
+        assert_eq!(exchange.descriptors[0].age(), 0);
+    }
+
+    #[test]
+    fn both_sides_learn_from_an_exchange() {
+        let cfg = PssConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut a = NewscastProtocol::new(NodeId::new(1), cfg);
+        let mut b = NewscastProtocol::new(NodeId::new(2), cfg);
+        a.bootstrap([descriptor(2), descriptor(10)]);
+        b.bootstrap([descriptor(20)]);
+        let (_, exchange) = a.initiate_exchange(&mut rng).unwrap();
+        let reply = b.handle_exchange(NodeId::new(1), exchange);
+        a.handle_reply(reply);
+        assert!(b.view().contains(NodeId::new(1)));
+        assert!(b.view().contains(NodeId::new(10)));
+        assert!(a.view().contains(NodeId::new(20)));
+        assert_eq!(a.exchanges(), 1);
+        assert_eq!(b.exchanges(), 1);
+    }
+
+    #[test]
+    fn views_stay_bounded_over_many_rounds() {
+        let cfg = PssConfig {
+            view_size: 5,
+            ..PssConfig::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let count = 30u64;
+        let mut nodes: Vec<NewscastProtocol> = (0..count)
+            .map(|i| {
+                let mut p = NewscastProtocol::new(NodeId::new(i), cfg);
+                p.bootstrap([descriptor((i + 1) % count)]);
+                p
+            })
+            .collect();
+        for _round in 0..40 {
+            for i in 0..nodes.len() {
+                if let Some((target, exchange)) = nodes[i].initiate_exchange(&mut rng) {
+                    let from = nodes[i].local_id();
+                    let reply = nodes[target.as_u64() as usize].handle_exchange(from, exchange);
+                    nodes[i].handle_reply(reply);
+                }
+            }
+        }
+        for node in &nodes {
+            assert!(node.view().len() <= cfg.view_size);
+            assert!(!node.view().is_empty());
+            assert!(!node.view().contains(node.local_id()));
+        }
+    }
+
+    #[test]
+    fn purge_removes_peer() {
+        let mut p = NewscastProtocol::new(NodeId::new(0), PssConfig::default());
+        p.bootstrap([descriptor(1), descriptor(2)]);
+        p.purge(NodeId::new(2));
+        assert!(!p.view().contains(NodeId::new(2)));
+    }
+
+    #[test]
+    fn slice_and_profile_are_advertised() {
+        let mut p = NewscastProtocol::new(NodeId::new(0), PssConfig::default());
+        p.set_profile(NodeProfile::with_capacity(9));
+        p.set_slice(Some(SliceId::new(1)));
+        let d = p.self_descriptor();
+        assert_eq!(d.profile().capacity(), 9);
+        assert_eq!(d.slice(), Some(SliceId::new(1)));
+    }
+}

@@ -1,0 +1,457 @@
+//! A threaded in-process runtime for DataFlasks nodes.
+//!
+//! The discrete-event simulator (`dataflasks-sim`) is what the experiments
+//! use, but the node state machines are transport-agnostic; this crate runs
+//! the very same [`DataFlasksNode`] code with one operating-system thread per
+//! node and channels as the network, demonstrating that the protocol layer
+//! carries over unchanged to a concurrent deployment.
+//!
+//! * [`ThreadedCluster`] — spawns the node threads, routes messages between
+//!   them, exposes a blocking `put`/`get` client API and joins everything on
+//!   shutdown.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_runtime::ThreadedCluster;
+//! use dataflasks_types::{Duration, Key, NodeConfig, Value, Version};
+//!
+//! // A tiny single-slice cluster keeps the doctest fast.
+//! let cluster = ThreadedCluster::start(3, NodeConfig::for_system_size(3, 1), 7);
+//! cluster
+//!     .put(Key::from_user_key("a"), Version::new(1), Value::from_bytes(b"x"), Duration::from_secs(5))
+//!     .unwrap();
+//! let read = cluster
+//!     .get(Key::from_user_key("a"), None, Duration::from_secs(5))
+//!     .unwrap();
+//! assert_eq!(read.unwrap().value.as_slice(), b"x");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataflasks_core::{
+    ClientReply, ClientRequest, DataFlasksNode, Message, Output, ReplyBody, TimerKind,
+};
+use dataflasks_membership::NodeDescriptor;
+use dataflasks_store::MemoryStore;
+use dataflasks_types::{
+    Duration, Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, StoredObject, Value,
+    Version,
+};
+
+/// Errors returned by the blocking client API.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// No reply arrived before the caller-supplied timeout.
+    Timeout,
+    /// The cluster is shutting down and can no longer accept operations.
+    Shutdown,
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("operation timed out waiting for a replica reply"),
+            Self::Shutdown => f.write_str("cluster is shut down"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+/// What travels through a node's inbox channel.
+enum Envelope {
+    FromNode {
+        from: NodeId,
+        message: Message,
+    },
+    FromClient {
+        client: u64,
+        request: ClientRequest,
+    },
+    Shutdown,
+}
+
+/// Routing table shared by every node thread.
+struct Router {
+    nodes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    client_inbox: Sender<ClientReply>,
+    epoch: Instant,
+}
+
+impl Router {
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn route(&self, from: NodeId, outputs: Vec<Output>) {
+        for output in outputs {
+            match output {
+                Output::Send { to, message } => {
+                    let guard = self.nodes.read();
+                    if let Some(tx) = guard.get(&to) {
+                        let _ = tx.send(Envelope::FromNode { from, message });
+                    }
+                }
+                Output::Reply { reply, .. } => {
+                    let _ = self.client_inbox.send(reply);
+                }
+            }
+        }
+    }
+}
+
+/// A cluster of DataFlasks nodes, one thread per node, channels as transport.
+pub struct ThreadedCluster {
+    router: Arc<Router>,
+    node_ids: Vec<NodeId>,
+    handles: Vec<JoinHandle<DataFlasksNode<MemoryStore>>>,
+    client_rx: Receiver<ClientReply>,
+    request_sequence: std::cell::Cell<u64>,
+    rng: std::cell::RefCell<StdRng>,
+}
+
+impl ThreadedCluster {
+    /// Starts `node_count` nodes sharing `node_config`. Node capacities are
+    /// drawn deterministically from `seed`; every node is bootstrapped with a
+    /// handful of peers so gossip connects the overlay immediately.
+    #[must_use]
+    pub fn start(node_count: usize, node_config: NodeConfig, seed: u64) -> Self {
+        let (client_tx, client_rx) = mpsc::channel();
+        let router = Arc::new(Router {
+            nodes: RwLock::new(HashMap::new()),
+            client_inbox: client_tx,
+            epoch: Instant::now(),
+        });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut node_ids = Vec::with_capacity(node_count);
+        let mut inboxes = Vec::with_capacity(node_count);
+        let mut nodes = Vec::with_capacity(node_count);
+        for i in 0..node_count {
+            let id = NodeId::new(i as u64);
+            let capacity = rng.gen_range(100..=10_000);
+            let profile = NodeProfile::with_capacity_and_tie_break(capacity, id.as_u64());
+            let node = DataFlasksNode::new(
+                id,
+                node_config,
+                profile,
+                MemoryStore::unbounded(),
+                rng.gen(),
+            );
+            let (tx, rx) = mpsc::channel();
+            router.nodes.write().insert(id, tx);
+            node_ids.push(id);
+            inboxes.push(rx);
+            nodes.push(node);
+        }
+        // Bootstrap every node with its ring successors so the overlay starts
+        // connected (gossip randomises it from there). Descriptors carry the
+        // initial slice assignment so intra-slice dissemination works from
+        // the very first request, before any gossip round has run.
+        let descriptors: Vec<NodeDescriptor> = nodes
+            .iter()
+            .map(|n| NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice()))
+            .collect();
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let contacts: Vec<NodeDescriptor> = (1..=3)
+                .map(|step| descriptors[(i + step) % node_count])
+                .filter(|d| d.id() != node.id())
+                .collect();
+            node.bootstrap(contacts);
+        }
+        let handles = nodes
+            .into_iter()
+            .zip(inboxes)
+            .map(|(node, rx)| {
+                let router = Arc::clone(&router);
+                let config = node_config;
+                std::thread::spawn(move || node_thread(node, rx, router, config))
+            })
+            .collect();
+        Self {
+            router,
+            node_ids,
+            handles,
+            client_rx,
+            request_sequence: std::cell::Cell::new(0),
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed ^ 0xC11E)),
+        }
+    }
+
+    /// Identifiers of the running nodes.
+    #[must_use]
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Stores `value` under `key` and waits until at least one replica
+    /// acknowledges it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if no acknowledgement arrives within
+    /// `timeout`.
+    pub fn put(
+        &self,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<(), RuntimeError> {
+        let id = self.next_request_id();
+        let request = ClientRequest::Put {
+            id,
+            key,
+            version,
+            value,
+        };
+        self.submit(request)?;
+        self.await_reply(id, timeout).map(|_| ())
+    }
+
+    /// Reads `key` (a specific version or the latest).
+    ///
+    /// Epidemic dissemination makes several replicas answer the same read;
+    /// the call returns as soon as one of them returns the object. "Not
+    /// found" replies are only trusted once the timeout expires without any
+    /// replica producing the object (another replica may still hold it), in
+    /// which case `Ok(None)` is returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::Timeout`] if no reply of any kind arrives
+    /// within `timeout`.
+    pub fn get(
+        &self,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, RuntimeError> {
+        let id = self.next_request_id();
+        let request = ClientRequest::Get { id, key, version };
+        self.submit(request)?;
+        let deadline = Instant::now() + std::time::Duration::from_millis(timeout.as_millis());
+        let mut saw_miss = false;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return if saw_miss {
+                    Ok(None)
+                } else {
+                    Err(RuntimeError::Timeout)
+                };
+            }
+            match self.client_rx.recv_timeout(remaining) {
+                Ok(reply) if reply.request == id => match reply.body {
+                    ReplyBody::GetHit { object } => return Ok(Some(object)),
+                    ReplyBody::GetMiss { .. } => saw_miss = true,
+                    ReplyBody::PutAck { .. } => {}
+                },
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    return if saw_miss {
+                        Ok(None)
+                    } else {
+                        Err(RuntimeError::Timeout)
+                    };
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
+            }
+        }
+    }
+
+    /// Stops every node thread and returns the final node states for
+    /// inspection (stores, statistics, slice assignments).
+    pub fn shutdown(self) -> Vec<DataFlasksNode<MemoryStore>> {
+        {
+            let guard = self.router.nodes.read();
+            for tx in guard.values() {
+                let _ = tx.send(Envelope::Shutdown);
+            }
+        }
+        self.handles
+            .into_iter()
+            .filter_map(|handle| handle.join().ok())
+            .collect()
+    }
+
+    fn submit(&self, request: ClientRequest) -> Result<(), RuntimeError> {
+        let contact = {
+            let mut rng = self.rng.borrow_mut();
+            self.node_ids[rng.gen_range(0..self.node_ids.len())]
+        };
+        let guard = self.router.nodes.read();
+        let tx = guard.get(&contact).ok_or(RuntimeError::Shutdown)?;
+        tx.send(Envelope::FromClient { client: 0, request })
+            .map_err(|_| RuntimeError::Shutdown)
+    }
+
+    fn await_reply(&self, id: RequestId, timeout: Duration) -> Result<ClientReply, RuntimeError> {
+        let deadline = Instant::now() + std::time::Duration::from_millis(timeout.as_millis());
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(RuntimeError::Timeout);
+            }
+            match self.client_rx.recv_timeout(remaining) {
+                Ok(reply) if reply.request == id => return Ok(reply),
+                Ok(_) => continue, // reply for an earlier (already completed) request
+                Err(RecvTimeoutError::Timeout) => return Err(RuntimeError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
+            }
+        }
+    }
+
+    fn next_request_id(&self) -> RequestId {
+        let sequence = self.request_sequence.get();
+        self.request_sequence.set(sequence + 1);
+        RequestId::new(0, sequence)
+    }
+}
+
+/// The per-node thread: waits for messages, fires timers at their configured
+/// periods, and hands every output back to the router.
+fn node_thread(
+    mut node: DataFlasksNode<MemoryStore>,
+    rx: Receiver<Envelope>,
+    router: Arc<Router>,
+    config: NodeConfig,
+) -> DataFlasksNode<MemoryStore> {
+    let periods = [
+        (TimerKind::PssShuffle, config.pss.shuffle_period),
+        (TimerKind::SliceGossip, config.slicing.gossip_period),
+        (TimerKind::AntiEntropy, config.replication.anti_entropy_period),
+    ];
+    let mut deadlines: Vec<(TimerKind, Instant)> = periods
+        .iter()
+        .map(|&(kind, period)| {
+            (
+                kind,
+                Instant::now() + std::time::Duration::from_millis(period.as_millis()),
+            )
+        })
+        .collect();
+    loop {
+        let next_deadline = deadlines
+            .iter()
+            .map(|&(_, at)| at)
+            .min()
+            .expect("timer list is never empty");
+        let wait = next_deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::FromNode { from, message }) => {
+                let outputs = node.handle_message(from, message, router.now());
+                router.route(node.id(), outputs);
+            }
+            Ok(Envelope::FromClient { client, request }) => {
+                let outputs = node.handle_client_request(client, request, router.now());
+                router.route(node.id(), outputs);
+            }
+            Ok(Envelope::Shutdown) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        // Fire every timer whose deadline passed.
+        let now = Instant::now();
+        for (kind, deadline) in &mut deadlines {
+            if *deadline <= now {
+                let outputs = node.on_timer(*kind, router.now());
+                router.route(node.id(), outputs);
+                let period = periods
+                    .iter()
+                    .find(|(k, _)| k == kind)
+                    .map(|&(_, p)| p)
+                    .expect("kind comes from the same list");
+                *deadline = now + std::time::Duration::from_millis(period.as_millis());
+            }
+        }
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_types::PssConfig;
+
+    /// A configuration with fast gossip so tests converge quickly.
+    fn fast_config(nodes: usize, slices: u32) -> NodeConfig {
+        let mut config = NodeConfig::for_system_size(nodes, slices);
+        config.pss = PssConfig {
+            shuffle_period: Duration::from_millis(20),
+            ..config.pss
+        };
+        config.slicing.gossip_period = Duration::from_millis(20);
+        config.replication.anti_entropy_period = Duration::from_millis(50);
+        config
+    }
+
+    #[test]
+    fn put_then_get_roundtrip_through_threads() {
+        let cluster = ThreadedCluster::start(4, fast_config(4, 1), 11);
+        // Give gossip a moment to connect the overlay.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let key = Key::from_user_key("threaded");
+        cluster
+            .put(key, Version::new(1), Value::from_bytes(b"value"), Duration::from_secs(5))
+            .expect("put should be acknowledged");
+        let read = cluster
+            .get(key, None, Duration::from_secs(5))
+            .expect("get should complete");
+        assert_eq!(read.unwrap().value.as_slice(), b"value");
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 4);
+        let replicas = nodes
+            .iter()
+            .filter(|n| dataflasks_store::DataStore::get_latest(n.store(), key).is_some())
+            .count();
+        assert!(replicas >= 1);
+    }
+
+    #[test]
+    fn missing_keys_read_as_none_or_time_out() {
+        let cluster = ThreadedCluster::start(3, fast_config(3, 1), 12);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let result = cluster.get(Key::from_user_key("ghost"), None, Duration::from_secs(2));
+        match result {
+            Ok(found) => assert!(found.is_none()),
+            Err(RuntimeError::Timeout) => {}
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_every_node_with_its_stats() {
+        let cluster = ThreadedCluster::start(5, fast_config(5, 1), 13);
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        let ids: Vec<NodeId> = cluster.node_ids().to_vec();
+        assert_eq!(ids.len(), 5);
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 5);
+        // Gossip ran: nodes exchanged membership messages.
+        assert!(nodes.iter().any(|n| n.stats().total_messages() > 0));
+        assert!(nodes.iter().all(|n| n.slice().is_some()));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(RuntimeError::Timeout.to_string().contains("timed out"));
+        assert!(RuntimeError::Shutdown.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Cluster-wide measurements extracted from a simulation.
+
+use dataflasks_core::NodeStats;
+
+/// Summary statistics over a set of per-node values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Distribution {
+    /// Number of samples.
+    pub count: usize,
+    /// Smallest sample.
+    pub min: f64,
+    /// Mean of the samples.
+    pub mean: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Standard deviation of the samples.
+    pub std_dev: f64,
+}
+
+impl Distribution {
+    /// Computes the distribution of a sample set. Returns an all-zero
+    /// distribution for an empty input.
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                min: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                std_dev: 0.0,
+            };
+        }
+        let count = samples.len();
+        let mean = samples.iter().sum::<f64>() / count as f64;
+        let variance = samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / count as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Self {
+            count,
+            min,
+            mean,
+            max,
+            std_dev: variance.sqrt(),
+        }
+    }
+}
+
+/// The cluster-level report produced at the end of an experiment run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterReport {
+    /// Number of nodes alive at the end of the run.
+    pub alive_nodes: usize,
+    /// Distribution of per-node *request* messages (sent + received requests
+    /// and replies) — the metric of the paper's Figures 3 and 4.
+    pub request_messages_per_node: Distribution,
+    /// Distribution of per-node total messages (including background gossip).
+    pub total_messages_per_node: Distribution,
+    /// Aggregated counters over all nodes.
+    pub totals: NodeStats,
+}
+
+impl ClusterReport {
+    /// Builds a report from per-node statistics.
+    #[must_use]
+    pub fn from_node_stats(stats: &[NodeStats]) -> Self {
+        let request: Vec<f64> = stats.iter().map(|s| s.request_messages() as f64).collect();
+        let total: Vec<f64> = stats.iter().map(|s| s.total_messages() as f64).collect();
+        let mut totals = NodeStats::new();
+        for s in stats {
+            totals.merge(s);
+        }
+        Self {
+            alive_nodes: stats.len(),
+            request_messages_per_node: Distribution::from_samples(&request),
+            total_messages_per_node: Distribution::from_samples(&total),
+            totals,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_core::MessageKind;
+
+    #[test]
+    fn empty_distribution_is_zeroed() {
+        let d = Distribution::from_samples(&[]);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.mean, 0.0);
+        assert_eq!(d.std_dev, 0.0);
+    }
+
+    #[test]
+    fn distribution_summarises_samples() {
+        let d = Distribution::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(d.count, 4);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 4.0);
+        assert!((d.mean - 2.5).abs() < f64::EPSILON);
+        assert!((d.std_dev - (1.25f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_report_aggregates_node_stats() {
+        let mut a = NodeStats::new();
+        a.record_sent(MessageKind::Request);
+        a.record_received(MessageKind::Reply);
+        a.record_sent(MessageKind::Membership);
+        let mut b = NodeStats::new();
+        b.record_sent(MessageKind::Request);
+        let report = ClusterReport::from_node_stats(&[a, b]);
+        assert_eq!(report.alive_nodes, 2);
+        assert!((report.request_messages_per_node.mean - 1.5).abs() < f64::EPSILON);
+        assert!((report.total_messages_per_node.mean - 2.0).abs() < f64::EPSILON);
+        assert_eq!(report.totals.sent(MessageKind::Request), 2);
+    }
+}

@@ -1,0 +1,298 @@
+//! The simulated network: latency, loss and the event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dataflasks_core::{ClientId, ClientReply, Message, TimerKind};
+use dataflasks_types::{Duration, NodeId, SimTime};
+
+/// Parameters of the simulated network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Smallest one-way message latency.
+    pub min_latency: Duration,
+    /// Largest one-way message latency (latencies are uniform in between).
+    pub max_latency: Duration,
+    /// Probability that a message is silently lost.
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            min_latency: Duration::from_millis(5),
+            max_latency: Duration::from_millis(50),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A perfectly reliable network with the default latency range.
+    #[must_use]
+    pub fn reliable() -> Self {
+        Self::default()
+    }
+
+    /// A lossy network dropping the given fraction of messages.
+    #[must_use]
+    pub fn lossy(drop_probability: f64) -> Self {
+        Self {
+            drop_probability,
+            ..Self::default()
+        }
+    }
+
+    /// Draws a one-way latency for the next message.
+    pub fn sample_latency<R: Rng>(&self, rng: &mut R) -> Duration {
+        let min = self.min_latency.as_millis();
+        let max = self.max_latency.as_millis().max(min);
+        if min == max {
+            Duration::from_millis(min)
+        } else {
+            Duration::from_millis(rng.gen_range(min..=max))
+        }
+    }
+
+    /// Returns `true` if the next message should be dropped.
+    pub fn drops<R: Rng>(&self, rng: &mut R) -> bool {
+        self.drop_probability > 0.0 && rng.gen::<f64>() < self.drop_probability
+    }
+}
+
+/// Everything that can happen inside the simulation.
+#[derive(Debug, Clone)]
+pub enum EventPayload {
+    /// A node-to-node message arrives.
+    Deliver {
+        /// Sender of the message.
+        from: NodeId,
+        /// Receiver of the message.
+        to: NodeId,
+        /// The message itself.
+        message: Message,
+    },
+    /// A periodic protocol timer fires on a node.
+    Timer {
+        /// Node whose timer fires.
+        node: NodeId,
+        /// Which protocol activity runs.
+        kind: TimerKind,
+    },
+    /// A reply arrives at a client library.
+    ClientDeliver {
+        /// The destination client.
+        client: ClientId,
+        /// The reply.
+        reply: ClientReply,
+    },
+    /// A client issues a put operation.
+    ClientPut {
+        /// The issuing client.
+        client: ClientId,
+        /// Key to write.
+        key: dataflasks_types::Key,
+        /// Version to write.
+        version: dataflasks_types::Version,
+        /// Payload.
+        value: dataflasks_types::Value,
+    },
+    /// A client issues a get operation.
+    ClientGet {
+        /// The issuing client.
+        client: ClientId,
+        /// Key to read.
+        key: dataflasks_types::Key,
+        /// Specific version, or `None` for the latest.
+        version: Option<dataflasks_types::Version>,
+    },
+    /// A node crashes, losing its volatile state.
+    NodeCrash {
+        /// The crashing node.
+        node: NodeId,
+    },
+    /// A fresh node joins the system (or a crashed one restarts empty).
+    NodeJoin {
+        /// Identity of the joining node.
+        node: NodeId,
+        /// Storage capacity attribute of the joining node.
+        capacity: u64,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// When the event happens.
+    pub at: SimTime,
+    /// Tie-breaker preserving scheduling order among simultaneous events.
+    pub sequence: u64,
+    /// What happens.
+    pub payload: EventPayload,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.sequence).cmp(&(self.at, self.sequence))
+    }
+}
+
+/// The time-ordered event queue driving the simulation.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_sequence: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at time `at`.
+    pub fn schedule(&mut self, at: SimTime, payload: EventPayload) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Event {
+            at,
+            sequence,
+            payload,
+        });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest scheduled event, if any.
+    #[must_use]
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no event is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Helper shared by the simulation and its tests: an `StdRng` is the
+/// deterministic random source for the whole network.
+pub type NetworkRng = StdRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn latency_stays_within_bounds() {
+        let cfg = NetworkConfig {
+            min_latency: Duration::from_millis(10),
+            max_latency: Duration::from_millis(20),
+            drop_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..1_000 {
+            let latency = cfg.sample_latency(&mut rng);
+            assert!(latency >= Duration::from_millis(10));
+            assert!(latency <= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn equal_bounds_give_constant_latency() {
+        let cfg = NetworkConfig {
+            min_latency: Duration::from_millis(7),
+            max_latency: Duration::from_millis(7),
+            drop_probability: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(cfg.sample_latency(&mut rng), Duration::from_millis(7));
+    }
+
+    #[test]
+    fn drop_probability_zero_never_drops_and_one_always_drops() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let reliable = NetworkConfig::reliable();
+        assert!((0..1_000).all(|_| !reliable.drops(&mut rng)));
+        let broken = NetworkConfig::lossy(1.0);
+        assert!((0..1_000).all(|_| broken.drops(&mut rng)));
+        let half = NetworkConfig::lossy(0.5);
+        let dropped = (0..10_000).filter(|_| half.drops(&mut rng)).count();
+        assert!((4_000..6_000).contains(&dropped));
+    }
+
+    #[test]
+    fn queue_pops_events_in_time_order() {
+        let mut queue = EventQueue::new();
+        queue.schedule(
+            SimTime::from_millis(30),
+            EventPayload::NodeCrash { node: NodeId::new(3) },
+        );
+        queue.schedule(
+            SimTime::from_millis(10),
+            EventPayload::NodeCrash { node: NodeId::new(1) },
+        );
+        queue.schedule(
+            SimTime::from_millis(20),
+            EventPayload::NodeCrash { node: NodeId::new(2) },
+        );
+        assert_eq!(queue.len(), 3);
+        assert_eq!(queue.next_time(), Some(SimTime::from_millis(10)));
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop())
+            .map(|e| match e.payload {
+                EventPayload::NodeCrash { node } => node.as_u64(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_preserve_scheduling_order() {
+        let mut queue = EventQueue::new();
+        for i in 0..10u64 {
+            queue.schedule(
+                SimTime::from_millis(5),
+                EventPayload::NodeCrash { node: NodeId::new(i) },
+            );
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| queue.pop())
+            .map(|e| match e.payload {
+                EventPayload::NodeCrash { node } => node.as_u64(),
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,278 @@
+//! Autonomous replication management: choosing the number of slices.
+//!
+//! The paper (§IV-C) observes that for a fixed system size the slice count
+//! `k` trades replication for capacity — fewer slices mean more replicas per
+//! object but less distinct data stored — and suggests that dynamic
+//! reconfiguration of the slicing mechanism "opens the door to autonomous
+//! mechanisms for replication management". This module implements that
+//! mechanism:
+//!
+//! * [`SystemSizeEstimator`] — a local estimator of the total system size
+//!   derived from the same attribute samples the slicing protocol already
+//!   circulates (no extra messages), using the spacing of node identifiers
+//!   observed in a bounded window,
+//! * [`ReplicationController`] — a controller that, given a target
+//!   replication factor, recommends the slice count `k = N / r` (bounded and
+//!   hysteresis-damped so the system does not oscillate between adjacent
+//!   values of `k`).
+
+use std::collections::HashSet;
+
+use dataflasks_types::NodeId;
+
+/// A gossip-fed estimator of the number of live nodes.
+///
+/// Every sample delivered by the slicing gossip (or the Peer Sampling
+/// Service) is an observation of a live node. The estimator keeps the set of
+/// distinct nodes observed during the current round window and reports the
+/// maximum window population seen recently — a conservative lower bound that
+/// converges to the true size as gossip mixes, without any global protocol.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_slicing::SystemSizeEstimator;
+/// use dataflasks_types::NodeId;
+///
+/// let mut estimator = SystemSizeEstimator::new(4);
+/// for i in 0..50u64 {
+///     estimator.observe(NodeId::new(i));
+/// }
+/// estimator.finish_round();
+/// assert!(estimator.estimate() >= 50);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SystemSizeEstimator {
+    window_rounds: usize,
+    current: HashSet<NodeId>,
+    recent_counts: Vec<usize>,
+}
+
+impl SystemSizeEstimator {
+    /// Creates an estimator averaging over `window_rounds` gossip rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_rounds` is zero.
+    #[must_use]
+    pub fn new(window_rounds: usize) -> Self {
+        assert!(window_rounds > 0, "the estimation window must be non-empty");
+        Self {
+            window_rounds,
+            current: HashSet::new(),
+            recent_counts: Vec::new(),
+        }
+    }
+
+    /// Records the observation of a live node (deduplicated per round
+    /// window).
+    pub fn observe(&mut self, node: NodeId) {
+        self.current.insert(node);
+    }
+
+    /// Closes the current observation round; call once per gossip period.
+    pub fn finish_round(&mut self) {
+        // The running set keeps accumulating across the window so that slow
+        // mixing does not under-estimate; it resets only when the window
+        // slides past `window_rounds`.
+        self.recent_counts.push(self.current.len());
+        if self.recent_counts.len() > self.window_rounds {
+            self.recent_counts.remove(0);
+            // Start a fresh accumulation so departed nodes eventually fall
+            // out of the estimate.
+            self.current.clear();
+        }
+    }
+
+    /// The current estimate of the number of live nodes (including the local
+    /// node itself). Returns at least 1.
+    #[must_use]
+    pub fn estimate(&self) -> usize {
+        self.recent_counts
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.current.len()))
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+}
+
+/// A controller that derives the slice count from a target replication
+/// factor and the estimated system size.
+///
+/// The recommendation is `k = clamp(N / target_replication, 1, max_slices)`,
+/// with hysteresis: the controller only changes its recommendation when the
+/// newly computed value differs from the current one by more than the
+/// configured tolerance, so estimation noise does not make the whole system
+/// re-partition continuously (re-partitioning moves data).
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_slicing::ReplicationController;
+///
+/// let mut controller = ReplicationController::new(50, 1024);
+/// // 1000 nodes at 50 replicas per object → 20 slices.
+/// assert_eq!(controller.recommend(1000), 20);
+/// // A tiny fluctuation in the size estimate does not change the plan.
+/// assert_eq!(controller.recommend(1010), 20);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReplicationController {
+    target_replication: usize,
+    max_slices: u32,
+    tolerance: f64,
+    current: Option<u32>,
+}
+
+impl ReplicationController {
+    /// Creates a controller aiming for `target_replication` replicas per
+    /// object, never recommending more than `max_slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target_replication` is zero or `max_slices` is zero.
+    #[must_use]
+    pub fn new(target_replication: usize, max_slices: u32) -> Self {
+        assert!(target_replication > 0, "target replication must be positive");
+        assert!(max_slices > 0, "the system needs at least one slice");
+        Self {
+            target_replication,
+            max_slices,
+            tolerance: 0.2,
+            current: None,
+        }
+    }
+
+    /// The replication factor the controller aims for.
+    #[must_use]
+    pub fn target_replication(&self) -> usize {
+        self.target_replication
+    }
+
+    /// The most recent recommendation, if any was made.
+    #[must_use]
+    pub fn current(&self) -> Option<u32> {
+        self.current
+    }
+
+    /// Computes the slice count for an estimated system size, applying
+    /// hysteresis against the previous recommendation.
+    pub fn recommend(&mut self, estimated_system_size: usize) -> u32 {
+        let ideal = ((estimated_system_size.max(1)) / self.target_replication).max(1) as u32;
+        let ideal = ideal.min(self.max_slices);
+        match self.current {
+            None => {
+                self.current = Some(ideal);
+                ideal
+            }
+            Some(current) => {
+                let relative_change =
+                    (f64::from(ideal) - f64::from(current)).abs() / f64::from(current.max(1));
+                if relative_change > self.tolerance {
+                    self.current = Some(ideal);
+                    ideal
+                } else {
+                    current
+                }
+            }
+        }
+    }
+
+    /// Expected replication factor if the recommendation were applied to a
+    /// system of the given size.
+    #[must_use]
+    pub fn expected_replication(&self, system_size: usize) -> f64 {
+        match self.current {
+            Some(k) if k > 0 => system_size as f64 / f64::from(k),
+            _ => system_size as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_is_rejected() {
+        let _ = SystemSizeEstimator::new(0);
+    }
+
+    #[test]
+    fn estimator_counts_distinct_nodes() {
+        let mut estimator = SystemSizeEstimator::new(3);
+        for i in 0..20u64 {
+            estimator.observe(NodeId::new(i % 10));
+        }
+        estimator.finish_round();
+        assert_eq!(estimator.estimate(), 10);
+    }
+
+    #[test]
+    fn estimator_never_reports_zero() {
+        let estimator = SystemSizeEstimator::new(2);
+        assert_eq!(estimator.estimate(), 1);
+    }
+
+    #[test]
+    fn estimator_accumulates_across_the_window_then_forgets() {
+        let mut estimator = SystemSizeEstimator::new(2);
+        for i in 0..5u64 {
+            estimator.observe(NodeId::new(i));
+        }
+        estimator.finish_round();
+        for i in 5..8u64 {
+            estimator.observe(NodeId::new(i));
+        }
+        estimator.finish_round();
+        assert_eq!(estimator.estimate(), 8, "accumulates within the window");
+        // After the window slides several times with no observations the
+        // estimate decays (departed nodes are forgotten).
+        for _ in 0..6 {
+            estimator.finish_round();
+        }
+        assert!(estimator.estimate() < 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "target replication must be positive")]
+    fn zero_replication_target_is_rejected() {
+        let _ = ReplicationController::new(0, 10);
+    }
+
+    #[test]
+    fn recommendation_follows_n_over_r() {
+        let mut controller = ReplicationController::new(50, 1024);
+        assert_eq!(controller.recommend(500), 10);
+        assert_eq!(controller.current(), Some(10));
+        // Large change: follows.
+        assert_eq!(controller.recommend(3000), 60);
+        assert!((controller.expected_replication(3000) - 50.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn hysteresis_ignores_small_fluctuations() {
+        let mut controller = ReplicationController::new(50, 1024);
+        assert_eq!(controller.recommend(1000), 20);
+        assert_eq!(controller.recommend(1049), 20, "small wobble ignored");
+        assert_eq!(controller.recommend(951), 20);
+        assert_eq!(controller.recommend(1500), 30, "real growth followed");
+    }
+
+    #[test]
+    fn recommendation_is_clamped() {
+        let mut controller = ReplicationController::new(10, 8);
+        assert_eq!(controller.recommend(1_000_000), 8, "upper clamp");
+        let mut controller = ReplicationController::new(10, 8);
+        assert_eq!(controller.recommend(3), 1, "never below one slice");
+    }
+
+    #[test]
+    fn expected_replication_before_any_recommendation_is_system_size() {
+        let controller = ReplicationController::new(10, 8);
+        assert_eq!(controller.expected_replication(100), 100.0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Offline analysis of slicing quality.
+//!
+//! These helpers compare the slice assignments produced by a slicing protocol
+//! against the ideal assignment computed from global knowledge (which only
+//! the test-suite and the experiment harness possess). They quantify the two
+//! properties the paper cares about: *accuracy* (nodes sit in the slice
+//! matching their attribute rank) and *balance* (slices have similar sizes so
+//! the replication factor is uniform).
+
+use std::collections::HashMap;
+
+use dataflasks_types::{NodeId, NodeProfile, SliceId, SlicePartition};
+
+/// Computes the ideal slice assignment from global knowledge: nodes are
+/// sorted by their slicing attribute and split into `k` equally sized groups.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_slicing::expected_slice_assignment;
+/// use dataflasks_types::{NodeId, NodeProfile, SlicePartition};
+///
+/// let nodes = vec![
+///     (NodeId::new(1), NodeProfile::with_capacity(10)),
+///     (NodeId::new(2), NodeProfile::with_capacity(20)),
+///     (NodeId::new(3), NodeProfile::with_capacity(30)),
+///     (NodeId::new(4), NodeProfile::with_capacity(40)),
+/// ];
+/// let ideal = expected_slice_assignment(&nodes, SlicePartition::new(2));
+/// assert_eq!(ideal[&NodeId::new(1)].index(), 0);
+/// assert_eq!(ideal[&NodeId::new(4)].index(), 1);
+/// ```
+#[must_use]
+pub fn expected_slice_assignment(
+    nodes: &[(NodeId, NodeProfile)],
+    partition: SlicePartition,
+) -> HashMap<NodeId, SliceId> {
+    let mut ordered: Vec<(NodeId, NodeProfile)> = nodes.to_vec();
+    ordered.sort_by_key(|(id, profile)| {
+        let (capacity, tie) = profile.slicing_attribute();
+        (capacity, tie, id.as_u64())
+    });
+    let total = ordered.len().max(1) as u64;
+    let k = u64::from(partition.slice_count());
+    ordered
+        .into_iter()
+        .enumerate()
+        .map(|(rank, (id, _))| {
+            // Integer arithmetic keeps the ideal assignment exact: with
+            // n >= k nodes every slice receives at least one member.
+            let slice = ((rank as u64 * k) / total).min(k - 1) as u32;
+            (id, SliceId::new(slice))
+        })
+        .collect()
+}
+
+/// Fraction of nodes whose actual assignment matches the ideal assignment.
+///
+/// Returns a value in `[0, 1]`; `1.0` means the protocol converged exactly to
+/// the global-knowledge assignment. Nodes present in `actual` but absent from
+/// `expected` (or vice versa) count as mismatches.
+#[must_use]
+pub fn slice_accuracy(
+    expected: &HashMap<NodeId, SliceId>,
+    actual: &HashMap<NodeId, SliceId>,
+) -> f64 {
+    if expected.is_empty() {
+        return 1.0;
+    }
+    let matching = expected
+        .iter()
+        .filter(|(id, slice)| actual.get(id) == Some(slice))
+        .count();
+    matching as f64 / expected.len() as f64
+}
+
+/// Ratio between the largest and the smallest slice population.
+///
+/// A perfectly balanced system returns `1.0`. Slices with no members make the
+/// imbalance infinite, reported as `f64::INFINITY` — this is the signal the
+/// replication-maintenance experiment watches for, because an empty slice
+/// means its key range has lost all replicas.
+#[must_use]
+pub fn slice_size_imbalance(assignment: &HashMap<NodeId, SliceId>, partition: SlicePartition) -> f64 {
+    let mut counts = vec![0usize; partition.slice_count() as usize];
+    for slice in assignment.values() {
+        if let Some(count) = counts.get_mut(slice.index() as usize) {
+            *count += 1;
+        }
+    }
+    let largest = counts.iter().copied().max().unwrap_or(0);
+    let smallest = counts.iter().copied().min().unwrap_or(0);
+    if smallest == 0 {
+        if largest == 0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        largest as f64 / smallest as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(count: u64) -> Vec<(NodeId, NodeProfile)> {
+        (0..count)
+            .map(|i| (NodeId::new(i), NodeProfile::with_capacity((i + 1) * 10)))
+            .collect()
+    }
+
+    #[test]
+    fn expected_assignment_orders_by_capacity() {
+        let ideal = expected_slice_assignment(&nodes(8), SlicePartition::new(4));
+        assert_eq!(ideal[&NodeId::new(0)].index(), 0);
+        assert_eq!(ideal[&NodeId::new(1)].index(), 0);
+        assert_eq!(ideal[&NodeId::new(6)].index(), 3);
+        assert_eq!(ideal[&NodeId::new(7)].index(), 3);
+    }
+
+    #[test]
+    fn expected_assignment_is_balanced() {
+        let partition = SlicePartition::new(5);
+        let ideal = expected_slice_assignment(&nodes(100), partition);
+        assert!((slice_size_imbalance(&ideal, partition) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn accuracy_is_one_for_identical_assignments() {
+        let partition = SlicePartition::new(4);
+        let ideal = expected_slice_assignment(&nodes(16), partition);
+        assert_eq!(slice_accuracy(&ideal, &ideal), 1.0);
+    }
+
+    #[test]
+    fn accuracy_counts_mismatches_and_missing_nodes() {
+        let partition = SlicePartition::new(4);
+        let ideal = expected_slice_assignment(&nodes(4), partition);
+        let mut actual = ideal.clone();
+        actual.insert(NodeId::new(0), SliceId::new(3));
+        assert!((slice_accuracy(&ideal, &actual) - 0.75).abs() < f64::EPSILON);
+        actual.remove(&NodeId::new(1));
+        assert!((slice_accuracy(&ideal, &actual) - 0.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn accuracy_of_empty_expectation_is_one() {
+        assert_eq!(slice_accuracy(&HashMap::new(), &HashMap::new()), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_empty_slices() {
+        let partition = SlicePartition::new(3);
+        let mut assignment = HashMap::new();
+        assignment.insert(NodeId::new(0), SliceId::new(0));
+        assignment.insert(NodeId::new(1), SliceId::new(1));
+        assert!(slice_size_imbalance(&assignment, partition).is_infinite());
+        assignment.insert(NodeId::new(2), SliceId::new(2));
+        assignment.insert(NodeId::new(3), SliceId::new(2));
+        assert!((slice_size_imbalance(&assignment, partition) - 2.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn imbalance_of_empty_assignment_is_one() {
+        assert_eq!(
+            slice_size_imbalance(&HashMap::new(), SlicePartition::new(3)),
+            1.0
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The "toss a coin" hash-based slicer.
+
+use dataflasks_types::{hashing::splitmix64, NodeId, SliceId, SlicePartition};
+
+use crate::Slicer;
+
+/// A trivial slicer that derives the slice from a hash of the node identity.
+///
+/// The paper discusses this approach: "we could simply toss a coin and decide
+/// to which slice a node belongs to. Provided we had uniformity on that
+/// process it would be enough for partitioning the system. However, such
+/// approach is not resilient to correlated faults." The hash slicer is kept
+/// as the experimental baseline demonstrating exactly that weakness (see the
+/// `slicing_convergence` experiment): after a correlated failure wipes out
+/// most of one slice, hash-assigned nodes never migrate to repopulate it,
+/// whereas the ordered slicer rebalances.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_slicing::{HashSlicer, Slicer};
+/// use dataflasks_types::{NodeId, SlicePartition};
+///
+/// let slicer = HashSlicer::new(NodeId::new(42), SlicePartition::new(10));
+/// let slice = slicer.current_slice().unwrap();
+/// assert!(slice.index() < 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashSlicer {
+    node: NodeId,
+    partition: SlicePartition,
+}
+
+impl HashSlicer {
+    /// Creates a hash slicer for `node` under the given partition.
+    #[must_use]
+    pub fn new(node: NodeId, partition: SlicePartition) -> Self {
+        Self { node, partition }
+    }
+
+    /// The slice assigned to an arbitrary node under an arbitrary partition;
+    /// exposed so that tests and experiments can predict assignments.
+    #[must_use]
+    pub fn slice_for(node: NodeId, partition: SlicePartition) -> SliceId {
+        let hashed = splitmix64(node.as_u64());
+        SliceId::new((hashed % u64::from(partition.slice_count())) as u32)
+    }
+}
+
+impl Slicer for HashSlicer {
+    fn current_slice(&self) -> Option<SliceId> {
+        Some(Self::slice_for(self.node, self.partition))
+    }
+
+    fn partition(&self) -> SlicePartition {
+        self.partition
+    }
+
+    fn set_partition(&mut self, partition: SlicePartition) {
+        self.partition = partition;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic() {
+        let p = SlicePartition::new(10);
+        let a = HashSlicer::new(NodeId::new(7), p);
+        let b = HashSlicer::new(NodeId::new(7), p);
+        assert_eq!(a.current_slice(), b.current_slice());
+    }
+
+    #[test]
+    fn assignment_is_roughly_uniform() {
+        let p = SlicePartition::new(10);
+        let mut counts = [0u32; 10];
+        for i in 0..5_000u64 {
+            counts[HashSlicer::slice_for(NodeId::new(i), p).index() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((350..=650).contains(&c), "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn reconfiguring_the_partition_changes_the_modulus() {
+        let mut slicer = HashSlicer::new(NodeId::new(3), SlicePartition::new(2));
+        assert!(slicer.current_slice().unwrap().index() < 2);
+        slicer.set_partition(SlicePartition::new(50));
+        assert!(slicer.current_slice().unwrap().index() < 50);
+        assert_eq!(slicer.partition().slice_count(), 50);
+    }
+
+    #[test]
+    fn assignment_never_rebalances_after_failures() {
+        // The defining weakness: the assignment depends only on the node id,
+        // so no matter which nodes are alive the mapping never changes.
+        let p = SlicePartition::new(4);
+        let before = HashSlicer::slice_for(NodeId::new(11), p);
+        // ... imagine every other node of slice `before` failed ...
+        let after = HashSlicer::slice_for(NodeId::new(11), p);
+        assert_eq!(before, after);
+    }
+}

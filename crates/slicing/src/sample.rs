@@ -1,0 +1,125 @@
+//! Attribute samples exchanged by the ordered slicing protocol.
+
+use std::fmt;
+
+use dataflasks_types::{NodeId, NodeProfile};
+
+/// One `(node, attribute)` observation circulated by the slicing gossip.
+///
+/// Samples also carry the gossip round at which they were last refreshed so
+/// that observations of departed nodes eventually expire from the sample
+/// buffers and stop biasing the rank estimate.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_slicing::AttributeSample;
+/// use dataflasks_types::{NodeId, NodeProfile};
+///
+/// let sample = AttributeSample::new(NodeId::new(3), NodeProfile::with_capacity(100), 7);
+/// assert_eq!(sample.node(), NodeId::new(3));
+/// assert_eq!(sample.round(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttributeSample {
+    node: NodeId,
+    profile: NodeProfile,
+    round: u64,
+}
+
+impl AttributeSample {
+    /// Creates a sample observed at the given gossip round.
+    #[must_use]
+    pub fn new(node: NodeId, profile: NodeProfile, round: u64) -> Self {
+        Self {
+            node,
+            profile,
+            round,
+        }
+    }
+
+    /// The observed node.
+    #[must_use]
+    pub const fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The observed node's profile (the slicing attribute).
+    #[must_use]
+    pub const fn profile(&self) -> NodeProfile {
+        self.profile
+    }
+
+    /// The gossip round at which the sample was last refreshed.
+    #[must_use]
+    pub const fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The value the slicing order compares, with the node identity appended
+    /// as a final tie-breaker so the order over nodes is total.
+    #[must_use]
+    pub fn ordering_key(&self) -> (u64, u64, u64) {
+        let (capacity, tie) = self.profile.slicing_attribute();
+        (capacity, tie, self.node.as_u64())
+    }
+
+    /// Returns a copy of the sample refreshed at `round`.
+    #[must_use]
+    pub fn refreshed_at(mut self, round: u64) -> Self {
+        self.round = round;
+        self
+    }
+
+    /// Returns `true` if the sample was refreshed more recently than `other`.
+    #[must_use]
+    pub fn is_newer_than(&self, other: &Self) -> bool {
+        self.round > other.round
+    }
+}
+
+impl fmt::Display for AttributeSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} round {}", self.node, self.profile, self.round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let s = AttributeSample::new(NodeId::new(1), NodeProfile::with_capacity(5), 9);
+        assert_eq!(s.node(), NodeId::new(1));
+        assert_eq!(s.profile().capacity(), 5);
+        assert_eq!(s.round(), 9);
+    }
+
+    #[test]
+    fn ordering_key_breaks_ties_by_node_id() {
+        let a = AttributeSample::new(NodeId::new(1), NodeProfile::with_capacity(5), 0);
+        let b = AttributeSample::new(NodeId::new(2), NodeProfile::with_capacity(5), 0);
+        assert!(a.ordering_key() < b.ordering_key());
+        let c = AttributeSample::new(NodeId::new(1), NodeProfile::with_capacity(6), 0);
+        assert!(a.ordering_key() < c.ordering_key());
+    }
+
+    #[test]
+    fn refresh_updates_round_only() {
+        let s = AttributeSample::new(NodeId::new(1), NodeProfile::with_capacity(5), 1);
+        let r = s.refreshed_at(10);
+        assert_eq!(r.round(), 10);
+        assert_eq!(r.node(), s.node());
+        assert!(r.is_newer_than(&s));
+        assert!(!s.is_newer_than(&r));
+    }
+
+    #[test]
+    fn display_mentions_node_and_round() {
+        let s = AttributeSample::new(NodeId::new(4), NodeProfile::with_capacity(2), 3);
+        let text = s.to_string();
+        assert!(text.contains("n4"));
+        assert!(text.contains("round 3"));
+    }
+}

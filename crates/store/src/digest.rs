@@ -1,0 +1,186 @@
+//! Compact store summaries exchanged by the anti-entropy protocol.
+
+use std::collections::HashMap;
+
+use dataflasks_types::{Key, Version};
+
+/// A `key → latest version` summary of a replica's contents.
+///
+/// Two replicas of the same slice periodically exchange digests; each side
+/// then ships the objects the other is missing (or holds at a stale version).
+/// Digests are deliberately version-only — they carry no payloads — so the
+/// steady-state cost of anti-entropy is proportional to the number of keys,
+/// not to the amount of stored data.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_store::StoreDigest;
+/// use dataflasks_types::{Key, Version};
+///
+/// let mut mine = StoreDigest::new();
+/// mine.record(Key::from_user_key("a"), Version::new(2));
+/// let mut theirs = StoreDigest::new();
+/// theirs.record(Key::from_user_key("a"), Version::new(1));
+/// assert!(mine.is_newer_for(Key::from_user_key("a"), &theirs));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreDigest {
+    entries: HashMap<Key, Version>,
+}
+
+impl StoreDigest {
+    /// Creates an empty digest.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or raises) the version known for a key.
+    pub fn record(&mut self, key: Key, version: Version) {
+        self.entries
+            .entry(key)
+            .and_modify(|existing| {
+                if version > *existing {
+                    *existing = version;
+                }
+            })
+            .or_insert(version);
+    }
+
+    /// The version recorded for `key`, if any.
+    #[must_use]
+    pub fn version_of(&self, key: Key) -> Option<Version> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Number of keys summarised.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no key is summarised.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the `(key, version)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (Key, Version)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Returns `true` if this digest knows `key` at a strictly newer version
+    /// than `other` (or if `other` does not know the key at all).
+    #[must_use]
+    pub fn is_newer_for(&self, key: Key, other: &Self) -> bool {
+        match (self.version_of(key), other.version_of(key)) {
+            (Some(mine), Some(theirs)) => mine > theirs,
+            (Some(_), None) => true,
+            _ => false,
+        }
+    }
+
+    /// Keys for which this digest is strictly ahead of `other`.
+    #[must_use]
+    pub fn keys_ahead_of(&self, other: &Self) -> Vec<Key> {
+        self.entries
+            .keys()
+            .copied()
+            .filter(|&key| self.is_newer_for(key, other))
+            .collect()
+    }
+
+    /// Keys for which `other` is strictly ahead of this digest (i.e. the keys
+    /// this replica should pull).
+    #[must_use]
+    pub fn keys_behind(&self, other: &Self) -> Vec<Key> {
+        other.keys_ahead_of(self)
+    }
+}
+
+impl FromIterator<(Key, Version)> for StoreDigest {
+    fn from_iter<I: IntoIterator<Item = (Key, Version)>>(iter: I) -> Self {
+        let mut digest = Self::new();
+        for (key, version) in iter {
+            digest.record(key, version);
+        }
+        digest
+    }
+}
+
+impl Extend<(Key, Version)> for StoreDigest {
+    fn extend<I: IntoIterator<Item = (Key, Version)>>(&mut self, iter: I) {
+        for (key, version) in iter {
+            self.record(key, version);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(name: &str) -> Key {
+        Key::from_user_key(name)
+    }
+
+    #[test]
+    fn record_keeps_the_highest_version() {
+        let mut d = StoreDigest::new();
+        d.record(key("a"), Version::new(3));
+        d.record(key("a"), Version::new(1));
+        assert_eq!(d.version_of(key("a")), Some(Version::new(3)));
+        d.record(key("a"), Version::new(9));
+        assert_eq!(d.version_of(key("a")), Some(Version::new(9)));
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn newer_for_handles_missing_keys() {
+        let mut mine = StoreDigest::new();
+        mine.record(key("a"), Version::new(1));
+        let theirs = StoreDigest::new();
+        assert!(mine.is_newer_for(key("a"), &theirs));
+        assert!(!theirs.is_newer_for(key("a"), &mine));
+        assert!(!mine.is_newer_for(key("missing"), &theirs));
+    }
+
+    #[test]
+    fn ahead_and_behind_are_symmetric() {
+        let mut a = StoreDigest::new();
+        a.record(key("x"), Version::new(2));
+        a.record(key("y"), Version::new(1));
+        let mut b = StoreDigest::new();
+        b.record(key("x"), Version::new(1));
+        b.record(key("z"), Version::new(5));
+        let a_ahead = a.keys_ahead_of(&b);
+        assert_eq!(a_ahead.len(), 2); // x (newer) and y (missing in b)
+        assert!(a_ahead.contains(&key("x")));
+        assert!(a_ahead.contains(&key("y")));
+        assert_eq!(a.keys_behind(&b), vec![key("z")]);
+        assert_eq!(b.keys_behind(&a).len(), 2);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let digest: StoreDigest = [(key("a"), Version::new(1)), (key("a"), Version::new(4))]
+            .into_iter()
+            .collect();
+        assert_eq!(digest.version_of(key("a")), Some(Version::new(4)));
+        let mut digest = digest;
+        digest.extend([(key("b"), Version::new(2))]);
+        assert_eq!(digest.len(), 2);
+        assert!(!digest.is_empty());
+        assert_eq!(digest.iter().count(), 2);
+    }
+
+    #[test]
+    fn empty_digest_reports_empty() {
+        let d = StoreDigest::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert_eq!(d.version_of(key("a")), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Error type of the data stores.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`crate::DataStore`] operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// The store reached its configured capacity and the object addresses a
+    /// key the store does not already hold.
+    CapacityExceeded {
+        /// Configured capacity, in number of distinct keys.
+        capacity: usize,
+    },
+    /// The underlying persistence mechanism failed.
+    Io(std::io::Error),
+    /// A persisted record could not be decoded during recovery.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::CapacityExceeded { capacity } => {
+                write!(f, "store capacity of {capacity} keys exceeded")
+            }
+            Self::Io(err) => write!(f, "storage i/o failed: {err}"),
+            Self::Corrupt(detail) => write!(f, "persisted log is corrupt: {detail}"),
+        }
+    }
+}
+
+impl Error for StoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(err: std::io::Error) -> Self {
+        Self::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let capacity = StoreError::CapacityExceeded { capacity: 8 };
+        assert!(capacity.to_string().contains("8"));
+        let io = StoreError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io.to_string().contains("boom"));
+        let corrupt = StoreError::Corrupt("truncated record".into());
+        assert!(corrupt.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn io_errors_expose_their_source() {
+        let io = StoreError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(std::error::Error::source(&io).is_some());
+        let capacity = StoreError::CapacityExceeded { capacity: 1 };
+        assert!(std::error::Error::source(&capacity).is_none());
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreError>();
+    }
+}

@@ -1,0 +1,81 @@
+//! Data store substrate for DataFlasks.
+//!
+//! The paper describes the Data Store as "an abstraction of the actual
+//! storing mechanism which can be the node hard disk or other persistence
+//! mechanism". This crate provides that abstraction and two implementations:
+//!
+//! * [`MemoryStore`] — a versioned in-memory store (the configuration used by
+//!   the simulated experiments, where thousands of nodes run in one process),
+//! * [`LogStore`] — a persistent append-only log with crash recovery, showing
+//!   the abstraction backed by the node hard disk as the paper intends for a
+//!   real deployment.
+//!
+//! Both implement the [`DataStore`] trait used by the DataFlasks request
+//! handler, and both expose [`StoreDigest`]s — compact `key → latest version`
+//! summaries — that the anti-entropy protocol exchanges to find missing or
+//! stale replicas.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_store::{DataStore, MemoryStore, PutOutcome};
+//! use dataflasks_types::{Key, StoredObject, Value, Version};
+//!
+//! let mut store = MemoryStore::unbounded();
+//! let key = Key::from_user_key("user:1");
+//! let outcome = store
+//!     .put(StoredObject::new(key, Version::new(1), Value::from_bytes(b"v1")))
+//!     .unwrap();
+//! assert_eq!(outcome, PutOutcome::Stored);
+//! let read = store.get_latest(key).unwrap();
+//! assert_eq!(read.value.as_slice(), b"v1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod error;
+pub mod log_store;
+pub mod memory;
+pub mod traits;
+
+pub use digest::StoreDigest;
+pub use error::StoreError;
+pub use log_store::LogStore;
+pub use memory::MemoryStore;
+pub use traits::{DataStore, PutOutcome};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_types::{Key, StoredObject, Value, Version};
+
+    /// The two store implementations behave identically through the trait.
+    #[test]
+    fn implementations_agree_through_the_trait() {
+        fn exercise<S: DataStore>(store: &mut S) {
+            let key = Key::from_user_key("agree");
+            store
+                .put(StoredObject::new(key, Version::new(1), Value::from_bytes(b"a")))
+                .unwrap();
+            store
+                .put(StoredObject::new(key, Version::new(3), Value::from_bytes(b"c")))
+                .unwrap();
+            assert_eq!(store.len(), 1);
+            assert_eq!(store.latest_version(key), Some(Version::new(3)));
+            assert_eq!(
+                store.get(key, Some(Version::new(1))).unwrap().value.as_slice(),
+                b"a"
+            );
+            assert_eq!(store.get_latest(key).unwrap().value.as_slice(), b"c");
+        }
+        let mut memory = MemoryStore::unbounded();
+        exercise(&mut memory);
+        let dir = std::env::temp_dir().join(format!("dataflasks-agree-{}", std::process::id()));
+        let mut log = LogStore::open(&dir).unwrap();
+        exercise(&mut log);
+        drop(log);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

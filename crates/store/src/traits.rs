@@ -1,0 +1,96 @@
+//! The [`DataStore`] abstraction used by the DataFlasks request handler.
+
+use dataflasks_types::{Key, SliceId, SlicePartition, StoredObject, Version};
+
+use crate::digest::StoreDigest;
+use crate::error::StoreError;
+
+/// Result of applying a `put` to a store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// The object was stored (new key, or new version of a known key).
+    Stored,
+    /// The exact same `(key, version)` was already present; nothing changed.
+    Duplicate,
+    /// The store already holds a strictly newer version of the key; the put
+    /// was absorbed without effect (the upper layer orders operations, so an
+    /// older version arriving late carries no new information).
+    Obsolete,
+}
+
+impl PutOutcome {
+    /// Returns `true` if the put changed the store contents.
+    #[must_use]
+    pub fn changed(self) -> bool {
+        matches!(self, Self::Stored)
+    }
+}
+
+/// A versioned object store.
+///
+/// Implementations keep, for every key, the latest version and a bounded
+/// history of earlier versions so that versioned reads (the paper's
+/// `get(key, version)`) can be served while memory stays bounded.
+pub trait DataStore {
+    /// Stores an object.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CapacityExceeded`] if the store is full and the
+    /// key is new, or an I/O error for persistent stores.
+    fn put(&mut self, object: StoredObject) -> Result<PutOutcome, StoreError>;
+
+    /// Reads an object. With `version: None` the latest stored version is
+    /// returned; otherwise the exact requested version (if retained).
+    fn get(&self, key: Key, version: Option<Version>) -> Option<StoredObject>;
+
+    /// Reads the latest version of a key.
+    fn get_latest(&self, key: Key) -> Option<StoredObject> {
+        self.get(key, None)
+    }
+
+    /// The highest version stored for `key`.
+    fn latest_version(&self, key: Key) -> Option<Version>;
+
+    /// Returns `true` if the store holds `key` at a version at least
+    /// `version`.
+    fn contains_at_least(&self, key: Key, version: Version) -> bool {
+        self.latest_version(key)
+            .is_some_and(|latest| latest >= version)
+    }
+
+    /// Number of distinct keys stored.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if no key is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All keys currently stored.
+    fn keys(&self) -> Vec<Key>;
+
+    /// A compact `key → latest version` summary used by anti-entropy.
+    fn digest(&self) -> StoreDigest;
+
+    /// Objects this store holds that are missing or stale in `remote`,
+    /// bounded to at most `limit` objects (latest versions only).
+    fn objects_newer_than(&self, remote: &StoreDigest, limit: usize) -> Vec<StoredObject>;
+
+    /// Drops every object whose key is *not* owned by `slice` under
+    /// `partition`, returning the number of keys removed. Called when the
+    /// node migrates to a different slice and hands its old range over.
+    fn retain_slice(&mut self, partition: SlicePartition, slice: SliceId) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_outcome_changed_flag() {
+        assert!(PutOutcome::Stored.changed());
+        assert!(!PutOutcome::Duplicate.changed());
+        assert!(!PutOutcome::Obsolete.changed());
+    }
+}

@@ -1,0 +1,316 @@
+//! The DataFlasks object model: keys, versions, values and stored objects.
+//!
+//! DataFlasks stores *objects*: arrays of arbitrary bytes addressed by an
+//! identifier and carrying a version. Versions are attached by the upper
+//! layer (DATADROPLETS in STRATUS), which is responsible for concurrency
+//! control — DataFlasks itself only assumes that `put` operations on the same
+//! item are totally ordered by their version and that `get` operations name
+//! the version they want (or ask for the latest one).
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::hashing::{fnv1a_64, splitmix64};
+
+/// A key in the 64-bit DataFlasks key space.
+///
+/// User-facing keys (arbitrary byte strings) are mapped onto the key space by
+/// hashing; the numeric key determines which slice is responsible for the
+/// object (see [`crate::SlicePartition`]).
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::Key;
+///
+/// let from_name = Key::from_user_key("session:9");
+/// let same = Key::from_user_key("session:9");
+/// assert_eq!(from_name, same);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key(u64);
+
+impl Key {
+    /// Creates a key directly from its position in the 64-bit key space.
+    #[must_use]
+    pub const fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Hashes an arbitrary user-level key (as bytes) onto the key space.
+    ///
+    /// The FNV-1a hash is post-mixed with SplitMix64 so that short sequential
+    /// user keys (`user0`, `user1`, …) spread uniformly over the *high* bits
+    /// of the key space, which is what the contiguous slice ranges partition.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self(splitmix64(fnv1a_64(bytes)))
+    }
+
+    /// Hashes an arbitrary user-level key (as a string) onto the key space.
+    #[must_use]
+    pub fn from_user_key(user_key: &str) -> Self {
+        Self::from_bytes(user_key.as_bytes())
+    }
+
+    /// Returns the position of the key in the 64-bit key space.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{:016x}", self.0)
+    }
+}
+
+impl From<u64> for Key {
+    fn from(raw: u64) -> Self {
+        Self::from_raw(raw)
+    }
+}
+
+/// A version stamp attached to an object by the upper layer.
+///
+/// Puts on the same key are totally ordered by version; a replica keeps the
+/// object with the highest version it has seen (and, optionally, a bounded
+/// history of older versions so that versioned reads can be served).
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::Version;
+///
+/// let v1 = Version::new(1);
+/// assert!(v1 < v1.next());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Version(u64);
+
+impl Version {
+    /// The smallest version; used for objects that have never been written.
+    pub const ZERO: Self = Self(0);
+
+    /// Creates a version from its numeric value.
+    #[must_use]
+    pub const fn new(value: u64) -> Self {
+        Self(value)
+    }
+
+    /// Returns the numeric value of the version.
+    #[must_use]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the version immediately after this one.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Version {
+    fn from(value: u64) -> Self {
+        Self::new(value)
+    }
+}
+
+/// An immutable object payload: an array of arbitrary bytes.
+///
+/// Values are reference-counted so that the heavily replicated copies held by
+/// every node of a slice (and the copies travelling through the simulated
+/// network) share one allocation. Cloning a [`Value`] is cheap.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::Value;
+///
+/// let v = Value::from_bytes(b"payload");
+/// let copy = v.clone();
+/// assert_eq!(v, copy);
+/// assert_eq!(v.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Value(Arc<[u8]>);
+
+impl Value {
+    /// Creates a value by copying the given bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        Self(Arc::from(bytes))
+    }
+
+    /// Creates a value of `len` bytes filled with a repeated marker byte.
+    ///
+    /// Useful for workload generators that only care about payload size.
+    #[must_use]
+    pub fn filled(len: usize, marker: u8) -> Self {
+        Self(Arc::from(vec![marker; len].as_slice()))
+    }
+
+    /// Returns the payload as a byte slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Returns the payload size in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the payload is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Value {
+    fn from(bytes: Vec<u8>) -> Self {
+        Self(Arc::from(bytes.as_slice()))
+    }
+}
+
+impl From<&[u8]> for Value {
+    fn from(bytes: &[u8]) -> Self {
+        Self::from_bytes(bytes)
+    }
+}
+
+impl AsRef<[u8]> for Value {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+/// A versioned object as stored by a replica and shipped between nodes.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::{Key, StoredObject, Value, Version};
+///
+/// let object = StoredObject::new(Key::from_user_key("a"), Version::new(3), Value::from_bytes(b"x"));
+/// assert_eq!(object.version, Version::new(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredObject {
+    /// Key the object is addressed by.
+    pub key: Key,
+    /// Version attached by the upper layer.
+    pub version: Version,
+    /// Payload bytes.
+    pub value: Value,
+}
+
+impl StoredObject {
+    /// Creates a stored object from its parts.
+    #[must_use]
+    pub fn new(key: Key, version: Version, value: Value) -> Self {
+        Self {
+            key,
+            version,
+            value,
+        }
+    }
+
+    /// Returns `true` if this object supersedes `other` (same key, strictly
+    /// higher version).
+    #[must_use]
+    pub fn supersedes(&self, other: &Self) -> bool {
+        self.key == other.key && self.version > other.version
+    }
+
+    /// Approximate in-memory footprint of the object in bytes, used by the
+    /// capacity accounting of the data store.
+    #[must_use]
+    pub fn weight(&self) -> usize {
+        std::mem::size_of::<Key>() + std::mem::size_of::<Version>() + self.value.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_from_identical_user_keys_are_equal() {
+        assert_eq!(Key::from_user_key("x"), Key::from_bytes(b"x"));
+        assert_ne!(Key::from_user_key("x"), Key::from_user_key("y"));
+    }
+
+    #[test]
+    fn key_display_is_hex_padded() {
+        assert_eq!(Key::from_raw(0xff).to_string(), "k00000000000000ff");
+    }
+
+    #[test]
+    fn sequential_user_keys_spread_over_the_high_bits() {
+        // The slice partition splits the key space into contiguous ranges, so
+        // user keys must populate the high bits uniformly.
+        let mut top_bytes = std::collections::HashSet::new();
+        for i in 0..64u32 {
+            top_bytes.insert(Key::from_user_key(&format!("user{i}")).as_u64() >> 56);
+        }
+        assert!(top_bytes.len() > 16, "expected spread, got {top_bytes:?}");
+    }
+
+    #[test]
+    fn version_next_is_monotonic() {
+        let mut v = Version::ZERO;
+        for _ in 0..10 {
+            let next = v.next();
+            assert!(next > v);
+            v = next;
+        }
+        assert_eq!(v, Version::new(10));
+    }
+
+    #[test]
+    fn value_clone_shares_allocation() {
+        let v = Value::from_bytes(b"hello world");
+        let c = v.clone();
+        assert_eq!(v.as_slice().as_ptr(), c.as_slice().as_ptr());
+    }
+
+    #[test]
+    fn filled_value_has_requested_size() {
+        let v = Value::filled(1024, 0xAB);
+        assert_eq!(v.len(), 1024);
+        assert!(v.as_slice().iter().all(|&b| b == 0xAB));
+        assert!(!v.is_empty());
+        assert!(Value::from_bytes(b"").is_empty());
+    }
+
+    #[test]
+    fn supersedes_requires_same_key_and_higher_version() {
+        let k = Key::from_user_key("k");
+        let old = StoredObject::new(k, Version::new(1), Value::from_bytes(b"a"));
+        let new = StoredObject::new(k, Version::new(2), Value::from_bytes(b"b"));
+        let other = StoredObject::new(Key::from_user_key("other"), Version::new(9), Value::default());
+        assert!(new.supersedes(&old));
+        assert!(!old.supersedes(&new));
+        assert!(!other.supersedes(&old));
+        assert!(!new.supersedes(&new));
+    }
+
+    #[test]
+    fn weight_tracks_payload_size() {
+        let small = StoredObject::new(Key::from_raw(1), Version::ZERO, Value::filled(10, 0));
+        let big = StoredObject::new(Key::from_raw(1), Version::ZERO, Value::filled(1000, 0));
+        assert!(big.weight() > small.weight());
+        assert!(small.weight() >= 10);
+    }
+}

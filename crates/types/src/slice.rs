@@ -1,0 +1,244 @@
+//! Key-range partitioning of the key space into slices.
+//!
+//! DataFlasks divides the system into `k` groups of nodes — *slices* — and
+//! assigns each slice a contiguous range of the 64-bit key space. A node
+//! stores an object if and only if the object's key falls in the range of the
+//! slice the node currently belongs to (the node learns its slice from the
+//! slicing protocol, see the `dataflasks-slicing` crate).
+
+use std::fmt;
+
+use crate::object::Key;
+
+/// Identifier of a slice: an index in `0..slice_count`.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::SliceId;
+///
+/// let s = SliceId::new(3);
+/// assert_eq!(s.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SliceId(u32);
+
+impl SliceId {
+    /// Creates a slice identifier from its index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Returns the index of the slice.
+    #[must_use]
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for SliceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+impl From<u32> for SliceId {
+    fn from(index: u32) -> Self {
+        Self::new(index)
+    }
+}
+
+/// The partition of the 64-bit key space into `k` equally sized contiguous
+/// ranges, one per slice.
+///
+/// The partition is a pure function of the slice count, so every node (and
+/// every client) computes the same mapping locally, with no coordination —
+/// only the slice count `k` must be agreed on (it is part of the system
+/// configuration, and may be reconfigured dynamically, in which case the
+/// anti-entropy protocol migrates objects to their new owners).
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::{Key, SliceId, SlicePartition};
+///
+/// let partition = SlicePartition::new(4);
+/// assert_eq!(partition.slice_count(), 4);
+/// assert_eq!(partition.slice_of(Key::from_raw(0)), SliceId::new(0));
+/// assert_eq!(partition.slice_of(Key::from_raw(u64::MAX)), SliceId::new(3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlicePartition {
+    slice_count: u32,
+}
+
+impl SlicePartition {
+    /// Creates a partition with `slice_count` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_count` is zero: a system always has at least one
+    /// slice.
+    #[must_use]
+    pub fn new(slice_count: u32) -> Self {
+        assert!(slice_count > 0, "a partition needs at least one slice");
+        Self { slice_count }
+    }
+
+    /// Number of slices in the partition.
+    #[must_use]
+    pub const fn slice_count(self) -> u32 {
+        self.slice_count
+    }
+
+    /// Returns the slice responsible for `key`.
+    ///
+    /// The key space is split into `slice_count` contiguous ranges of (almost)
+    /// equal width; keys map to the range containing them.
+    #[must_use]
+    pub fn slice_of(self, key: Key) -> SliceId {
+        let width = Self::range_width(self.slice_count);
+        let index = (key.as_u64() / width).min(u64::from(self.slice_count - 1));
+        SliceId::new(index as u32)
+    }
+
+    /// Returns the inclusive lower bound of the key range owned by `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is not part of this partition.
+    #[must_use]
+    pub fn range_start(self, slice: SliceId) -> Key {
+        assert!(slice.index() < self.slice_count, "slice out of range");
+        Key::from_raw(u64::from(slice.index()) * Self::range_width(self.slice_count))
+    }
+
+    /// Returns the inclusive upper bound of the key range owned by `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is not part of this partition.
+    #[must_use]
+    pub fn range_end(self, slice: SliceId) -> Key {
+        assert!(slice.index() < self.slice_count, "slice out of range");
+        if slice.index() == self.slice_count - 1 {
+            Key::from_raw(u64::MAX)
+        } else {
+            Key::from_raw(
+                u64::from(slice.index() + 1) * Self::range_width(self.slice_count) - 1,
+            )
+        }
+    }
+
+    /// Returns `true` if `slice` owns `key` under this partition.
+    #[must_use]
+    pub fn owns(self, slice: SliceId, key: Key) -> bool {
+        self.slice_of(key) == slice
+    }
+
+    /// Maps a node's normalised rank in `[0, 1)` (as estimated by the slicing
+    /// protocol) to the slice it should join.
+    ///
+    /// Rank values outside `[0, 1)` are clamped into the valid slice range so
+    /// that estimation noise at the extremes cannot produce an invalid slice.
+    #[must_use]
+    pub fn slice_of_rank(self, rank: f64) -> SliceId {
+        let clamped = rank.clamp(0.0, 1.0);
+        let index = ((clamped * f64::from(self.slice_count)) as u32).min(self.slice_count - 1);
+        SliceId::new(index)
+    }
+
+    fn range_width(slice_count: u32) -> u64 {
+        // Ceiling division so that `slice_count * width` covers the whole key
+        // space; the last slice absorbs the remainder.
+        (u64::MAX / u64::from(slice_count)).saturating_add(1)
+    }
+}
+
+impl Default for SlicePartition {
+    fn default() -> Self {
+        Self::new(10)
+    }
+}
+
+impl fmt::Display for SlicePartition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "partition(k={})", self.slice_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one slice")]
+    fn zero_slices_is_rejected() {
+        let _ = SlicePartition::new(0);
+    }
+
+    #[test]
+    fn single_slice_owns_everything() {
+        let p = SlicePartition::new(1);
+        assert_eq!(p.slice_of(Key::from_raw(0)), SliceId::new(0));
+        assert_eq!(p.slice_of(Key::from_raw(u64::MAX)), SliceId::new(0));
+        assert_eq!(p.range_start(SliceId::new(0)), Key::from_raw(0));
+        assert_eq!(p.range_end(SliceId::new(0)), Key::from_raw(u64::MAX));
+    }
+
+    #[test]
+    fn every_key_maps_to_a_valid_slice() {
+        for k in [1u32, 2, 3, 7, 10, 64, 1000] {
+            let p = SlicePartition::new(k);
+            for probe in [0u64, 1, u64::MAX / 2, u64::MAX - 1, u64::MAX] {
+                assert!(p.slice_of(Key::from_raw(probe)).index() < k);
+            }
+        }
+    }
+
+    #[test]
+    fn ranges_are_consistent_with_slice_of() {
+        let p = SlicePartition::new(7);
+        for s in 0..7 {
+            let slice = SliceId::new(s);
+            assert_eq!(p.slice_of(p.range_start(slice)), slice);
+            assert_eq!(p.slice_of(p.range_end(slice)), slice);
+            assert!(p.owns(slice, p.range_start(slice)));
+        }
+    }
+
+    #[test]
+    fn slices_partition_uniformly_for_random_keys() {
+        let p = SlicePartition::new(10);
+        let mut counts = [0u32; 10];
+        for i in 0..10_000u64 {
+            let key = Key::from_raw(crate::hashing::splitmix64(i));
+            counts[p.slice_of(key).index() as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..=1300).contains(&c),
+                "uneven slice distribution: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rank_mapping_covers_all_slices_and_clamps() {
+        let p = SlicePartition::new(5);
+        assert_eq!(p.slice_of_rank(0.0), SliceId::new(0));
+        assert_eq!(p.slice_of_rank(0.19), SliceId::new(0));
+        assert_eq!(p.slice_of_rank(0.2), SliceId::new(1));
+        assert_eq!(p.slice_of_rank(0.999), SliceId::new(4));
+        assert_eq!(p.slice_of_rank(1.0), SliceId::new(4));
+        assert_eq!(p.slice_of_rank(-3.0), SliceId::new(0));
+        assert_eq!(p.slice_of_rank(42.0), SliceId::new(4));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SliceId::new(2).to_string(), "s2");
+        assert_eq!(SlicePartition::new(8).to_string(), "partition(k=8)");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the shared vocabulary types.
+
+use dataflasks_types::{Duration, Key, SimTime, SliceId, SlicePartition, StoredObject, Value, Version};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every key maps to a slice index strictly below the slice count.
+    #[test]
+    fn slice_of_is_always_in_range(raw_key in any::<u64>(), k in 1u32..1024) {
+        let partition = SlicePartition::new(k);
+        let slice = partition.slice_of(Key::from_raw(raw_key));
+        prop_assert!(slice.index() < k);
+    }
+
+    /// The slice ranges exactly tile the key space: a key belongs to slice s
+    /// if and only if it lies within [range_start(s), range_end(s)].
+    #[test]
+    fn slice_ranges_tile_the_key_space(raw_key in any::<u64>(), k in 1u32..256) {
+        let partition = SlicePartition::new(k);
+        let key = Key::from_raw(raw_key);
+        let slice = partition.slice_of(key);
+        prop_assert!(key >= partition.range_start(slice));
+        prop_assert!(key <= partition.range_end(slice));
+        // No other slice owns the key.
+        for other in 0..k {
+            let other = SliceId::new(other);
+            if other != slice {
+                prop_assert!(!partition.owns(other, key));
+            }
+        }
+    }
+
+    /// Consecutive slices have adjacent, non-overlapping ranges.
+    #[test]
+    fn slice_ranges_are_adjacent(k in 2u32..256) {
+        let partition = SlicePartition::new(k);
+        for s in 0..k - 1 {
+            let end = partition.range_end(SliceId::new(s)).as_u64();
+            let next_start = partition.range_start(SliceId::new(s + 1)).as_u64();
+            prop_assert_eq!(end + 1, next_start);
+        }
+        prop_assert_eq!(partition.range_start(SliceId::new(0)).as_u64(), 0);
+        prop_assert_eq!(partition.range_end(SliceId::new(k - 1)).as_u64(), u64::MAX);
+    }
+
+    /// Rank-to-slice mapping is monotone: a larger rank never maps to a
+    /// smaller slice.
+    #[test]
+    fn rank_mapping_is_monotone(a in 0.0f64..1.0, b in 0.0f64..1.0, k in 1u32..128) {
+        let partition = SlicePartition::new(k);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(partition.slice_of_rank(lo) <= partition.slice_of_rank(hi));
+    }
+
+    /// Hashing user keys is deterministic and stable.
+    #[test]
+    fn user_key_hashing_is_deterministic(user_key in "[a-z0-9:._-]{1,32}") {
+        prop_assert_eq!(Key::from_user_key(&user_key), Key::from_user_key(&user_key));
+    }
+
+    /// Version ordering is the ordering of the underlying counter.
+    #[test]
+    fn version_ordering_matches_u64(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(Version::new(a) < Version::new(b), a < b);
+        prop_assert_eq!(Version::new(a) == Version::new(b), a == b);
+    }
+
+    /// `supersedes` is a strict partial order restricted to equal keys.
+    #[test]
+    fn supersedes_is_strict(key in any::<u64>(), va in any::<u64>(), vb in any::<u64>()) {
+        let a = StoredObject::new(Key::from_raw(key), Version::new(va), Value::from_bytes(b"a"));
+        let b = StoredObject::new(Key::from_raw(key), Version::new(vb), Value::from_bytes(b"b"));
+        // Irreflexive and antisymmetric.
+        prop_assert!(!a.supersedes(&a));
+        prop_assert!(!(a.supersedes(&b) && b.supersedes(&a)));
+        prop_assert_eq!(a.supersedes(&b), va > vb);
+    }
+
+    /// Time arithmetic is consistent: advancing and measuring agree.
+    #[test]
+    fn time_arithmetic_roundtrips(start in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t0 = SimTime::from_millis(start);
+        let t1 = t0 + Duration::from_millis(delta);
+        prop_assert_eq!(t1 - t0, Duration::from_millis(delta));
+        prop_assert_eq!(t1.saturating_since(t0).as_millis(), delta);
+        prop_assert_eq!(t0.saturating_since(t1), Duration::ZERO);
+    }
+
+    /// Values preserve their payload bytes.
+    #[test]
+    fn value_preserves_bytes(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let value = Value::from(payload.clone());
+        prop_assert_eq!(value.as_slice(), payload.as_slice());
+        prop_assert_eq!(value.len(), payload.len());
+    }
+}

@@ -1,0 +1,187 @@
+//! Request key distributions (uniform, Zipfian, latest).
+
+use rand::Rng;
+
+/// How the transaction phase picks the records it operates on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDistribution {
+    /// Every record is equally likely.
+    Uniform,
+    /// Zipfian popularity: a small set of records receives most operations.
+    /// `theta` is the skew parameter (YCSB uses 0.99).
+    Zipfian {
+        /// Skew parameter in `(0, 1)`; larger is more skewed.
+        theta: f64,
+    },
+    /// Recently inserted records are the most popular (YCSB workload D).
+    Latest,
+    /// Records are visited in insertion order, wrapping around.
+    Sequential,
+}
+
+/// A Zipfian-distributed integer generator over `0..n`, following the
+/// rejection-free formula used by YCSB (Gray et al., "Quickly generating
+/// billion-record synthetic databases").
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_workload::ZipfianGenerator;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let zipf = ZipfianGenerator::new(1000, 0.99);
+/// let sample = zipf.next_value(&mut rng);
+/// assert!(sample < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfianGenerator {
+    items: u64,
+    theta: f64,
+    zeta_n: f64,
+    zeta_two: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl ZipfianGenerator {
+    /// Creates a generator over `0..items` with skew `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is zero or `theta` is not in `(0, 1)`.
+    #[must_use]
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipfian needs a non-empty item set");
+        assert!(
+            theta > 0.0 && theta < 1.0,
+            "zipfian skew must be in (0, 1), got {theta}"
+        );
+        let zeta_n = Self::zeta(items, theta);
+        let zeta_two = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta_two / zeta_n);
+        Self {
+            items,
+            theta,
+            zeta_n,
+            zeta_two,
+            alpha,
+            eta,
+        }
+    }
+
+    /// Number of items the generator draws from.
+    #[must_use]
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Draws the next Zipfian-distributed value in `0..items` (0 is the most
+    /// popular item).
+    pub fn next_value<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zeta_n;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let value =
+            (self.items as f64 * (self.eta.mul_add(u, 1.0 - self.eta)).powf(self.alpha)) as u64;
+        value.min(self.items - 1)
+    }
+
+    /// The generalized harmonic number `H_{n,theta}`.
+    fn zeta(n: u64, theta: f64) -> f64 {
+        let mut sum = 0.0;
+        for i in 1..=n {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        sum
+    }
+
+    /// Fraction of the probability mass held by the single most popular item.
+    #[must_use]
+    pub fn head_probability(&self) -> f64 {
+        1.0 / self.zeta_n
+    }
+
+    /// The zeta constant over two items (exposed for diagnostics).
+    #[must_use]
+    pub fn zeta_two(&self) -> f64 {
+        self.zeta_two
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "non-empty item set")]
+    fn zero_items_is_rejected() {
+        let _ = ZipfianGenerator::new(0, 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "skew must be in (0, 1)")]
+    fn invalid_theta_is_rejected() {
+        let _ = ZipfianGenerator::new(10, 1.5);
+    }
+
+    #[test]
+    fn values_stay_in_range() {
+        let zipf = ZipfianGenerator::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..10_000 {
+            assert!(zipf.next_value(&mut rng) < 100);
+        }
+        assert_eq!(zipf.items(), 100);
+    }
+
+    #[test]
+    fn distribution_is_skewed_towards_small_values() {
+        let zipf = ZipfianGenerator::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples = 20_000;
+        let mut head = 0usize;
+        let mut top_decile = 0usize;
+        for _ in 0..samples {
+            let v = zipf.next_value(&mut rng);
+            if v == 0 {
+                head += 1;
+            }
+            if v < 100 {
+                top_decile += 1;
+            }
+        }
+        let head_fraction = head as f64 / samples as f64;
+        let decile_fraction = top_decile as f64 / samples as f64;
+        // Item 0 should receive far more than the uniform share (0.1%).
+        assert!(head_fraction > 0.05, "head fraction {head_fraction}");
+        // The most popular 10% of items should receive the majority of traffic.
+        assert!(decile_fraction > 0.5, "decile fraction {decile_fraction}");
+        // And the analytic head probability should roughly match.
+        assert!((head_fraction - zipf.head_probability()).abs() < 0.05);
+    }
+
+    #[test]
+    fn uniform_vs_zipfian_variants_are_distinct() {
+        assert_ne!(
+            KeyDistribution::Uniform,
+            KeyDistribution::Zipfian { theta: 0.99 }
+        );
+        assert_ne!(KeyDistribution::Latest, KeyDistribution::Sequential);
+    }
+
+    #[test]
+    fn zeta_two_is_positive_and_below_zeta_n() {
+        let zipf = ZipfianGenerator::new(50, 0.9);
+        assert!(zipf.zeta_two() > 1.0);
+        assert!(zipf.zeta_two() < ZipfianGenerator::zeta(50, 0.9));
+    }
+}

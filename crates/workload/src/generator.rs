@@ -1,0 +1,328 @@
+//! The workload generator: turns a [`WorkloadSpec`] into operation streams.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataflasks_types::{Key, Value, Version};
+
+use crate::distribution::{KeyDistribution, ZipfianGenerator};
+use crate::spec::WorkloadSpec;
+
+/// The kind of a generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OperationKind {
+    /// Insert a brand new record (a put of version 1).
+    Insert,
+    /// Overwrite an existing record (a put with the next version).
+    Update,
+    /// Read a record (a get of the latest version).
+    Read,
+}
+
+/// One generated benchmark operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    /// What the client should do.
+    pub kind: OperationKind,
+    /// YCSB-style user key (`user0`, `user1`, …).
+    pub user_key: String,
+    /// The key hashed onto the DataFlasks key space.
+    pub key: Key,
+    /// Version to write (puts) or `None` to read the latest version.
+    pub version: Option<Version>,
+    /// Payload for puts; empty for reads.
+    pub value: Value,
+}
+
+impl Operation {
+    /// Returns `true` for operations that write (insert or update).
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        matches!(self.kind, OperationKind::Insert | OperationKind::Update)
+    }
+}
+
+/// A deterministic YCSB-style operation generator.
+///
+/// The generator tracks, per record, the last version it wrote so that
+/// updates carry strictly increasing versions — the total order on puts that
+/// DataFlasks assumes is provided by the upper layer.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_workload::{OperationKind, WorkloadGenerator, WorkloadSpec};
+///
+/// let mut generator = WorkloadGenerator::new(WorkloadSpec::workload_a(50, 20), 7);
+/// let load: Vec<_> = generator.load_phase().collect();
+/// assert_eq!(load.len(), 50);
+/// let run: Vec<_> = generator.transaction_phase().collect();
+/// assert_eq!(run.len(), 20);
+/// assert!(run.iter().all(|op| matches!(op.kind, OperationKind::Read | OperationKind::Update)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipfian: Option<ZipfianGenerator>,
+    /// Number of records inserted so far (load + transaction inserts).
+    records_inserted: usize,
+    /// Per-record version counters, indexed by record number.
+    versions: Vec<u64>,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator for `spec`, seeded for reproducibility.
+    #[must_use]
+    pub fn new(spec: WorkloadSpec, seed: u64) -> Self {
+        let zipfian = match spec.key_distribution {
+            KeyDistribution::Zipfian { theta } => Some(ZipfianGenerator::new(
+                spec.record_count.max(1) as u64,
+                theta,
+            )),
+            _ => None,
+        };
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            zipfian,
+            records_inserted: 0,
+            versions: Vec::with_capacity(spec.record_count),
+            spec,
+        }
+    }
+
+    /// The specification this generator follows.
+    #[must_use]
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+
+    /// Number of records inserted so far.
+    #[must_use]
+    pub fn records_inserted(&self) -> usize {
+        self.records_inserted
+    }
+
+    /// The YCSB-style user key of record number `record`.
+    #[must_use]
+    pub fn user_key(record: usize) -> String {
+        format!("user{record}")
+    }
+
+    /// Generates the load phase: one insert per record, in record order.
+    pub fn load_phase(&mut self) -> impl Iterator<Item = Operation> + '_ {
+        let count = self.spec.record_count;
+        (0..count).map(move |_| self.next_insert())
+    }
+
+    /// Generates the transaction phase: `operation_count` operations drawn
+    /// from the configured mix and key distribution.
+    pub fn transaction_phase(&mut self) -> impl Iterator<Item = Operation> + '_ {
+        let count = self.spec.operation_count;
+        (0..count).map(move |i| self.next_transaction(i))
+    }
+
+    fn next_insert(&mut self) -> Operation {
+        let record = self.records_inserted;
+        self.records_inserted += 1;
+        self.versions.push(1);
+        let user_key = Self::user_key(record);
+        Operation {
+            kind: OperationKind::Insert,
+            key: Key::from_user_key(&user_key),
+            user_key,
+            version: Some(Version::new(1)),
+            value: Value::filled(self.spec.value_size, (record % 251) as u8),
+        }
+    }
+
+    fn next_transaction(&mut self, sequence: usize) -> Operation {
+        let total = self.spec.total_weight();
+        if total <= 0.0 || self.records_inserted == 0 {
+            return self.next_insert();
+        }
+        let draw: f64 = self.rng.gen::<f64>() * total;
+        if draw < self.spec.insert_proportion {
+            self.next_insert()
+        } else if draw < self.spec.insert_proportion + self.spec.update_proportion {
+            let record = self.choose_record(sequence);
+            self.versions[record] += 1;
+            let user_key = Self::user_key(record);
+            Operation {
+                kind: OperationKind::Update,
+                key: Key::from_user_key(&user_key),
+                user_key,
+                version: Some(Version::new(self.versions[record])),
+                value: Value::filled(self.spec.value_size, (record % 251) as u8),
+            }
+        } else {
+            let record = self.choose_record(sequence);
+            let user_key = Self::user_key(record);
+            Operation {
+                kind: OperationKind::Read,
+                key: Key::from_user_key(&user_key),
+                user_key,
+                version: None,
+                value: Value::default(),
+            }
+        }
+    }
+
+    fn choose_record(&mut self, sequence: usize) -> usize {
+        let population = self.records_inserted.max(1);
+        match self.spec.key_distribution {
+            KeyDistribution::Uniform => self.rng.gen_range(0..population),
+            KeyDistribution::Zipfian { .. } => {
+                let zipf = self
+                    .zipfian
+                    .as_ref()
+                    .expect("zipfian generator initialised for zipfian spec");
+                (zipf.next_value(&mut self.rng) as usize).min(population - 1)
+            }
+            KeyDistribution::Latest => {
+                // Popularity decays with distance from the most recent insert.
+                let zipf = ZipfianGenerator::new(population as u64, 0.99);
+                let offset = zipf.next_value(&mut self.rng) as usize;
+                population - 1 - offset.min(population - 1)
+            }
+            KeyDistribution::Sequential => sequence % population,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn load_phase_inserts_every_record_once() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::write_only(64, 0), 1);
+        let ops: Vec<Operation> = generator.load_phase().collect();
+        assert_eq!(ops.len(), 64);
+        let unique: std::collections::HashSet<_> = ops.iter().map(|o| o.key).collect();
+        assert_eq!(unique.len(), 64, "every record gets a distinct key");
+        assert!(ops.iter().all(|o| o.kind == OperationKind::Insert));
+        assert!(ops.iter().all(|o| o.version == Some(Version::new(1))));
+        assert!(ops.iter().all(|o| o.value.len() == 128));
+        assert_eq!(generator.records_inserted(), 64);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = WorkloadGenerator::new(WorkloadSpec::workload_a(100, 50), 9);
+        let mut b = WorkloadGenerator::new(WorkloadSpec::workload_a(100, 50), 9);
+        let _ = a.load_phase().count();
+        let _ = b.load_phase().count();
+        let ops_a: Vec<Operation> = a.transaction_phase().collect();
+        let ops_b: Vec<Operation> = b.transaction_phase().collect();
+        assert_eq!(ops_a, ops_b);
+        let mut c = WorkloadGenerator::new(WorkloadSpec::workload_a(100, 50), 10);
+        let _ = c.load_phase().count();
+        let ops_c: Vec<Operation> = c.transaction_phase().collect();
+        assert_ne!(ops_a, ops_c, "different seeds should differ");
+    }
+
+    #[test]
+    fn transaction_mix_respects_proportions_roughly() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::workload_b(200, 2_000), 3);
+        let _ = generator.load_phase().count();
+        let ops: Vec<Operation> = generator.transaction_phase().collect();
+        let reads = ops.iter().filter(|o| o.kind == OperationKind::Read).count();
+        let updates = ops.iter().filter(|o| o.kind == OperationKind::Update).count();
+        assert_eq!(reads + updates, ops.len());
+        let read_fraction = reads as f64 / ops.len() as f64;
+        assert!((0.90..=0.99).contains(&read_fraction), "read fraction {read_fraction}");
+    }
+
+    #[test]
+    fn updates_carry_strictly_increasing_versions() {
+        let spec = WorkloadSpec {
+            read_proportion: 0.0,
+            update_proportion: 1.0,
+            insert_proportion: 0.0,
+            ..WorkloadSpec::workload_a(10, 500)
+        };
+        let mut generator = WorkloadGenerator::new(spec, 4);
+        let _ = generator.load_phase().count();
+        let mut last_version: HashMap<Key, u64> = HashMap::new();
+        for op in generator.transaction_phase() {
+            assert_eq!(op.kind, OperationKind::Update);
+            let version = op.version.unwrap().as_u64();
+            let previous = last_version.insert(op.key, version).unwrap_or(1);
+            assert!(version > previous, "version must increase per key");
+        }
+    }
+
+    #[test]
+    fn write_only_transaction_phase_keeps_inserting_new_records() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::write_only(10, 30), 5);
+        let _ = generator.load_phase().count();
+        let ops: Vec<Operation> = generator.transaction_phase().collect();
+        assert_eq!(ops.len(), 30);
+        assert!(ops.iter().all(|o| o.kind == OperationKind::Insert));
+        assert_eq!(generator.records_inserted(), 40);
+    }
+
+    #[test]
+    fn zipfian_mix_concentrates_on_popular_records() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::workload_c(500, 5_000), 6);
+        let _ = generator.load_phase().count();
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for op in generator.transaction_phase() {
+            *counts.entry(op.user_key).or_default() += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = 5_000.0 / 500.0;
+        assert!(max as f64 > mean * 5.0, "hottest key only {max} accesses");
+    }
+
+    #[test]
+    fn sequential_distribution_round_robins() {
+        let spec = WorkloadSpec::workload_c(4, 8)
+            .with_key_distribution(KeyDistribution::Sequential);
+        let mut generator = WorkloadGenerator::new(spec, 7);
+        let _ = generator.load_phase().count();
+        let ops: Vec<Operation> = generator.transaction_phase().collect();
+        let keys: Vec<String> = ops.into_iter().map(|o| o.user_key).collect();
+        assert_eq!(keys[0], "user0");
+        assert_eq!(keys[3], "user3");
+        assert_eq!(keys[4], "user0");
+    }
+
+    #[test]
+    fn latest_distribution_prefers_recent_records() {
+        let spec = WorkloadSpec::workload_d(200, 2_000);
+        let mut generator = WorkloadGenerator::new(spec, 8);
+        let _ = generator.load_phase().count();
+        let mut recent = 0usize;
+        let mut total_reads = 0usize;
+        for op in generator.transaction_phase() {
+            if op.kind == OperationKind::Read {
+                total_reads += 1;
+                let record: usize = op.user_key.trim_start_matches("user").parse().unwrap();
+                if record >= 150 {
+                    recent += 1;
+                }
+            }
+        }
+        assert!(total_reads > 0);
+        let fraction = recent as f64 / total_reads as f64;
+        assert!(fraction > 0.5, "recent-record fraction {fraction}");
+    }
+
+    #[test]
+    fn is_write_classifies_operations() {
+        let mut generator = WorkloadGenerator::new(WorkloadSpec::write_only(1, 0), 1);
+        let op = generator.load_phase().next().unwrap();
+        assert!(op.is_write());
+        let read = Operation {
+            kind: OperationKind::Read,
+            user_key: "user0".into(),
+            key: Key::from_user_key("user0"),
+            version: None,
+            value: Value::default(),
+        };
+        assert!(!read.is_write());
+    }
+}

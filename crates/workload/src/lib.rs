@@ -1,0 +1,38 @@
+//! YCSB-style workload generation for DataFlasks experiments.
+//!
+//! The paper evaluates DataFlasks by running the YCSB cloud-storage benchmark
+//! against it ("We ran YCSB configured for a write only workload"). This
+//! crate reproduces the relevant parts of YCSB as a deterministic workload
+//! generator:
+//!
+//! * [`WorkloadSpec`] — the benchmark parameters (record count, operation
+//!   count, operation mix, key distribution, value size), with presets for
+//!   the YCSB core workloads A–C and for the write-only configuration used
+//!   in the paper,
+//! * [`KeyDistribution`] — uniform, Zipfian and latest request distributions,
+//! * [`WorkloadGenerator`] — a seeded iterator of [`Operation`]s: first the
+//!   load phase (inserting every record), then the transaction phase drawing
+//!   operations from the configured mix.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_workload::{Operation, OperationKind, WorkloadGenerator, WorkloadSpec};
+//!
+//! let spec = WorkloadSpec::write_only(100, 100);
+//! let mut generator = WorkloadGenerator::new(spec, 42);
+//! let ops: Vec<Operation> = generator.load_phase().collect();
+//! assert_eq!(ops.len(), 100);
+//! assert!(ops.iter().all(|op| op.kind == OperationKind::Insert));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distribution;
+pub mod generator;
+pub mod spec;
+
+pub use distribution::{KeyDistribution, ZipfianGenerator};
+pub use generator::{Operation, OperationKind, WorkloadGenerator};
+pub use spec::WorkloadSpec;

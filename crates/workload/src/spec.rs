@@ -1,0 +1,166 @@
+//! Workload specifications (the equivalent of YCSB workload property files).
+
+use crate::distribution::KeyDistribution;
+
+/// Parameters of a benchmark workload.
+///
+/// Proportions are normalised at generation time, so they only need to be
+/// relative weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of records inserted by the load phase.
+    pub record_count: usize,
+    /// Number of operations issued by the transaction phase.
+    pub operation_count: usize,
+    /// Relative weight of read operations in the transaction phase.
+    pub read_proportion: f64,
+    /// Relative weight of update (overwrite) operations.
+    pub update_proportion: f64,
+    /// Relative weight of insert (new record) operations.
+    pub insert_proportion: f64,
+    /// How keys are chosen in the transaction phase.
+    pub key_distribution: KeyDistribution,
+    /// Payload size of written values, in bytes.
+    pub value_size: usize,
+}
+
+impl WorkloadSpec {
+    /// The write-only workload used by the paper's evaluation: a pure load
+    /// phase inserting `record_count` records (the transaction phase issues
+    /// `operation_count` additional inserts of new records).
+    #[must_use]
+    pub fn write_only(record_count: usize, operation_count: usize) -> Self {
+        Self {
+            record_count,
+            operation_count,
+            read_proportion: 0.0,
+            update_proportion: 0.0,
+            insert_proportion: 1.0,
+            key_distribution: KeyDistribution::Uniform,
+            value_size: 128,
+        }
+    }
+
+    /// YCSB workload A: update heavy (50% reads, 50% updates, Zipfian keys).
+    #[must_use]
+    pub fn workload_a(record_count: usize, operation_count: usize) -> Self {
+        Self {
+            record_count,
+            operation_count,
+            read_proportion: 0.5,
+            update_proportion: 0.5,
+            insert_proportion: 0.0,
+            key_distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            value_size: 128,
+        }
+    }
+
+    /// YCSB workload B: read mostly (95% reads, 5% updates, Zipfian keys).
+    #[must_use]
+    pub fn workload_b(record_count: usize, operation_count: usize) -> Self {
+        Self {
+            read_proportion: 0.95,
+            update_proportion: 0.05,
+            ..Self::workload_a(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload C: read only (100% reads, Zipfian keys).
+    #[must_use]
+    pub fn workload_c(record_count: usize, operation_count: usize) -> Self {
+        Self {
+            read_proportion: 1.0,
+            update_proportion: 0.0,
+            ..Self::workload_a(record_count, operation_count)
+        }
+    }
+
+    /// YCSB workload D: read latest (95% reads over recently inserted keys,
+    /// 5% inserts).
+    #[must_use]
+    pub fn workload_d(record_count: usize, operation_count: usize) -> Self {
+        Self {
+            record_count,
+            operation_count,
+            read_proportion: 0.95,
+            update_proportion: 0.0,
+            insert_proportion: 0.05,
+            key_distribution: KeyDistribution::Latest,
+            value_size: 128,
+        }
+    }
+
+    /// Changes the written-value size.
+    #[must_use]
+    pub fn with_value_size(mut self, value_size: usize) -> Self {
+        self.value_size = value_size;
+        self
+    }
+
+    /// Changes the key distribution of the transaction phase.
+    #[must_use]
+    pub fn with_key_distribution(mut self, distribution: KeyDistribution) -> Self {
+        self.key_distribution = distribution;
+        self
+    }
+
+    /// Sum of the proportion weights (used for normalisation).
+    #[must_use]
+    pub fn total_weight(&self) -> f64 {
+        self.read_proportion + self.update_proportion + self.insert_proportion
+    }
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's configuration: a write-only load of 1000 records.
+    fn default() -> Self {
+        Self::write_only(1_000, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_only_is_pure_inserts() {
+        let spec = WorkloadSpec::write_only(10, 5);
+        assert_eq!(spec.read_proportion, 0.0);
+        assert_eq!(spec.update_proportion, 0.0);
+        assert_eq!(spec.insert_proportion, 1.0);
+        assert_eq!(spec.record_count, 10);
+        assert_eq!(spec.operation_count, 5);
+    }
+
+    #[test]
+    fn core_workload_mixes_match_ycsb() {
+        let a = WorkloadSpec::workload_a(1, 1);
+        assert_eq!(a.read_proportion, 0.5);
+        assert_eq!(a.update_proportion, 0.5);
+        let b = WorkloadSpec::workload_b(1, 1);
+        assert_eq!(b.read_proportion, 0.95);
+        let c = WorkloadSpec::workload_c(1, 1);
+        assert_eq!(c.read_proportion, 1.0);
+        assert_eq!(c.update_proportion, 0.0);
+        let d = WorkloadSpec::workload_d(1, 1);
+        assert_eq!(d.insert_proportion, 0.05);
+        assert_eq!(d.key_distribution, KeyDistribution::Latest);
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let spec = WorkloadSpec::write_only(10, 0)
+            .with_value_size(1024)
+            .with_key_distribution(KeyDistribution::Zipfian { theta: 0.8 });
+        assert_eq!(spec.value_size, 1024);
+        assert_eq!(spec.key_distribution, KeyDistribution::Zipfian { theta: 0.8 });
+    }
+
+    #[test]
+    fn total_weight_sums_proportions() {
+        let a = WorkloadSpec::workload_a(1, 1);
+        assert!((a.total_weight() - 1.0).abs() < 1e-9);
+        let default = WorkloadSpec::default();
+        assert!((default.total_weight() - 1.0).abs() < 1e-9);
+    }
+}

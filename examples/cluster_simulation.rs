@@ -1,0 +1,50 @@
+//! A larger simulated deployment: hundreds of nodes, a write-heavy workload,
+//! and a look at the per-node message cost — the scenario behind the paper's
+//! scalability evaluation.
+//!
+//! Run with `cargo run -p dataflasks --example cluster_simulation --release`.
+
+use dataflasks::prelude::*;
+
+fn main() {
+    let nodes = 300;
+    let slices = 10;
+    println!("simulating {nodes} nodes in {slices} slices");
+
+    let mut sim = Simulation::new(SimConfig::default());
+    let config = NodeConfig::for_system_size(nodes, slices);
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let populations = sim.slice_populations();
+    println!("slice populations after convergence:");
+    let mut sorted: Vec<_> = populations.iter().collect();
+    sorted.sort();
+    for (slice, count) in sorted {
+        println!("  {slice}: {count} nodes");
+    }
+
+    // Drive a write-only YCSB load sized to the system capacity.
+    let client = sim.add_client();
+    let spec = WorkloadSpec::write_only(400, 0);
+    let mut generator = WorkloadGenerator::new(spec, 1);
+    let mut at = sim.now();
+    let mut keys = Vec::new();
+    for op in generator.load_phase() {
+        keys.push(op.key);
+        at += Duration::from_millis(40);
+        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+    }
+    sim.run_until(at + Duration::from_secs(30));
+
+    let report = sim.cluster_report();
+    let stats = sim.client(client).expect("client exists").stats();
+    let mean_replication: f64 =
+        keys.iter().map(|&k| sim.replication_factor(k) as f64).sum::<f64>() / keys.len() as f64;
+    println!("write workload finished:");
+    println!("  operations acked     : {}/{}", stats.puts_acked, stats.puts_issued);
+    println!("  mean replication     : {mean_replication:.1} replicas per object (slice size ≈ {})", nodes / slices as usize);
+    println!("  request msgs per node: {:.1}", report.request_messages_per_node.mean);
+    println!("  total msgs per node  : {:.1} (including membership, slicing and repair gossip)", report.total_messages_per_node.mean);
+    println!("  network messages     : {} delivered, {} dropped", sim.messages_delivered(), sim.messages_dropped());
+}

@@ -1,0 +1,66 @@
+//! Running YCSB-style workloads (A, B, C) against a simulated DataFlasks
+//! cluster, reporting completion counts and client-side latency.
+//!
+//! Run with `cargo run -p dataflasks --example ycsb_benchmark --release`.
+
+use dataflasks::prelude::*;
+
+fn main() {
+    let nodes = 150;
+    let slices = 5;
+    let records = 200;
+    let operations = 400;
+    println!("YCSB-style workloads over {nodes} nodes / {slices} slices, {records} records, {operations} ops");
+    println!("workload,reads,updates,acked_puts,get_hits,get_misses,timeouts,mean_latency_ms");
+    for (label, spec) in [
+        ("A (50/50 read-update)", WorkloadSpec::workload_a(records, operations)),
+        ("B (95/5 read-update)", WorkloadSpec::workload_b(records, operations)),
+        ("C (read only)", WorkloadSpec::workload_c(records, operations)),
+    ] {
+        let line = run_workload(nodes, slices, spec);
+        println!("{label},{line}");
+    }
+}
+
+fn run_workload(nodes: usize, slices: u32, spec: WorkloadSpec) -> String {
+    let config = NodeConfig::for_system_size(nodes, slices);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    let mut generator = WorkloadGenerator::new(spec, 0x1C5B);
+    let mut at = sim.now();
+    // Load phase: insert every record.
+    for op in generator.load_phase() {
+        at += Duration::from_millis(30);
+        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+    }
+    // Transaction phase: the configured read/update mix.
+    let mut reads = 0u64;
+    let mut updates = 0u64;
+    for op in generator.transaction_phase() {
+        at += Duration::from_millis(30);
+        match op.kind {
+            OperationKind::Read => {
+                reads += 1;
+                sim.schedule_get(at, client, op.key, None);
+            }
+            OperationKind::Update | OperationKind::Insert => {
+                updates += 1;
+                sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+            }
+        }
+    }
+    sim.run_until(at + Duration::from_secs(30));
+
+    let stats = sim.client(client).expect("client exists").stats();
+    format!(
+        "{reads},{updates},{},{},{},{},{:.0}",
+        stats.puts_acked,
+        stats.gets_hit,
+        stats.gets_missed,
+        stats.timeouts,
+        stats.mean_latency_ms()
+    )
+}

@@ -1,0 +1,101 @@
+//! Integration test: dependability under churn, with and without the
+//! anti-entropy repair extension.
+
+use dataflasks::prelude::*;
+
+fn run_churn_scenario(anti_entropy: bool, seed: u64) -> (f64, f64, usize) {
+    let nodes = 80;
+    let slices = 4;
+    let mut config = NodeConfig::for_system_size(nodes, slices);
+    if !anti_entropy {
+        config = config.without_anti_entropy();
+    }
+    let mut sim = Simulation::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    let keys: Vec<Key> = (0..30).map(|i| Key::from_user_key(&format!("churn-{i}"))).collect();
+    let mut at = sim.now();
+    for &key in &keys {
+        at += Duration::from_millis(100);
+        sim.schedule_put(at, client, key, Version::new(1), Value::filled(64, 7));
+    }
+    sim.run_until(at + Duration::from_secs(20));
+
+    // Crash a quarter of the cluster and let the system stabilise.
+    let start = sim.now();
+    sim.schedule_churn(start, start + Duration::from_secs(30), nodes / 4, 0);
+    sim.run_until(start + Duration::from_secs(150));
+
+    let available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
+    let mean_replication: f64 =
+        keys.iter().map(|&k| sim.replication_factor(k) as f64).sum::<f64>() / keys.len() as f64;
+    (
+        available as f64 / keys.len() as f64,
+        mean_replication,
+        sim.alive_count(),
+    )
+}
+
+#[test]
+fn objects_survive_churn() {
+    let (availability, mean_replication, alive) = run_churn_scenario(true, 11);
+    assert!(alive >= 55, "churn should have removed about a quarter of 80 nodes");
+    assert!(
+        availability >= 0.95,
+        "availability dropped to {availability} despite slice-wide replication"
+    );
+    assert!(mean_replication >= 2.0, "mean replication {mean_replication}");
+}
+
+#[test]
+fn anti_entropy_improves_replication_under_churn() {
+    let (_, replication_without, _) = run_churn_scenario(false, 12);
+    let (_, replication_with, _) = run_churn_scenario(true, 12);
+    assert!(
+        replication_with >= replication_without,
+        "repair should never reduce replication: with={replication_with} without={replication_without}"
+    );
+}
+
+#[test]
+fn new_nodes_join_their_slice_and_receive_state() {
+    let nodes = 60;
+    let slices = 3;
+    let config = NodeConfig::for_system_size(nodes, slices);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    let keys: Vec<Key> = (0..20).map(|i| Key::from_user_key(&format!("join-{i}"))).collect();
+    let mut at = sim.now();
+    for &key in &keys {
+        at += Duration::from_millis(100);
+        sim.schedule_put(at, client, key, Version::new(1), Value::filled(32, 1));
+    }
+    sim.run_until(at + Duration::from_secs(20));
+    let replication_before: usize = keys.iter().map(|&k| sim.replication_factor(k)).sum();
+
+    // Ten newcomers join; anti-entropy state transfer should hand them the
+    // objects of whichever slice they land in, so total replication grows
+    // (or at least does not shrink).
+    for _ in 0..10 {
+        sim.schedule_join(sim.now() + Duration::from_secs(1), 5_000);
+    }
+    sim.run_for(Duration::from_secs(180));
+    assert_eq!(sim.alive_count(), nodes + 10);
+    let replication_after: usize = keys.iter().map(|&k| sim.replication_factor(k)).sum();
+    assert!(
+        replication_after >= replication_before,
+        "replication shrank after joins: {replication_before} -> {replication_after}"
+    );
+    // Newcomers have slices assigned.
+    for id in sim.alive_nodes() {
+        assert!(sim.node(id).slice().is_some());
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration test: a simulated cluster converges, stores
+//! objects with slice-wide replication and serves reads.
+
+use dataflasks::prelude::*;
+
+const NODES: usize = 60;
+const SLICES: u32 = 4;
+
+fn converged_sim(seed: u64) -> Simulation {
+    let mut sim = Simulation::new(SimConfig {
+        seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_cluster(NODES, NodeConfig::for_system_size(NODES, SLICES));
+    sim.run_for(Duration::from_secs(60));
+    sim
+}
+
+#[test]
+fn gossip_converges_to_balanced_slices_and_full_views() {
+    let sim = converged_sim(1);
+    // Every node has a slice and a reasonably filled view.
+    let assignment = sim.slice_assignment();
+    assert_eq!(assignment.len(), NODES);
+    for id in sim.alive_nodes() {
+        assert!(sim.node(id).view_len() >= 3, "node {id} has a thin view");
+    }
+    // All slices are populated and none dominates excessively.
+    let populations = sim.slice_populations();
+    assert_eq!(populations.len(), SLICES as usize, "every slice must be populated: {populations:?}");
+    let max = populations.values().copied().max().unwrap();
+    let min = populations.values().copied().min().unwrap();
+    assert!(
+        max <= min * 4,
+        "slice populations too skewed: {populations:?}"
+    );
+}
+
+#[test]
+fn writes_replicate_across_the_responsible_slice_and_reads_succeed() {
+    let mut sim = converged_sim(2);
+    let client = sim.add_client();
+    let keys: Vec<Key> = (0..20).map(|i| Key::from_user_key(&format!("object-{i}"))).collect();
+    let mut at = sim.now();
+    for (i, &key) in keys.iter().enumerate() {
+        at += Duration::from_millis(100);
+        sim.schedule_put(
+            at,
+            client,
+            key,
+            Version::new(1),
+            Value::from_bytes(format!("payload-{i}").as_bytes()),
+        );
+    }
+    sim.run_until(at + Duration::from_secs(20));
+
+    // Every object is stored by a substantial fraction of its slice (the
+    // replication factor is the slice size in DataFlasks).
+    let expected_slice_size = NODES / SLICES as usize;
+    for &key in &keys {
+        let replicas = sim.replication_factor(key);
+        assert!(
+            replicas >= expected_slice_size / 3,
+            "object {key} has only {replicas} replicas (slice size ~{expected_slice_size})"
+        );
+    }
+
+    // Reads complete and return the stored payloads.
+    for &key in &keys {
+        sim.submit_get(client, key, Some(Version::new(1)));
+    }
+    sim.run_for(Duration::from_secs(20));
+    let stats = sim.client(client).unwrap().stats();
+    assert_eq!(stats.puts_issued, 20);
+    assert_eq!(stats.puts_acked, 20, "every put must be acknowledged");
+    assert_eq!(stats.gets_hit, 20, "every read must find its object");
+    assert_eq!(stats.timeouts, 0);
+    // The returned objects carry the right payloads.
+    let hits = sim
+        .completed_operations()
+        .iter()
+        .filter_map(|op| match &op.outcome {
+            OperationOutcome::GetHit { object } => Some(object.clone()),
+            _ => None,
+        })
+        .count();
+    assert_eq!(hits, 20);
+}
+
+#[test]
+fn request_traffic_is_spread_over_the_cluster() {
+    let mut sim = converged_sim(3);
+    let client = sim.add_client();
+    let mut at = sim.now();
+    for i in 0..30 {
+        at += Duration::from_millis(100);
+        sim.schedule_put(
+            at,
+            client,
+            Key::from_user_key(&format!("spread-{i}")),
+            Version::new(1),
+            Value::filled(64, i as u8),
+        );
+    }
+    sim.run_until(at + Duration::from_secs(20));
+    let report = sim.cluster_report();
+    assert_eq!(report.alive_nodes, NODES);
+    assert!(report.request_messages_per_node.mean > 0.0);
+    // No node should be a hotspot handling the majority of the traffic.
+    assert!(
+        report.request_messages_per_node.max
+            < report.request_messages_per_node.mean * (NODES as f64 / 2.0),
+        "request load concentrated on too few nodes"
+    );
+    // Background gossip is also accounted for, and separately.
+    assert!(report.total_messages_per_node.mean > report.request_messages_per_node.mean);
+}
+
+#[test]
+fn versioned_reads_return_the_requested_version() {
+    let mut sim = converged_sim(4);
+    let client = sim.add_client();
+    let key = Key::from_user_key("versioned");
+    let mut at = sim.now();
+    for version in 1..=3u64 {
+        at += Duration::from_millis(200);
+        sim.schedule_put(
+            at,
+            client,
+            key,
+            Version::new(version),
+            Value::from_bytes(format!("v{version}").as_bytes()),
+        );
+    }
+    sim.run_until(at + Duration::from_secs(15));
+    // Ask for an old version explicitly and for the latest implicitly.
+    sim.submit_get(client, key, Some(Version::new(2)));
+    sim.run_for(Duration::from_secs(10));
+    sim.submit_get(client, key, None);
+    sim.run_for(Duration::from_secs(10));
+
+    let hits: Vec<StoredObject> = sim
+        .completed_operations()
+        .iter()
+        .filter_map(|op| match &op.outcome {
+            OperationOutcome::GetHit { object } => Some(object.clone()),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(hits.len(), 2);
+    assert_eq!(hits[0].version, Version::new(2));
+    assert_eq!(hits[0].value.as_slice(), b"v2");
+    assert_eq!(hits[1].version, Version::new(3));
+    assert_eq!(hits[1].value.as_slice(), b"v3");
+}

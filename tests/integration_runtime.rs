@@ -1,0 +1,76 @@
+//! Integration test: the threaded runtime runs the same node code over real
+//! threads and channels.
+
+use dataflasks::prelude::*;
+use dataflasks::types::PssConfig;
+
+fn fast_config(nodes: usize, slices: u32) -> NodeConfig {
+    let mut config = NodeConfig::for_system_size(nodes, slices);
+    config.pss = PssConfig {
+        shuffle_period: Duration::from_millis(20),
+        ..config.pss
+    };
+    config.slicing.gossip_period = Duration::from_millis(20);
+    config.replication.anti_entropy_period = Duration::from_millis(60);
+    config
+}
+
+#[test]
+fn threaded_cluster_serves_puts_and_gets() {
+    let cluster = ThreadedCluster::start(5, fast_config(5, 1), 1);
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    for i in 0..8u64 {
+        let key = Key::from_user_key(&format!("rt-{i}"));
+        cluster
+            .put(key, Version::new(1), Value::from_bytes(format!("v{i}").as_bytes()), Duration::from_secs(10))
+            .expect("put acknowledged");
+    }
+    for i in 0..8u64 {
+        let key = Key::from_user_key(&format!("rt-{i}"));
+        let object = cluster
+            .get(key, None, Duration::from_secs(10))
+            .expect("get completed")
+            .expect("object present");
+        assert_eq!(object.value.as_slice(), format!("v{i}").as_bytes());
+    }
+    let nodes = cluster.shutdown();
+    assert_eq!(nodes.len(), 5);
+    // With a single slice every node is responsible for every key, so after
+    // anti-entropy most nodes hold most objects.
+    let total_stored: usize = nodes.iter().map(|n| DataStore::len(n.store())).sum();
+    assert!(total_stored >= 8, "objects must be stored somewhere");
+}
+
+#[test]
+fn threaded_cluster_overwrites_respect_versions() {
+    let cluster = ThreadedCluster::start(4, fast_config(4, 1), 2);
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let key = Key::from_user_key("versioned-rt");
+    cluster
+        .put(key, Version::new(1), Value::from_bytes(b"old"), Duration::from_secs(10))
+        .unwrap();
+    cluster
+        .put(key, Version::new(2), Value::from_bytes(b"new"), Duration::from_secs(10))
+        .unwrap();
+    // Writing an older version afterwards must not shadow the newer one.
+    cluster
+        .put(key, Version::new(1), Value::from_bytes(b"stale"), Duration::from_secs(10))
+        .unwrap();
+    // Replication is epidemic, so individual replicas converge to version 2
+    // within a few dissemination/anti-entropy rounds; retry the read until
+    // the newest version is observed (bounded by a generous deadline).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let latest = loop {
+        let observed = cluster
+            .get(key, None, Duration::from_secs(10))
+            .unwrap()
+            .expect("object present");
+        if observed.version == Version::new(2) || std::time::Instant::now() > deadline {
+            break observed;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    };
+    assert_eq!(latest.version, Version::new(2));
+    assert_eq!(latest.value.as_slice(), b"new");
+    cluster.shutdown();
+}

@@ -1,0 +1,139 @@
+//! Integration test: YCSB-style mixed workloads driven end-to-end through
+//! the simulated cluster.
+
+use std::collections::HashMap;
+
+use dataflasks::prelude::*;
+
+#[test]
+fn workload_a_reads_observe_previously_written_versions() {
+    let nodes = 60;
+    let slices = 3;
+    let config = NodeConfig::for_system_size(nodes, slices);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    let spec = WorkloadSpec::workload_a(30, 60);
+    let mut generator = WorkloadGenerator::new(spec, 5);
+    let mut at = sim.now();
+    let mut highest_written: HashMap<Key, Version> = HashMap::new();
+    for op in generator.load_phase() {
+        at += Duration::from_millis(80);
+        highest_written.insert(op.key, op.version.unwrap());
+        sim.schedule_put(at, client, op.key, op.version.unwrap(), op.value);
+    }
+    // Leave room between the load phase and the mixed phase.
+    at += Duration::from_secs(10);
+    let transaction_ops: Vec<Operation> = generator.transaction_phase().collect();
+    for op in &transaction_ops {
+        at += Duration::from_millis(80);
+        match op.kind {
+            OperationKind::Read => sim.schedule_get(at, client, op.key, None),
+            _ => {
+                highest_written
+                    .entry(op.key)
+                    .and_modify(|v| *v = (*v).max(op.version.unwrap()))
+                    .or_insert(op.version.unwrap());
+                sim.schedule_put(at, client, op.key, op.version.unwrap(), op.value.clone());
+            }
+        }
+    }
+    sim.run_until(at + Duration::from_secs(30));
+
+    let stats = sim.client(client).unwrap().stats();
+    let reads = transaction_ops.iter().filter(|o| o.kind == OperationKind::Read).count() as u64;
+    let writes = 30 + transaction_ops.len() as u64 - reads;
+    assert_eq!(stats.puts_issued, writes);
+    assert_eq!(stats.gets_issued, reads);
+    assert_eq!(stats.puts_acked, writes, "every write must be acknowledged");
+    assert_eq!(stats.gets_hit + stats.gets_missed + stats.timeouts, reads);
+    assert!(
+        stats.gets_hit >= reads * 9 / 10,
+        "too many failed reads: {} hits of {reads}",
+        stats.gets_hit
+    );
+
+    // No read ever observes a version higher than what was written for that
+    // key, and hit payloads are never empty.
+    for op in sim.completed_operations() {
+        if let OperationOutcome::GetHit { object } = &op.outcome {
+            let max_written = highest_written.get(&object.key).copied().unwrap_or(Version::ZERO);
+            assert!(object.version <= max_written, "read a version that was never written");
+            assert!(!object.value.is_empty());
+        }
+    }
+}
+
+#[test]
+fn read_only_workload_after_load_has_high_hit_rate() {
+    let nodes = 50;
+    let config = NodeConfig::for_system_size(nodes, 2);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(60));
+
+    let client = sim.add_client();
+    let spec = WorkloadSpec::workload_c(25, 50);
+    let mut generator = WorkloadGenerator::new(spec, 6);
+    let mut at = sim.now();
+    for op in generator.load_phase() {
+        at += Duration::from_millis(80);
+        sim.schedule_put(at, client, op.key, op.version.unwrap(), op.value);
+    }
+    at += Duration::from_secs(10);
+    for op in generator.transaction_phase() {
+        at += Duration::from_millis(80);
+        assert_eq!(op.kind, OperationKind::Read);
+        sim.schedule_get(at, client, op.key, None);
+    }
+    sim.run_until(at + Duration::from_secs(30));
+    let stats = sim.client(client).unwrap().stats();
+    assert_eq!(stats.gets_issued, 50);
+    assert!(stats.gets_hit >= 45, "hit rate too low: {}", stats.gets_hit);
+}
+
+#[test]
+fn zipfian_workload_is_handled_and_hot_keys_stay_consistent() {
+    let nodes = 40;
+    let config = NodeConfig::for_system_size(nodes, 2);
+    let mut sim = Simulation::new(SimConfig::default());
+    sim.spawn_cluster(nodes, config);
+    sim.run_for(Duration::from_secs(50));
+
+    // Repeated updates of a few hot records with increasing versions.
+    let client = sim.add_client();
+    let spec = WorkloadSpec {
+        record_count: 5,
+        operation_count: 40,
+        read_proportion: 0.0,
+        update_proportion: 1.0,
+        insert_proportion: 0.0,
+        key_distribution: KeyDistribution::Zipfian { theta: 0.9 },
+        value_size: 64,
+    };
+    let mut generator = WorkloadGenerator::new(spec, 7);
+    let mut at = sim.now();
+    let mut latest: HashMap<Key, Version> = HashMap::new();
+    for op in generator.load_phase() {
+        at += Duration::from_millis(80);
+        latest.insert(op.key, op.version.unwrap());
+        sim.schedule_put(at, client, op.key, op.version.unwrap(), op.value);
+    }
+    for op in generator.transaction_phase() {
+        at += Duration::from_millis(80);
+        latest.insert(op.key, op.version.unwrap());
+        sim.schedule_put(at, client, op.key, op.version.unwrap(), op.value);
+    }
+    sim.run_until(at + Duration::from_secs(20));
+
+    // The stored latest version on every replica matches the highest version
+    // written (older concurrent-in-flight versions never overwrite newer ones).
+    for (&key, &version) in &latest {
+        sim.submit_get(client, key, Some(version));
+    }
+    sim.run_for(Duration::from_secs(20));
+    let stats = sim.client(client).unwrap().stats();
+    assert_eq!(stats.gets_hit, latest.len() as u64, "latest versions must be readable");
+}
