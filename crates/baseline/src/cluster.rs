@@ -69,7 +69,10 @@ impl DhtCluster {
     /// Panics if `replication_factor` is zero.
     #[must_use]
     pub fn new(node_count: usize, replication_factor: usize) -> Self {
-        assert!(replication_factor > 0, "replication factor must be positive");
+        assert!(
+            replication_factor > 0,
+            "replication factor must be positive"
+        );
         let mut cluster = Self {
             ring: HashRing::new(16),
             nodes: HashMap::new(),
@@ -328,7 +331,10 @@ mod tests {
         let victim = dht.alive_nodes()[0];
         dht.crash(victim);
         assert!((dht.availability(&all_keys) - 1.0).abs() < f64::EPSILON);
-        let degraded = all_keys.iter().filter(|&&k| dht.replication_of(k) < 3).count();
+        let degraded = all_keys
+            .iter()
+            .filter(|&&k| dht.replication_of(k) < 3)
+            .count();
         assert!(degraded > 0, "the crash should degrade some keys");
         let transferred = dht.rebalance();
         assert!(transferred > 0);
@@ -366,7 +372,10 @@ mod tests {
         let mut dht = DhtCluster::new(1, 2);
         let only = dht.alive_nodes()[0];
         dht.crash(only);
-        assert_eq!(dht.put(Key::from_user_key("a"), Version::new(1), Value::default()), 0);
+        assert_eq!(
+            dht.put(Key::from_user_key("a"), Version::new(1), Value::default()),
+            0
+        );
         assert!(dht.get(Key::from_user_key("a")).is_none());
         assert_eq!(dht.stats().unavailable, 2);
     }

@@ -83,7 +83,8 @@ impl HashRing {
     /// Returns `true` if `node` is on the ring.
     #[must_use]
     pub fn contains(&self, node: NodeId) -> bool {
-        (0..self.virtual_nodes).any(|r| self.positions.get(&Self::position_of(node, r)) == Some(&node))
+        (0..self.virtual_nodes)
+            .any(|r| self.positions.get(&Self::position_of(node, r)) == Some(&node))
     }
 
     /// The node owning `key` (the first node clockwise from the key's hash).
@@ -117,7 +118,11 @@ impl HashRing {
     }
 
     fn position_of(node: NodeId, replica: usize) -> u64 {
-        splitmix64(node.as_u64().wrapping_mul(31).wrapping_add(replica as u64 * 0x9e37))
+        splitmix64(
+            node.as_u64()
+                .wrapping_mul(31)
+                .wrapping_add(replica as u64 * 0x9e37),
+        )
     }
 }
 

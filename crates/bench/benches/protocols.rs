@@ -31,12 +31,14 @@ fn bench_cyclon_shuffle(c: &mut Criterion) {
                 let mut rng = StdRng::seed_from_u64(1);
                 let mut a = CyclonProtocol::new(NodeId::new(1), cfg);
                 let mut peer = CyclonProtocol::new(NodeId::new(2), cfg);
-                a.bootstrap((2..2 + view_size as u64).map(|i| {
-                    NodeDescriptor::new(NodeId::new(i), NodeProfile::default())
-                }));
-                peer.bootstrap((100..100 + view_size as u64).map(|i| {
-                    NodeDescriptor::new(NodeId::new(i), NodeProfile::default())
-                }));
+                a.bootstrap(
+                    (2..2 + view_size as u64)
+                        .map(|i| NodeDescriptor::new(NodeId::new(i), NodeProfile::default())),
+                );
+                peer.bootstrap(
+                    (100..100 + view_size as u64)
+                        .map(|i| NodeDescriptor::new(NodeId::new(i), NodeProfile::default())),
+                );
                 b.iter(|| {
                     if let Some((_, request)) = a.initiate_shuffle(&mut rng) {
                         let response = peer.handle_request(a.local_id(), request, &mut rng);
@@ -54,27 +56,41 @@ fn bench_slicing_exchange(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.measurement_time(std::time::Duration::from_secs(2));
     for buffer in [32usize, 128, 512] {
-        group.bench_with_input(BenchmarkId::from_parameter(buffer), &buffer, |b, &buffer| {
-            let cfg = SlicingConfig {
-                sample_buffer_size: buffer,
-                ..SlicingConfig::default()
-            };
-            let partition = SlicePartition::new(10);
-            let mut rng = StdRng::seed_from_u64(2);
-            let mut a = OrderedSlicer::new(NodeId::new(1), NodeProfile::with_capacity(10), cfg, partition);
-            let mut peer = OrderedSlicer::new(NodeId::new(2), NodeProfile::with_capacity(20), cfg, partition);
-            for i in 0..buffer as u64 {
-                a.observe(NodeId::new(100 + i), NodeProfile::with_capacity(i));
-                peer.observe(NodeId::new(10_000 + i), NodeProfile::with_capacity(i * 2));
-            }
-            b.iter(|| {
-                a.advance_round();
-                let request = a.create_exchange(&mut rng);
-                let reply = peer.handle_exchange(request, &mut rng);
-                a.handle_reply(reply);
-                a.estimated_rank()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(buffer),
+            &buffer,
+            |b, &buffer| {
+                let cfg = SlicingConfig {
+                    sample_buffer_size: buffer,
+                    ..SlicingConfig::default()
+                };
+                let partition = SlicePartition::new(10);
+                let mut rng = StdRng::seed_from_u64(2);
+                let mut a = OrderedSlicer::new(
+                    NodeId::new(1),
+                    NodeProfile::with_capacity(10),
+                    cfg,
+                    partition,
+                );
+                let mut peer = OrderedSlicer::new(
+                    NodeId::new(2),
+                    NodeProfile::with_capacity(20),
+                    cfg,
+                    partition,
+                );
+                for i in 0..buffer as u64 {
+                    a.observe(NodeId::new(100 + i), NodeProfile::with_capacity(i));
+                    peer.observe(NodeId::new(10_000 + i), NodeProfile::with_capacity(i * 2));
+                }
+                b.iter(|| {
+                    a.advance_round();
+                    let request = a.create_exchange(&mut rng);
+                    let reply = peer.handle_exchange(request, &mut rng);
+                    a.handle_reply(reply);
+                    a.estimated_rank()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -101,6 +117,9 @@ fn bench_put_dissemination_step(c: &mut Criterion) {
                     NodeDescriptor::new(NodeId::new(i), NodeProfile::default())
                         .with_slice(Some(SliceId::new(0)))
                 }));
+                // One reusable effect buffer: steady-state handling allocates
+                // nothing for the effect pipeline.
+                let mut fx = EffectBuffer::new();
                 let mut sequence = 0u64;
                 b.iter(|| {
                     sequence += 1;
@@ -113,7 +132,11 @@ fn bench_put_dissemination_step(c: &mut Criterion) {
                             value: Value::filled(128, 0xAB),
                         },
                         SimTime::ZERO,
-                    )
+                        &mut fx,
+                    );
+                    let effects = fx.len();
+                    fx.clear();
+                    effects
                 });
             },
         );

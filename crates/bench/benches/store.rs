@@ -38,7 +38,11 @@ fn bench_memory_store_put_get(c: &mut Criterion) {
                     .collect();
                 for &key in &keys {
                     store
-                        .put(StoredObject::new(key, Version::new(1), Value::filled(value_size, 1)))
+                        .put(StoredObject::new(
+                            key,
+                            Version::new(1),
+                            Value::filled(value_size, 1),
+                        ))
                         .unwrap();
                 }
                 let mut i = 0usize;
@@ -105,11 +109,19 @@ fn bench_anti_entropy_digest(c: &mut Criterion) {
                 let mut theirs = MemoryStore::unbounded();
                 for i in 0..keys as u64 {
                     let key = Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    ours.put(StoredObject::new(key, Version::new(2), Value::filled(32, 2)))
-                        .unwrap();
+                    ours.put(StoredObject::new(
+                        key,
+                        Version::new(2),
+                        Value::filled(32, 2),
+                    ))
+                    .unwrap();
                     if i % 10 != 0 {
                         theirs
-                            .put(StoredObject::new(key, Version::new(2), Value::filled(32, 2)))
+                            .put(StoredObject::new(
+                                key,
+                                Version::new(2),
+                                Value::filled(32, 2),
+                            ))
                             .unwrap();
                     }
                 }

@@ -17,8 +17,13 @@ fn main() {
     let nodes = parse_arg(1, 200);
     let objects = parse_arg(2, 100);
     let crash_fraction = 0.3;
-    println!("# Baseline comparison: {nodes} nodes, {objects} objects, {:.0}% crashes", crash_fraction * 100.0);
-    println!("system,request_messages_per_op,availability_after_churn,mean_replication_after_churn");
+    println!(
+        "# Baseline comparison: {nodes} nodes, {objects} objects, {:.0}% crashes",
+        crash_fraction * 100.0
+    );
+    println!(
+        "system,request_messages_per_op,availability_after_churn,mean_replication_after_churn"
+    );
 
     let dataflasks = run_dataflasks(nodes, objects, crash_fraction);
     println!(
@@ -54,7 +59,13 @@ fn run_dataflasks(nodes: usize, objects: usize, crash_fraction: f64) -> (f64, f6
     for op in generator.load_phase() {
         keys.push(op.key);
         at += Duration::from_millis(50);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     sim.run_until(at + Duration::from_secs(30));
     let request_messages: u64 = sim
@@ -69,7 +80,10 @@ fn run_dataflasks(nodes: usize, objects: usize, crash_fraction: f64) -> (f64, f6
     sim.schedule_churn(start, start + Duration::from_secs(60), crashes, 0);
     sim.run_until(start + Duration::from_secs(120));
 
-    let available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
+    let available = keys
+        .iter()
+        .filter(|&&k| sim.replication_factor(k) > 0)
+        .count();
     let mean_replication = keys
         .iter()
         .map(|&k| sim.replication_factor(k) as f64)

@@ -56,7 +56,13 @@ fn run_churn(nodes: usize, objects: usize, anti_entropy: bool) -> ChurnResult {
     for op in generator.load_phase() {
         keys.push(op.key);
         at += Duration::from_millis(50);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     sim.run_until(at + Duration::from_secs(30));
 
@@ -68,7 +74,10 @@ fn run_churn(nodes: usize, objects: usize, anti_entropy: bool) -> ChurnResult {
     sim.schedule_churn(churn_start, churn_end, crashes, joins);
     sim.run_until(churn_end + Duration::from_secs(120));
 
-    let available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
+    let available = keys
+        .iter()
+        .filter(|&&k| sim.replication_factor(k) > 0)
+        .count();
     let replication: Vec<usize> = keys.iter().map(|&k| sim.replication_factor(k)).collect();
     let mean_replication =
         replication.iter().sum::<usize>() as f64 / replication.len().max(1) as f64;

@@ -15,7 +15,9 @@ fn main() {
     let nodes = parse_arg(1, 200);
     let records = parse_arg(2, 50);
     let updates = parse_arg(3, 400);
-    println!("# Load-balancer ablation: {nodes} nodes, 4 slices, {records} records, {updates} updates");
+    println!(
+        "# Load-balancer ablation: {nodes} nodes, 4 slices, {records} records, {updates} updates"
+    );
     println!("policy,request_messages_per_node,success_ratio");
     for (label, policy) in [
         ("random", LoadBalancerPolicy::Random),
@@ -52,11 +54,23 @@ fn run(nodes: usize, records: usize, updates: usize, policy: LoadBalancerPolicy)
     let mut at = sim.now();
     for op in generator.load_phase() {
         at += Duration::from_millis(50);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     for op in generator.transaction_phase() {
         at += Duration::from_millis(50);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     sim.run_until(at + Duration::from_secs(30));
 

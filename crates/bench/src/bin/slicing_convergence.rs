@@ -91,10 +91,8 @@ fn main() {
 
     // Ordered slicer: survivors keep gossiping; departed nodes' samples expire
     // and the ranks rebalance.
-    let mut surviving_slicers: Vec<OrderedSlicer> = survivors
-        .iter()
-        .map(|&i| slicers[i].clone())
-        .collect();
+    let mut surviving_slicers: Vec<OrderedSlicer> =
+        survivors.iter().map(|&i| slicers[i].clone()).collect();
     for slicer in &mut surviving_slicers {
         for dead in &to_kill {
             slicer.purge(*dead);
@@ -104,7 +102,10 @@ fn main() {
         gossip_round(&mut surviving_slicers, &mut rng);
     }
     let ordered_assignment = assignment_of(&surviving_slicers);
-    let ordered_slice0 = ordered_assignment.values().filter(|s| s.index() == 0).count();
+    let ordered_slice0 = ordered_assignment
+        .values()
+        .filter(|s| s.index() == 0)
+        .count();
     let expected_per_slice = survivors.len() / slices as usize;
 
     println!("slicer,slice0_population_after_failure,expected_per_slice");

@@ -235,8 +235,16 @@ mod tests {
         let result = run_write_experiment(config);
         assert_eq!(result.nodes, 40);
         assert_eq!(result.operations, 20);
-        assert!(result.success_ratio > 0.8, "success {}", result.success_ratio);
-        assert!(result.mean_replication >= 1.0, "replication {}", result.mean_replication);
+        assert!(
+            result.success_ratio > 0.8,
+            "success {}",
+            result.success_ratio
+        );
+        assert!(
+            result.mean_replication >= 1.0,
+            "replication {}",
+            result.mean_replication
+        );
         assert!(result.request_messages_per_node.mean > 0.0);
         assert!(
             result.total_messages_per_node.mean >= result.request_messages_per_node.mean,
@@ -244,7 +252,10 @@ mod tests {
         );
         assert!(result.populated_slices >= 2);
         let row = result.to_csv_row();
-        assert_eq!(row.split(',').count(), ExperimentResult::csv_header().split(',').count());
+        assert_eq!(
+            row.split(',').count(),
+            ExperimentResult::csv_header().split(',').count()
+        );
     }
 
     #[test]

@@ -356,7 +356,13 @@ mod tests {
         let mut c = client(3);
         let mut rng = StdRng::seed_from_u64(0);
         let a = c
-            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .put(
+                Key::from_user_key("a"),
+                Version::new(1),
+                Value::default(),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         let b = c
             .get(Key::from_user_key("a"), None, SimTime::ZERO, &mut rng)
@@ -373,7 +379,13 @@ mod tests {
         let mut c = client(0);
         let mut rng = StdRng::seed_from_u64(0);
         assert!(c
-            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .put(
+                Key::from_user_key("a"),
+                Version::new(1),
+                Value::default(),
+                SimTime::ZERO,
+                &mut rng
+            )
             .is_none());
         assert_eq!(c.pending_count(), 0);
     }
@@ -383,7 +395,13 @@ mod tests {
         let mut c = client(3);
         let mut rng = StdRng::seed_from_u64(0);
         let issued = c
-            .put(Key::from_user_key("a"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .put(
+                Key::from_user_key("a"),
+                Version::new(1),
+                Value::default(),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         let id = issued.request.id();
         let t1 = SimTime::from_millis(25);
@@ -412,12 +430,18 @@ mod tests {
         let miss_req = c
             .get(Key::from_user_key("miss"), None, SimTime::ZERO, &mut rng)
             .unwrap();
-        let object = StoredObject::new(Key::from_user_key("hit"), Version::new(2), Value::from_bytes(b"v"));
+        let object = StoredObject::new(
+            Key::from_user_key("hit"),
+            Version::new(2),
+            Value::from_bytes(b"v"),
+        );
         let hit_reply = ClientReply {
             request: hit_req.request.id(),
             responder: NodeId::new(1),
             responder_slice: None,
-            body: ReplyBody::GetHit { object: object.clone() },
+            body: ReplyBody::GetHit {
+                object: object.clone(),
+            },
         };
         let miss_reply = ClientReply {
             request: miss_req.request.id(),
@@ -447,7 +471,12 @@ mod tests {
         let mut c = client(3);
         let mut rng = StdRng::seed_from_u64(0);
         let issued = c
-            .get(Key::from_user_key("slow-hit"), None, SimTime::ZERO, &mut rng)
+            .get(
+                Key::from_user_key("slow-hit"),
+                None,
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         let id = issued.request.id();
         let miss = ClientReply {
@@ -468,7 +497,9 @@ mod tests {
             request: id,
             responder: NodeId::new(2),
             responder_slice: None,
-            body: ReplyBody::GetHit { object: object.clone() },
+            body: ReplyBody::GetHit {
+                object: object.clone(),
+            },
         };
         let done = c.on_reply(&hit, SimTime::from_millis(9)).unwrap();
         assert_eq!(done.outcome, OperationOutcome::GetHit { object });
@@ -481,7 +512,13 @@ mod tests {
         let mut c = client(3);
         let mut rng = StdRng::seed_from_u64(0);
         let issued = c
-            .put(Key::from_user_key("slow"), Version::new(1), Value::default(), SimTime::ZERO, &mut rng)
+            .put(
+                Key::from_user_key("slow"),
+                Version::new(1),
+                Value::default(),
+                SimTime::ZERO,
+                &mut rng,
+            )
             .unwrap();
         assert!(c
             .expire_pending(SimTime::from_millis(100), Duration::from_millis(500))
@@ -509,16 +546,35 @@ mod tests {
         let mut c = ClientLibrary::new(7, lb);
         let mut rng = StdRng::seed_from_u64(0);
         let key_slice0 = SlicePartition::new(2).range_start(dataflasks_types::SliceId::new(1));
-        let issued = c.put(key_slice0, Version::new(1), Value::default(), SimTime::ZERO, &mut rng).unwrap();
+        let issued = c
+            .put(
+                key_slice0,
+                Version::new(1),
+                Value::default(),
+                SimTime::ZERO,
+                &mut rng,
+            )
+            .unwrap();
         let reply = ClientReply {
             request: issued.request.id(),
             responder: NodeId::new(5),
             responder_slice: Some(dataflasks_types::SliceId::new(1)),
-            body: ReplyBody::PutAck { key: key_slice0, version: Version::new(1) },
+            body: ReplyBody::PutAck {
+                key: key_slice0,
+                version: Version::new(1),
+            },
         };
         c.on_reply(&reply, SimTime::from_millis(1));
         // The next operation on the same slice goes straight to the learned node.
-        let next = c.put(key_slice0, Version::new(2), Value::default(), SimTime::from_millis(2), &mut rng).unwrap();
+        let next = c
+            .put(
+                key_slice0,
+                Version::new(2),
+                Value::default(),
+                SimTime::from_millis(2),
+                &mut rng,
+            )
+            .unwrap();
         assert_eq!(next.contact, NodeId::new(5));
     }
 

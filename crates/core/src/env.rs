@@ -1,0 +1,452 @@
+//! The sans-io environment layer.
+//!
+//! Node handlers never perform IO and never allocate per-dispatch result
+//! vectors: they write the effects of handling one input — protocol sends,
+//! client replies, timer re-arms — into an [`Effects`] sink owned by the
+//! caller. The environment (the discrete-event simulator, the threaded
+//! runtime, or any future backend) owns a reusable [`EffectBuffer`] per node,
+//! so steady-state dispatch reuses one allocation for its whole lifetime.
+//!
+//! Three pieces live here:
+//!
+//! * [`Effects`] / [`EffectBuffer`] — the sink node handlers write into,
+//! * [`NodeHost`] — a node bundled with its buffer plus the dispatch loop
+//!   every environment previously reimplemented (deliver a message, fire a
+//!   timer, submit a client request, hand each effect to a routing callback),
+//! * [`Environment`] — the driver interface environments expose, so harness
+//!   code (experiments, parity tests, future schedulers) can drive a cluster
+//!   without knowing whether it is simulated or threaded,
+//! * [`ClusterSpec`] — a deterministic cluster description (capacities,
+//!   seed, configuration) that every environment can materialise
+//!   identically, which is what makes cross-environment parity testable.
+
+use std::mem;
+
+use dataflasks_membership::NodeDescriptor;
+use dataflasks_store::{DataStore, MemoryStore};
+use dataflasks_types::{Duration, NodeConfig, NodeId, NodeProfile, SimTime};
+
+use crate::message::{ClientId, ClientReply, ClientRequest, Message, Output, TimerKind};
+use crate::node::DataFlasksNode;
+
+/// Sink for the effects produced while a node handles one input.
+///
+/// Handlers call the `emit_*` methods instead of returning collections; the
+/// implementation decides whether effects are buffered, routed immediately,
+/// or dropped.
+pub trait Effects {
+    /// Send a protocol message to another node.
+    fn emit_send(&mut self, to: NodeId, message: Message);
+    /// Deliver a reply to a client endpoint.
+    fn emit_reply(&mut self, client: ClientId, reply: ClientReply);
+    /// Re-arm a periodic protocol timer `after` the current instant.
+    fn emit_timer(&mut self, kind: TimerKind, after: Duration);
+}
+
+/// A reusable, growable effect sink.
+///
+/// Draining the buffer keeps its allocation, so a long-lived buffer reaches a
+/// steady state where dispatching a message performs no allocation at all for
+/// the effect pipeline.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_core::{EffectBuffer, Effects, Message, Output};
+/// use dataflasks_types::NodeId;
+///
+/// let mut fx = EffectBuffer::new();
+/// fx.emit_send(NodeId::new(2), Message::AntiEntropyDigest {
+///     digest: dataflasks_store::StoreDigest::new(),
+/// });
+/// assert_eq!(fx.len(), 1);
+/// let effects: Vec<Output> = fx.drain().collect();
+/// assert!(matches!(effects[0], Output::Send { to, .. } if to == NodeId::new(2)));
+/// assert!(fx.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct EffectBuffer {
+    effects: Vec<Output>,
+}
+
+impl EffectBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a buffer with pre-reserved capacity.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            effects: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of buffered effects.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.effects.len()
+    }
+
+    /// Returns `true` if no effect is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.effects.is_empty()
+    }
+
+    /// The buffered effects, in emission order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Output] {
+        &self.effects
+    }
+
+    /// Removes and returns every buffered effect, keeping the allocation.
+    pub fn drain(&mut self) -> std::vec::Drain<'_, Output> {
+        self.effects.drain(..)
+    }
+
+    /// Discards every buffered effect, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.effects.clear();
+    }
+
+    /// Takes the buffered effects as an owned vector (convenience for tests;
+    /// hot paths should [`Self::drain`] instead).
+    #[must_use]
+    pub fn take(&mut self) -> Vec<Output> {
+        mem::take(&mut self.effects)
+    }
+}
+
+impl Effects for EffectBuffer {
+    fn emit_send(&mut self, to: NodeId, message: Message) {
+        self.effects.push(Output::Send { to, message });
+    }
+
+    fn emit_reply(&mut self, client: ClientId, reply: ClientReply) {
+        self.effects.push(Output::Reply { client, reply });
+    }
+
+    fn emit_timer(&mut self, kind: TimerKind, after: Duration) {
+        self.effects.push(Output::Timer { kind, after });
+    }
+}
+
+/// A node bundled with its reusable effect buffer and the dispatch sequence
+/// every environment runs: feed one input to the node, then hand each
+/// resulting effect to a routing callback.
+///
+/// Environments keep one `NodeHost` per node; the buffer's allocation is
+/// reused across every input the node ever handles.
+#[derive(Debug)]
+pub struct NodeHost<S> {
+    node: DataFlasksNode<S>,
+    effects: EffectBuffer,
+}
+
+impl<S: DataStore> NodeHost<S> {
+    /// Wraps a node with a fresh effect buffer.
+    #[must_use]
+    pub fn new(node: DataFlasksNode<S>) -> Self {
+        Self {
+            node,
+            effects: EffectBuffer::with_capacity(16),
+        }
+    }
+
+    /// Read access to the hosted node.
+    #[must_use]
+    pub fn node(&self) -> &DataFlasksNode<S> {
+        &self.node
+    }
+
+    /// Write access to the hosted node.
+    pub fn node_mut(&mut self) -> &mut DataFlasksNode<S> {
+        &mut self.node
+    }
+
+    /// Unwraps the hosted node (e.g. on environment shutdown).
+    #[must_use]
+    pub fn into_node(self) -> DataFlasksNode<S> {
+        self.node
+    }
+
+    /// Delivers a protocol message and routes the resulting effects.
+    pub fn deliver_message<F: FnMut(Output)>(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now: SimTime,
+        route: F,
+    ) {
+        self.node
+            .handle_message(from, message, now, &mut self.effects);
+        Self::flush(&mut self.effects, route);
+    }
+
+    /// Submits a client operation and routes the resulting effects.
+    pub fn submit_client_request<F: FnMut(Output)>(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+        now: SimTime,
+        route: F,
+    ) {
+        self.node
+            .handle_client_request(client, request, now, &mut self.effects);
+        Self::flush(&mut self.effects, route);
+    }
+
+    /// Fires a periodic timer and routes the resulting effects (including
+    /// the timer's own re-arm).
+    pub fn fire_timer<F: FnMut(Output)>(&mut self, kind: TimerKind, now: SimTime, route: F) {
+        self.node.on_timer(kind, now, &mut self.effects);
+        Self::flush(&mut self.effects, route);
+    }
+
+    fn flush<F: FnMut(Output)>(effects: &mut EffectBuffer, mut route: F) {
+        for effect in effects.drain() {
+            route(effect);
+        }
+    }
+}
+
+/// The driver interface both environments implement.
+///
+/// The four operations are exactly the inputs a DataFlasks node reacts to,
+/// plus failure injection and a way to observe the client-visible outcome.
+/// Harness code written against this trait runs unchanged on the
+/// discrete-event simulator and on the threaded runtime — the environment
+/// parity test drives the same seeded scenario through both and asserts
+/// identical results.
+pub trait Environment {
+    /// Injects a protocol message for delivery to `to`, as if `from` had
+    /// sent it.
+    fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message);
+
+    /// Fires a periodic protocol timer on `node` now.
+    fn fire_timer(&mut self, node: NodeId, kind: TimerKind);
+
+    /// Submits a client operation through the given contact node.
+    ///
+    /// `client` identifies the submitter to [`Self::drain_effects`] and must
+    /// not collide with ids owned by the environment's native client
+    /// machinery (the simulator's registered `ClientLibrary` ids, the
+    /// threaded runtime's reserved blocking-API id `u64::MAX`);
+    /// implementations panic on a collision rather than silently diverting
+    /// replies.
+    fn submit_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest);
+
+    /// Crashes `node`: it stops processing inputs and its volatile state is
+    /// no longer reachable.
+    fn fail_node(&mut self, node: NodeId);
+
+    /// Lets the environment process outstanding work for up to `budget`
+    /// (virtual time for the simulator, wall-clock time for the threaded
+    /// runtime) and returns the replies to operations submitted through
+    /// [`Self::submit_client_request`], in arrival order.
+    ///
+    /// Replies to operations issued through an environment's *native* client
+    /// machinery (the simulator's registered `ClientLibrary` clients, the
+    /// threaded runtime's blocking `put`/`get`) are delivered through those
+    /// APIs and never surface here — the two driving styles can be mixed on
+    /// one environment without stealing each other's replies.
+    fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply>;
+}
+
+/// A deterministic description of a cluster: one capacity per node, a
+/// protocol configuration shared by all nodes, and a seed from which every
+/// per-node seed is derived.
+///
+/// Two environments that materialise the same spec host byte-identical node
+/// state machines, which is the foundation of the cross-environment parity
+/// test.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Protocol configuration shared by every node.
+    pub node_config: NodeConfig,
+    /// Storage-capacity attribute of each node; node `i` gets `NodeId(i)`.
+    pub capacities: Vec<u64>,
+    /// Master seed; per-node seeds are derived with [`Self::node_seed`].
+    pub seed: u64,
+}
+
+impl ClusterSpec {
+    /// Creates a spec from explicit capacities.
+    #[must_use]
+    pub fn new(node_config: NodeConfig, capacities: Vec<u64>, seed: u64) -> Self {
+        Self {
+            node_config,
+            capacities,
+            seed,
+        }
+    }
+
+    /// Number of nodes described.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.capacities.len()
+    }
+
+    /// Returns `true` if the spec describes no nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.capacities.is_empty()
+    }
+
+    /// The node identifiers of the cluster, in order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.capacities.len() as u64).map(NodeId::new)
+    }
+
+    /// The deterministic per-node seed (a SplitMix64 mix of the master seed
+    /// and the node identity, so neighbouring ids get unrelated streams).
+    #[must_use]
+    pub fn node_seed(&self, id: NodeId) -> u64 {
+        let mut z = self
+            .seed
+            .wrapping_add(id.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The profile of node `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn profile(&self, index: usize) -> NodeProfile {
+        NodeProfile::with_capacity_and_tie_break(self.capacities[index], index as u64)
+    }
+
+    /// Materialises the cluster with fully warmed membership: every node
+    /// knows every other node's true profile and slice (two observation
+    /// rounds, so intra-slice views pick up the settled assignments).
+    ///
+    /// This is the state a long-converged gossip substrate reaches; building
+    /// it directly lets request-path behaviour be exercised — and compared
+    /// across environments — without simulating the convergence phase.
+    #[must_use]
+    pub fn build_nodes(&self) -> Vec<DataFlasksNode<MemoryStore>> {
+        let mut nodes: Vec<DataFlasksNode<MemoryStore>> = (0..self.capacities.len())
+            .map(|i| {
+                let id = NodeId::new(i as u64);
+                DataFlasksNode::new(
+                    id,
+                    self.node_config,
+                    self.profile(i),
+                    MemoryStore::unbounded(),
+                    self.node_seed(id),
+                )
+            })
+            .collect();
+        for _ in 0..2 {
+            let descriptors: Vec<NodeDescriptor> = nodes
+                .iter()
+                .map(|n| NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice()))
+                .collect();
+            for node in nodes.iter_mut() {
+                let own = node.id();
+                node.bootstrap(descriptors.iter().copied().filter(|d| d.id() != own));
+            }
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_types::{Key, RequestId, Value, Version};
+
+    #[test]
+    fn effect_buffer_reuses_its_allocation() {
+        let mut fx = EffectBuffer::with_capacity(4);
+        for round in 0..10 {
+            for i in 0..4u64 {
+                fx.emit_send(
+                    NodeId::new(i),
+                    Message::AntiEntropyDigest {
+                        digest: dataflasks_store::StoreDigest::new(),
+                    },
+                );
+            }
+            assert_eq!(fx.len(), 4);
+            let drained = fx.drain().count();
+            assert_eq!(drained, 4);
+            assert!(fx.is_empty(), "round {round} left effects behind");
+            // Capacity is retained: no reallocation in steady state.
+            assert!(fx.effects.capacity() >= 4);
+        }
+    }
+
+    #[test]
+    fn cluster_spec_seeds_are_deterministic_and_distinct() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(8, 2), vec![100; 8], 42);
+        let again = ClusterSpec::new(NodeConfig::for_system_size(8, 2), vec![100; 8], 42);
+        let seeds: Vec<u64> = spec.node_ids().map(|id| spec.node_seed(id)).collect();
+        let seeds_again: Vec<u64> = again.node_ids().map(|id| again.node_seed(id)).collect();
+        assert_eq!(seeds, seeds_again);
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len(), "per-node seeds must differ");
+        assert_eq!(spec.len(), 8);
+        assert!(!spec.is_empty());
+    }
+
+    #[test]
+    fn built_nodes_are_warm_and_identical_across_builds() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(6, 2),
+            vec![100, 900, 300, 4_000, 2_000, 700],
+            7,
+        );
+        let a = spec.build_nodes();
+        let b = spec.build_nodes();
+        assert_eq!(a.len(), 6);
+        for (left, right) in a.iter().zip(&b) {
+            assert_eq!(left.id(), right.id());
+            assert_eq!(left.slice(), right.slice());
+            assert_eq!(left.view_len(), right.view_len());
+            assert!(left.slice().is_some(), "warm nodes must have a slice");
+            assert!(left.view_len() > 0, "warm nodes must know peers");
+        }
+        // Both slices are populated.
+        let slices: std::collections::HashSet<_> = a.iter().filter_map(|n| n.slice()).collect();
+        assert_eq!(slices.len(), 2);
+    }
+
+    #[test]
+    fn node_host_routes_effects_and_keeps_the_node() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(4, 1), vec![100; 4], 3);
+        let mut nodes = spec.build_nodes();
+        let node = nodes.remove(0);
+        let mut host = NodeHost::new(node);
+        let mut sends = 0;
+        let mut replies = 0;
+        host.submit_client_request(
+            9,
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key: Key::from_user_key("hosted"),
+                version: Version::new(1),
+                value: Value::from_bytes(b"x"),
+            },
+            SimTime::ZERO,
+            |output| match output {
+                Output::Send { .. } => sends += 1,
+                Output::Reply { .. } => replies += 1,
+                Output::Timer { .. } => {}
+            },
+        );
+        // Single slice: the node stores locally, acknowledges and fans out.
+        assert_eq!(replies, 1);
+        assert!(sends > 0);
+        assert_eq!(host.node().store().len(), 1);
+        let node = host.into_node();
+        assert_eq!(node.stats().puts_stored, 1);
+    }
+}

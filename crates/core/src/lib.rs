@@ -11,16 +11,20 @@
 //! * [`ClientLibrary`] and [`LoadBalancer`] — the client-side components
 //!   (paper §V), including the slice-aware contact cache the paper's §VII
 //!   identifies as an optimisation path,
-//! * [`Message`], [`Output`], [`TimerKind`] — the sans-io interface through
-//!   which an environment (the discrete-event simulator of `dataflasks-sim`
-//!   or the threaded runtime of `dataflasks-runtime`) drives the node,
+//! * [`Effects`], [`EffectBuffer`], [`NodeHost`], [`Environment`] — the
+//!   sans-io environment layer: node handlers write their effects into a
+//!   reusable sink, and every environment (the discrete-event simulator of
+//!   `dataflasks-sim`, the threaded runtime of `dataflasks-runtime`, future
+//!   async or sharded backends) drives nodes through the same interface,
+//! * [`Message`], [`Output`], [`TimerKind`] — the protocol surface those
+//!   environments route,
 //! * [`NodeStats`] — the per-node message accounting the paper's evaluation
 //!   (Figures 3 and 4) is based on.
 //!
 //! # Example
 //!
 //! ```
-//! use dataflasks_core::{ClientRequest, DataFlasksNode, Output};
+//! use dataflasks_core::{ClientRequest, DataFlasksNode, EffectBuffer, Output};
 //! use dataflasks_membership::NodeDescriptor;
 //! use dataflasks_store::{DataStore, MemoryStore};
 //! use dataflasks_types::{Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version};
@@ -37,8 +41,10 @@
 //! node.bootstrap([NodeDescriptor::new(NodeId::new(1), NodeProfile::default())]);
 //!
 //! // With a single slice the node is responsible for every key, so a client
-//! // put is stored locally and acknowledged immediately.
-//! let outputs = node.handle_client_request(
+//! // put is stored locally and acknowledged immediately. The effects land in
+//! // the caller-owned (reusable) buffer.
+//! let mut fx = EffectBuffer::new();
+//! node.handle_client_request(
 //!     7,
 //!     ClientRequest::Put {
 //!         id: RequestId::new(7, 0),
@@ -47,8 +53,9 @@
 //!         value: Value::from_bytes(b"hello"),
 //!     },
 //!     SimTime::ZERO,
+//!     &mut fx,
 //! );
-//! assert!(outputs.iter().any(|o| matches!(o, Output::Reply { .. })));
+//! assert!(fx.as_slice().iter().any(|o| matches!(o, Output::Reply { .. })));
 //! assert_eq!(node.store().len(), 1);
 //! ```
 
@@ -57,12 +64,14 @@
 
 pub mod client;
 pub mod dedup;
+pub mod env;
 pub mod load_balancer;
 pub mod message;
 pub mod node;
 pub mod stats;
 
 pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, OperationOutcome};
+pub use env::{ClusterSpec, EffectBuffer, Effects, Environment, NodeHost};
 pub use load_balancer::{LoadBalancer, LoadBalancerPolicy};
 pub use message::{
     ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,

@@ -52,7 +52,11 @@ pub struct LoadBalancer {
 impl LoadBalancer {
     /// Creates a load balancer over the given contact nodes.
     #[must_use]
-    pub fn new(policy: LoadBalancerPolicy, contacts: Vec<NodeId>, partition: SlicePartition) -> Self {
+    pub fn new(
+        policy: LoadBalancerPolicy,
+        contacts: Vec<NodeId>,
+        partition: SlicePartition,
+    ) -> Self {
         Self {
             policy,
             contacts,
@@ -247,7 +251,11 @@ mod tests {
 
     #[test]
     fn set_contacts_replaces_the_pool() {
-        let mut lb = LoadBalancer::new(LoadBalancerPolicy::Random, contacts(2), SlicePartition::new(2));
+        let mut lb = LoadBalancer::new(
+            LoadBalancerPolicy::Random,
+            contacts(2),
+            SlicePartition::new(2),
+        );
         lb.set_contacts(vec![NodeId::new(9)]);
         let mut rng = StdRng::seed_from_u64(6);
         assert_eq!(lb.pick(None, &mut rng), Some(NodeId::new(9)));

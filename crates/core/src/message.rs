@@ -1,9 +1,13 @@
 //! Protocol messages exchanged between DataFlasks nodes and clients.
 
+use std::sync::Arc;
+
 use dataflasks_membership::{NewscastExchange, ShuffleRequest, ShuffleResponse};
 use dataflasks_slicing::SliceExchange;
 use dataflasks_store::StoreDigest;
-use dataflasks_types::{Key, NodeId, RequestId, SliceId, StoredObject, Value, Version};
+use dataflasks_types::{
+    Duration, Key, NodeConfig, NodeId, RequestId, SliceId, StoredObject, Value, Version,
+};
 
 /// Identifier of a client endpoint (the client library instance that issued
 /// a request and expects the replies).
@@ -67,9 +71,14 @@ pub enum Message {
     /// Slicing gossip reply (pull half of the push-pull exchange).
     SliceGossipReply(SliceExchange),
     /// An epidemic put dissemination.
-    Put(PutRequest),
-    /// An epidemic get dissemination.
-    Get(GetRequest),
+    ///
+    /// The request is reference-counted: a slice-wide fan-out to `f` peers
+    /// clones one `Arc` per peer instead of deep-copying the request (whose
+    /// payload every copy would share anyway). A node that needs to change
+    /// the phase or TTL unwraps (or clones once) before re-wrapping.
+    Put(Arc<PutRequest>),
+    /// An epidemic get dissemination (reference-counted like [`Self::Put`]).
+    Get(Arc<GetRequest>),
     /// Anti-entropy round 1: the initiator's digest.
     AntiEntropyDigest {
         /// Summary of the initiator's store.
@@ -187,6 +196,9 @@ pub enum ReplyBody {
 }
 
 /// Everything a node can emit while handling one input.
+///
+/// Handlers emit these through the [`crate::Effects`] sink; the environment
+/// routes them (over the simulated network, over channels, …).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Output {
     /// Send a protocol message to another node.
@@ -202,6 +214,16 @@ pub enum Output {
         client: ClientId,
         /// The reply to deliver.
         reply: ClientReply,
+    },
+    /// Re-arm a periodic protocol timer on the emitting node.
+    ///
+    /// Nodes re-arm their own timers when they fire, so environments only
+    /// seed the first round and route re-arms like any other effect.
+    Timer {
+        /// Which protocol activity to run.
+        kind: TimerKind,
+        /// Delay from the current instant.
+        after: Duration,
     },
 }
 
@@ -220,6 +242,18 @@ pub enum TimerKind {
 impl TimerKind {
     /// All timer kinds, in the order the runtime should schedule them.
     pub const ALL: [Self; 3] = [Self::PssShuffle, Self::SliceGossip, Self::AntiEntropy];
+
+    /// The period this timer runs at under `config`. Shared by every
+    /// environment (and by the nodes' own re-arm effects) so schedules never
+    /// drift apart between backends.
+    #[must_use]
+    pub fn period(self, config: &NodeConfig) -> Duration {
+        match self {
+            Self::PssShuffle => config.pss.shuffle_period,
+            Self::SliceGossip => config.slicing.gossip_period,
+            Self::AntiEntropy => config.replication.anti_entropy_period,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -236,13 +270,13 @@ mod tests {
         assert_eq!(shuffle.kind(), MessageKind::Membership);
         let gossip = Message::SliceGossip(SliceExchange { samples: vec![] });
         assert_eq!(gossip.kind(), MessageKind::Slicing);
-        let put = Message::Put(PutRequest {
+        let put = Message::Put(Arc::new(PutRequest {
             id: RequestId::new(1, 1),
             client: 1,
             object: StoredObject::new(Key::from_raw(1), Version::new(1), Value::default()),
             phase: DisseminationPhase::Global,
             ttl: 3,
-        });
+        }));
         assert_eq!(put.kind(), MessageKind::Request);
         let digest = Message::AntiEntropyDigest {
             digest: StoreDigest::new(),
@@ -277,6 +311,23 @@ mod tests {
     }
 
     #[test]
+    fn timer_periods_come_from_the_config() {
+        let config = NodeConfig::default();
+        assert_eq!(
+            TimerKind::PssShuffle.period(&config),
+            config.pss.shuffle_period
+        );
+        assert_eq!(
+            TimerKind::SliceGossip.period(&config),
+            config.slicing.gossip_period
+        );
+        assert_eq!(
+            TimerKind::AntiEntropy.period(&config),
+            config.replication.anti_entropy_period
+        );
+    }
+
+    #[test]
     fn outputs_carry_their_payloads() {
         let reply = Output::Reply {
             client: 7,
@@ -294,7 +345,7 @@ mod tests {
                 assert_eq!(client, 7);
                 assert_eq!(reply.responder, NodeId::new(1));
             }
-            Output::Send { .. } => panic!("expected a reply"),
+            Output::Send { .. } | Output::Timer { .. } => panic!("expected a reply"),
         }
         // Descriptor-carrying membership messages stay comparable.
         let a = Message::Shuffle(ShuffleRequest {

@@ -4,9 +4,17 @@
 //! (Figure 2): the Peer Sampling Service, the Slice Manager, the request
 //! Handler and the Data Store, plus the anti-entropy repair extension. It is
 //! written sans-io: every input (a protocol message, a client request or a
-//! periodic timer) is handled by a method that returns the [`Output`]s to
-//! deliver, and the environment — the discrete-event simulator or the
-//! threaded runtime — owns the transport and the clock.
+//! periodic timer) is handled by a method that writes the resulting effects —
+//! sends, client replies, timer re-arms — into an [`Effects`] sink, and the
+//! environment — the discrete-event simulator or the threaded runtime — owns
+//! the transport and the clock. With a reusable
+//! [`EffectBuffer`](crate::EffectBuffer) and the node's internal scratch
+//! buffers, steady-state dispatch performs no per-message allocation for the
+//! effect pipeline, and epidemic fan-out shares one reference-counted request
+//! across all peers instead of deep-copying it.
+
+use std::mem;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,13 +23,14 @@ use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling, SliceV
 use dataflasks_slicing::{OrderedSlicer, Slicer};
 use dataflasks_store::{DataStore, PutOutcome, StoreDigest};
 use dataflasks_types::{
-    Key, NodeConfig, NodeId, NodeProfile, SimTime, SliceId, SlicePartition, StoredObject,
+    Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId, SlicePartition, StoredObject,
 };
 
 use crate::dedup::DedupCache;
+use crate::env::Effects;
 use crate::message::{
-    ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,
-    PutRequest, ReplyBody, TimerKind,
+    ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, PutRequest,
+    ReplyBody, TimerKind,
 };
 use crate::stats::{MessageKind, NodeStats};
 
@@ -31,10 +40,10 @@ use crate::stats::{MessageKind, NodeStats};
 /// # Example
 ///
 /// ```
-/// use dataflasks_core::{ClientRequest, DataFlasksNode, TimerKind};
+/// use dataflasks_core::{DataFlasksNode, EffectBuffer, Output, TimerKind};
 /// use dataflasks_membership::NodeDescriptor;
 /// use dataflasks_store::MemoryStore;
-/// use dataflasks_types::{Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version};
+/// use dataflasks_types::{NodeConfig, NodeId, NodeProfile, SimTime};
 ///
 /// let config = NodeConfig::for_system_size(10, 2);
 /// let mut node = DataFlasksNode::new(
@@ -45,9 +54,11 @@ use crate::stats::{MessageKind, NodeStats};
 ///     42,
 /// );
 /// node.bootstrap([NodeDescriptor::new(NodeId::new(1), NodeProfile::default())]);
-/// // A shuffle timer produces a shuffle message for the bootstrap contact.
-/// let outputs = node.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
-/// assert!(!outputs.is_empty());
+/// // A shuffle timer produces a shuffle message for the bootstrap contact
+/// // (plus the timer's own re-arm).
+/// let mut fx = EffectBuffer::new();
+/// node.on_timer(TimerKind::PssShuffle, SimTime::ZERO, &mut fx);
+/// assert!(fx.as_slice().iter().any(|o| matches!(o, Output::Send { .. })));
 /// ```
 #[derive(Debug)]
 pub struct DataFlasksNode<S> {
@@ -62,6 +73,13 @@ pub struct DataFlasksNode<S> {
     stats: NodeStats,
     rng: StdRng,
     current_slice: Option<SliceId>,
+    /// Reusable fan-out target buffer (steady state: no allocation per
+    /// dissemination step).
+    peer_scratch: Vec<NodeId>,
+    /// Reusable sample buffer for the global-phase target fill.
+    sample_scratch: Vec<NodeId>,
+    /// Reusable buffer for feeding view knowledge into slicer and slice view.
+    descriptor_scratch: Vec<NodeDescriptor>,
 }
 
 impl<S: DataStore> DataFlasksNode<S> {
@@ -88,6 +106,9 @@ impl<S: DataStore> DataFlasksNode<S> {
             stats: NodeStats::new(),
             rng,
             current_slice: None,
+            peer_scratch: Vec::new(),
+            sample_scratch: Vec::new(),
+            descriptor_scratch: Vec::new(),
         };
         node.refresh_slice_assignment();
         node
@@ -197,53 +218,61 @@ impl<S: DataStore> DataFlasksNode<S> {
     // Input handlers
     // ------------------------------------------------------------------
 
-    /// Handles a protocol message from another node.
-    pub fn handle_message(&mut self, from: NodeId, message: Message, now: SimTime) -> Vec<Output> {
+    /// Handles a protocol message from another node, writing the resulting
+    /// effects into `fx`.
+    pub fn handle_message(
+        &mut self,
+        from: NodeId,
+        message: Message,
+        now: SimTime,
+        fx: &mut dyn Effects,
+    ) {
         let _ = now;
         self.stats.record_received(message.kind());
         match message {
             Message::Shuffle(request) => {
                 let response = self.cyclon.handle_request(from, request, &mut self.rng);
                 self.absorb_membership_knowledge();
-                self.send_to(from, Message::ShuffleReply(response))
+                self.send_to(fx, from, Message::ShuffleReply(response));
             }
             Message::ShuffleReply(response) => {
                 self.cyclon.handle_response(response);
                 self.absorb_membership_knowledge();
-                Vec::new()
             }
-            Message::Newscast(_) => Vec::new(),
+            Message::Newscast(_) => {}
             Message::SliceGossip(exchange) => {
                 let reply = self.slicer.handle_exchange(exchange, &mut self.rng);
                 self.refresh_slice_assignment();
-                self.send_to(from, Message::SliceGossipReply(reply))
+                self.send_to(fx, from, Message::SliceGossipReply(reply));
             }
             Message::SliceGossipReply(reply) => {
                 self.slicer.handle_reply(reply);
                 self.refresh_slice_assignment();
-                Vec::new()
             }
-            Message::Put(request) => self.handle_put(request),
-            Message::Get(request) => self.handle_get(request),
-            Message::AntiEntropyDigest { digest } => self.handle_anti_entropy_digest(from, &digest),
+            Message::Put(request) => self.handle_put(request, fx),
+            Message::Get(request) => self.handle_get(request, fx),
+            Message::AntiEntropyDigest { digest } => {
+                self.handle_anti_entropy_digest(from, &digest, fx);
+            }
             Message::AntiEntropyReply { objects, digest } => {
-                self.handle_anti_entropy_reply(from, objects, &digest)
+                self.handle_anti_entropy_reply(from, objects, &digest, fx);
             }
             Message::AntiEntropyPush { objects } => {
                 self.apply_repair_objects(objects);
-                Vec::new()
             }
         }
     }
 
     /// Handles an operation submitted by a client library to this node (the
-    /// contact node chosen by the load balancer).
+    /// contact node chosen by the load balancer), writing the resulting
+    /// effects into `fx`.
     pub fn handle_client_request(
         &mut self,
         client: ClientId,
         request: ClientRequest,
         now: SimTime,
-    ) -> Vec<Output> {
+        fx: &mut dyn Effects,
+    ) {
         let _ = now;
         self.dedup.first_sighting(request.id());
         match request {
@@ -261,7 +290,7 @@ impl<S: DataStore> DataFlasksNode<S> {
                     phase: DisseminationPhase::Global,
                     ttl: self.global_ttl(),
                 };
-                self.handle_put_locally_and_forward(request, true)
+                self.handle_put_locally_and_forward(request, true, fx);
             }
             ClientRequest::Get { id, key, version } => {
                 let request = GetRequest {
@@ -272,86 +301,90 @@ impl<S: DataStore> DataFlasksNode<S> {
                     phase: DisseminationPhase::Global,
                     ttl: self.global_ttl(),
                 };
-                self.handle_get_locally_and_forward(request, true)
+                self.handle_get_locally_and_forward(request, true, fx);
             }
         }
     }
 
-    /// Handles one periodic timer.
-    pub fn on_timer(&mut self, timer: TimerKind, now: SimTime) -> Vec<Output> {
+    /// Handles one periodic timer, writing the resulting effects into `fx`.
+    ///
+    /// The node re-arms the timer itself by emitting
+    /// [`Effects::emit_timer`] with the period from its own configuration, so
+    /// environments only seed the first round of each timer.
+    pub fn on_timer(&mut self, timer: TimerKind, now: SimTime, fx: &mut dyn Effects) {
         let _ = now;
         match timer {
-            TimerKind::PssShuffle => self.on_pss_timer(),
-            TimerKind::SliceGossip => self.on_slice_gossip_timer(),
-            TimerKind::AntiEntropy => self.on_anti_entropy_timer(),
+            TimerKind::PssShuffle => self.on_pss_timer(fx),
+            TimerKind::SliceGossip => self.on_slice_gossip_timer(fx),
+            TimerKind::AntiEntropy => self.on_anti_entropy_timer(fx),
         }
+        fx.emit_timer(timer, timer.period(&self.config));
     }
 
     // ------------------------------------------------------------------
     // Periodic protocol rounds
     // ------------------------------------------------------------------
 
-    fn on_pss_timer(&mut self) -> Vec<Output> {
+    fn on_pss_timer(&mut self, fx: &mut dyn Effects) {
         self.cyclon.set_slice(self.current_slice);
         self.slice_view
             .age_and_expire(self.config.pss.max_descriptor_age);
-        match self.cyclon.initiate_shuffle(&mut self.rng) {
-            Some((target, request)) => {
-                self.absorb_membership_knowledge();
-                self.send_to(target, Message::Shuffle(request))
-            }
-            None => Vec::new(),
+        if let Some((target, request)) = self.cyclon.initiate_shuffle(&mut self.rng) {
+            self.absorb_membership_knowledge();
+            self.send_to(fx, target, Message::Shuffle(request));
         }
     }
 
-    fn on_slice_gossip_timer(&mut self) -> Vec<Output> {
+    fn on_slice_gossip_timer(&mut self, fx: &mut dyn Effects) {
         self.slicer.advance_round();
         self.refresh_slice_assignment();
         let Some(peer) = self.cyclon.view().random_peer(&mut self.rng) else {
-            return Vec::new();
+            return;
         };
         let exchange = self.slicer.create_exchange(&mut self.rng);
-        self.send_to(peer, Message::SliceGossip(exchange))
+        self.send_to(fx, peer, Message::SliceGossip(exchange));
     }
 
-    fn on_anti_entropy_timer(&mut self) -> Vec<Output> {
+    fn on_anti_entropy_timer(&mut self, fx: &mut dyn Effects) {
         if !self.config.replication.anti_entropy_enabled {
-            return Vec::new();
+            return;
         }
         let Some(peer) = self.slice_view.random_peer(&mut self.rng) else {
-            return Vec::new();
+            return;
         };
         let digest = self.store.digest();
-        self.send_to(peer, Message::AntiEntropyDigest { digest })
+        self.send_to(fx, peer, Message::AntiEntropyDigest { digest });
     }
 
     // ------------------------------------------------------------------
     // Request dissemination (paper §IV-B)
     // ------------------------------------------------------------------
 
-    fn handle_put(&mut self, request: PutRequest) -> Vec<Output> {
+    fn handle_put(&mut self, request: Arc<PutRequest>, fx: &mut dyn Effects) {
         if !self.dedup.first_sighting(request.id) {
             self.stats.requests_duplicate += 1;
-            return Vec::new();
+            return;
         }
-        self.handle_put_locally_and_forward(request, false)
+        // This node forwards (and possibly rewrites) the request; unwrap the
+        // shared copy, or clone it once if other deliveries still hold it.
+        self.handle_put_locally_and_forward(Arc::unwrap_or_clone(request), false, fx);
     }
 
-    fn handle_get(&mut self, request: GetRequest) -> Vec<Output> {
+    fn handle_get(&mut self, request: Arc<GetRequest>, fx: &mut dyn Effects) {
         if !self.dedup.first_sighting(request.id) {
             self.stats.requests_duplicate += 1;
-            return Vec::new();
+            return;
         }
-        self.handle_get_locally_and_forward(request, false)
+        self.handle_get_locally_and_forward(Arc::unwrap_or_clone(request), false, fx);
     }
 
     fn handle_put_locally_and_forward(
         &mut self,
         mut request: PutRequest,
         from_client: bool,
-    ) -> Vec<Output> {
+        fx: &mut dyn Effects,
+    ) {
         let target_slice = self.partition.slice_of(request.object.key);
-        let mut outputs = Vec::new();
         if self.current_slice == Some(target_slice) {
             // This node is a responsible replica: store and acknowledge.
             let version = request.object.version;
@@ -363,11 +396,12 @@ impl<S: DataStore> DataFlasksNode<S> {
                     } else {
                         self.stats.puts_ignored += 1;
                     }
-                    outputs.extend(self.reply_to(
+                    self.reply_to(
+                        fx,
                         request.client,
                         request.id,
                         ReplyBody::PutAck { key, version },
-                    ));
+                    );
                 }
                 Err(_) => {
                     // A full replica cannot store more data; it still keeps
@@ -384,39 +418,36 @@ impl<S: DataStore> DataFlasksNode<S> {
             if ttl > 0 {
                 request.phase = DisseminationPhase::IntraSlice;
                 request.ttl = ttl;
-                let peers = self.intra_slice_targets(target_slice);
-                for peer in peers {
-                    outputs.extend(self.send_to(peer, Message::Put(request.clone())));
-                }
+                let mut peers = mem::take(&mut self.peer_scratch);
+                self.intra_slice_targets(target_slice, &mut peers);
+                self.fan_out(fx, &peers, request, Message::Put);
+                self.peer_scratch = peers;
             }
-        } else {
+        } else if request.phase == DisseminationPhase::Global && request.ttl > 0 {
             // Not responsible: keep the epidemic search going while the TTL
             // allows it.
-            if request.phase == DisseminationPhase::Global && request.ttl > 0 {
-                request.ttl -= 1;
-                let fanout = self.config.dissemination.global_fanout;
-                let peers = self.global_targets(fanout, target_slice);
-                if peers.is_empty() && from_client {
-                    // An isolated contact node cannot make progress.
-                    self.stats.requests_expired += 1;
-                }
-                for peer in peers {
-                    outputs.extend(self.send_to(peer, Message::Put(request.clone())));
-                }
-            } else {
+            request.ttl -= 1;
+            let fanout = self.config.dissemination.global_fanout;
+            let mut peers = mem::take(&mut self.peer_scratch);
+            self.global_targets(fanout, target_slice, &mut peers);
+            if peers.is_empty() && from_client {
+                // An isolated contact node cannot make progress.
                 self.stats.requests_expired += 1;
             }
+            self.fan_out(fx, &peers, request, Message::Put);
+            self.peer_scratch = peers;
+        } else {
+            self.stats.requests_expired += 1;
         }
-        outputs
     }
 
     fn handle_get_locally_and_forward(
         &mut self,
         mut request: GetRequest,
         from_client: bool,
-    ) -> Vec<Output> {
+        fx: &mut dyn Effects,
+    ) {
         let target_slice = self.partition.slice_of(request.key);
-        let mut outputs = Vec::new();
         if self.current_slice == Some(target_slice) {
             let body = match self.store.get(request.key, request.version) {
                 Some(object) => {
@@ -428,7 +459,7 @@ impl<S: DataStore> DataFlasksNode<S> {
                     ReplyBody::GetMiss { key: request.key }
                 }
             };
-            outputs.extend(self.reply_to(request.client, request.id, body));
+            self.reply_to(fx, request.client, request.id, body);
             let ttl = if request.phase == DisseminationPhase::Global {
                 self.config.dissemination.intra_ttl
             } else {
@@ -437,33 +468,53 @@ impl<S: DataStore> DataFlasksNode<S> {
             if ttl > 0 {
                 request.phase = DisseminationPhase::IntraSlice;
                 request.ttl = ttl;
-                let peers = self.intra_slice_targets(target_slice);
-                for peer in peers {
-                    outputs.extend(self.send_to(peer, Message::Get(request.clone())));
-                }
+                let mut peers = mem::take(&mut self.peer_scratch);
+                self.intra_slice_targets(target_slice, &mut peers);
+                self.fan_out(fx, &peers, request, Message::Get);
+                self.peer_scratch = peers;
             }
         } else if request.phase == DisseminationPhase::Global && request.ttl > 0 {
             request.ttl -= 1;
             let fanout = self.config.dissemination.global_fanout;
-            let peers = self.global_targets(fanout, target_slice);
+            let mut peers = mem::take(&mut self.peer_scratch);
+            self.global_targets(fanout, target_slice, &mut peers);
             if peers.is_empty() && from_client {
                 self.stats.requests_expired += 1;
             }
-            for peer in peers {
-                outputs.extend(self.send_to(peer, Message::Get(request.clone())));
-            }
+            self.fan_out(fx, &peers, request, Message::Get);
+            self.peer_scratch = peers;
         } else {
             self.stats.requests_expired += 1;
         }
-        outputs
+    }
+
+    /// Sends one request to every peer, sharing a single reference-counted
+    /// copy: the fan-out clones a pointer per peer, not the request body.
+    /// `wrap` is the [`Message`] constructor (`Message::Put` or
+    /// `Message::Get`).
+    fn fan_out<T>(
+        &mut self,
+        fx: &mut dyn Effects,
+        peers: &[NodeId],
+        request: T,
+        wrap: fn(Arc<T>) -> Message,
+    ) {
+        if peers.is_empty() {
+            return;
+        }
+        let shared = Arc::new(request);
+        for &peer in peers {
+            self.send_to(fx, peer, wrap(Arc::clone(&shared)));
+        }
     }
 
     /// Peers to forward an intra-slice dissemination to: the intra-slice view
     /// first, completed with global-view peers that advertise the target
-    /// slice.
-    fn intra_slice_targets(&mut self, slice: SliceId) -> Vec<NodeId> {
+    /// slice. Fills the caller's buffer instead of allocating.
+    fn intra_slice_targets(&mut self, slice: SliceId, peers: &mut Vec<NodeId>) {
         let fanout = self.config.dissemination.intra_fanout;
-        let mut peers = self.slice_view.sample_peers(fanout, &mut self.rng);
+        self.slice_view
+            .sample_peers_into(fanout, &mut self.rng, peers);
         if peers.len() < fanout {
             for descriptor in self.cyclon.view().iter() {
                 if peers.len() >= fanout {
@@ -474,27 +525,28 @@ impl<S: DataStore> DataFlasksNode<S> {
                 }
             }
         }
-        peers
     }
 
     /// Peers to forward a global-phase dissemination to. Peers known to be in
     /// the target slice are always included (so the search ends as soon as the
-    /// view knows a member), the rest are random.
-    fn global_targets(&mut self, fanout: usize, target_slice: SliceId) -> Vec<NodeId> {
-        let mut peers: Vec<NodeId> = self
-            .cyclon
-            .view()
-            .iter()
-            .filter(|d| d.slice() == Some(target_slice))
-            .map(NodeDescriptor::id)
-            .take(fanout)
-            .collect();
-        if peers.len() < fanout {
-            for peer in self
-                .cyclon
+    /// view knows a member), the rest are random. Fills the caller's buffer
+    /// instead of allocating.
+    fn global_targets(&mut self, fanout: usize, target_slice: SliceId, peers: &mut Vec<NodeId>) {
+        peers.clear();
+        peers.extend(
+            self.cyclon
                 .view()
-                .sample_peers(fanout, &mut self.rng)
-            {
+                .iter()
+                .filter(|d| d.slice() == Some(target_slice))
+                .map(NodeDescriptor::id)
+                .take(fanout),
+        );
+        if peers.len() < fanout {
+            let mut sample = mem::take(&mut self.sample_scratch);
+            self.cyclon
+                .view()
+                .sample_peers_into(fanout, &mut self.rng, &mut sample);
+            for &peer in &sample {
                 if peers.len() >= fanout {
                     break;
                 }
@@ -502,8 +554,9 @@ impl<S: DataStore> DataFlasksNode<S> {
                     peers.push(peer);
                 }
             }
+            sample.clear();
+            self.sample_scratch = sample;
         }
-        peers
     }
 
     /// Number of global-phase hops: enough for the epidemic search to reach a
@@ -524,13 +577,17 @@ impl<S: DataStore> DataFlasksNode<S> {
     // Anti-entropy replica repair (paper §VII, implemented extension)
     // ------------------------------------------------------------------
 
-    fn handle_anti_entropy_digest(&mut self, from: NodeId, remote: &StoreDigest) -> Vec<Output> {
-        let objects = self.store.objects_newer_than(
-            remote,
-            self.config.replication.max_objects_per_exchange,
-        );
+    fn handle_anti_entropy_digest(
+        &mut self,
+        from: NodeId,
+        remote: &StoreDigest,
+        fx: &mut dyn Effects,
+    ) {
+        let objects = self
+            .store
+            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange);
         let digest = self.store.digest();
-        self.send_to(from, Message::AntiEntropyReply { objects, digest })
+        self.send_to(fx, from, Message::AntiEntropyReply { objects, digest });
     }
 
     fn handle_anti_entropy_reply(
@@ -538,16 +595,14 @@ impl<S: DataStore> DataFlasksNode<S> {
         from: NodeId,
         objects: Vec<StoredObject>,
         remote: &StoreDigest,
-    ) -> Vec<Output> {
+        fx: &mut dyn Effects,
+    ) {
         self.apply_repair_objects(objects);
-        let push = self.store.objects_newer_than(
-            remote,
-            self.config.replication.max_objects_per_exchange,
-        );
-        if push.is_empty() {
-            Vec::new()
-        } else {
-            self.send_to(from, Message::AntiEntropyPush { objects: push })
+        let push = self
+            .store
+            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange);
+        if !push.is_empty() {
+            self.send_to(fx, from, Message::AntiEntropyPush { objects: push });
         }
     }
 
@@ -575,11 +630,14 @@ impl<S: DataStore> DataFlasksNode<S> {
     /// protocol (attribute samples) and the intra-slice view (peers
     /// advertising the same slice).
     fn absorb_membership_knowledge(&mut self) {
-        let descriptors: Vec<NodeDescriptor> = self.cyclon.view().iter().copied().collect();
-        for descriptor in descriptors {
+        let mut descriptors = mem::take(&mut self.descriptor_scratch);
+        descriptors.clear();
+        descriptors.extend(self.cyclon.view().iter().copied());
+        for &descriptor in &descriptors {
             self.slicer.observe(descriptor.id(), descriptor.profile());
             self.slice_view.observe(descriptor);
         }
+        self.descriptor_scratch = descriptors;
     }
 
     /// Recomputes the local slice assignment and reacts to changes.
@@ -596,28 +654,36 @@ impl<S: DataStore> DataFlasksNode<S> {
         }
     }
 
-    fn send_to(&mut self, to: NodeId, message: Message) -> Vec<Output> {
+    fn send_to(&mut self, fx: &mut dyn Effects, to: NodeId, message: Message) {
         self.stats.record_sent(message.kind());
-        vec![Output::Send { to, message }]
+        fx.emit_send(to, message);
     }
 
-    fn reply_to(&mut self, client: ClientId, request: dataflasks_types::RequestId, body: ReplyBody) -> Vec<Output> {
+    fn reply_to(
+        &mut self,
+        fx: &mut dyn Effects,
+        client: ClientId,
+        request: RequestId,
+        body: ReplyBody,
+    ) {
         self.stats.record_sent(MessageKind::Reply);
-        vec![Output::Reply {
+        fx.emit_reply(
             client,
-            reply: ClientReply {
+            ClientReply {
                 request,
                 responder: self.id,
                 responder_slice: self.current_slice,
                 body,
             },
-        }]
+        );
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::env::EffectBuffer;
+    use crate::message::Output;
     use dataflasks_store::MemoryStore;
     use dataflasks_types::{RequestId, Value, Version};
 
@@ -641,6 +707,46 @@ mod tests {
             NodeProfile::with_capacity_and_tie_break(capacity, id),
         )
         .with_slice(slice.map(SliceId::new))
+    }
+
+    /// Drives a timer and returns the emitted effects.
+    fn timer_outputs(n: &mut DataFlasksNode<MemoryStore>, kind: TimerKind) -> Vec<Output> {
+        let mut fx = EffectBuffer::new();
+        n.on_timer(kind, SimTime::ZERO, &mut fx);
+        fx.take()
+    }
+
+    /// Delivers a message and returns the emitted effects.
+    fn message_outputs(
+        n: &mut DataFlasksNode<MemoryStore>,
+        from: u64,
+        message: Message,
+    ) -> Vec<Output> {
+        let mut fx = EffectBuffer::new();
+        n.handle_message(NodeId::new(from), message, SimTime::ZERO, &mut fx);
+        fx.take()
+    }
+
+    /// Submits a client request and returns the emitted effects.
+    fn client_outputs(
+        n: &mut DataFlasksNode<MemoryStore>,
+        client: ClientId,
+        request: ClientRequest,
+    ) -> Vec<Output> {
+        let mut fx = EffectBuffer::new();
+        n.handle_client_request(client, request, SimTime::ZERO, &mut fx);
+        fx.take()
+    }
+
+    /// Filters the protocol sends out of an effect list.
+    fn sends(outputs: &[Output]) -> Vec<(NodeId, Message)> {
+        outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send { to, message } => Some((*to, message.clone())),
+                _ => None,
+            })
+            .collect()
     }
 
     #[test]
@@ -667,24 +773,37 @@ mod tests {
     fn pss_timer_emits_a_shuffle_and_counts_it() {
         let mut n = node(0, 100);
         n.bootstrap([descriptor(1, 10, None)]);
-        let outputs = n.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
-        assert_eq!(outputs.len(), 1);
-        match &outputs[0] {
-            Output::Send { to, message } => {
-                assert_eq!(*to, NodeId::new(1));
-                assert!(matches!(message, Message::Shuffle(_)));
-            }
-            Output::Reply { .. } => panic!("expected a send"),
-        }
+        let outputs = timer_outputs(&mut n, TimerKind::PssShuffle);
+        let sent = sends(&outputs);
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, NodeId::new(1));
+        assert!(matches!(sent[0].1, Message::Shuffle(_)));
         assert_eq!(n.stats().sent(MessageKind::Membership), 1);
     }
 
     #[test]
-    fn pss_timer_with_empty_view_is_a_noop() {
+    fn every_timer_rearms_itself_at_its_configured_period() {
         let mut n = node(0, 100);
-        assert!(n.on_timer(TimerKind::PssShuffle, SimTime::ZERO).is_empty());
-        assert!(n.on_timer(TimerKind::SliceGossip, SimTime::ZERO).is_empty());
-        assert!(n.on_timer(TimerKind::AntiEntropy, SimTime::ZERO).is_empty());
+        let config = *n.config();
+        for kind in TimerKind::ALL {
+            let outputs = timer_outputs(&mut n, kind);
+            let rearms: Vec<_> = outputs
+                .iter()
+                .filter_map(|o| match o {
+                    Output::Timer { kind, after } => Some((*kind, *after)),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(rearms, vec![(kind, kind.period(&config))]);
+        }
+    }
+
+    #[test]
+    fn pss_timer_with_empty_view_sends_nothing() {
+        let mut n = node(0, 100);
+        assert!(sends(&timer_outputs(&mut n, TimerKind::PssShuffle)).is_empty());
+        assert!(sends(&timer_outputs(&mut n, TimerKind::SliceGossip)).is_empty());
+        assert!(sends(&timer_outputs(&mut n, TimerKind::AntiEntropy)).is_empty());
     }
 
     #[test]
@@ -692,19 +811,13 @@ mod tests {
         let mut a = node(1, 100);
         let mut b = node(2, 900);
         a.bootstrap([descriptor(2, 900, None)]);
-        let outputs = a.on_timer(TimerKind::PssShuffle, SimTime::ZERO);
-        let Output::Send { message, .. } = &outputs[0] else {
-            panic!("expected send");
-        };
-        let replies = b.handle_message(NodeId::new(1), message.clone(), SimTime::ZERO);
-        assert_eq!(replies.len(), 1);
-        assert!(matches!(
-            replies[0],
-            Output::Send {
-                to,
-                message: Message::ShuffleReply(_)
-            } if to == NodeId::new(1)
-        ));
+        let outputs = timer_outputs(&mut a, TimerKind::PssShuffle);
+        let sent = sends(&outputs);
+        let replies = message_outputs(&mut b, 1, sent[0].1.clone());
+        let reply_sends = sends(&replies);
+        assert_eq!(reply_sends.len(), 1);
+        assert_eq!(reply_sends[0].0, NodeId::new(1));
+        assert!(matches!(reply_sends[0].1, Message::ShuffleReply(_)));
         assert_eq!(b.stats().received(MessageKind::Membership), 1);
         assert_eq!(b.stats().sent(MessageKind::Membership), 1);
     }
@@ -715,19 +828,11 @@ mod tests {
         let mut b = node(2, 1_000);
         a.bootstrap([descriptor(2, 1_000, None)]);
         b.bootstrap([descriptor(1, 10, None)]);
-        let outputs = a.on_timer(TimerKind::SliceGossip, SimTime::ZERO);
-        let Output::Send { to, message } = &outputs[0] else {
-            panic!("expected send");
-        };
-        assert_eq!(*to, NodeId::new(2));
-        let replies = b.handle_message(NodeId::new(1), message.clone(), SimTime::ZERO);
-        assert!(matches!(
-            replies[0],
-            Output::Send {
-                message: Message::SliceGossipReply(_),
-                ..
-            }
-        ));
+        let outputs = timer_outputs(&mut a, TimerKind::SliceGossip);
+        let sent = sends(&outputs);
+        assert_eq!(sent[0].0, NodeId::new(2));
+        let replies = message_outputs(&mut b, 1, sent[0].1.clone());
+        assert!(matches!(sends(&replies)[0].1, Message::SliceGossipReply(_)));
         // Low-capacity node in slice 0, high-capacity node in slice 1.
         assert_eq!(a.slice(), Some(SliceId::new(0)));
         assert_eq!(b.slice(), Some(SliceId::new(1)));
@@ -745,9 +850,7 @@ mod tests {
         for _ in 0..2 {
             let descriptors: Vec<NodeDescriptor> = nodes
                 .iter()
-                .map(|n| {
-                    NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice())
-                })
+                .map(|n| NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice()))
                 .collect();
             for n in nodes.iter_mut() {
                 let others: Vec<NodeDescriptor> = descriptors
@@ -767,6 +870,7 @@ mod tests {
         mut pending: Vec<(NodeId, Output)>,
     ) -> Vec<ClientReply> {
         let mut replies = Vec::new();
+        let mut fx = EffectBuffer::new();
         let mut guard = 0;
         while let Some((from, output)) = pending.pop() {
             guard += 1;
@@ -774,11 +878,12 @@ mod tests {
             match output {
                 Output::Send { to, message } => {
                     let index = to.as_u64() as usize;
-                    let outs = nodes[index].handle_message(from, message, SimTime::ZERO);
+                    nodes[index].handle_message(from, message, SimTime::ZERO, &mut fx);
                     let sender = nodes[index].id();
-                    pending.extend(outs.into_iter().map(|o| (sender, o)));
+                    pending.extend(fx.drain().map(|o| (sender, o)));
                 }
                 Output::Reply { reply, .. } => replies.push(reply),
+                Output::Timer { .. } => {}
             }
         }
         replies
@@ -795,7 +900,7 @@ mod tests {
             version: Version::new(1),
             value: Value::from_bytes(b"hello"),
         };
-        let outputs = nodes[0].handle_client_request(77, request, SimTime::ZERO);
+        let outputs = client_outputs(&mut nodes[0], 77, request);
         let origin = nodes[0].id();
         let replies = run_to_quiescence(
             &mut nodes,
@@ -831,7 +936,7 @@ mod tests {
             version: Version::new(4),
             value: Value::from_bytes(b"payload"),
         };
-        let outs = nodes[1].handle_client_request(5, put, SimTime::ZERO);
+        let outs = client_outputs(&mut nodes[1], 5, put);
         let origin = nodes[1].id();
         run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
 
@@ -840,7 +945,7 @@ mod tests {
             key,
             version: Some(Version::new(4)),
         };
-        let outs = nodes[2].handle_client_request(5, get, SimTime::ZERO);
+        let outs = client_outputs(&mut nodes[2], 5, get);
         let origin = nodes[2].id();
         let replies =
             run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
@@ -862,7 +967,7 @@ mod tests {
             key: Key::from_user_key("never-written"),
             version: None,
         };
-        let outs = nodes[3].handle_client_request(5, get_missing, SimTime::ZERO);
+        let outs = client_outputs(&mut nodes[3], 5, get_missing);
         let origin = nodes[3].id();
         let replies =
             run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
@@ -879,18 +984,53 @@ mod tests {
             descriptor(2, 300, Some(1)),
             descriptor(3, 400, Some(1)),
         ]);
-        let put = PutRequest {
+        let put = Arc::new(PutRequest {
             id: RequestId::new(1, 0),
             client: 1,
             object: StoredObject::new(Key::from_raw(u64::MAX), Version::new(1), Value::default()),
             phase: DisseminationPhase::Global,
             ttl: 4,
-        };
-        let first = n.handle_message(NodeId::new(9), Message::Put(put.clone()), SimTime::ZERO);
+        });
+        let first = message_outputs(&mut n, 9, Message::Put(Arc::clone(&put)));
         assert!(!first.is_empty());
-        let second = n.handle_message(NodeId::new(8), Message::Put(put), SimTime::ZERO);
+        let second = message_outputs(&mut n, 8, Message::Put(put));
         assert!(second.is_empty());
         assert_eq!(n.stats().requests_duplicate, 1);
+    }
+
+    #[test]
+    fn fan_out_shares_one_request_allocation() {
+        let mut n = node(0, 100);
+        n.bootstrap([
+            descriptor(1, 200, Some(1)),
+            descriptor(2, 300, Some(1)),
+            descriptor(3, 400, Some(1)),
+        ]);
+        let put = Arc::new(PutRequest {
+            id: RequestId::new(1, 7),
+            client: 1,
+            object: StoredObject::new(Key::from_raw(u64::MAX), Version::new(1), Value::default()),
+            phase: DisseminationPhase::Global,
+            ttl: 4,
+        });
+        let outputs = message_outputs(&mut n, 9, Message::Put(put));
+        let forwarded: Vec<&Arc<PutRequest>> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                Output::Send {
+                    message: Message::Put(request),
+                    ..
+                } => Some(request),
+                _ => None,
+            })
+            .collect();
+        assert!(forwarded.len() > 1, "expected a multi-peer fan-out");
+        for window in forwarded.windows(2) {
+            assert!(
+                Arc::ptr_eq(window[0], window[1]),
+                "fan-out copies must share one allocation"
+            );
+        }
     }
 
     #[test]
@@ -903,14 +1043,14 @@ mod tests {
         } else {
             Key::from_raw(0)
         };
-        let put = PutRequest {
+        let put = Arc::new(PutRequest {
             id: RequestId::new(1, 1),
             client: 1,
             object: StoredObject::new(key, Version::new(1), Value::default()),
             phase: DisseminationPhase::Global,
             ttl: 0,
-        };
-        let outputs = n.handle_message(NodeId::new(9), Message::Put(put), SimTime::ZERO);
+        });
+        let outputs = message_outputs(&mut n, 9, Message::Put(put));
         assert!(outputs.is_empty());
         assert_eq!(n.stats().requests_expired, 1);
     }
@@ -931,7 +1071,11 @@ mod tests {
         let (seeded, stale) = (replica_ids[0], replica_ids[1]);
         nodes[seeded]
             .store_mut()
-            .put(StoredObject::new(key, Version::new(7), Value::from_bytes(b"x")))
+            .put(StoredObject::new(
+                key,
+                Version::new(7),
+                Value::from_bytes(b"x"),
+            ))
             .unwrap();
         assert!(nodes[stale].store().get_latest(key).is_none());
 
@@ -939,7 +1083,7 @@ mod tests {
         // seeded one (its random peer choice may pick others first).
         let mut repaired = false;
         for _ in 0..32 {
-            let outs = nodes[stale].on_timer(TimerKind::AntiEntropy, SimTime::ZERO);
+            let outs = timer_outputs(&mut nodes[stale], TimerKind::AntiEntropy);
             let origin = nodes[stale].id();
             run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
             if nodes[stale].store().get_latest(key).is_some() {
@@ -962,7 +1106,7 @@ mod tests {
             1,
         );
         n.bootstrap([descriptor(1, 100, Some(0))]);
-        assert!(n.on_timer(TimerKind::AntiEntropy, SimTime::ZERO).is_empty());
+        assert!(sends(&timer_outputs(&mut n, TimerKind::AntiEntropy)).is_empty());
     }
 
     #[test]
@@ -970,11 +1114,11 @@ mod tests {
         let mut n = node(0, 100);
         n.bootstrap([descriptor(1, 1_000, None)]); // we are the low node → slice 0
         let own_slice = n.slice().unwrap();
-        let foreign_slice =
-            SliceId::new((own_slice.index() + 1) % n.partition().slice_count());
+        let foreign_slice = SliceId::new((own_slice.index() + 1) % n.partition().slice_count());
         let foreign_key = n.partition().range_start(foreign_slice);
-        let outputs = n.handle_message(
-            NodeId::new(1),
+        let outputs = message_outputs(
+            &mut n,
+            1,
             Message::AntiEntropyPush {
                 objects: vec![StoredObject::new(
                     foreign_key,
@@ -982,7 +1126,6 @@ mod tests {
                     Value::default(),
                 )],
             },
-            SimTime::ZERO,
         );
         assert!(outputs.is_empty());
         assert_eq!(n.store().len(), 0);
@@ -1031,7 +1174,7 @@ mod tests {
             version: Version::new(1),
             value: Value::from_bytes(b"v"),
         };
-        let outs = nodes[0].handle_client_request(1, request, SimTime::ZERO);
+        let outs = client_outputs(&mut nodes[0], 1, request);
         let origin = nodes[0].id();
         run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
         let total_request_messages: u64 = nodes.iter().map(|n| n.stats().request_messages()).sum();

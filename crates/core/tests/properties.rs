@@ -7,13 +7,11 @@
 //! outputs actually produced.
 
 use dataflasks_core::{
-    ClientRequest, DataFlasksNode, MessageKind, Output, ReplyBody, TimerKind,
+    ClientRequest, DataFlasksNode, EffectBuffer, MessageKind, Output, ReplyBody, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
 use dataflasks_store::{DataStore, MemoryStore};
-use dataflasks_types::{
-    Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version,
-};
+use dataflasks_types::{Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, Value, Version};
 use proptest::prelude::*;
 
 /// Builds a cluster of `count` nodes with the given capacities, where every
@@ -52,6 +50,28 @@ fn warm_cluster(capacities: &[u64], slices: u32) -> Vec<DataFlasksNode<MemorySto
     nodes
 }
 
+/// Delivers one protocol message and returns the effects it produced.
+fn deliver(
+    node: &mut DataFlasksNode<MemoryStore>,
+    from: NodeId,
+    message: dataflasks_core::Message,
+) -> Vec<Output> {
+    let mut fx = EffectBuffer::new();
+    node.handle_message(from, message, SimTime::ZERO, &mut fx);
+    fx.take()
+}
+
+/// Submits one client request and returns the effects it produced.
+fn submit(
+    node: &mut DataFlasksNode<MemoryStore>,
+    client: u64,
+    request: ClientRequest,
+) -> Vec<Output> {
+    let mut fx = EffectBuffer::new();
+    node.handle_client_request(client, request, SimTime::ZERO, &mut fx);
+    fx.take()
+}
+
 /// Delivers every pending output until the network quiesces; returns the
 /// total number of node-to-node messages delivered and the client replies.
 fn run_to_quiescence(
@@ -70,11 +90,12 @@ fn run_to_quiescence(
             Output::Send { to, message } => {
                 delivered += 1;
                 let index = to.as_u64() as usize;
-                let outs = nodes[index].handle_message(from, message, SimTime::ZERO);
+                let outs = deliver(&mut nodes[index], from, message);
                 let sender = nodes[index].id();
                 pending.extend(outs.into_iter().map(|o| (sender, o)));
             }
             Output::Reply { .. } => replies += 1,
+            Output::Timer { .. } => {}
         }
     }
     (delivered, replies)
@@ -102,7 +123,7 @@ proptest! {
                 version: Version::new(sequence as u64 + 1),
                 value: Value::from_bytes(format!("value-{sequence}").as_bytes()),
             };
-            let outs = nodes[contact].handle_client_request(9, request, SimTime::ZERO);
+            let outs = submit(&mut nodes[contact], 9, request);
             let origin = nodes[contact].id();
             run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
         }
@@ -137,7 +158,7 @@ proptest! {
             version: Version::new(1),
             value: Value::from_bytes(b"ack-me"),
         };
-        let outs = nodes[contact].handle_client_request(3, request, SimTime::ZERO);
+        let outs = submit(&mut nodes[contact], 3, request);
         let origin = nodes[contact].id();
         let (_delivered, replies) =
             run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
@@ -169,23 +190,23 @@ proptest! {
             version: Version::new(1),
             value: Value::from_bytes(b"once"),
         };
-        let outs = nodes[0].handle_client_request(1, request, SimTime::ZERO);
+        let outs = submit(&mut nodes[0], 1, request);
         let origin = nodes[0].id();
         run_to_quiescence(&mut nodes, outs.into_iter().map(|o| (origin, o)).collect());
         // Deliver the same request to every node twice in a row: whatever the
         // first delivery does (a node off the original dissemination path may
         // legitimately forward it once), the second delivery must be absorbed
         // silently by the duplicate-suppression cache.
-        for i in 0..nodes.len() {
-            let replay = dataflasks_core::Message::Put(dataflasks_core::PutRequest {
+        for (i, node) in nodes.iter_mut().enumerate() {
+            let replay = dataflasks_core::Message::Put(std::sync::Arc::new(dataflasks_core::PutRequest {
                 id: RequestId::new(4, key_tag),
                 client: 1,
                 object: dataflasks_types::StoredObject::new(key, Version::new(1), Value::from_bytes(b"once")),
                 phase: dataflasks_core::DisseminationPhase::Global,
                 ttl: 8,
-            });
-            let _ = nodes[i].handle_message(NodeId::new(999), replay.clone(), SimTime::ZERO);
-            let second = nodes[i].handle_message(NodeId::new(998), replay, SimTime::ZERO);
+            }));
+            let _ = deliver(node, NodeId::new(999), replay.clone());
+            let second = deliver(node, NodeId::new(998), replay);
             prop_assert!(second.is_empty(), "node {i} forwarded a request it had already seen");
         }
     }
@@ -202,8 +223,11 @@ proptest! {
         for _ in 0..timer_rounds {
             for i in 0..nodes.len() {
                 let sent_before = nodes[i].stats().total_sent();
-                let outs_shuffle = nodes[i].on_timer(TimerKind::PssShuffle, SimTime::ZERO);
-                let outs_gossip = nodes[i].on_timer(TimerKind::SliceGossip, SimTime::ZERO);
+                let mut fx = EffectBuffer::new();
+                nodes[i].on_timer(TimerKind::PssShuffle, SimTime::ZERO, &mut fx);
+                let outs_shuffle = fx.take();
+                nodes[i].on_timer(TimerKind::SliceGossip, SimTime::ZERO, &mut fx);
+                let outs_gossip = fx.take();
                 let sends = outs_shuffle
                     .iter()
                     .chain(outs_gossip.iter())
@@ -216,7 +240,7 @@ proptest! {
                         let t = to.as_u64() as usize;
                         let received_before = nodes[t].stats().total_received();
                         let from = nodes[i].id();
-                        let _ = nodes[t].handle_message(from, message, SimTime::ZERO);
+                        let _ = deliver(&mut nodes[t], from, message);
                         prop_assert_eq!(nodes[t].stats().total_received() - received_before, 1);
                     }
                 }
@@ -240,7 +264,7 @@ proptest! {
             key,
             version: None,
         };
-        let outs = nodes[contact].handle_client_request(6, request, SimTime::ZERO);
+        let outs = submit(&mut nodes[contact], 6, request);
         let origin = nodes[contact].id();
         // Collect replies manually to inspect their bodies.
         let mut pending: Vec<(NodeId, Output)> = outs.into_iter().map(|o| (origin, o)).collect();
@@ -251,7 +275,7 @@ proptest! {
             match output {
                 Output::Send { to, message } => {
                     let index = to.as_u64() as usize;
-                    let next = nodes[index].handle_message(from, message, SimTime::ZERO);
+                    let next = deliver(&mut nodes[index], from, message);
                     let sender = nodes[index].id();
                     pending.extend(next.into_iter().map(|o| (sender, o)));
                 }
@@ -259,6 +283,7 @@ proptest! {
                     let is_miss = matches!(reply.body, ReplyBody::GetMiss { .. });
                     prop_assert!(is_miss, "read of an unwritten key produced a non-miss reply");
                 }
+                Output::Timer { .. } => {}
             }
         }
         // And nothing got stored anywhere as a side effect of reading.

@@ -57,8 +57,9 @@ pub use dataflasks_workload as workload;
 pub mod prelude {
     pub use dataflasks_baseline::DhtCluster;
     pub use dataflasks_core::{
-        ClientLibrary, ClientRequest, DataFlasksNode, LoadBalancer, LoadBalancerPolicy,
-        MessageKind, NodeStats, OperationOutcome, TimerKind,
+        ClientLibrary, ClientRequest, ClusterSpec, DataFlasksNode, EffectBuffer, Effects,
+        Environment, LoadBalancer, LoadBalancerPolicy, MessageKind, NodeHost, NodeStats,
+        OperationOutcome, Output, TimerKind,
     };
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
     pub use dataflasks_runtime::ThreadedCluster;

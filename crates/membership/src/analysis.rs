@@ -93,10 +93,8 @@ pub fn in_degree_stats(views: &[PartialView]) -> DegreeStats {
 /// connected from `start`, which is what epidemic dissemination requires.
 #[must_use]
 pub fn reachable_from(views: &[PartialView], start: NodeId) -> usize {
-    let adjacency: HashMap<NodeId, Vec<NodeId>> = views
-        .iter()
-        .map(|v| (v.owner(), v.peer_ids()))
-        .collect();
+    let adjacency: HashMap<NodeId, Vec<NodeId>> =
+        views.iter().map(|v| (v.owner(), v.peer_ids())).collect();
     let mut visited: HashSet<NodeId> = HashSet::new();
     let mut queue = VecDeque::new();
     if adjacency.contains_key(&start) {
@@ -193,9 +191,7 @@ mod tests {
 
     #[test]
     fn reachability_on_a_ring_is_complete() {
-        let views: Vec<PartialView> = (0..8u64)
-            .map(|i| view_with(i, &[(i + 1) % 8], 4))
-            .collect();
+        let views: Vec<PartialView> = (0..8u64).map(|i| view_with(i, &[(i + 1) % 8], 4)).collect();
         assert_eq!(reachable_from(&views, NodeId::new(0)), 8);
         assert!(is_strongly_connected(&views));
     }
@@ -203,9 +199,8 @@ mod tests {
     #[test]
     fn reachability_detects_partitions() {
         // Two disjoint rings of 4.
-        let mut views: Vec<PartialView> = (0..4u64)
-            .map(|i| view_with(i, &[(i + 1) % 4], 4))
-            .collect();
+        let mut views: Vec<PartialView> =
+            (0..4u64).map(|i| view_with(i, &[(i + 1) % 4], 4)).collect();
         views.extend((4..8u64).map(|i| view_with(i, &[4 + (i + 1 - 4) % 4], 4)));
         assert_eq!(reachable_from(&views, NodeId::new(0)), 4);
         assert!(!is_strongly_connected(&views));

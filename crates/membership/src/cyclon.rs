@@ -360,8 +360,8 @@ mod tests {
                 }
             }
         }
-        let avg_view: f64 = nodes.iter().map(|n| n.view().len() as f64).sum::<f64>()
-            / nodes.len() as f64;
+        let avg_view: f64 =
+            nodes.iter().map(|n| n.view().len() as f64).sum::<f64>() / nodes.len() as f64;
         assert!(avg_view > 6.0, "views should fill up, got {avg_view}");
         let views: Vec<PartialView> = nodes.iter().map(|n| n.view().clone()).collect();
         let stats = crate::analysis::in_degree_stats(&views);

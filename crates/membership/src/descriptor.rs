@@ -110,7 +110,11 @@ impl NodeDescriptor {
 impl fmt::Display for NodeDescriptor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.slice {
-            Some(slice) => write!(f, "{}(age={}, {}, {})", self.id, self.age, self.profile, slice),
+            Some(slice) => write!(
+                f,
+                "{}(age={}, {}, {})",
+                self.id, self.age, self.profile, slice
+            ),
             None => write!(f, "{}(age={}, {})", self.id, self.age, self.profile),
         }
     }
@@ -130,7 +134,8 @@ mod tests {
 
     #[test]
     fn age_increments_and_saturates() {
-        let mut d = NodeDescriptor::new(NodeId::new(1), NodeProfile::default()).with_age(u32::MAX - 1);
+        let mut d =
+            NodeDescriptor::new(NodeId::new(1), NodeProfile::default()).with_age(u32::MAX - 1);
         d.increase_age();
         assert_eq!(d.age(), u32::MAX);
         d.increase_age();

@@ -112,7 +112,11 @@ impl NewscastProtocol {
 
     /// Handles an exchange initiated by `from`: merges the received
     /// descriptors and returns the reply payload.
-    pub fn handle_exchange(&mut self, from: NodeId, exchange: NewscastExchange) -> NewscastExchange {
+    pub fn handle_exchange(
+        &mut self,
+        from: NodeId,
+        exchange: NewscastExchange,
+    ) -> NewscastExchange {
         self.exchanges += 1;
         let reply = self.payload();
         self.absorb(from, exchange);

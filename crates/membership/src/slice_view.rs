@@ -123,6 +123,12 @@ impl SliceView {
         self.view.sample_peers(n, rng)
     }
 
+    /// Like [`Self::sample_peers`], but fills a caller-owned buffer so hot
+    /// paths can reuse one allocation across calls.
+    pub fn sample_peers_into<R: Rng>(&self, n: usize, rng: &mut R, out: &mut Vec<NodeId>) {
+        self.view.sample_peers_into(n, rng, out);
+    }
+
     /// Selects one random intra-slice peer.
     #[must_use]
     pub fn random_peer<R: Rng>(&self, rng: &mut R) -> Option<NodeId> {

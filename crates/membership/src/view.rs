@@ -163,7 +163,19 @@ impl PartialView {
     /// Selects up to `n` distinct random peer identities from the view.
     #[must_use]
     pub fn sample_peers<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<NodeId> {
-        self.sample(n, rng).into_iter().map(|d| d.id()).collect()
+        let mut peers = Vec::new();
+        self.sample_peers_into(n, rng, &mut peers);
+        peers
+    }
+
+    /// Like [`Self::sample_peers`], but fills a caller-owned buffer so hot
+    /// paths can reuse one allocation across calls. The buffer is cleared
+    /// first.
+    pub fn sample_peers_into<R: Rng>(&self, n: usize, rng: &mut R, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.entries.iter().map(NodeDescriptor::id));
+        out.shuffle(rng);
+        out.truncate(n);
     }
 
     /// Selects one random peer from the view.
@@ -397,7 +409,10 @@ mod tests {
         assert!(view.contains(NodeId::new(3)));
         assert!(view.contains(NodeId::new(2)));
         assert!(!view.contains(NodeId::new(4)), "oldest entry must be cut");
-        assert!(!view.contains(NodeId::new(0)), "owner never enters the view");
+        assert!(
+            !view.contains(NodeId::new(0)),
+            "owner never enters the view"
+        );
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! node and channels as the network, demonstrating that the protocol layer
 //! carries over unchanged to a concurrent deployment.
 //!
+//! Each node thread hosts its node in a [`NodeHost`] — the same dispatch
+//! pipeline the simulator uses — so the only runtime-specific code is how one
+//! [`Output`] is routed: protocol sends become channel messages, client
+//! replies land in the cluster-wide reply inbox, and timer re-arms update the
+//! thread's local deadline table. The cluster as a whole implements
+//! [`Environment`], the driver interface shared with the simulator.
+//!
 //! * [`ThreadedCluster`] — spawns the node threads, routes messages between
 //!   them, exposes a blocking `put`/`get` client API and joins everything on
 //!   shutdown.
@@ -34,6 +41,7 @@
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -44,7 +52,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dataflasks_core::{
-    ClientReply, ClientRequest, DataFlasksNode, Message, Output, ReplyBody, TimerKind,
+    ClientId, ClientReply, ClientRequest, ClusterSpec, DataFlasksNode, Environment, Message,
+    NodeHost, Output, ReplyBody, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
 use dataflasks_store::MemoryStore;
@@ -81,8 +90,12 @@ enum Envelope {
         message: Message,
     },
     FromClient {
-        client: u64,
+        client: ClientId,
         request: ClientRequest,
+    },
+    /// Fire a protocol timer immediately (injected through [`Environment`]).
+    Timer {
+        kind: TimerKind,
     },
     Shutdown,
 }
@@ -90,7 +103,7 @@ enum Envelope {
 /// Routing table shared by every node thread.
 struct Router {
     nodes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
-    client_inbox: Sender<ClientReply>,
+    client_inbox: Sender<(ClientId, ClientReply)>,
     epoch: Instant,
 }
 
@@ -99,65 +112,73 @@ impl Router {
         SimTime::from_millis(self.epoch.elapsed().as_millis() as u64)
     }
 
-    fn route(&self, from: NodeId, outputs: Vec<Output>) {
-        for output in outputs {
-            match output {
-                Output::Send { to, message } => {
-                    let guard = self.nodes.read();
-                    if let Some(tx) = guard.get(&to) {
-                        let _ = tx.send(Envelope::FromNode { from, message });
-                    }
+    /// Routes one send/reply effect. Timer re-arms never reach the router:
+    /// the node thread intercepts them and updates its deadline table.
+    fn route_one(&self, from: NodeId, output: Output) {
+        match output {
+            Output::Send { to, message } => {
+                let guard = self.nodes.read();
+                if let Some(tx) = guard.get(&to) {
+                    let _ = tx.send(Envelope::FromNode { from, message });
                 }
-                Output::Reply { reply, .. } => {
-                    let _ = self.client_inbox.send(reply);
-                }
+            }
+            Output::Reply { client, reply } => {
+                let _ = self.client_inbox.send((client, reply));
+            }
+            Output::Timer { .. } => {
+                debug_assert!(false, "timer re-arms are handled by the node thread");
             }
         }
     }
 }
+
+fn to_std(duration: Duration) -> std::time::Duration {
+    std::time::Duration::from_millis(duration.as_millis())
+}
+
+/// The client id the blocking `put`/`get` API issues requests under.
+/// Reserved: [`Environment::submit_client_request`] rejects it.
+const BLOCKING_CLIENT: ClientId = u64::MAX;
 
 /// A cluster of DataFlasks nodes, one thread per node, channels as transport.
 pub struct ThreadedCluster {
     router: Arc<Router>,
     node_ids: Vec<NodeId>,
     handles: Vec<JoinHandle<DataFlasksNode<MemoryStore>>>,
-    client_rx: Receiver<ClientReply>,
+    client_rx: Receiver<(ClientId, ClientReply)>,
     request_sequence: std::cell::Cell<u64>,
     rng: std::cell::RefCell<StdRng>,
+    /// Client ids injected through [`Environment::submit_client_request`];
+    /// their replies belong to [`Environment::drain_effects`], everything
+    /// else to the blocking API.
+    env_clients: std::collections::HashSet<ClientId>,
+    /// Environment replies received while the blocking API was waiting.
+    env_pending: std::cell::RefCell<Vec<(ClientId, ClientReply)>>,
+    /// Per-node crash flags: set by [`Environment::fail_node`] so the victim
+    /// stops processing immediately, including envelopes already queued in
+    /// its inbox (matching the simulator dropping undelivered events).
+    kill_switches: HashMap<NodeId, Arc<AtomicBool>>,
 }
 
 impl ThreadedCluster {
     /// Starts `node_count` nodes sharing `node_config`. Node capacities are
     /// drawn deterministically from `seed`; every node is bootstrapped with a
-    /// handful of peers so gossip connects the overlay immediately.
+    /// handful of ring successors so gossip connects the overlay immediately.
     #[must_use]
     pub fn start(node_count: usize, node_config: NodeConfig, seed: u64) -> Self {
-        let (client_tx, client_rx) = mpsc::channel();
-        let router = Arc::new(Router {
-            nodes: RwLock::new(HashMap::new()),
-            client_inbox: client_tx,
-            epoch: Instant::now(),
-        });
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut node_ids = Vec::with_capacity(node_count);
-        let mut inboxes = Vec::with_capacity(node_count);
         let mut nodes = Vec::with_capacity(node_count);
         for i in 0..node_count {
             let id = NodeId::new(i as u64);
             let capacity = rng.gen_range(100..=10_000);
             let profile = NodeProfile::with_capacity_and_tie_break(capacity, id.as_u64());
-            let node = DataFlasksNode::new(
+            nodes.push(DataFlasksNode::new(
                 id,
                 node_config,
                 profile,
                 MemoryStore::unbounded(),
                 rng.gen(),
-            );
-            let (tx, rx) = mpsc::channel();
-            router.nodes.write().insert(id, tx);
-            node_ids.push(id);
-            inboxes.push(rx);
-            nodes.push(node);
+            ));
         }
         // Bootstrap every node with its ring successors so the overlay starts
         // connected (gossip randomises it from there). Descriptors carry the
@@ -174,13 +195,48 @@ impl ThreadedCluster {
                 .collect();
             node.bootstrap(contacts);
         }
+        Self::start_nodes(nodes, node_config, seed)
+    }
+
+    /// Starts the cluster described by a [`ClusterSpec`]: explicit
+    /// capacities, per-node seeds derived from the spec seed, and fully
+    /// warmed membership — the exact same node state the simulator's
+    /// `spawn_spec` materialises, so the two environments can be compared
+    /// input for input.
+    #[must_use]
+    pub fn start_spec(spec: &ClusterSpec) -> Self {
+        Self::start_nodes(spec.build_nodes(), spec.node_config, spec.seed)
+    }
+
+    fn start_nodes(
+        nodes: Vec<DataFlasksNode<MemoryStore>>,
+        node_config: NodeConfig,
+        seed: u64,
+    ) -> Self {
+        let (client_tx, client_rx) = mpsc::channel();
+        let router = Arc::new(Router {
+            nodes: RwLock::new(HashMap::new()),
+            client_inbox: client_tx,
+            epoch: Instant::now(),
+        });
+        let mut node_ids = Vec::with_capacity(nodes.len());
+        let mut inboxes = Vec::with_capacity(nodes.len());
+        let mut kill_switches = HashMap::with_capacity(nodes.len());
+        for node in &nodes {
+            let (tx, rx) = mpsc::channel();
+            router.nodes.write().insert(node.id(), tx);
+            node_ids.push(node.id());
+            kill_switches.insert(node.id(), Arc::new(AtomicBool::new(false)));
+            inboxes.push(rx);
+        }
         let handles = nodes
             .into_iter()
             .zip(inboxes)
             .map(|(node, rx)| {
                 let router = Arc::clone(&router);
                 let config = node_config;
-                std::thread::spawn(move || node_thread(node, rx, router, config))
+                let failed = Arc::clone(&kill_switches[&node.id()]);
+                std::thread::spawn(move || node_thread(node, rx, router, config, failed))
             })
             .collect();
         Self {
@@ -190,6 +246,9 @@ impl ThreadedCluster {
             client_rx,
             request_sequence: std::cell::Cell::new(0),
             rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed ^ 0xC11E)),
+            env_clients: std::collections::HashSet::new(),
+            env_pending: std::cell::RefCell::new(Vec::new()),
+            kill_switches,
         }
     }
 
@@ -245,7 +304,7 @@ impl ThreadedCluster {
         let id = self.next_request_id();
         let request = ClientRequest::Get { id, key, version };
         self.submit(request)?;
-        let deadline = Instant::now() + std::time::Duration::from_millis(timeout.as_millis());
+        let deadline = Instant::now() + to_std(timeout);
         let mut saw_miss = false;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -257,7 +316,12 @@ impl ThreadedCluster {
                 };
             }
             match self.client_rx.recv_timeout(remaining) {
-                Ok(reply) if reply.request == id => match reply.body {
+                Ok((client, reply)) if self.env_clients.contains(&client) => {
+                    // An Environment reply racing the blocking API: keep it
+                    // for the next drain_effects call.
+                    self.env_pending.borrow_mut().push((client, reply));
+                }
+                Ok((_, reply)) if reply.request == id => match reply.body {
                     ReplyBody::GetHit { object } => return Ok(Some(object)),
                     ReplyBody::GetMiss { .. } => saw_miss = true,
                     ReplyBody::PutAck { .. } => {}
@@ -276,7 +340,8 @@ impl ThreadedCluster {
     }
 
     /// Stops every node thread and returns the final node states for
-    /// inspection (stores, statistics, slice assignments).
+    /// inspection (stores, statistics, slice assignments). Nodes failed with
+    /// [`Environment::fail_node`] are included, frozen at their final state.
     pub fn shutdown(self) -> Vec<DataFlasksNode<MemoryStore>> {
         {
             let guard = self.router.nodes.read();
@@ -291,25 +356,42 @@ impl ThreadedCluster {
     }
 
     fn submit(&self, request: ClientRequest) -> Result<(), RuntimeError> {
+        let guard = self.router.nodes.read();
+        // Contacts are drawn from the nodes still routable, so operations
+        // keep succeeding after failures as long as any node is alive.
+        let live: Vec<NodeId> = self
+            .node_ids
+            .iter()
+            .copied()
+            .filter(|id| guard.contains_key(id))
+            .collect();
+        if live.is_empty() {
+            return Err(RuntimeError::Shutdown);
+        }
         let contact = {
             let mut rng = self.rng.borrow_mut();
-            self.node_ids[rng.gen_range(0..self.node_ids.len())]
+            live[rng.gen_range(0..live.len())]
         };
-        let guard = self.router.nodes.read();
         let tx = guard.get(&contact).ok_or(RuntimeError::Shutdown)?;
-        tx.send(Envelope::FromClient { client: 0, request })
-            .map_err(|_| RuntimeError::Shutdown)
+        tx.send(Envelope::FromClient {
+            client: BLOCKING_CLIENT,
+            request,
+        })
+        .map_err(|_| RuntimeError::Shutdown)
     }
 
     fn await_reply(&self, id: RequestId, timeout: Duration) -> Result<ClientReply, RuntimeError> {
-        let deadline = Instant::now() + std::time::Duration::from_millis(timeout.as_millis());
+        let deadline = Instant::now() + to_std(timeout);
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
                 return Err(RuntimeError::Timeout);
             }
             match self.client_rx.recv_timeout(remaining) {
-                Ok(reply) if reply.request == id => return Ok(reply),
+                Ok((client, reply)) if self.env_clients.contains(&client) => {
+                    self.env_pending.borrow_mut().push((client, reply));
+                }
+                Ok((_, reply)) if reply.request == id => return Ok(reply),
                 Ok(_) => continue, // reply for an earlier (already completed) request
                 Err(RecvTimeoutError::Timeout) => return Err(RuntimeError::Timeout),
                 Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
@@ -324,27 +406,95 @@ impl ThreadedCluster {
     }
 }
 
-/// The per-node thread: waits for messages, fires timers at their configured
-/// periods, and hands every output back to the router.
+impl Environment for ThreadedCluster {
+    fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message) {
+        let guard = self.router.nodes.read();
+        if let Some(tx) = guard.get(&to) {
+            let _ = tx.send(Envelope::FromNode { from, message });
+        }
+    }
+
+    fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
+        let guard = self.router.nodes.read();
+        if let Some(tx) = guard.get(&node) {
+            let _ = tx.send(Envelope::Timer { kind });
+        }
+    }
+
+    fn submit_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest) {
+        assert!(
+            client != BLOCKING_CLIENT,
+            "client id {BLOCKING_CLIENT} is reserved for the blocking put/get API"
+        );
+        self.env_clients.insert(client);
+        let guard = self.router.nodes.read();
+        if let Some(tx) = guard.get(&contact) {
+            let _ = tx.send(Envelope::FromClient { client, request });
+        }
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        // The kill switch makes the victim discard everything still queued
+        // in its inbox (the simulator equivalently drops undelivered
+        // events); removing the sender then makes every later send to the
+        // node a silent drop — the channel equivalent of a crash.
+        if let Some(failed) = self.kill_switches.get(&node) {
+            failed.store(true, Ordering::SeqCst);
+        }
+        self.router.nodes.write().remove(&node);
+    }
+
+    fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
+        // Replies stashed while the blocking API was at the inbox come first.
+        let mut replies: Vec<ClientReply> = self
+            .env_pending
+            .borrow_mut()
+            .drain(..)
+            .map(|(_, reply)| reply)
+            .collect();
+        let deadline = Instant::now() + to_std(budget);
+        // A full second of inbox silence means the in-process cascade (whose
+        // hops take microseconds) has quiesced; the budget caps the total
+        // wait either way.
+        let idle_grace = std::time::Duration::from_secs(1);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.client_rx.recv_timeout(idle_grace.min(remaining)) {
+                Ok((client, reply)) => {
+                    if self.env_clients.contains(&client) {
+                        replies.push(reply);
+                    }
+                    // Replies for the blocking API arriving here belong to
+                    // operations that already completed or timed out
+                    // (duplicates); they are discarded, matching the
+                    // blocking loops' own treatment of late duplicates.
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        replies
+    }
+}
+
+/// The per-node thread: hosts the node, waits for envelopes, fires timers at
+/// the deadlines the node's own re-arm effects maintain, and hands every
+/// other effect to the router.
 fn node_thread(
-    mut node: DataFlasksNode<MemoryStore>,
+    node: DataFlasksNode<MemoryStore>,
     rx: Receiver<Envelope>,
     router: Arc<Router>,
     config: NodeConfig,
+    failed: Arc<AtomicBool>,
 ) -> DataFlasksNode<MemoryStore> {
-    let periods = [
-        (TimerKind::PssShuffle, config.pss.shuffle_period),
-        (TimerKind::SliceGossip, config.slicing.gossip_period),
-        (TimerKind::AntiEntropy, config.replication.anti_entropy_period),
-    ];
-    let mut deadlines: Vec<(TimerKind, Instant)> = periods
+    let mut host = NodeHost::new(node);
+    let id = host.node().id();
+    let mut deadlines: Vec<(TimerKind, Instant)> = TimerKind::ALL
         .iter()
-        .map(|&(kind, period)| {
-            (
-                kind,
-                Instant::now() + std::time::Duration::from_millis(period.as_millis()),
-            )
-        })
+        .map(|&kind| (kind, Instant::now() + to_std(kind.period(&config))))
         .collect();
     loop {
         let next_deadline = deadlines
@@ -353,35 +503,68 @@ fn node_thread(
             .min()
             .expect("timer list is never empty");
         let wait = next_deadline.saturating_duration_since(Instant::now());
-        match rx.recv_timeout(wait) {
+        let envelope = rx.recv_timeout(wait);
+        // Crashed: stop before touching anything still queued in the inbox.
+        if failed.load(Ordering::SeqCst) {
+            break;
+        }
+        match envelope {
             Ok(Envelope::FromNode { from, message }) => {
-                let outputs = node.handle_message(from, message, router.now());
-                router.route(node.id(), outputs);
+                let now = router.now();
+                host.deliver_message(from, message, now, |output| {
+                    route_thread_output(&router, id, &mut deadlines, output);
+                });
             }
             Ok(Envelope::FromClient { client, request }) => {
-                let outputs = node.handle_client_request(client, request, router.now());
-                router.route(node.id(), outputs);
+                let now = router.now();
+                host.submit_client_request(client, request, now, |output| {
+                    route_thread_output(&router, id, &mut deadlines, output);
+                });
+            }
+            Ok(Envelope::Timer { kind }) => {
+                let now = router.now();
+                host.fire_timer(kind, now, |output| {
+                    route_thread_output(&router, id, &mut deadlines, output);
+                });
             }
             Ok(Envelope::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
-        // Fire every timer whose deadline passed.
-        let now = Instant::now();
-        for (kind, deadline) in &mut deadlines {
-            if *deadline <= now {
-                let outputs = node.on_timer(*kind, router.now());
-                router.route(node.id(), outputs);
-                let period = periods
-                    .iter()
-                    .find(|(k, _)| k == kind)
-                    .map(|&(_, p)| p)
-                    .expect("kind comes from the same list");
-                *deadline = now + std::time::Duration::from_millis(period.as_millis());
+        // Fire every timer whose deadline passed; the node's re-arm effect
+        // moves the deadline forward (the pre-arm below only covers the
+        // pathological case of a handler that emits nothing).
+        let reached = Instant::now();
+        for index in 0..deadlines.len() {
+            let (kind, deadline) = deadlines[index];
+            if deadline <= reached {
+                deadlines[index].1 = reached + to_std(kind.period(&config));
+                let now = router.now();
+                host.fire_timer(kind, now, |output| {
+                    route_thread_output(&router, id, &mut deadlines, output);
+                });
             }
         }
     }
-    node
+    host.into_node()
+}
+
+/// The threaded-runtime half of the shared effect pipeline: timer re-arms
+/// update the local deadline table, everything else goes to the router.
+fn route_thread_output(
+    router: &Router,
+    from: NodeId,
+    deadlines: &mut [(TimerKind, Instant)],
+    output: Output,
+) {
+    match output {
+        Output::Timer { kind, after } => {
+            if let Some(entry) = deadlines.iter_mut().find(|(k, _)| *k == kind) {
+                entry.1 = Instant::now() + to_std(after);
+            }
+        }
+        other => router.route_one(from, other),
+    }
 }
 
 #[cfg(test)]
@@ -408,7 +591,12 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(200));
         let key = Key::from_user_key("threaded");
         cluster
-            .put(key, Version::new(1), Value::from_bytes(b"value"), Duration::from_secs(5))
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(b"value"),
+                Duration::from_secs(5),
+            )
             .expect("put should be acknowledged");
         let read = cluster
             .get(key, None, Duration::from_secs(5))
@@ -447,6 +635,83 @@ mod tests {
         // Gossip ran: nodes exchanged membership messages.
         assert!(nodes.iter().any(|n| n.stats().total_messages() > 0));
         assert!(nodes.iter().all(|n| n.slice().is_some()));
+    }
+
+    #[test]
+    fn spec_started_cluster_serves_requests_through_the_environment() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            21,
+        );
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        let key = Key::from_user_key("env-driven");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"spec"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(
+            replies
+                .iter()
+                .any(|r| matches!(r.body, ReplyBody::PutAck { .. })),
+            "expected an acknowledgement, got {replies:?}"
+        );
+        let nodes = cluster.shutdown();
+        // Single slice and warm views: every node replicated the object.
+        assert!(nodes
+            .iter()
+            .all(|n| dataflasks_store::DataStore::get_latest(n.store(), key).is_some()));
+    }
+
+    #[test]
+    fn failed_nodes_stop_answering() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 22);
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        let victim = NodeId::new(2);
+        cluster.fail_node(victim);
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Put {
+                id: RequestId::new(9, 1),
+                key: Key::from_user_key("to-the-dead"),
+                version: Version::new(1),
+                value: Value::from_bytes(b"lost"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_millis(600));
+        assert!(replies.is_empty(), "a failed contact cannot reply");
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 3, "failed nodes still return their state");
+    }
+
+    #[test]
+    fn blocking_api_avoids_failed_contacts() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 23);
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        cluster.fail_node(NodeId::new(2));
+        // Every contact draw must land on a live node: repeated puts all
+        // succeed instead of sporadically erroring on the failed node.
+        for i in 0..8u64 {
+            cluster
+                .put(
+                    Key::from_user_key(&format!("survivor-{i}")),
+                    Version::new(1),
+                    Value::from_bytes(b"ok"),
+                    Duration::from_secs(5),
+                )
+                .expect("live contacts must serve the put");
+        }
+        cluster.shutdown();
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl Distribution {
         }
         let count = samples.len();
         let mean = samples.iter().sum::<f64>() / count as f64;
-        let variance = samples
-            .iter()
-            .map(|s| (s - mean) * (s - mean))
-            .sum::<f64>()
-            / count as f64;
+        let variance = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / count as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         Self {

@@ -81,6 +81,22 @@ pub enum EventPayload {
         node: NodeId,
         /// Which protocol activity runs.
         kind: TimerKind,
+        /// Arming generation of the `(node, kind)` timer chain. Exactly one
+        /// chain is live per node and kind: re-arming or injecting a firing
+        /// bumps the generation, and events stamped with an older generation
+        /// are dropped on dispatch (the queue-based equivalent of the
+        /// threaded runtime overwriting its single deadline entry).
+        generation: u64,
+    },
+    /// A client operation is submitted through an explicit contact node
+    /// (injected through the `Environment` interface).
+    ClientSubmit {
+        /// The issuing client.
+        client: ClientId,
+        /// The contact node that handles the request.
+        contact: NodeId,
+        /// The operation.
+        request: dataflasks_core::ClientRequest,
     },
     /// A reply arrives at a client library.
     ClientDeliver {
@@ -256,15 +272,21 @@ mod tests {
         let mut queue = EventQueue::new();
         queue.schedule(
             SimTime::from_millis(30),
-            EventPayload::NodeCrash { node: NodeId::new(3) },
+            EventPayload::NodeCrash {
+                node: NodeId::new(3),
+            },
         );
         queue.schedule(
             SimTime::from_millis(10),
-            EventPayload::NodeCrash { node: NodeId::new(1) },
+            EventPayload::NodeCrash {
+                node: NodeId::new(1),
+            },
         );
         queue.schedule(
             SimTime::from_millis(20),
-            EventPayload::NodeCrash { node: NodeId::new(2) },
+            EventPayload::NodeCrash {
+                node: NodeId::new(2),
+            },
         );
         assert_eq!(queue.len(), 3);
         assert_eq!(queue.next_time(), Some(SimTime::from_millis(10)));
@@ -284,7 +306,9 @@ mod tests {
         for i in 0..10u64 {
             queue.schedule(
                 SimTime::from_millis(5),
-                EventPayload::NodeCrash { node: NodeId::new(i) },
+                EventPayload::NodeCrash {
+                    node: NodeId::new(i),
+                },
             );
         }
         let order: Vec<u64> = std::iter::from_fn(|| queue.pop())

@@ -6,9 +6,11 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use dataflasks_core::Message;
 use dataflasks_core::{
-    ClientId, ClientLibrary, ClientRequest, CompletedOperation, DataFlasksNode, LoadBalancer,
-    LoadBalancerPolicy, NodeStats, Output, TimerKind,
+    ClientId, ClientLibrary, ClientReply, ClientRequest, ClusterSpec, CompletedOperation,
+    DataFlasksNode, Environment, LoadBalancer, LoadBalancerPolicy, NodeHost, NodeStats, Output,
+    TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
 use dataflasks_store::{DataStore, MemoryStore};
@@ -45,8 +47,77 @@ impl Default for SimConfig {
 }
 
 struct SimNode {
-    node: DataFlasksNode<MemoryStore>,
+    host: NodeHost<MemoryStore>,
     alive: bool,
+}
+
+/// Per-`(node, kind)` timer-chain generations: arming bumps the generation,
+/// and dispatch drops events stamped with a stale one, so exactly one chain
+/// is live per node and timer kind — matching the threaded runtime's single
+/// deadline-table entry.
+type TimerGenerations = HashMap<(NodeId, TimerKind), u64>;
+
+/// Supersedes any pending `(node, kind)` timer event and schedules the next
+/// firing at `at`.
+fn arm_timer(
+    queue: &mut EventQueue,
+    timers: &mut TimerGenerations,
+    node: NodeId,
+    kind: TimerKind,
+    at: SimTime,
+) {
+    let generation = timers.entry((node, kind)).or_insert(0);
+    *generation += 1;
+    queue.schedule(
+        at,
+        EventPayload::Timer {
+            node,
+            kind,
+            generation: *generation,
+        },
+    );
+}
+
+/// The queue-side state needed to route one node effect: sends and replies
+/// travel through the simulated network, timer re-arms supersede the pending
+/// timer chain. This is the simulator half of the shared [`Environment`]
+/// pipeline — the threaded runtime routes the very same [`Output`] values
+/// over channels.
+struct Routing<'a> {
+    queue: &'a mut EventQueue,
+    rng: &'a mut StdRng,
+    network: &'a NetworkConfig,
+    messages_dropped: &'a mut u64,
+    timers: &'a mut TimerGenerations,
+    now: SimTime,
+}
+
+impl Routing<'_> {
+    fn route(&mut self, from: NodeId, output: Output) {
+        match output {
+            Output::Send { to, message } => {
+                if self.network.drops(self.rng) {
+                    *self.messages_dropped += 1;
+                    return;
+                }
+                let latency = self.network.sample_latency(self.rng);
+                self.queue.schedule(
+                    self.now + latency,
+                    EventPayload::Deliver { from, to, message },
+                );
+            }
+            Output::Reply { client, reply } => {
+                let latency = self.network.sample_latency(self.rng);
+                self.queue.schedule(
+                    self.now + latency,
+                    EventPayload::ClientDeliver { client, reply },
+                );
+            }
+            Output::Timer { kind, after } => {
+                arm_timer(self.queue, self.timers, from, kind, self.now + after);
+            }
+        }
+    }
 }
 
 /// A deterministic discrete-event simulation of a DataFlasks cluster.
@@ -82,8 +153,17 @@ pub struct Simulation {
     next_client_id: ClientId,
     next_node_id: u64,
     completed: Vec<CompletedOperation>,
+    /// Replies to operations injected through the [`Environment`] interface;
+    /// drained by [`Environment::drain_effects`].
+    reply_log: Vec<ClientReply>,
+    /// Client ids injected through [`Environment::submit_client_request`]:
+    /// their replies go to [`Self::reply_log`] even if a [`ClientLibrary`]
+    /// shares the id, mirroring the threaded runtime's split between
+    /// Environment traffic and its native client API.
+    env_clients: std::collections::HashSet<ClientId>,
     messages_delivered: u64,
     messages_dropped: u64,
+    timer_generations: TimerGenerations,
     default_node_config: NodeConfig,
     client_policy: LoadBalancerPolicy,
 }
@@ -103,8 +183,11 @@ impl Simulation {
             next_client_id: 1,
             next_node_id: 0,
             completed: Vec::new(),
+            reply_log: Vec::new(),
+            env_clients: std::collections::HashSet::new(),
             messages_delivered: 0,
             messages_dropped: 0,
+            timer_generations: TimerGenerations::new(),
             default_node_config: NodeConfig::default(),
             client_policy: LoadBalancerPolicy::Random,
         }
@@ -156,7 +239,7 @@ impl Simulation {
     /// Panics if no node with this identifier was ever added.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &DataFlasksNode<MemoryStore> {
-        &self.nodes.get(&id).expect("unknown node id").node
+        self.nodes.get(&id).expect("unknown node id").host.node()
     }
 
     /// Operations completed by all clients so far (in completion order).
@@ -193,22 +276,63 @@ impl Simulation {
         self.next_node_id += 1;
         let profile = NodeProfile::with_capacity_and_tie_break(capacity, id.as_u64());
         let seed = self.rng.gen();
-        let mut node = DataFlasksNode::new(id, node_config, profile, MemoryStore::unbounded(), seed);
+        let mut node =
+            DataFlasksNode::new(id, node_config, profile, MemoryStore::unbounded(), seed);
         node.bootstrap(self.bootstrap_contacts(id));
-        self.nodes.insert(id, SimNode { node, alive: true });
+        self.nodes.insert(
+            id,
+            SimNode {
+                host: NodeHost::new(node),
+                alive: true,
+            },
+        );
         self.node_order.push(id);
         self.schedule_node_timers(id, node_config);
         id
     }
 
+    /// Materialises a [`ClusterSpec`] into this (empty) simulation: the same
+    /// spec driven through any [`Environment`] hosts identical node state
+    /// machines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nodes were already spawned (a spec describes a whole
+    /// cluster, ids starting at zero).
+    pub fn spawn_spec(&mut self, spec: &ClusterSpec) {
+        assert!(
+            self.nodes.is_empty(),
+            "spawn_spec requires an empty simulation"
+        );
+        self.default_node_config = spec.node_config;
+        self.next_node_id = spec.len() as u64;
+        for node in spec.build_nodes() {
+            let id = node.id();
+            self.nodes.insert(
+                id,
+                SimNode {
+                    host: NodeHost::new(node),
+                    alive: true,
+                },
+            );
+            self.node_order.push(id);
+            self.schedule_node_timers(id, spec.node_config);
+        }
+    }
+
     /// Adds a client library whose load balancer knows every currently alive
     /// node, returning the client identifier.
     pub fn add_client(&mut self) -> ClientId {
+        // Never mint an id already claimed by an Environment submission —
+        // its replies are diverted to the Environment's reply log and the
+        // library would starve.
+        while self.env_clients.contains(&self.next_client_id) {
+            self.next_client_id += 1;
+        }
         let id = self.next_client_id;
         self.next_client_id += 1;
-        let partition = dataflasks_types::SlicePartition::new(
-            self.default_node_config.slicing.slice_count,
-        );
+        let partition =
+            dataflasks_types::SlicePartition::new(self.default_node_config.slicing.slice_count);
         let lb = LoadBalancer::new(self.client_policy, self.alive_nodes(), partition);
         self.clients.insert(id, ClientLibrary::new(id, lb));
         id
@@ -224,8 +348,13 @@ impl Simulation {
     pub fn schedule_join(&mut self, at: SimTime, capacity: u64) {
         // The node id is allocated when the event fires so that ids stay
         // dense and deterministic.
-        self.queue
-            .schedule(at, EventPayload::NodeJoin { node: NodeId::new(u64::MAX), capacity });
+        self.queue.schedule(
+            at,
+            EventPayload::NodeJoin {
+                node: NodeId::new(u64::MAX),
+                capacity,
+            },
+        );
     }
 
     /// Schedules uniform churn between `start` and `end`: `crashes` node
@@ -236,19 +365,22 @@ impl Simulation {
         for _ in 0..crashes {
             let offset = self.rng.gen_range(0..window);
             let at = start + Duration::from_millis(offset);
-            if let Some(&victim) = self
-                .node_order
-                .choose(&mut self.rng)
-            {
-                self.queue.schedule(at, EventPayload::NodeCrash { node: victim });
+            if let Some(&victim) = self.node_order.choose(&mut self.rng) {
+                self.queue
+                    .schedule(at, EventPayload::NodeCrash { node: victim });
             }
         }
         for _ in 0..joins {
             let offset = self.rng.gen_range(0..window);
             let at = start + Duration::from_millis(offset);
             let capacity = self.rng.gen_range(100..=10_000);
-            self.queue
-                .schedule(at, EventPayload::NodeJoin { node: NodeId::new(u64::MAX), capacity });
+            self.queue.schedule(
+                at,
+                EventPayload::NodeJoin {
+                    node: NodeId::new(u64::MAX),
+                    capacity,
+                },
+            );
         }
     }
 
@@ -271,8 +403,14 @@ impl Simulation {
 
     /// Submits a get through `client` at the current time.
     pub fn submit_get(&mut self, client: ClientId, key: Key, version: Option<Version>) {
-        self.queue
-            .schedule(self.now, EventPayload::ClientGet { client, key, version });
+        self.queue.schedule(
+            self.now,
+            EventPayload::ClientGet {
+                client,
+                key,
+                version,
+            },
+        );
     }
 
     /// Schedules a put at an explicit future time.
@@ -303,8 +441,14 @@ impl Simulation {
         key: Key,
         version: Option<Version>,
     ) {
-        self.queue
-            .schedule(at, EventPayload::ClientGet { client, key, version });
+        self.queue.schedule(
+            at,
+            EventPayload::ClientGet {
+                client,
+                key,
+                version,
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -334,33 +478,94 @@ impl Simulation {
     fn dispatch(&mut self, payload: EventPayload) {
         match payload {
             EventPayload::Deliver { from, to, message } => {
-                let Some(entry) = self.nodes.get_mut(&to) else {
+                let now = self.now;
+                let Self {
+                    nodes,
+                    queue,
+                    rng,
+                    config,
+                    messages_dropped,
+                    messages_delivered,
+                    timer_generations,
+                    ..
+                } = self;
+                let Some(entry) = nodes.get_mut(&to) else {
                     return;
                 };
                 if !entry.alive {
                     return;
                 }
-                self.messages_delivered += 1;
-                let outputs = entry.node.handle_message(from, message, self.now);
-                self.route_outputs(to, outputs);
+                *messages_delivered += 1;
+                let mut routing = Routing {
+                    queue,
+                    rng,
+                    network: &config.network,
+                    messages_dropped,
+                    timers: timer_generations,
+                    now,
+                };
+                entry
+                    .host
+                    .deliver_message(from, message, now, |output| routing.route(to, output));
             }
-            EventPayload::Timer { node, kind } => {
-                let period = self.timer_period(kind);
-                let Some(entry) = self.nodes.get_mut(&node) else {
+            EventPayload::Timer {
+                node,
+                kind,
+                generation,
+            } => {
+                let now = self.now;
+                let Self {
+                    nodes,
+                    queue,
+                    rng,
+                    config,
+                    messages_dropped,
+                    timer_generations,
+                    ..
+                } = self;
+                // A stale chain was superseded by a re-arm or an injected
+                // firing: drop it, there is exactly one live chain per
+                // (node, kind).
+                if timer_generations.get(&(node, kind)) != Some(&generation) {
+                    return;
+                }
+                let Some(entry) = nodes.get_mut(&node) else {
                     return;
                 };
+                // A dead node's timer is simply not re-armed (the re-arm is
+                // an effect of handling the timer, which dead nodes never do).
                 if entry.alive {
-                    let outputs = entry.node.on_timer(kind, self.now);
-                    self.route_outputs(node, outputs);
-                    self.queue
-                        .schedule(self.now + period, EventPayload::Timer { node, kind });
+                    let mut routing = Routing {
+                        queue,
+                        rng,
+                        network: &config.network,
+                        messages_dropped,
+                        timers: timer_generations,
+                        now,
+                    };
+                    entry
+                        .host
+                        .fire_timer(kind, now, |output| routing.route(node, output));
                 }
             }
+            EventPayload::ClientSubmit {
+                client,
+                contact,
+                request,
+            } => {
+                self.deliver_client_request(client, contact, request);
+            }
             EventPayload::ClientDeliver { client, reply } => {
-                if let Some(library) = self.clients.get_mut(&client) {
+                if self.env_clients.contains(&client) {
+                    // Environment-injected traffic: surfaced raw through
+                    // drain_effects, never absorbed by a client library.
+                    self.reply_log.push(reply);
+                } else if let Some(library) = self.clients.get_mut(&client) {
                     if let Some(done) = library.on_reply(&reply, self.now) {
                         self.completed.push(done);
                     }
+                } else {
+                    self.reply_log.push(reply);
                 }
             }
             EventPayload::ClientPut {
@@ -379,7 +584,11 @@ impl Simulation {
                     self.deliver_client_request(client, issued.contact, issued.request);
                 }
             }
-            EventPayload::ClientGet { client, key, version } => {
+            EventPayload::ClientGet {
+                client,
+                key,
+                version,
+            } => {
                 let Some(library) = self.clients.get_mut(&client) else {
                     return;
                 };
@@ -402,47 +611,44 @@ impl Simulation {
         }
     }
 
-    fn deliver_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest) {
-        let latency = self.config.network.sample_latency(&mut self.rng);
-        // The contact node processes the request after one network hop; its
-        // outputs are routed like any other node output.
-        let at = self.now + latency;
-        let Some(entry) = self.nodes.get_mut(&contact) else {
+    fn deliver_client_request(
+        &mut self,
+        client: ClientId,
+        contact: NodeId,
+        request: ClientRequest,
+    ) {
+        // The contact node handles the request at submission time; the
+        // client-perceived latency still includes the network because replies
+        // travel through the queue.
+        let now = self.now;
+        let Self {
+            nodes,
+            queue,
+            rng,
+            config,
+            messages_dropped,
+            timer_generations,
+            ..
+        } = self;
+        let Some(entry) = nodes.get_mut(&contact) else {
             return;
         };
         if !entry.alive {
             return;
         }
-        // Handle at delivery time: we model this by advancing through the
-        // queue — but for simplicity the contact handles it now with the
-        // latency folded into the reply path (client-perceived latency still
-        // includes both hops because replies travel through the queue).
-        let _ = at;
-        let outputs = entry.node.handle_client_request(client, request, self.now);
-        self.route_outputs(contact, outputs);
-    }
-
-    fn route_outputs(&mut self, from: NodeId, outputs: Vec<Output>) {
-        for output in outputs {
-            match output {
-                Output::Send { to, message } => {
-                    if self.config.network.drops(&mut self.rng) {
-                        self.messages_dropped += 1;
-                        continue;
-                    }
-                    let latency = self.config.network.sample_latency(&mut self.rng);
-                    self.queue.schedule(
-                        self.now + latency,
-                        EventPayload::Deliver { from, to, message },
-                    );
-                }
-                Output::Reply { client, reply } => {
-                    let latency = self.config.network.sample_latency(&mut self.rng);
-                    self.queue
-                        .schedule(self.now + latency, EventPayload::ClientDeliver { client, reply });
-                }
-            }
-        }
+        let mut routing = Routing {
+            queue,
+            rng,
+            network: &config.network,
+            messages_dropped,
+            timers: timer_generations,
+            now,
+        };
+        entry
+            .host
+            .submit_client_request(client, request, now, |output| {
+                routing.route(contact, output)
+            });
     }
 
     fn expire_clients(&mut self) {
@@ -453,24 +659,20 @@ impl Simulation {
         }
     }
 
-    fn timer_period(&self, kind: TimerKind) -> Duration {
-        match kind {
-            TimerKind::PssShuffle => self.default_node_config.pss.shuffle_period,
-            TimerKind::SliceGossip => self.default_node_config.slicing.gossip_period,
-            TimerKind::AntiEntropy => self.default_node_config.replication.anti_entropy_period,
-        }
-    }
-
+    /// Seeds the first round of each protocol timer with a random phase;
+    /// every subsequent round is re-armed by the node itself (an
+    /// [`Output::Timer`] effect).
     fn schedule_node_timers(&mut self, node: NodeId, config: NodeConfig) {
-        let jitter_base = [
-            (TimerKind::PssShuffle, config.pss.shuffle_period),
-            (TimerKind::SliceGossip, config.slicing.gossip_period),
-            (TimerKind::AntiEntropy, config.replication.anti_entropy_period),
-        ];
-        for (kind, period) in jitter_base {
+        for kind in TimerKind::ALL {
+            let period = kind.period(&config);
             let jitter = Duration::from_millis(self.rng.gen_range(0..period.as_millis().max(1)));
-            self.queue
-                .schedule(self.now + jitter, EventPayload::Timer { node, kind });
+            arm_timer(
+                &mut self.queue,
+                &mut self.timer_generations,
+                node,
+                kind,
+                self.now + jitter,
+            );
         }
     }
 
@@ -486,7 +688,7 @@ impl Simulation {
             .into_iter()
             .take(BOOTSTRAP_CONTACTS)
             .map(|id| {
-                let node = &self.nodes[&id].node;
+                let node = self.nodes[&id].host.node();
                 NodeDescriptor::new(id, node.profile()).with_slice(node.slice())
             })
             .collect()
@@ -511,7 +713,7 @@ impl Simulation {
             .iter()
             .filter_map(|id| {
                 let entry = self.nodes.get(id)?;
-                entry.alive.then(|| *entry.node.stats())
+                entry.alive.then(|| *entry.host.node().stats())
             })
             .collect()
     }
@@ -527,7 +729,7 @@ impl Simulation {
     pub fn replication_factor(&self, key: Key) -> usize {
         self.nodes
             .values()
-            .filter(|entry| entry.alive && entry.node.store().get_latest(key).is_some())
+            .filter(|entry| entry.alive && entry.host.node().store().get_latest(key).is_some())
             .count()
     }
 
@@ -537,7 +739,7 @@ impl Simulation {
         self.nodes
             .iter()
             .filter(|(_, entry)| entry.alive)
-            .filter_map(|(&id, entry)| entry.node.slice().map(|slice| (id, slice)))
+            .filter_map(|(&id, entry)| entry.host.node().slice().map(|slice| (id, slice)))
             .collect()
     }
 
@@ -570,6 +772,57 @@ impl Simulation {
             })
             .count();
         successes as f64 / self.completed.len() as f64
+    }
+}
+
+impl Environment for Simulation {
+    fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message) {
+        self.queue
+            .schedule(self.now, EventPayload::Deliver { from, to, message });
+    }
+
+    fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
+        // Arming supersedes the pending chain, exactly like the threaded
+        // runtime overwriting its single deadline entry: the injected firing
+        // replaces the scheduled one instead of spawning a second chain.
+        arm_timer(
+            &mut self.queue,
+            &mut self.timer_generations,
+            node,
+            kind,
+            self.now,
+        );
+    }
+
+    fn submit_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest) {
+        assert!(
+            !self.clients.contains_key(&client),
+            "client id {client} belongs to a registered ClientLibrary; \
+             Environment submissions must use their own ids"
+        );
+        self.env_clients.insert(client);
+        // Queued (not handled inline) so injected inputs are processed in
+        // submission order relative to injected messages and timer firings —
+        // the same FIFO semantics a node's inbox gives the threaded runtime.
+        self.queue.schedule(
+            self.now,
+            EventPayload::ClientSubmit {
+                client,
+                contact,
+                request,
+            },
+        );
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        if let Some(entry) = self.nodes.get_mut(&node) {
+            entry.alive = false;
+        }
+    }
+
+    fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
+        self.run_for(budget);
+        std::mem::take(&mut self.reply_log)
     }
 }
 
@@ -660,17 +913,43 @@ mod tests {
     fn churn_scheduling_respects_counts() {
         let mut sim = small_sim(20, 2);
         sim.run_for(Duration::from_secs(5));
-        sim.schedule_churn(
-            sim.now(),
-            sim.now() + Duration::from_secs(10),
-            5,
-            3,
-        );
+        sim.schedule_churn(sim.now(), sim.now() + Duration::from_secs(10), 5, 3);
         sim.run_for(Duration::from_secs(20));
         // 20 - 5 crashes + 3 joins = 18 (a node may be crashed twice, making
         // the count higher; it can never drop below 20 - 5 + 3).
         assert!(sim.alive_count() >= 18);
         assert!(sim.alive_count() <= 23);
+    }
+
+    #[test]
+    fn injected_timer_firings_supersede_the_pending_chain() {
+        use dataflasks_core::MessageKind;
+        // Hour-long periods isolate the injected firings from the periodic
+        // schedule.
+        let mut config = NodeConfig::for_system_size(4, 1);
+        let hour = Duration::from_secs(3_600);
+        config.pss.shuffle_period = hour;
+        config.slicing.gossip_period = hour;
+        config.replication.anti_entropy_period = hour;
+        let mut sim = Simulation::new(SimConfig::default());
+        sim.spawn_cluster(4, config);
+        // The last-spawned node bootstrapped with every earlier node, so its
+        // view is non-empty and a shuffle firing produces one message.
+        let node = *sim.alive_nodes().last().unwrap();
+        let sent_before = sim.node(node).stats().sent(MessageKind::Membership);
+        // Five injections arm five generations; only the newest chain is
+        // live, so the shuffle fires exactly once (the threaded runtime's
+        // single-deadline semantics).
+        for _ in 0..5 {
+            Environment::fire_timer(&mut sim, node, TimerKind::PssShuffle);
+        }
+        sim.run_for(Duration::from_secs(10));
+        let sent_after = sim.node(node).stats().sent(MessageKind::Membership);
+        assert_eq!(
+            sent_after - sent_before,
+            1,
+            "five injected firings must collapse into one live timer chain"
+        );
     }
 
     #[test]

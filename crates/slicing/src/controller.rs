@@ -135,7 +135,10 @@ impl ReplicationController {
     /// Panics if `target_replication` is zero or `max_slices` is zero.
     #[must_use]
     pub fn new(target_replication: usize, max_slices: u32) -> Self {
-        assert!(target_replication > 0, "target replication must be positive");
+        assert!(
+            target_replication > 0,
+            "target replication must be positive"
+        );
         assert!(max_slices > 0, "the system needs at least one slice");
         Self {
             target_replication,

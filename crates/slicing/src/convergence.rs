@@ -81,7 +81,10 @@ pub fn slice_accuracy(
 /// replication-maintenance experiment watches for, because an empty slice
 /// means its key range has lost all replicas.
 #[must_use]
-pub fn slice_size_imbalance(assignment: &HashMap<NodeId, SliceId>, partition: SlicePartition) -> f64 {
+pub fn slice_size_imbalance(
+    assignment: &HashMap<NodeId, SliceId>,
+    partition: SlicePartition,
+) -> f64 {
     let mut counts = vec![0usize; partition.slice_count() as usize];
     for slice in assignment.values() {
         if let Some(count) = counts.get_mut(slice.index() as usize) {

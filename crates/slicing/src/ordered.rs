@@ -151,7 +151,11 @@ impl OrderedSlicer {
     }
 
     /// Handles an exchange received from a peer and returns the reply.
-    pub fn handle_exchange<R: Rng>(&mut self, exchange: SliceExchange, rng: &mut R) -> SliceExchange {
+    pub fn handle_exchange<R: Rng>(
+        &mut self,
+        exchange: SliceExchange,
+        rng: &mut R,
+    ) -> SliceExchange {
         self.exchanges += 1;
         let reply = SliceExchange {
             samples: self.select_samples(rng),
@@ -186,6 +190,10 @@ impl OrderedSlicer {
 
     fn select_samples<R: Rng>(&self, rng: &mut R) -> Vec<AttributeSample> {
         let mut pool: Vec<AttributeSample> = self.samples.values().copied().collect();
+        // HashMap iteration order is random per process; fix it before the
+        // seeded shuffle so identical seeds give identical exchanges across
+        // runs.
+        pool.sort_unstable_by_key(AttributeSample::node);
         pool.shuffle(rng);
         pool.truncate(self.config.samples_per_exchange.saturating_sub(1));
         let mut samples = Vec::with_capacity(pool.len() + 1);
@@ -372,9 +380,7 @@ mod tests {
         let n = 20u64;
         let k = 4u32;
         let mut rng = StdRng::seed_from_u64(7);
-        let mut slicers: Vec<OrderedSlicer> = (0..n)
-            .map(|i| slicer(i, (i + 1) * 10, k))
-            .collect();
+        let mut slicers: Vec<OrderedSlicer> = (0..n).map(|i| slicer(i, (i + 1) * 10, k)).collect();
         for _round in 0..30 {
             for i in 0..slicers.len() {
                 slicers[i].advance_round();

@@ -54,7 +54,7 @@ mod tests {
     fn display_messages_are_informative() {
         let capacity = StoreError::CapacityExceeded { capacity: 8 };
         assert!(capacity.to_string().contains("8"));
-        let io = StoreError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = StoreError::from(std::io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
         let corrupt = StoreError::Corrupt("truncated record".into());
         assert!(corrupt.to_string().contains("truncated"));
@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn io_errors_expose_their_source() {
-        let io = StoreError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io = StoreError::from(std::io::Error::other("boom"));
         assert!(std::error::Error::source(&io).is_some());
         let capacity = StoreError::CapacityExceeded { capacity: 1 };
         assert!(std::error::Error::source(&capacity).is_none());

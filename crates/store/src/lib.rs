@@ -57,15 +57,27 @@ mod tests {
         fn exercise<S: DataStore>(store: &mut S) {
             let key = Key::from_user_key("agree");
             store
-                .put(StoredObject::new(key, Version::new(1), Value::from_bytes(b"a")))
+                .put(StoredObject::new(
+                    key,
+                    Version::new(1),
+                    Value::from_bytes(b"a"),
+                ))
                 .unwrap();
             store
-                .put(StoredObject::new(key, Version::new(3), Value::from_bytes(b"c")))
+                .put(StoredObject::new(
+                    key,
+                    Version::new(3),
+                    Value::from_bytes(b"c"),
+                ))
                 .unwrap();
             assert_eq!(store.len(), 1);
             assert_eq!(store.latest_version(key), Some(Version::new(3)));
             assert_eq!(
-                store.get(key, Some(Version::new(1))).unwrap().value.as_slice(),
+                store
+                    .get(key, Some(Version::new(1)))
+                    .unwrap()
+                    .value
+                    .as_slice(),
                 b"a"
             );
             assert_eq!(store.get_latest(key).unwrap().value.as_slice(), b"c");

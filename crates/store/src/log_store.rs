@@ -225,7 +225,8 @@ fn decode_records(bytes: &[u8]) -> Result<(Vec<StoredObject>, usize), StoreError
         let version =
             u64::from_le_bytes(remaining[9..17].try_into().expect("slice length checked"));
         let value_len =
-            u32::from_le_bytes(remaining[17..21].try_into().expect("slice length checked")) as usize;
+            u32::from_le_bytes(remaining[17..21].try_into().expect("slice length checked"))
+                as usize;
         if remaining.len() < 21 + value_len {
             break; // torn payload
         }
@@ -298,8 +299,22 @@ mod tests {
         let store = LogStore::open(dir.path()).unwrap();
         assert_eq!(store.records_recovered(), 3);
         assert_eq!(store.len(), 2);
-        assert_eq!(store.get_latest(Key::from_user_key("a")).unwrap().value.as_slice(), b"three");
-        assert_eq!(store.get_latest(Key::from_user_key("b")).unwrap().value.as_slice(), b"two");
+        assert_eq!(
+            store
+                .get_latest(Key::from_user_key("a"))
+                .unwrap()
+                .value
+                .as_slice(),
+            b"three"
+        );
+        assert_eq!(
+            store
+                .get_latest(Key::from_user_key("b"))
+                .unwrap()
+                .value
+                .as_slice(),
+            b"two"
+        );
     }
 
     #[test]
@@ -365,12 +380,22 @@ mod tests {
         let dir = TempDir::new("dedup");
         let mut store = LogStore::open(dir.path()).unwrap();
         store.put(object("a", 2, b"two")).unwrap();
-        assert_eq!(store.put(object("a", 2, b"two")).unwrap(), PutOutcome::Duplicate);
-        assert_eq!(store.put(object("a", 1, b"one")).unwrap(), PutOutcome::Obsolete);
+        assert_eq!(
+            store.put(object("a", 2, b"two")).unwrap(),
+            PutOutcome::Duplicate
+        );
+        assert_eq!(
+            store.put(object("a", 1, b"one")).unwrap(),
+            PutOutcome::Obsolete
+        );
         store.sync().unwrap();
         drop(store);
         let store = LogStore::open(dir.path()).unwrap();
-        assert_eq!(store.records_recovered(), 1, "only the effective put is persisted");
+        assert_eq!(
+            store.records_recovered(),
+            1,
+            "only the effective put is persisted"
+        );
     }
 
     #[test]
@@ -378,7 +403,9 @@ mod tests {
         let dir = TempDir::new("compact");
         let mut store = LogStore::open(dir.path()).unwrap();
         for v in 1..=10u64 {
-            store.put(object("a", v, format!("v{v}").as_bytes())).unwrap();
+            store
+                .put(object("a", v, format!("v{v}").as_bytes()))
+                .unwrap();
         }
         store.put(object("b", 1, b"b1")).unwrap();
         let written = store.compact().unwrap();
@@ -389,7 +416,10 @@ mod tests {
         drop(store);
         let store = LogStore::open(dir.path()).unwrap();
         assert_eq!(store.records_recovered(), 3);
-        assert_eq!(store.get_latest(Key::from_user_key("a")).unwrap().version, Version::new(10));
+        assert_eq!(
+            store.get_latest(Key::from_user_key("a")).unwrap().version,
+            Version::new(10)
+        );
         assert!(store.get_latest(Key::from_user_key("c")).is_some());
     }
 
@@ -407,8 +437,14 @@ mod tests {
         for o in to_ship {
             b.put(o).unwrap();
         }
-        assert_eq!(b.latest_version(Key::from_user_key("x")), Some(Version::new(2)));
-        assert_eq!(b.latest_version(Key::from_user_key("y")), Some(Version::new(1)));
+        assert_eq!(
+            b.latest_version(Key::from_user_key("x")),
+            Some(Version::new(2))
+        );
+        assert_eq!(
+            b.latest_version(Key::from_user_key("y")),
+            Some(Version::new(1))
+        );
     }
 
     #[test]

@@ -175,20 +175,28 @@ impl DataStore for MemoryStore {
     }
 
     fn objects_newer_than(&self, remote: &StoreDigest, limit: usize) -> Vec<StoredObject> {
-        let mut out = Vec::new();
-        for (&key, versions) in &self.objects {
-            if out.len() >= limit {
-                break;
-            }
-            let Some((&version, value)) = versions.iter().next_back() else {
-                continue;
-            };
-            let remote_version = remote.version_of(key);
-            if remote_version.is_none() || remote_version < Some(version) {
-                out.push(StoredObject::new(key, version, value.clone()));
-            }
-        }
-        out
+        // HashMap iteration order is random per process; truncating a sorted
+        // candidate list keeps the shipped subset identical across seeded
+        // runs. Values are cloned only for the objects that survive the cut.
+        let mut newer: Vec<(Key, Version)> = self
+            .objects
+            .iter()
+            .filter_map(|(&key, versions)| {
+                let (&version, _) = versions.iter().next_back()?;
+                let remote_version = remote.version_of(key);
+                (remote_version.is_none() || remote_version < Some(version))
+                    .then_some((key, version))
+            })
+            .collect();
+        newer.sort_unstable();
+        newer.truncate(limit);
+        newer
+            .into_iter()
+            .filter_map(|(key, version)| {
+                let value = self.objects.get(&key)?.get(&version)?;
+                Some(StoredObject::new(key, version, value.clone()))
+            })
+            .collect()
     }
 
     fn retain_slice(&mut self, partition: SlicePartition, slice: SliceId) -> usize {
@@ -227,11 +235,16 @@ mod tests {
         store.put(object("a", 5)).unwrap();
         assert_eq!(store.put(object("a", 5)).unwrap(), PutOutcome::Duplicate);
         assert_eq!(store.put(object("a", 3)).unwrap(), PutOutcome::Obsolete);
-        assert_eq!(store.latest_version(Key::from_user_key("a")), Some(Version::new(5)));
+        assert_eq!(
+            store.latest_version(Key::from_user_key("a")),
+            Some(Version::new(5))
+        );
         assert_eq!(store.puts_applied(), 1);
         assert_eq!(store.puts_ignored(), 2);
         // The obsolete version is still readable from the history.
-        assert!(store.get(Key::from_user_key("a"), Some(Version::new(3))).is_some());
+        assert!(store
+            .get(Key::from_user_key("a"), Some(Version::new(3)))
+            .is_some());
     }
 
     #[test]
@@ -241,10 +254,15 @@ mod tests {
             store.put(object("a", v)).unwrap();
         }
         for v in 1..=3u64 {
-            let read = store.get(Key::from_user_key("a"), Some(Version::new(v))).unwrap();
+            let read = store
+                .get(Key::from_user_key("a"), Some(Version::new(v)))
+                .unwrap();
             assert_eq!(read.value.as_slice(), format!("a:{v}").as_bytes());
         }
-        assert_eq!(store.get(Key::from_user_key("a"), Some(Version::new(9))), None);
+        assert_eq!(
+            store.get(Key::from_user_key("a"), Some(Version::new(9))),
+            None
+        );
     }
 
     #[test]
@@ -254,9 +272,15 @@ mod tests {
             store.put(object("a", v)).unwrap();
         }
         assert_eq!(store.total_versions(), 2);
-        assert!(store.get(Key::from_user_key("a"), Some(Version::new(1))).is_none());
-        assert!(store.get(Key::from_user_key("a"), Some(Version::new(5))).is_some());
-        assert!(store.get(Key::from_user_key("a"), Some(Version::new(4))).is_some());
+        assert!(store
+            .get(Key::from_user_key("a"), Some(Version::new(1)))
+            .is_none());
+        assert!(store
+            .get(Key::from_user_key("a"), Some(Version::new(5)))
+            .is_some());
+        assert!(store
+            .get(Key::from_user_key("a"), Some(Version::new(4)))
+            .is_some());
     }
 
     #[test]
@@ -288,8 +312,14 @@ mod tests {
         store.put(object("a", 4)).unwrap();
         store.put(object("b", 2)).unwrap();
         let digest = store.digest();
-        assert_eq!(digest.version_of(Key::from_user_key("a")), Some(Version::new(4)));
-        assert_eq!(digest.version_of(Key::from_user_key("b")), Some(Version::new(2)));
+        assert_eq!(
+            digest.version_of(Key::from_user_key("a")),
+            Some(Version::new(4))
+        );
+        assert_eq!(
+            digest.version_of(Key::from_user_key("b")),
+            Some(Version::new(2))
+        );
         assert_eq!(digest.len(), 2);
     }
 
@@ -302,7 +332,7 @@ mod tests {
         let mut theirs = MemoryStore::unbounded();
         theirs.put(object("a", 3)).unwrap(); // up to date
         theirs.put(object("b", 0)).unwrap(); // stale
-        // c missing entirely
+                                             // c missing entirely
         let to_ship = ours.objects_newer_than(&theirs.digest(), 10);
         let keys: Vec<Key> = to_ship.iter().map(|o| o.key).collect();
         assert_eq!(to_ship.len(), 2);

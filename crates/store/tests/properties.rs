@@ -6,7 +6,11 @@ use proptest::prelude::*;
 
 /// A randomly generated put operation.
 fn arb_put() -> impl Strategy<Value = (u8, u64, Vec<u8>)> {
-    (0u8..16, 0u64..8, proptest::collection::vec(any::<u8>(), 0..32))
+    (
+        0u8..16,
+        0u64..8,
+        proptest::collection::vec(any::<u8>(), 0..32),
+    )
 }
 
 fn object(key_tag: u8, version: u64, payload: &[u8]) -> StoredObject {
@@ -160,32 +164,29 @@ fn log_store_recovers_effective_state() {
         ..proptest::test_runner::Config::default()
     });
     runner
-        .run(
-            &proptest::collection::vec(arb_put(), 0..48),
-            |puts| {
-                let dir = std::env::temp_dir().join(format!(
-                    "dataflasks-prop-log-{}-{:?}",
-                    std::process::id(),
-                    std::thread::current().id()
-                ));
-                std::fs::remove_dir_all(&dir).ok();
-                let mut reference = MemoryStore::unbounded();
-                {
-                    let mut log = LogStore::open(&dir).unwrap();
-                    for (tag, version, payload) in &puts {
-                        let _ = log.put(object(*tag, *version, payload));
-                        let _ = reference.put(object(*tag, *version, payload));
-                    }
-                    log.sync().unwrap();
+        .run(&proptest::collection::vec(arb_put(), 0..48), |puts| {
+            let dir = std::env::temp_dir().join(format!(
+                "dataflasks-prop-log-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let mut reference = MemoryStore::unbounded();
+            {
+                let mut log = LogStore::open(&dir).unwrap();
+                for (tag, version, payload) in &puts {
+                    let _ = log.put(object(*tag, *version, payload));
+                    let _ = reference.put(object(*tag, *version, payload));
                 }
-                let recovered = LogStore::open(&dir).unwrap();
-                prop_assert_eq!(recovered.len(), reference.len());
-                for key in reference.keys() {
-                    prop_assert_eq!(recovered.latest_version(key), reference.latest_version(key));
-                }
-                std::fs::remove_dir_all(&dir).ok();
-                Ok(())
-            },
-        )
+                log.sync().unwrap();
+            }
+            let recovered = LogStore::open(&dir).unwrap();
+            prop_assert_eq!(recovered.len(), reference.len());
+            for key in reference.keys() {
+                prop_assert_eq!(recovered.latest_version(key), reference.latest_version(key));
+            }
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(())
+        })
         .unwrap();
 }

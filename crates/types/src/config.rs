@@ -131,7 +131,7 @@ impl Default for ReplicationConfig {
 }
 
 /// Complete configuration of a DataFlasks node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct NodeConfig {
     /// Peer Sampling Service parameters.
     pub pss: PssConfig,
@@ -144,18 +144,6 @@ pub struct NodeConfig {
     /// Capacity of the local data store in abstract object units
     /// (0 means unbounded).
     pub store_capacity_objects: usize,
-}
-
-impl Default for NodeConfig {
-    fn default() -> Self {
-        Self {
-            pss: PssConfig::default(),
-            slicing: SlicingConfig::default(),
-            dissemination: DisseminationConfig::default(),
-            replication: ReplicationConfig::default(),
-            store_capacity_objects: 0,
-        }
-    }
 }
 
 impl NodeConfig {

@@ -299,7 +299,11 @@ mod tests {
         let k = Key::from_user_key("k");
         let old = StoredObject::new(k, Version::new(1), Value::from_bytes(b"a"));
         let new = StoredObject::new(k, Version::new(2), Value::from_bytes(b"b"));
-        let other = StoredObject::new(Key::from_user_key("other"), Version::new(9), Value::default());
+        let other = StoredObject::new(
+            Key::from_user_key("other"),
+            Version::new(9),
+            Value::default(),
+        );
         assert!(new.supersedes(&old));
         assert!(!old.supersedes(&new));
         assert!(!other.supersedes(&old));

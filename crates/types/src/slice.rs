@@ -125,9 +125,7 @@ impl SlicePartition {
         if slice.index() == self.slice_count - 1 {
             Key::from_raw(u64::MAX)
         } else {
-            Key::from_raw(
-                u64::from(slice.index() + 1) * Self::range_width(self.slice_count) - 1,
-            )
+            Key::from_raw(u64::from(slice.index() + 1) * Self::range_width(self.slice_count) - 1)
         }
     }
 

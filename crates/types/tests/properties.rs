@@ -1,6 +1,8 @@
 //! Property-based tests for the shared vocabulary types.
 
-use dataflasks_types::{Duration, Key, SimTime, SliceId, SlicePartition, StoredObject, Value, Version};
+use dataflasks_types::{
+    Duration, Key, SimTime, SliceId, SlicePartition, StoredObject, Value, Version,
+};
 use proptest::prelude::*;
 
 proptest! {

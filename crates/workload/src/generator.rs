@@ -229,10 +229,16 @@ mod tests {
         let _ = generator.load_phase().count();
         let ops: Vec<Operation> = generator.transaction_phase().collect();
         let reads = ops.iter().filter(|o| o.kind == OperationKind::Read).count();
-        let updates = ops.iter().filter(|o| o.kind == OperationKind::Update).count();
+        let updates = ops
+            .iter()
+            .filter(|o| o.kind == OperationKind::Update)
+            .count();
         assert_eq!(reads + updates, ops.len());
         let read_fraction = reads as f64 / ops.len() as f64;
-        assert!((0.90..=0.99).contains(&read_fraction), "read fraction {read_fraction}");
+        assert!(
+            (0.90..=0.99).contains(&read_fraction),
+            "read fraction {read_fraction}"
+        );
     }
 
     #[test]
@@ -279,8 +285,8 @@ mod tests {
 
     #[test]
     fn sequential_distribution_round_robins() {
-        let spec = WorkloadSpec::workload_c(4, 8)
-            .with_key_distribution(KeyDistribution::Sequential);
+        let spec =
+            WorkloadSpec::workload_c(4, 8).with_key_distribution(KeyDistribution::Sequential);
         let mut generator = WorkloadGenerator::new(spec, 7);
         let _ = generator.load_phase().count();
         let ops: Vec<Operation> = generator.transaction_phase().collect();

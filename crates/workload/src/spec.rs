@@ -153,7 +153,10 @@ mod tests {
             .with_value_size(1024)
             .with_key_distribution(KeyDistribution::Zipfian { theta: 0.8 });
         assert_eq!(spec.value_size, 1024);
-        assert_eq!(spec.key_distribution, KeyDistribution::Zipfian { theta: 0.8 });
+        assert_eq!(
+            spec.key_distribution,
+            KeyDistribution::Zipfian { theta: 0.8 }
+        );
     }
 
     #[test]

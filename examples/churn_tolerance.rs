@@ -42,7 +42,13 @@ fn run(anti_entropy: bool) -> (f64, f64) {
     for op in generator.load_phase() {
         keys.push(op.key);
         at += Duration::from_millis(50);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     sim.run_until(at + Duration::from_secs(20));
 
@@ -52,8 +58,14 @@ fn run(anti_entropy: bool) -> (f64, f64) {
     sim.schedule_churn(start, start + Duration::from_secs(60), nodes / 3, 0);
     sim.run_until(start + Duration::from_secs(180));
 
-    let available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
-    let mean_replication: f64 =
-        keys.iter().map(|&k| sim.replication_factor(k) as f64).sum::<f64>() / keys.len() as f64;
+    let available = keys
+        .iter()
+        .filter(|&&k| sim.replication_factor(k) > 0)
+        .count();
+    let mean_replication: f64 = keys
+        .iter()
+        .map(|&k| sim.replication_factor(k) as f64)
+        .sum::<f64>()
+        / keys.len() as f64;
     (available as f64 / keys.len() as f64, mean_replication)
 }

@@ -33,18 +33,43 @@ fn main() {
     for op in generator.load_phase() {
         keys.push(op.key);
         at += Duration::from_millis(40);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     sim.run_until(at + Duration::from_secs(30));
 
     let report = sim.cluster_report();
     let stats = sim.client(client).expect("client exists").stats();
-    let mean_replication: f64 =
-        keys.iter().map(|&k| sim.replication_factor(k) as f64).sum::<f64>() / keys.len() as f64;
+    let mean_replication: f64 = keys
+        .iter()
+        .map(|&k| sim.replication_factor(k) as f64)
+        .sum::<f64>()
+        / keys.len() as f64;
     println!("write workload finished:");
-    println!("  operations acked     : {}/{}", stats.puts_acked, stats.puts_issued);
-    println!("  mean replication     : {mean_replication:.1} replicas per object (slice size ≈ {})", nodes / slices as usize);
-    println!("  request msgs per node: {:.1}", report.request_messages_per_node.mean);
-    println!("  total msgs per node  : {:.1} (including membership, slicing and repair gossip)", report.total_messages_per_node.mean);
-    println!("  network messages     : {} delivered, {} dropped", sim.messages_delivered(), sim.messages_dropped());
+    println!(
+        "  operations acked     : {}/{}",
+        stats.puts_acked, stats.puts_issued
+    );
+    println!(
+        "  mean replication     : {mean_replication:.1} replicas per object (slice size ≈ {})",
+        nodes / slices as usize
+    );
+    println!(
+        "  request msgs per node: {:.1}",
+        report.request_messages_per_node.mean
+    );
+    println!(
+        "  total msgs per node  : {:.1} (including membership, slicing and repair gossip)",
+        report.total_messages_per_node.mean
+    );
+    println!(
+        "  network messages     : {} delivered, {} dropped",
+        sim.messages_delivered(),
+        sim.messages_dropped()
+    );
 }

@@ -16,14 +16,22 @@ fn main() {
     //    the partial views and the slicing protocol assigns every node to a
     //    slice based on its storage capacity.
     sim.run_for(Duration::from_secs(45));
-    println!("slice populations after warm-up: {:?}", sim.slice_populations());
+    println!(
+        "slice populations after warm-up: {:?}",
+        sim.slice_populations()
+    );
 
     // 3. Store an object through the client library. The put is disseminated
     //    epidemically until it reaches the responsible slice, whose members
     //    all store it.
     let client = sim.add_client();
     let key = Key::from_user_key("greeting");
-    sim.submit_put(client, key, Version::new(1), Value::from_bytes(b"hello, epidemic world"));
+    sim.submit_put(
+        client,
+        key,
+        Version::new(1),
+        Value::from_bytes(b"hello, epidemic world"),
+    );
     sim.run_for(Duration::from_secs(10));
     println!(
         "object replicated on {} nodes (slice-wide replication)",

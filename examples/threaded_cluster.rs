@@ -24,7 +24,12 @@ fn main() {
     for i in 0..5u64 {
         let key = Key::from_user_key(&format!("item-{i}"));
         cluster
-            .put(key, Version::new(1), Value::from_bytes(format!("value-{i}").as_bytes()), Duration::from_secs(5))
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(format!("value-{i}").as_bytes()),
+                Duration::from_secs(5),
+            )
             .expect("put acknowledged");
     }
     println!("stored 5 objects");
@@ -35,7 +40,10 @@ fn main() {
             .get(key, None, Duration::from_secs(5))
             .expect("get completed")
             .expect("object found");
-        println!("  item-{i} -> {}", String::from_utf8_lossy(value.value.as_slice()));
+        println!(
+            "  item-{i} -> {}",
+            String::from_utf8_lossy(value.value.as_slice())
+        );
     }
 
     let nodes = cluster.shutdown();

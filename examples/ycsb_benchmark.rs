@@ -13,9 +13,18 @@ fn main() {
     println!("YCSB-style workloads over {nodes} nodes / {slices} slices, {records} records, {operations} ops");
     println!("workload,reads,updates,acked_puts,get_hits,get_misses,timeouts,mean_latency_ms");
     for (label, spec) in [
-        ("A (50/50 read-update)", WorkloadSpec::workload_a(records, operations)),
-        ("B (95/5 read-update)", WorkloadSpec::workload_b(records, operations)),
-        ("C (read only)", WorkloadSpec::workload_c(records, operations)),
+        (
+            "A (50/50 read-update)",
+            WorkloadSpec::workload_a(records, operations),
+        ),
+        (
+            "B (95/5 read-update)",
+            WorkloadSpec::workload_b(records, operations),
+        ),
+        (
+            "C (read only)",
+            WorkloadSpec::workload_c(records, operations),
+        ),
     ] {
         let line = run_workload(nodes, slices, spec);
         println!("{label},{line}");
@@ -34,7 +43,13 @@ fn run_workload(nodes: usize, slices: u32, spec: WorkloadSpec) -> String {
     // Load phase: insert every record.
     for op in generator.load_phase() {
         at += Duration::from_millis(30);
-        sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+        sim.schedule_put(
+            at,
+            client,
+            op.key,
+            op.version.unwrap_or(Version::new(1)),
+            op.value,
+        );
     }
     // Transaction phase: the configured read/update mix.
     let mut reads = 0u64;
@@ -48,7 +63,13 @@ fn run_workload(nodes: usize, slices: u32, spec: WorkloadSpec) -> String {
             }
             OperationKind::Update | OperationKind::Insert => {
                 updates += 1;
-                sim.schedule_put(at, client, op.key, op.version.unwrap_or(Version::new(1)), op.value);
+                sim.schedule_put(
+                    at,
+                    client,
+                    op.key,
+                    op.version.unwrap_or(Version::new(1)),
+                    op.value,
+                );
             }
         }
     }

@@ -10,7 +10,9 @@ use rand::SeedableRng;
 #[test]
 fn dht_baseline_stores_and_serves_objects() {
     let mut dht = DhtCluster::new(30, 3);
-    let keys: Vec<Key> = (0..50).map(|i| Key::from_user_key(&format!("dht-{i}"))).collect();
+    let keys: Vec<Key> = (0..50)
+        .map(|i| Key::from_user_key(&format!("dht-{i}")))
+        .collect();
     for (i, &key) in keys.iter().enumerate() {
         let written = dht.put(key, Version::new(1), Value::filled(32, i as u8));
         assert_eq!(written, 3);
@@ -34,7 +36,9 @@ fn correlated_failure_hurts_the_dht_more_than_dataflasks() {
     sim.spawn_cluster(nodes, config);
     sim.run_for(Duration::from_secs(60));
     let client = sim.add_client();
-    let keys: Vec<Key> = (0..objects).map(|i| Key::from_user_key(&format!("cmp-{i}"))).collect();
+    let keys: Vec<Key> = (0..objects)
+        .map(|i| Key::from_user_key(&format!("cmp-{i}")))
+        .collect();
     let mut at = sim.now();
     for &key in &keys {
         at += Duration::from_millis(100);
@@ -44,7 +48,10 @@ fn correlated_failure_hurts_the_dht_more_than_dataflasks() {
     let start = sim.now();
     sim.schedule_churn(start, start + Duration::from_secs(10), crash, 0);
     sim.run_until(start + Duration::from_secs(60));
-    let df_available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
+    let df_available = keys
+        .iter()
+        .filter(|&&k| sim.replication_factor(k) > 0)
+        .count();
     let df_availability = df_available as f64 / keys.len() as f64;
 
     // --- DHT baseline with replication factor 3 and no repair.
@@ -76,7 +83,9 @@ fn correlated_failure_hurts_the_dht_more_than_dataflasks() {
 #[test]
 fn dht_repair_restores_replication_but_needs_explicit_rebalancing() {
     let mut dht = DhtCluster::new(40, 3);
-    let keys: Vec<Key> = (0..60).map(|i| Key::from_user_key(&format!("repair-{i}"))).collect();
+    let keys: Vec<Key> = (0..60)
+        .map(|i| Key::from_user_key(&format!("repair-{i}")))
+        .collect();
     for &key in &keys {
         dht.put(key, Version::new(1), Value::filled(16, 1));
     }

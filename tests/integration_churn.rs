@@ -18,7 +18,9 @@ fn run_churn_scenario(anti_entropy: bool, seed: u64) -> (f64, f64, usize) {
     sim.run_for(Duration::from_secs(60));
 
     let client = sim.add_client();
-    let keys: Vec<Key> = (0..30).map(|i| Key::from_user_key(&format!("churn-{i}"))).collect();
+    let keys: Vec<Key> = (0..30)
+        .map(|i| Key::from_user_key(&format!("churn-{i}")))
+        .collect();
     let mut at = sim.now();
     for &key in &keys {
         at += Duration::from_millis(100);
@@ -31,9 +33,15 @@ fn run_churn_scenario(anti_entropy: bool, seed: u64) -> (f64, f64, usize) {
     sim.schedule_churn(start, start + Duration::from_secs(30), nodes / 4, 0);
     sim.run_until(start + Duration::from_secs(150));
 
-    let available = keys.iter().filter(|&&k| sim.replication_factor(k) > 0).count();
-    let mean_replication: f64 =
-        keys.iter().map(|&k| sim.replication_factor(k) as f64).sum::<f64>() / keys.len() as f64;
+    let available = keys
+        .iter()
+        .filter(|&&k| sim.replication_factor(k) > 0)
+        .count();
+    let mean_replication: f64 = keys
+        .iter()
+        .map(|&k| sim.replication_factor(k) as f64)
+        .sum::<f64>()
+        / keys.len() as f64;
     (
         available as f64 / keys.len() as f64,
         mean_replication,
@@ -44,12 +52,18 @@ fn run_churn_scenario(anti_entropy: bool, seed: u64) -> (f64, f64, usize) {
 #[test]
 fn objects_survive_churn() {
     let (availability, mean_replication, alive) = run_churn_scenario(true, 11);
-    assert!(alive >= 55, "churn should have removed about a quarter of 80 nodes");
+    assert!(
+        alive >= 55,
+        "churn should have removed about a quarter of 80 nodes"
+    );
     assert!(
         availability >= 0.95,
         "availability dropped to {availability} despite slice-wide replication"
     );
-    assert!(mean_replication >= 2.0, "mean replication {mean_replication}");
+    assert!(
+        mean_replication >= 2.0,
+        "mean replication {mean_replication}"
+    );
 }
 
 #[test]
@@ -72,7 +86,9 @@ fn new_nodes_join_their_slice_and_receive_state() {
     sim.run_for(Duration::from_secs(60));
 
     let client = sim.add_client();
-    let keys: Vec<Key> = (0..20).map(|i| Key::from_user_key(&format!("join-{i}"))).collect();
+    let keys: Vec<Key> = (0..20)
+        .map(|i| Key::from_user_key(&format!("join-{i}")))
+        .collect();
     let mut at = sim.now();
     for &key in &keys {
         at += Duration::from_millis(100);

@@ -27,7 +27,11 @@ fn gossip_converges_to_balanced_slices_and_full_views() {
     }
     // All slices are populated and none dominates excessively.
     let populations = sim.slice_populations();
-    assert_eq!(populations.len(), SLICES as usize, "every slice must be populated: {populations:?}");
+    assert_eq!(
+        populations.len(),
+        SLICES as usize,
+        "every slice must be populated: {populations:?}"
+    );
     let max = populations.values().copied().max().unwrap();
     let min = populations.values().copied().min().unwrap();
     assert!(
@@ -40,7 +44,9 @@ fn gossip_converges_to_balanced_slices_and_full_views() {
 fn writes_replicate_across_the_responsible_slice_and_reads_succeed() {
     let mut sim = converged_sim(2);
     let client = sim.add_client();
-    let keys: Vec<Key> = (0..20).map(|i| Key::from_user_key(&format!("object-{i}"))).collect();
+    let keys: Vec<Key> = (0..20)
+        .map(|i| Key::from_user_key(&format!("object-{i}")))
+        .collect();
     let mut at = sim.now();
     for (i, &key) in keys.iter().enumerate() {
         at += Duration::from_millis(100);

@@ -1,0 +1,249 @@
+//! Environment parity: the same seeded put/get/churn scenario driven through
+//! both [`Environment`] implementations — the discrete-event [`Simulation`]
+//! and the [`ThreadedCluster`] — produces identical client-visible outcomes
+//! and identical per-node [`NodeStats`].
+//!
+//! Both environments materialise the same [`ClusterSpec`] (identical node
+//! seeds, capacities and warm full-mesh membership) and are driven through
+//! the shared `Environment` trait only. The scenario is constructed to be
+//! order-independent so thread scheduling cannot change the outcome:
+//!
+//! * fan-outs cover every known peer (fanout ≥ cluster size), so target
+//!   selection does not depend on how much randomness a node consumed,
+//! * TTLs are ample, so no request dies of hop-count mid-flood and
+//!   duplicate suppression alone terminates the epidemic,
+//! * contacts are members of the target slice, so dissemination stays
+//!   intra-slice and deterministic,
+//! * protocol timers are configured far beyond the test horizon, so only
+//!   request traffic flows.
+
+use std::collections::HashMap;
+
+use dataflasks::core::ClientReply;
+use dataflasks::prelude::*;
+
+const CLIENT: u64 = 42;
+
+fn parity_spec() -> ClusterSpec {
+    let mut config = NodeConfig::for_system_size(6, 2);
+    // Full-coverage dissemination: every fan-out reaches the whole view.
+    config.pss.view_size = 16;
+    config.pss.intra_view_size = 16;
+    config.dissemination.global_fanout = 16;
+    config.dissemination.intra_fanout = 16;
+    config.dissemination.intra_ttl = 32;
+    config.dissemination.global_ttl = 32;
+    // Periodic gossip is pushed far beyond the test horizon in both
+    // environments: only request traffic flows.
+    let far = Duration::from_secs(1 << 26);
+    config.pss.shuffle_period = far;
+    config.slicing.gossip_period = far;
+    config.replication.anti_entropy_period = far;
+    ClusterSpec::new(config, vec![100, 900, 300, 4_000, 2_000, 700], 0xA11CE)
+}
+
+/// The scripted scenario, expressed purely against the `Environment` trait.
+/// Returns the normalised replies of each step.
+fn run_scenario<E: Environment>(
+    env: &mut E,
+    spec: &ClusterSpec,
+    budget: Duration,
+) -> Vec<Vec<String>> {
+    // Plan against a private materialisation of the same spec: slice layout
+    // and responsibility are deterministic functions of the spec.
+    let plan = spec.build_nodes();
+    let key = Key::from_user_key("parity-object");
+    let other_key = Key::from_user_key("parity-second");
+    let target = plan[0].partition().slice_of(key);
+    let members: Vec<NodeId> = plan
+        .iter()
+        .filter(|n| n.slice() == Some(target))
+        .map(|n| n.id())
+        .collect();
+    assert!(
+        members.len() >= 3,
+        "scenario needs at least three replicas, got {members:?}"
+    );
+    let contact = members[0];
+    let victim = members[1];
+    let other_target = plan[0].partition().slice_of(other_key);
+    let other_contact = plan
+        .iter()
+        .find(|n| n.slice() == Some(other_target))
+        .map(DataFlasksNode::id)
+        .expect("both slices are populated");
+
+    let mut steps = Vec::new();
+
+    // Step 1: put through a responsible contact; every replica acks.
+    env.submit_client_request(
+        CLIENT,
+        contact,
+        ClientRequest::Put {
+            id: RequestId::new(CLIENT, 0),
+            key,
+            version: Version::new(1),
+            value: Value::from_bytes(b"epidemic"),
+        },
+    );
+    steps.push(normalise(env.drain_effects(budget)));
+
+    // Step 2: read it back through another replica; every replica answers.
+    env.submit_client_request(
+        CLIENT,
+        members[2],
+        ClientRequest::Get {
+            id: RequestId::new(CLIENT, 1),
+            key,
+            version: None,
+        },
+    );
+    steps.push(normalise(env.drain_effects(budget)));
+
+    // Step 3: a put on the other slice, exercising the second replica group.
+    env.submit_client_request(
+        CLIENT,
+        other_contact,
+        ClientRequest::Put {
+            id: RequestId::new(CLIENT, 2),
+            key: other_key,
+            version: Version::new(1),
+            value: Value::from_bytes(b"other-slice"),
+        },
+    );
+    steps.push(normalise(env.drain_effects(budget)));
+
+    // Between steps: inject one slicing-gossip round on the contact through
+    // the Environment interface. Both backends must process the firing
+    // identically — once, superseding the pending periodic chain rather
+    // than duplicating it — with the gossip traffic absorbed before the
+    // next step's drain.
+    env.fire_timer(contact, TimerKind::SliceGossip);
+
+    // Step 4 (churn): crash one replica, then overwrite and re-read the
+    // object — the survivors carry on, the dead node stays silent.
+    env.fail_node(victim);
+    env.submit_client_request(
+        CLIENT,
+        contact,
+        ClientRequest::Put {
+            id: RequestId::new(CLIENT, 3),
+            key,
+            version: Version::new(2),
+            value: Value::from_bytes(b"after-churn"),
+        },
+    );
+    steps.push(normalise(env.drain_effects(budget)));
+
+    env.submit_client_request(
+        CLIENT,
+        contact,
+        ClientRequest::Get {
+            id: RequestId::new(CLIENT, 4),
+            key,
+            version: None,
+        },
+    );
+    steps.push(normalise(env.drain_effects(budget)));
+
+    steps
+}
+
+/// Replies arrive in environment-specific order; compare them as sorted
+/// renderings (the full reply content, not just counts).
+fn normalise(replies: Vec<ClientReply>) -> Vec<String> {
+    let mut rendered: Vec<String> = replies.iter().map(|r| format!("{r:?}")).collect();
+    rendered.sort();
+    rendered
+}
+
+#[test]
+fn both_environments_produce_identical_outcomes_and_stats() {
+    let spec = parity_spec();
+
+    // --- Discrete-event simulation ---------------------------------------
+    let mut sim = Simulation::new(SimConfig {
+        seed: spec.seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_spec(&spec);
+    // Virtual budget: dissemination takes a handful of sub-50ms hops.
+    let sim_steps = run_scenario(&mut sim, &spec, Duration::from_secs(20));
+    let sim_stats: HashMap<NodeId, NodeStats> = spec
+        .node_ids()
+        .map(|id| (id, *sim.node(id).stats()))
+        .collect();
+
+    // --- Threaded runtime -------------------------------------------------
+    let mut cluster = ThreadedCluster::start_spec(&spec);
+    // Wall-clock budget: channel hops take microseconds; the drain exits on
+    // quiescence well before the cap.
+    let threaded_steps = run_scenario(&mut cluster, &spec, Duration::from_secs(10));
+    let threaded_stats: HashMap<NodeId, NodeStats> = cluster
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    // --- Client-visible outcomes are identical ----------------------------
+    assert_eq!(sim_steps.len(), threaded_steps.len());
+    for (step, (sim_replies, threaded_replies)) in sim_steps.iter().zip(&threaded_steps).enumerate()
+    {
+        assert!(
+            !sim_replies.is_empty(),
+            "step {step} produced no replies in the simulator"
+        );
+        assert_eq!(
+            sim_replies, threaded_replies,
+            "step {step}: environments disagree on client-visible replies"
+        );
+    }
+
+    // --- Per-node protocol accounting is identical -------------------------
+    assert_eq!(sim_stats.len(), threaded_stats.len());
+    for (id, sim_node_stats) in &sim_stats {
+        let threaded_node_stats = threaded_stats
+            .get(id)
+            .unwrap_or_else(|| panic!("threaded runtime lost node {id}"));
+        assert_eq!(
+            sim_node_stats, threaded_node_stats,
+            "node {id}: environments disagree on NodeStats"
+        );
+    }
+
+    // Sanity: the scenario actually exercised the request path.
+    let total_requests: u64 = sim_stats.values().map(NodeStats::request_messages).sum();
+    assert!(total_requests > 0);
+    let stored: u64 = sim_stats.values().map(|s| s.puts_stored).sum();
+    assert!(stored >= 3, "expected slice-wide replication, got {stored}");
+}
+
+#[test]
+fn scenario_outcomes_are_reply_complete() {
+    // The scenario's semantic expectations, checked on the simulator alone
+    // (the parity test above guarantees the threaded runtime matches).
+    let spec = parity_spec();
+    let plan = spec.build_nodes();
+    let key = Key::from_user_key("parity-object");
+    let target = plan[0].partition().slice_of(key);
+    let replicas = plan.iter().filter(|n| n.slice() == Some(target)).count();
+
+    let mut sim = Simulation::new(SimConfig {
+        seed: spec.seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_spec(&spec);
+    let steps = run_scenario(&mut sim, &spec, Duration::from_secs(20));
+
+    // Step 1: one ack per replica of the target slice.
+    assert_eq!(steps[0].len(), replicas);
+    assert!(steps[0].iter().all(|r| r.contains("PutAck")));
+    // Step 2: one hit per replica, carrying the stored payload.
+    assert_eq!(steps[1].len(), replicas);
+    assert!(steps[1].iter().all(|r| r.contains("GetHit")));
+    // Step 4/5 (after one replica died): one reply fewer.
+    assert_eq!(steps[3].len(), replicas - 1);
+    assert_eq!(steps[4].len(), replicas - 1);
+    // The post-churn read observes the overwritten version.
+    assert!(steps[4].iter().all(|r| r.contains("GetHit")));
+}

@@ -22,7 +22,12 @@ fn threaded_cluster_serves_puts_and_gets() {
     for i in 0..8u64 {
         let key = Key::from_user_key(&format!("rt-{i}"));
         cluster
-            .put(key, Version::new(1), Value::from_bytes(format!("v{i}").as_bytes()), Duration::from_secs(10))
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(format!("v{i}").as_bytes()),
+                Duration::from_secs(10),
+            )
             .expect("put acknowledged");
     }
     for i in 0..8u64 {
@@ -47,14 +52,29 @@ fn threaded_cluster_overwrites_respect_versions() {
     std::thread::sleep(std::time::Duration::from_millis(300));
     let key = Key::from_user_key("versioned-rt");
     cluster
-        .put(key, Version::new(1), Value::from_bytes(b"old"), Duration::from_secs(10))
+        .put(
+            key,
+            Version::new(1),
+            Value::from_bytes(b"old"),
+            Duration::from_secs(10),
+        )
         .unwrap();
     cluster
-        .put(key, Version::new(2), Value::from_bytes(b"new"), Duration::from_secs(10))
+        .put(
+            key,
+            Version::new(2),
+            Value::from_bytes(b"new"),
+            Duration::from_secs(10),
+        )
         .unwrap();
     // Writing an older version afterwards must not shadow the newer one.
     cluster
-        .put(key, Version::new(1), Value::from_bytes(b"stale"), Duration::from_secs(10))
+        .put(
+            key,
+            Version::new(1),
+            Value::from_bytes(b"stale"),
+            Duration::from_secs(10),
+        )
         .unwrap();
     // Replication is epidemic, so individual replicas converge to version 2
     // within a few dissemination/anti-entropy rounds; retry the read until

@@ -43,7 +43,10 @@ fn workload_a_reads_observe_previously_written_versions() {
     sim.run_until(at + Duration::from_secs(30));
 
     let stats = sim.client(client).unwrap().stats();
-    let reads = transaction_ops.iter().filter(|o| o.kind == OperationKind::Read).count() as u64;
+    let reads = transaction_ops
+        .iter()
+        .filter(|o| o.kind == OperationKind::Read)
+        .count() as u64;
     let writes = 30 + transaction_ops.len() as u64 - reads;
     assert_eq!(stats.puts_issued, writes);
     assert_eq!(stats.gets_issued, reads);
@@ -59,8 +62,14 @@ fn workload_a_reads_observe_previously_written_versions() {
     // key, and hit payloads are never empty.
     for op in sim.completed_operations() {
         if let OperationOutcome::GetHit { object } = &op.outcome {
-            let max_written = highest_written.get(&object.key).copied().unwrap_or(Version::ZERO);
-            assert!(object.version <= max_written, "read a version that was never written");
+            let max_written = highest_written
+                .get(&object.key)
+                .copied()
+                .unwrap_or(Version::ZERO);
+            assert!(
+                object.version <= max_written,
+                "read a version that was never written"
+            );
             assert!(!object.value.is_empty());
         }
     }
@@ -135,5 +144,9 @@ fn zipfian_workload_is_handled_and_hot_keys_stay_consistent() {
     }
     sim.run_for(Duration::from_secs(20));
     let stats = sim.client(client).unwrap().stats();
-    assert_eq!(stats.gets_hit, latest.len() as u64, "latest versions must be readable");
+    assert_eq!(
+        stats.gets_hit,
+        latest.len() as u64,
+        "latest versions must be readable"
+    );
 }

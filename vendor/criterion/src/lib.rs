@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmark-definition API the workspace's benches use
+//! (`benchmark_group`, `bench_with_input`, `Bencher::iter`,
+//! `criterion_group!`/`criterion_main!`) with a simple time-budgeted
+//! measurement loop instead of criterion's statistical machinery. Each
+//! benchmark prints one `name/param ... ns/iter` line.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from discarding a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named `name` parameterised by `parameter`.
+    #[must_use]
+    pub fn new<N: Display, P: Display>(name: N, parameter: P) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// A benchmark identified only by its parameter value.
+    #[must_use]
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    elapsed_ns_per_iter: f64,
+    iterations: u64,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Self {
+            budget,
+            elapsed_ns_per_iter: 0.0,
+            iterations: 0,
+        }
+    }
+
+    /// Runs `routine` repeatedly until the measurement budget is spent and
+    /// records the mean time per iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed warm-up call (also primes lazy state).
+        black_box(routine());
+        let start = Instant::now();
+        let mut iterations = 0u64;
+        loop {
+            black_box(routine());
+            iterations += 1;
+            if start.elapsed() >= self.budget || iterations >= 10_000_000 {
+                break;
+            }
+        }
+        let elapsed = start.elapsed();
+        self.iterations = iterations;
+        self.elapsed_ns_per_iter = elapsed.as_nanos() as f64 / iterations as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count (accepted for API compatibility;
+    /// the stub's loop is budgeted by time, not samples).
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the warm-up budget (accepted for API compatibility).
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement budget.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.measurement);
+        routine(&mut bencher, input);
+        self.report(&id.label, &bencher);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.measurement);
+        routine(&mut bencher);
+        self.report(name, &bencher);
+        self
+    }
+
+    /// Finishes the group (results are printed as each benchmark runs).
+    pub fn finish(self) {}
+
+    fn report(&self, label: &str, bencher: &Bencher) {
+        println!(
+            "bench {}/{label}: {:.0} ns/iter ({} iterations)",
+            self.name, bencher.elapsed_ns_per_iter, bencher.iterations
+        );
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            measurement: Duration::from_secs(2),
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_string())
+            .bench_function(name, routine);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(10);
+        group.warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(5));
+        group.bench_with_input(BenchmarkId::from_parameter(3u32), &3u32, |b, &n| {
+            b.iter(|| (0..n).sum::<u32>())
+        });
+        group.bench_function("free", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+
+    criterion_group!(stub_group, sample_bench);
+
+    #[test]
+    fn harness_runs_benchmarks() {
+        stub_group();
+    }
+
+    #[test]
+    fn ids_format_both_ways() {
+        assert_eq!(BenchmarkId::new("put", 64).label, "put/64");
+        assert_eq!(BenchmarkId::from_parameter(8).label, "8");
+    }
+}

@@ -1,0 +1,497 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset of the proptest API this workspace's property tests
+//! use: the `proptest!` macro with an optional `#![proptest_config(..)]`
+//! attribute, integer-range / tuple / `collection::vec` / `any::<T>()`
+//! strategies, `prop_assert!`/`prop_assert_eq!`, and the explicit
+//! `test_runner::TestRunner`. Failing cases are reported with the generated
+//! input via panic; there is no shrinking — when a case fails, the printed
+//! input is the raw counterexample.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator handed to strategies (a deterministic PRNG seeded per test).
+pub type TestRng = StdRng;
+
+/// How a value of some type is generated.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let unit: f64 = rng.gen();
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// String strategies are written as a regex; this stub supports the subset
+/// the workspace uses: literal characters, `[...]` classes with `a-z` ranges,
+/// and `{m}`/`{m,n}`/`*`/`+` quantifiers.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let mut chars = self.chars().peekable();
+        while let Some(c) = chars.next() {
+            let alphabet: Vec<char> = match c {
+                '[' => {
+                    let mut class = Vec::new();
+                    let mut previous = None;
+                    for inner in chars.by_ref() {
+                        match inner {
+                            ']' => break,
+                            '-' if previous.is_some() => {
+                                // Peeking the range end requires the next char;
+                                // a trailing '-' is a literal.
+                                previous = Some('-');
+                                class.push('-');
+                            }
+                            other => {
+                                // Expand `a-b` written as previous, '-', other.
+                                if class.last() == Some(&'-') && class.len() >= 2 {
+                                    class.pop();
+                                    let start = class.pop().expect("range start present");
+                                    for code in (start as u32)..=(other as u32) {
+                                        if let Some(expanded) = char::from_u32(code) {
+                                            class.push(expanded);
+                                        }
+                                    }
+                                } else {
+                                    class.push(other);
+                                }
+                                previous = Some(other);
+                            }
+                        }
+                    }
+                    class
+                }
+                '\\' => vec![chars.next().unwrap_or('\\')],
+                literal => vec![literal],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for inner in chars.by_ref() {
+                        if inner == '}' {
+                            break;
+                        }
+                        spec.push(inner);
+                    }
+                    match spec.split_once(',') {
+                        Some((m, n)) => {
+                            (m.trim().parse().unwrap_or(0), n.trim().parse().unwrap_or(8))
+                        }
+                        None => {
+                            let exact = spec.trim().parse().unwrap_or(1);
+                            (exact, exact)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0usize, 8usize)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1usize, 8usize)
+                }
+                _ => (1, 1),
+            };
+            let count = rng.gen_range(min..=max);
+            for _ in 0..count {
+                if let Some(&chosen) = alphabet.get(rng.gen_range(0..alphabet.len().max(1))) {
+                    out.push(chosen);
+                }
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
+/// Strategy producing any value of a type (uniform over the whole domain).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T`.
+#[must_use]
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen()
+            }
+        }
+    )*};
+}
+
+impl_any_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, bool);
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for vectors with a random length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        length: Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length falls in `length` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, length }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.length.start >= self.length.end {
+                self.length.start
+            } else {
+                rng.gen_range(self.length.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-block configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+/// Seeds the per-test generator from the test name so every test draws an
+/// independent, reproducible stream.
+#[must_use]
+pub fn rng_for_test(name: &str) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(hash)
+}
+
+pub mod test_runner {
+    //! Explicitly driven property runner (no macro).
+
+    use super::{Strategy, TestRng};
+    use rand::SeedableRng;
+
+    /// Runner configuration.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases to run.
+        pub cases: u32,
+        /// Accepted for API compatibility (this stub never shrinks).
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 32,
+                max_shrink_iters: 0,
+            }
+        }
+    }
+
+    /// Why a test case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An explicit failure with a message.
+        Fail(String),
+    }
+
+    /// Drives a closure over randomly generated inputs.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Creates a runner with the given configuration.
+        #[must_use]
+        pub fn new(config: Config) -> Self {
+            Self {
+                config,
+                rng: TestRng::seed_from_u64(0x9e37_79b9),
+            }
+        }
+
+        /// Runs `test` against `config.cases` generated inputs, stopping at
+        /// the first failure.
+        ///
+        /// # Errors
+        ///
+        /// Returns the failing case's error together with a debug rendering
+        /// of the input that produced it.
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F) -> Result<(), String>
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let input = strategy.generate(&mut self.rng);
+                let rendered = format!("{input:?}");
+                if let Err(TestCaseError::Fail(message)) = test(input) {
+                    return Err(format!("case {case} failed: {message}; input = {rendered}"));
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)*);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: both sides are `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    (@with ($config:expr)) => {};
+    // The `#[test]` attribute written inside the block is captured by the
+    // meta repetition and re-emitted with the rest of the attributes.
+    (@with ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut proptest_rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for proptest_case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strategy), &mut proptest_rng);)+
+                let inputs = format!(
+                    concat!("case ", "{}", $(", ", stringify!($arg), " = {:?}",)+),
+                    proptest_case $(, &$arg)+
+                );
+                let run = || -> () { $body };
+                if let Err(panic) = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run)) {
+                    eprintln!("proptest failure in {}: {}", stringify!($name), inputs);
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest!(@with ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// The common imports property tests start with.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Any, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_generate_in_bounds() {
+        let mut rng = super::rng_for_test("ranges_and_vecs");
+        for _ in 0..100 {
+            let v = (1u64..10).generate(&mut rng);
+            assert!((1..10).contains(&v));
+            let items = collection::vec(0u8..4, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&items.len()));
+            assert!(items.iter().all(|&b| b < 4));
+            let (a, b) = (0u8..2, 5usize..6).generate(&mut rng);
+            assert!(a < 2);
+            assert_eq!(b, 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro wires strategies to arguments.
+        #[test]
+        fn macro_generates_arguments(x in 0u32..100, items in collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert!(items.len() < 4);
+            prop_assert_eq!(items.len(), items.len());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_without_config_uses_defaults(x in 0u8..10) {
+            prop_assert!(x < 10);
+        }
+    }
+
+    #[test]
+    fn float_and_string_strategies_generate_in_domain() {
+        let mut rng = super::rng_for_test("float_and_string");
+        for _ in 0..200 {
+            let f = (0.25f64..0.75).generate(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+            let s = "[a-c]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "bad length: {s:?}");
+            assert!(
+                s.chars().all(|c| ('a'..='c').contains(&c)),
+                "bad chars: {s:?}"
+            );
+            let exact = "x[0-9]{3}!".generate(&mut rng);
+            assert_eq!(exact.len(), 5);
+            assert!(exact.starts_with('x') && exact.ends_with('!'));
+        }
+    }
+
+    #[test]
+    fn test_runner_reports_failures() {
+        use super::test_runner::{Config, TestCaseError, TestRunner};
+        let mut runner = TestRunner::new(Config {
+            cases: 4,
+            ..Config::default()
+        });
+        assert!(runner.run(&(0u8..4), |_| Ok(())).is_ok());
+        let failed = runner.run(&(0u8..4), |v| {
+            if v < 4 {
+                Err(TestCaseError::Fail("always".into()))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(failed.is_err());
+    }
+}
