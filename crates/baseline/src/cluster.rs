@@ -159,7 +159,7 @@ impl DhtCluster {
                 if node.alive
                     && node
                         .store
-                        .put(StoredObject::new(key, version, value.clone()))
+                        .put(&StoredObject::new(key, version, value.clone()))
                         .is_ok()
                 {
                     written += 1;
@@ -246,7 +246,7 @@ impl DhtCluster {
             for replica in self.ring.replicas(key, self.replication_factor) {
                 if let Some(node) = self.nodes.get_mut(&replica) {
                     if node.alive && node.store.latest_version(key) < Some(object.version) {
-                        let _ = node.store.put(object.clone());
+                        let _ = node.store.put(&object);
                         transferred += 1;
                         self.stats.rebalance_messages += 2;
                     }

@@ -19,7 +19,7 @@ fn bench_memory_store_put_get(c: &mut Criterion) {
                 b.iter(|| {
                     i += 1;
                     store
-                        .put(StoredObject::new(
+                        .put(&StoredObject::new(
                             Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                             Version::new(1),
                             value.clone(),
@@ -38,7 +38,7 @@ fn bench_memory_store_put_get(c: &mut Criterion) {
                     .collect();
                 for &key in &keys {
                     store
-                        .put(StoredObject::new(
+                        .put(&StoredObject::new(
                             key,
                             Version::new(1),
                             Value::filled(value_size, 1),
@@ -70,7 +70,7 @@ fn bench_log_store_put(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             store
-                .put(StoredObject::new(
+                .put(&StoredObject::new(
                     Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                     Version::new(1),
                     value.clone(),
@@ -92,7 +92,7 @@ fn bench_anti_entropy_digest(c: &mut Criterion) {
             let mut store = MemoryStore::unbounded();
             for i in 0..keys as u64 {
                 store
-                    .put(StoredObject::new(
+                    .put(&StoredObject::new(
                         Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                         Version::new(1),
                         Value::filled(32, 2),
@@ -109,7 +109,7 @@ fn bench_anti_entropy_digest(c: &mut Criterion) {
                 let mut theirs = MemoryStore::unbounded();
                 for i in 0..keys as u64 {
                     let key = Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                    ours.put(StoredObject::new(
+                    ours.put(&StoredObject::new(
                         key,
                         Version::new(2),
                         Value::filled(32, 2),
@@ -117,7 +117,7 @@ fn bench_anti_entropy_digest(c: &mut Criterion) {
                     .unwrap();
                     if i % 10 != 0 {
                         theirs
-                            .put(StoredObject::new(
+                            .put(&StoredObject::new(
                                 key,
                                 Version::new(2),
                                 Value::filled(32, 2),
@@ -133,10 +133,154 @@ fn bench_anti_entropy_digest(c: &mut Criterion) {
     group.finish();
 }
 
+/// Builds a flat store and a sharded store with identical contents: `keys`
+/// objects spread uniformly over the whole key space.
+fn paired_stores(keys: usize, shards: u32) -> (MemoryStore, ShardedStore) {
+    let mut flat = MemoryStore::unbounded();
+    let mut sharded = ShardedStore::new(shards);
+    for i in 0..keys as u64 {
+        let object = StoredObject::new(
+            Key::from_raw(i.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            Version::new(1),
+            Value::filled(32, 2),
+        );
+        flat.put(&object).unwrap();
+        sharded.put(&object).unwrap();
+    }
+    (flat, sharded)
+}
+
+/// Sharded vs unsharded scans: the anti-entropy digest, the bounded
+/// shipping diff (early exit at the limit) and the steady-state
+/// `retain_slice` (shards wholly inside the retained range are skipped).
+fn bench_sharded_vs_unsharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store/sharded");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for keys in [1_000usize, 10_000, 50_000] {
+        let (flat, sharded) = paired_stores(keys, 16);
+        group.bench_with_input(BenchmarkId::new("digest_flat", keys), &keys, |b, _| {
+            b.iter(|| flat.digest())
+        });
+        group.bench_with_input(BenchmarkId::new("digest_sharded", keys), &keys, |b, _| {
+            b.iter(|| sharded.digest())
+        });
+        // A stale remote digest: the initiator ships at most 256 objects.
+        let remote = StoreDigest::new();
+        group.bench_with_input(BenchmarkId::new("ship256_flat", keys), &keys, |b, _| {
+            b.iter(|| flat.objects_newer_than(&remote, 256))
+        });
+        group.bench_with_input(BenchmarkId::new("ship256_sharded", keys), &keys, |b, _| {
+            b.iter(|| sharded.objects_newer_than(&remote, 256))
+        });
+        // Steady-state slice scan: the node already migrated, so nothing is
+        // dropped — the flat store still walks every key, the sharded store
+        // skips every shard inside the slice range.
+        let partition = SlicePartition::new(4);
+        let slice = SliceId::new(1);
+        let (mut flat_retained, mut sharded_retained) = paired_stores(keys, 16);
+        flat_retained.retain_slice(partition, slice);
+        sharded_retained.retain_slice(partition, slice);
+        group.bench_with_input(BenchmarkId::new("retain_flat", keys), &keys, |b, _| {
+            b.iter(|| flat_retained.retain_slice(partition, slice))
+        });
+        group.bench_with_input(BenchmarkId::new("retain_sharded", keys), &keys, |b, _| {
+            b.iter(|| sharded_retained.retain_slice(partition, slice))
+        });
+    }
+    group.finish();
+}
+
+/// Batched vs per-message delivery through the simulator's event queue: one
+/// dispatch round emitting `per_dest` messages to each of `dests`
+/// destinations, routed either as one queue entry per message or — after
+/// [`EffectBuffer::coalesce_sends`] — as one entry per destination.
+fn bench_batched_delivery(c: &mut Criterion) {
+    use dataflasks::core::Message;
+    use dataflasks::sim::{EventPayload, EventQueue};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    let mut group = c.benchmark_group("env/delivery");
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    let dests = 8u64;
+    let per_dest = 4usize;
+    // A shared template: emitting clones an Arc, exactly like a relay.
+    let template = Message::AntiEntropyDigest {
+        digest: Arc::new(StoreDigest::new()),
+    };
+    let fill = |fx: &mut EffectBuffer| {
+        for round in 0..per_dest {
+            for to in 0..dests {
+                let _ = round;
+                fx.emit_send(NodeId::new(to), template.clone());
+            }
+        }
+    };
+    // The real per-transport-unit routing cost: one loss decision and one
+    // latency sample per queue entry, exactly like `Simulation`'s routing.
+    let network = NetworkConfig::default();
+    let route = |queue: &mut EventQueue, rng: &mut StdRng, output: Output| match output {
+        Output::Send { to, message } if !network.drops(rng) => {
+            let latency = network.sample_latency(rng);
+            queue.schedule(
+                SimTime::ZERO + latency,
+                EventPayload::Deliver {
+                    from: NodeId::new(99),
+                    to,
+                    message,
+                },
+            );
+        }
+        Output::SendBatch { to, messages } if !network.drops(rng) => {
+            let latency = network.sample_latency(rng);
+            queue.schedule(
+                SimTime::ZERO + latency,
+                EventPayload::DeliverBatch {
+                    from: NodeId::new(99),
+                    to,
+                    messages,
+                },
+            );
+        }
+        _ => {}
+    };
+    group.bench_function("unbatched_route_8x4", |b| {
+        let mut fx = EffectBuffer::new();
+        let mut queue = EventQueue::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            fill(&mut fx);
+            for output in fx.drain() {
+                route(&mut queue, &mut rng, output);
+            }
+            while queue.pop().is_some() {}
+        });
+    });
+    group.bench_function("batched_route_8x4", |b| {
+        let mut fx = EffectBuffer::new();
+        let mut queue = EventQueue::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| {
+            fill(&mut fx);
+            fx.coalesce_sends();
+            for output in fx.drain() {
+                route(&mut queue, &mut rng, output);
+            }
+            while queue.pop().is_some() {}
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     store,
     bench_memory_store_put_get,
     bench_log_store_put,
-    bench_anti_entropy_digest
+    bench_anti_entropy_digest,
+    bench_sharded_vs_unsharded,
+    bench_batched_delivery
 );
 criterion_main!(store);

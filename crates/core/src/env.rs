@@ -23,11 +23,16 @@
 use std::mem;
 
 use dataflasks_membership::NodeDescriptor;
-use dataflasks_store::{DataStore, MemoryStore};
+use dataflasks_store::{DataStore, ShardedStore};
 use dataflasks_types::{Duration, NodeConfig, NodeId, NodeProfile, SimTime};
 
 use crate::message::{ClientId, ClientReply, ClientRequest, Message, Output, TimerKind};
 use crate::node::DataFlasksNode;
+
+/// The store backing nodes materialised by [`ClusterSpec`] and the stock
+/// environments: a key-range [`ShardedStore`] over in-memory shards, sized by
+/// [`NodeConfig::store_shards`].
+pub type DefaultStore = ShardedStore;
 
 /// Sink for the effects produced while a node handles one input.
 ///
@@ -57,7 +62,7 @@ pub trait Effects {
 ///
 /// let mut fx = EffectBuffer::new();
 /// fx.emit_send(NodeId::new(2), Message::AntiEntropyDigest {
-///     digest: dataflasks_store::StoreDigest::new(),
+///     digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
 /// });
 /// assert_eq!(fx.len(), 1);
 /// let effects: Vec<Output> = fx.drain().collect();
@@ -67,6 +72,13 @@ pub trait Effects {
 #[derive(Debug, Default)]
 pub struct EffectBuffer {
     effects: Vec<Output>,
+    /// Scratch space for [`Self::coalesce_sends`]; retained so steady-state
+    /// coalescing allocates nothing.
+    coalesce_scratch: Vec<Output>,
+    /// Scratch `destination → slot index` table for [`Self::coalesce_sends`],
+    /// so merging stays linear in the number of sends times the number of
+    /// *distinct destinations* (not the whole effect list).
+    dest_slots: Vec<(NodeId, usize)>,
 }
 
 impl EffectBuffer {
@@ -81,6 +93,8 @@ impl EffectBuffer {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             effects: Vec::with_capacity(capacity),
+            coalesce_scratch: Vec::new(),
+            dest_slots: Vec::new(),
         }
     }
 
@@ -117,6 +131,71 @@ impl EffectBuffer {
     #[must_use]
     pub fn take(&mut self) -> Vec<Output> {
         mem::take(&mut self.effects)
+    }
+
+    /// Merges every buffered [`Output::Send`] aimed at the same destination
+    /// into one [`Output::SendBatch`], so each destination receives exactly
+    /// one transport unit per dispatch.
+    ///
+    /// A batch takes the position of the destination's first send and keeps
+    /// that destination's messages in emission order; replies, timers and
+    /// single-message sends pass through unchanged. Both environments flush
+    /// through this (via [`NodeHost`]), so batching is identical across
+    /// backends. The scratch vector is retained, making steady-state
+    /// coalescing allocation-free except for the batch vectors themselves.
+    pub fn coalesce_sends(&mut self) {
+        let sends = self
+            .effects
+            .iter()
+            .filter(|e| matches!(e, Output::Send { .. } | Output::SendBatch { .. }))
+            .count();
+        if sends < 2 {
+            return;
+        }
+        self.coalesce_scratch.clear();
+        self.dest_slots.clear();
+        mem::swap(&mut self.effects, &mut self.coalesce_scratch);
+        // Merges a send unit into the destination's existing slot (tracked in
+        // the `dest_slots` table), upgrading a single Send to a SendBatch
+        // only when a second unit arrives — the common
+        // single-message-per-destination case allocates nothing.
+        for effect in self.coalesce_scratch.drain(..) {
+            let to = match &effect {
+                Output::Send { to, .. } | Output::SendBatch { to, .. } => *to,
+                _ => {
+                    self.effects.push(effect);
+                    continue;
+                }
+            };
+            let Some(&(_, index)) = self.dest_slots.iter().find(|(dest, _)| *dest == to) else {
+                self.dest_slots.push((to, self.effects.len()));
+                self.effects.push(effect);
+                continue;
+            };
+            let slot = &mut self.effects[index];
+            let placeholder = Output::Timer {
+                kind: TimerKind::PssShuffle,
+                after: Duration::ZERO,
+            };
+            let mut messages = match mem::replace(slot, placeholder) {
+                Output::Send { message, .. } => {
+                    let mut messages = Vec::with_capacity(4);
+                    messages.push(message);
+                    messages
+                }
+                Output::SendBatch { messages, .. } => messages,
+                _ => unreachable!("slot indexed a send"),
+            };
+            match effect {
+                Output::Send { message, .. } => messages.push(message),
+                Output::SendBatch {
+                    messages: mut incoming,
+                    ..
+                } => messages.append(&mut incoming),
+                _ => unreachable!("effect is a send"),
+            }
+            *slot = Output::SendBatch { to, messages };
+        }
     }
 }
 
@@ -181,9 +260,25 @@ impl<S: DataStore> NodeHost<S> {
         now: SimTime,
         route: F,
     ) {
-        self.node
-            .handle_message(from, message, now, &mut self.effects);
-        Self::flush(&mut self.effects, route);
+        self.enqueue_message(from, message, now);
+        self.flush_effects(route);
+    }
+
+    /// Delivers a batch of messages from one sender (an
+    /// [`Output::SendBatch`] transport unit) in order, then routes the
+    /// effects of the whole batch in one coalesced flush — so a batched
+    /// input produces batched outputs down the dissemination cascade.
+    pub fn deliver_batch<F: FnMut(Output)>(
+        &mut self,
+        from: NodeId,
+        messages: impl IntoIterator<Item = Message>,
+        now: SimTime,
+        route: F,
+    ) {
+        for message in messages {
+            self.enqueue_message(from, message, now);
+        }
+        self.flush_effects(route);
     }
 
     /// Submits a client operation and routes the resulting effects.
@@ -194,20 +289,49 @@ impl<S: DataStore> NodeHost<S> {
         now: SimTime,
         route: F,
     ) {
-        self.node
-            .handle_client_request(client, request, now, &mut self.effects);
-        Self::flush(&mut self.effects, route);
+        self.enqueue_client_request(client, request, now);
+        self.flush_effects(route);
     }
 
     /// Fires a periodic timer and routes the resulting effects (including
     /// the timer's own re-arm).
     pub fn fire_timer<F: FnMut(Output)>(&mut self, kind: TimerKind, now: SimTime, route: F) {
-        self.node.on_timer(kind, now, &mut self.effects);
-        Self::flush(&mut self.effects, route);
+        self.enqueue_timer(kind, now);
+        self.flush_effects(route);
     }
 
-    fn flush<F: FnMut(Output)>(effects: &mut EffectBuffer, mut route: F) {
-        for effect in effects.drain() {
+    /// Handles a protocol message, buffering its effects without flushing.
+    ///
+    /// The `enqueue_*` methods let an environment feed several inputs (its
+    /// whole pending backlog for this node) into one buffered dispatch round
+    /// and then route everything with a single [`Self::flush_effects`] call,
+    /// which coalesces same-destination sends across all of them.
+    pub fn enqueue_message(&mut self, from: NodeId, message: Message, now: SimTime) {
+        self.node
+            .handle_message(from, message, now, &mut self.effects);
+    }
+
+    /// Handles a client operation, buffering its effects without flushing.
+    pub fn enqueue_client_request(
+        &mut self,
+        client: ClientId,
+        request: ClientRequest,
+        now: SimTime,
+    ) {
+        self.node
+            .handle_client_request(client, request, now, &mut self.effects);
+    }
+
+    /// Fires a timer, buffering its effects without flushing.
+    pub fn enqueue_timer(&mut self, kind: TimerKind, now: SimTime) {
+        self.node.on_timer(kind, now, &mut self.effects);
+    }
+
+    /// Coalesces buffered same-destination sends into per-destination
+    /// batches and hands every effect to `route`, emptying the buffer.
+    pub fn flush_effects<F: FnMut(Output)>(&mut self, mut route: F) {
+        self.effects.coalesce_sends();
+        for effect in self.effects.drain() {
             route(effect);
         }
     }
@@ -327,19 +451,23 @@ impl ClusterSpec {
     /// knows every other node's true profile and slice (two observation
     /// rounds, so intra-slice views pick up the settled assignments).
     ///
+    /// Nodes are backed by the [`DefaultStore`] — a key-range
+    /// [`ShardedStore`] with `node_config.store_shards` shards.
+    ///
     /// This is the state a long-converged gossip substrate reaches; building
     /// it directly lets request-path behaviour be exercised — and compared
     /// across environments — without simulating the convergence phase.
     #[must_use]
-    pub fn build_nodes(&self) -> Vec<DataFlasksNode<MemoryStore>> {
-        let mut nodes: Vec<DataFlasksNode<MemoryStore>> = (0..self.capacities.len())
+    pub fn build_nodes(&self) -> Vec<DataFlasksNode<DefaultStore>> {
+        let shards = self.node_config.effective_store_shards();
+        let mut nodes: Vec<DataFlasksNode<DefaultStore>> = (0..self.capacities.len())
             .map(|i| {
                 let id = NodeId::new(i as u64);
                 DataFlasksNode::new(
                     id,
                     self.node_config,
                     self.profile(i),
-                    MemoryStore::unbounded(),
+                    ShardedStore::new(shards),
                     self.node_seed(id),
                 )
             })
@@ -371,7 +499,7 @@ mod tests {
                 fx.emit_send(
                     NodeId::new(i),
                     Message::AntiEntropyDigest {
-                        digest: dataflasks_store::StoreDigest::new(),
+                        digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
                     },
                 );
             }
@@ -419,6 +547,102 @@ mod tests {
         assert_eq!(slices.len(), 2);
     }
 
+    fn digest_to(to: u64) -> (NodeId, Message) {
+        (
+            NodeId::new(to),
+            Message::AntiEntropyDigest {
+                digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
+            },
+        )
+    }
+
+    #[test]
+    fn coalescing_merges_same_destination_sends_in_order() {
+        let mut fx = EffectBuffer::new();
+        for to in [1u64, 2, 1, 3, 1, 2] {
+            let (to, message) = digest_to(to);
+            fx.emit_send(to, message);
+        }
+        fx.emit_timer(TimerKind::AntiEntropy, Duration::from_secs(5));
+        fx.coalesce_sends();
+        let effects: Vec<Output> = fx.drain().collect();
+        // 1 → batch of 3, 2 → batch of 2, 3 → single send, plus the timer.
+        assert_eq!(effects.len(), 4);
+        match &effects[0] {
+            Output::SendBatch { to, messages } => {
+                assert_eq!(*to, NodeId::new(1));
+                assert_eq!(messages.len(), 3);
+            }
+            other => panic!("expected a batch for node 1, got {other:?}"),
+        }
+        match &effects[1] {
+            Output::SendBatch { to, messages } => {
+                assert_eq!(*to, NodeId::new(2));
+                assert_eq!(messages.len(), 2);
+            }
+            other => panic!("expected a batch for node 2, got {other:?}"),
+        }
+        assert!(matches!(
+            &effects[2],
+            Output::Send { to, .. } if *to == NodeId::new(3)
+        ));
+        assert!(matches!(&effects[3], Output::Timer { .. }));
+    }
+
+    #[test]
+    fn coalescing_leaves_single_sends_and_non_sends_untouched() {
+        let mut fx = EffectBuffer::new();
+        let (to, message) = digest_to(7);
+        fx.emit_send(to, message);
+        fx.emit_timer(TimerKind::PssShuffle, Duration::from_secs(1));
+        fx.coalesce_sends();
+        let effects: Vec<Output> = fx.drain().collect();
+        assert_eq!(effects.len(), 2);
+        assert!(matches!(&effects[0], Output::Send { .. }));
+        assert!(matches!(&effects[1], Output::Timer { .. }));
+    }
+
+    #[test]
+    fn batched_inputs_produce_batched_outputs_down_the_cascade() {
+        // A host receiving a batch of two puts for its own slice fans each
+        // out to the same peers: the flush must emit one SendBatch per peer,
+        // not two Sends.
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(4, 1), vec![100; 4], 3);
+        let mut nodes = spec.build_nodes();
+        let mut host = NodeHost::new(nodes.remove(0));
+        let make_put = |sequence: u64, name: &str| {
+            Message::Put(std::sync::Arc::new(crate::message::PutRequest {
+                id: RequestId::new(8, sequence),
+                client: 8,
+                object: dataflasks_types::StoredObject::new(
+                    Key::from_user_key(name),
+                    Version::new(1),
+                    Value::from_bytes(b"batched"),
+                ),
+                phase: crate::message::DisseminationPhase::Global,
+                ttl: 4,
+            }))
+        };
+        let mut batches = 0;
+        let mut singles = 0;
+        host.deliver_batch(
+            NodeId::new(9),
+            [make_put(0, "batch-a"), make_put(1, "batch-b")],
+            SimTime::ZERO,
+            |output| match output {
+                Output::SendBatch { messages, .. } => {
+                    assert_eq!(messages.len(), 2, "both puts ride one transport unit");
+                    batches += 1;
+                }
+                Output::Send { .. } => singles += 1,
+                Output::Reply { .. } | Output::Timer { .. } => {}
+            },
+        );
+        assert!(batches > 0, "same-destination fan-outs must coalesce");
+        assert_eq!(singles, 0);
+        assert_eq!(host.node().store().len(), 2);
+    }
+
     #[test]
     fn node_host_routes_effects_and_keeps_the_node() {
         let spec = ClusterSpec::new(NodeConfig::for_system_size(4, 1), vec![100; 4], 3);
@@ -438,6 +662,7 @@ mod tests {
             SimTime::ZERO,
             |output| match output {
                 Output::Send { .. } => sends += 1,
+                Output::SendBatch { ref messages, .. } => sends += messages.len(),
                 Output::Reply { .. } => replies += 1,
                 Output::Timer { .. } => {}
             },

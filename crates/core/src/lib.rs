@@ -71,7 +71,7 @@ pub mod node;
 pub mod stats;
 
 pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, OperationOutcome};
-pub use env::{ClusterSpec, EffectBuffer, Effects, Environment, NodeHost};
+pub use env::{ClusterSpec, DefaultStore, EffectBuffer, Effects, Environment, NodeHost};
 pub use load_balancer::{LoadBalancer, LoadBalancerPolicy};
 pub use message::{
     ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,

@@ -80,22 +80,27 @@ pub enum Message {
     /// An epidemic get dissemination (reference-counted like [`Self::Put`]).
     Get(Arc<GetRequest>),
     /// Anti-entropy round 1: the initiator's digest.
+    ///
+    /// Anti-entropy payloads are reference-counted like the epidemic
+    /// requests: digests and object batches are built once and shared, so
+    /// queueing, relaying or cloning the message never deep-copies the
+    /// per-key summaries or the shipped objects.
     AntiEntropyDigest {
         /// Summary of the initiator's store.
-        digest: StoreDigest,
+        digest: Arc<StoreDigest>,
     },
     /// Anti-entropy round 2: objects the initiator is missing plus the
     /// responder's own digest so the initiator can push back in round 3.
     AntiEntropyReply {
         /// Objects the initiator was missing or held at a stale version.
-        objects: Vec<StoredObject>,
+        objects: Arc<[StoredObject]>,
         /// Summary of the responder's store.
-        digest: StoreDigest,
+        digest: Arc<StoreDigest>,
     },
     /// Anti-entropy round 3: objects the responder was missing.
     AntiEntropyPush {
         /// Objects shipped to the responder.
-        objects: Vec<StoredObject>,
+        objects: Arc<[StoredObject]>,
     },
 }
 
@@ -208,6 +213,20 @@ pub enum Output {
         /// The message to deliver.
         message: Message,
     },
+    /// Send several protocol messages to one node as a single transport
+    /// unit.
+    ///
+    /// Produced by [`crate::EffectBuffer::coalesce_sends`] when one dispatch
+    /// emits more than one message to the same destination: the environments
+    /// route the whole batch with one event-queue entry (simulator) or one
+    /// channel send (threaded runtime), amortising per-message queue
+    /// overhead, and unpack it in order at the receiver.
+    SendBatch {
+        /// Destination node.
+        to: NodeId,
+        /// The messages to deliver, in emission order.
+        messages: Vec<Message>,
+    },
     /// Deliver a reply to a client endpoint.
     Reply {
         /// Destination client.
@@ -279,9 +298,13 @@ mod tests {
         }));
         assert_eq!(put.kind(), MessageKind::Request);
         let digest = Message::AntiEntropyDigest {
-            digest: StoreDigest::new(),
+            digest: Arc::new(StoreDigest::new()),
         };
         assert_eq!(digest.kind(), MessageKind::AntiEntropy);
+        let push = Message::AntiEntropyPush {
+            objects: Arc::from(vec![]),
+        };
+        assert_eq!(push.kind(), MessageKind::AntiEntropy);
     }
 
     #[test]
@@ -345,7 +368,9 @@ mod tests {
                 assert_eq!(client, 7);
                 assert_eq!(reply.responder, NodeId::new(1));
             }
-            Output::Send { .. } | Output::Timer { .. } => panic!("expected a reply"),
+            Output::Send { .. } | Output::SendBatch { .. } | Output::Timer { .. } => {
+                panic!("expected a reply")
+            }
         }
         // Descriptor-carrying membership messages stay comparable.
         let a = Message::Shuffle(ShuffleRequest {

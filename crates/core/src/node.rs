@@ -255,10 +255,10 @@ impl<S: DataStore> DataFlasksNode<S> {
                 self.handle_anti_entropy_digest(from, &digest, fx);
             }
             Message::AntiEntropyReply { objects, digest } => {
-                self.handle_anti_entropy_reply(from, objects, &digest, fx);
+                self.handle_anti_entropy_reply(from, &objects, &digest, fx);
             }
             Message::AntiEntropyPush { objects } => {
-                self.apply_repair_objects(objects);
+                self.apply_repair_objects(&objects);
             }
         }
     }
@@ -352,7 +352,7 @@ impl<S: DataStore> DataFlasksNode<S> {
         let Some(peer) = self.slice_view.random_peer(&mut self.rng) else {
             return;
         };
-        let digest = self.store.digest();
+        let digest = Arc::new(self.store.digest());
         self.send_to(fx, peer, Message::AntiEntropyDigest { digest });
     }
 
@@ -386,10 +386,13 @@ impl<S: DataStore> DataFlasksNode<S> {
     ) {
         let target_slice = self.partition.slice_of(request.object.key);
         if self.current_slice == Some(target_slice) {
-            // This node is a responsible replica: store and acknowledge.
+            // This node is a responsible replica: store and acknowledge. The
+            // object is passed by reference — the store clones only what it
+            // retains (one `Arc` bump on the value), and the request keeps
+            // its object for the intra-slice fan-out below.
             let version = request.object.version;
             let key = request.object.key;
-            match self.store.put(request.object.clone()) {
+            match self.store.put(&request.object) {
                 Ok(outcome) => {
                     if outcome.changed() {
                         self.stats.puts_stored += 1;
@@ -583,17 +586,18 @@ impl<S: DataStore> DataFlasksNode<S> {
         remote: &StoreDigest,
         fx: &mut dyn Effects,
     ) {
-        let objects = self
+        let objects: Arc<[StoredObject]> = self
             .store
-            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange);
-        let digest = self.store.digest();
+            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange)
+            .into();
+        let digest = Arc::new(self.store.digest());
         self.send_to(fx, from, Message::AntiEntropyReply { objects, digest });
     }
 
     fn handle_anti_entropy_reply(
         &mut self,
         from: NodeId,
-        objects: Vec<StoredObject>,
+        objects: &[StoredObject],
         remote: &StoreDigest,
         fx: &mut dyn Effects,
     ) {
@@ -602,11 +606,17 @@ impl<S: DataStore> DataFlasksNode<S> {
             .store
             .objects_newer_than(remote, self.config.replication.max_objects_per_exchange);
         if !push.is_empty() {
-            self.send_to(fx, from, Message::AntiEntropyPush { objects: push });
+            self.send_to(
+                fx,
+                from,
+                Message::AntiEntropyPush {
+                    objects: push.into(),
+                },
+            );
         }
     }
 
-    fn apply_repair_objects(&mut self, objects: Vec<StoredObject>) {
+    fn apply_repair_objects(&mut self, objects: &[StoredObject]) {
         for object in objects {
             // Only accept objects this node's slice is responsible for;
             // anti-entropy must not re-spread foreign data.
@@ -882,6 +892,14 @@ mod tests {
                     let sender = nodes[index].id();
                     pending.extend(fx.drain().map(|o| (sender, o)));
                 }
+                Output::SendBatch { to, messages } => {
+                    let index = to.as_u64() as usize;
+                    for message in messages {
+                        nodes[index].handle_message(from, message, SimTime::ZERO, &mut fx);
+                    }
+                    let sender = nodes[index].id();
+                    pending.extend(fx.drain().map(|o| (sender, o)));
+                }
                 Output::Reply { reply, .. } => replies.push(reply),
                 Output::Timer { .. } => {}
             }
@@ -1071,7 +1089,7 @@ mod tests {
         let (seeded, stale) = (replica_ids[0], replica_ids[1]);
         nodes[seeded]
             .store_mut()
-            .put(StoredObject::new(
+            .put(&StoredObject::new(
                 key,
                 Version::new(7),
                 Value::from_bytes(b"x"),
@@ -1124,7 +1142,8 @@ mod tests {
                     foreign_key,
                     Version::new(1),
                     Value::default(),
-                )],
+                )]
+                .into(),
             },
         );
         assert!(outputs.is_empty());
@@ -1148,7 +1167,7 @@ mod tests {
         // Insert objects across the whole key space directly into the store.
         for i in 0..32u64 {
             n.store_mut()
-                .put(StoredObject::new(
+                .put(&StoredObject::new(
                     Key::from_raw(i.wrapping_mul(0x1111_1111_1111_1111)),
                     Version::new(1),
                     Value::default(),

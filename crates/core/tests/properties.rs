@@ -94,6 +94,15 @@ fn run_to_quiescence(
                 let sender = nodes[index].id();
                 pending.extend(outs.into_iter().map(|o| (sender, o)));
             }
+            Output::SendBatch { to, messages } => {
+                let index = to.as_u64() as usize;
+                for message in messages {
+                    delivered += 1;
+                    let outs = deliver(&mut nodes[index], from, message);
+                    let sender = nodes[index].id();
+                    pending.extend(outs.into_iter().map(|o| (sender, o)));
+                }
+            }
             Output::Reply { .. } => replies += 1,
             Output::Timer { .. } => {}
         }
@@ -278,6 +287,14 @@ proptest! {
                     let next = deliver(&mut nodes[index], from, message);
                     let sender = nodes[index].id();
                     pending.extend(next.into_iter().map(|o| (sender, o)));
+                }
+                Output::SendBatch { to, messages } => {
+                    let index = to.as_u64() as usize;
+                    for message in messages {
+                        let next = deliver(&mut nodes[index], from, message);
+                        let sender = nodes[index].id();
+                        pending.extend(next.into_iter().map(|o| (sender, o)));
+                    }
                 }
                 Output::Reply { reply, .. } => {
                     let is_miss = matches!(reply.body, ReplyBody::GetMiss { .. });

@@ -57,15 +57,15 @@ pub use dataflasks_workload as workload;
 pub mod prelude {
     pub use dataflasks_baseline::DhtCluster;
     pub use dataflasks_core::{
-        ClientLibrary, ClientRequest, ClusterSpec, DataFlasksNode, EffectBuffer, Effects,
-        Environment, LoadBalancer, LoadBalancerPolicy, MessageKind, NodeHost, NodeStats,
+        ClientLibrary, ClientRequest, ClusterSpec, DataFlasksNode, DefaultStore, EffectBuffer,
+        Effects, Environment, LoadBalancer, LoadBalancerPolicy, MessageKind, NodeHost, NodeStats,
         OperationOutcome, Output, TimerKind,
     };
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
     pub use dataflasks_runtime::ThreadedCluster;
     pub use dataflasks_sim::{ClusterReport, NetworkConfig, SimConfig, Simulation};
     pub use dataflasks_slicing::{HashSlicer, OrderedSlicer, Slicer};
-    pub use dataflasks_store::{DataStore, LogStore, MemoryStore, StoreDigest};
+    pub use dataflasks_store::{DataStore, LogStore, MemoryStore, ShardedStore, StoreDigest};
     pub use dataflasks_types::{
         Duration, Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId,
         SlicePartition, StoredObject, Value, Version,

@@ -52,11 +52,11 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dataflasks_core::{
-    ClientId, ClientReply, ClientRequest, ClusterSpec, DataFlasksNode, Environment, Message,
-    NodeHost, Output, ReplyBody, TimerKind,
+    ClientId, ClientReply, ClientRequest, ClusterSpec, DataFlasksNode, DefaultStore, Environment,
+    Message, NodeHost, Output, ReplyBody, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
-use dataflasks_store::MemoryStore;
+use dataflasks_store::ShardedStore;
 use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, StoredObject, Value,
     Version,
@@ -88,6 +88,12 @@ enum Envelope {
     FromNode {
         from: NodeId,
         message: Message,
+    },
+    /// A per-destination batch ([`Output::SendBatch`]): several messages from
+    /// one sender in a single channel send.
+    Batch {
+        from: NodeId,
+        messages: Vec<Message>,
     },
     FromClient {
         client: ClientId,
@@ -122,6 +128,14 @@ impl Router {
                     let _ = tx.send(Envelope::FromNode { from, message });
                 }
             }
+            Output::SendBatch { to, messages } => {
+                // The whole per-destination batch travels as one channel
+                // send (and one routing-table lookup).
+                let guard = self.nodes.read();
+                if let Some(tx) = guard.get(&to) {
+                    let _ = tx.send(Envelope::Batch { from, messages });
+                }
+            }
             Output::Reply { client, reply } => {
                 let _ = self.client_inbox.send((client, reply));
             }
@@ -144,7 +158,7 @@ const BLOCKING_CLIENT: ClientId = u64::MAX;
 pub struct ThreadedCluster {
     router: Arc<Router>,
     node_ids: Vec<NodeId>,
-    handles: Vec<JoinHandle<DataFlasksNode<MemoryStore>>>,
+    handles: Vec<JoinHandle<DataFlasksNode<DefaultStore>>>,
     client_rx: Receiver<(ClientId, ClientReply)>,
     request_sequence: std::cell::Cell<u64>,
     rng: std::cell::RefCell<StdRng>,
@@ -154,6 +168,9 @@ pub struct ThreadedCluster {
     env_clients: std::collections::HashSet<ClientId>,
     /// Environment replies received while the blocking API was waiting.
     env_pending: std::cell::RefCell<Vec<(ClientId, ClientReply)>>,
+    /// How long [`Environment::drain_effects`] waits on a silent inbox
+    /// before concluding the in-process cascade has quiesced.
+    drain_idle_grace: std::time::Duration,
     /// Per-node crash flags: set by [`Environment::fail_node`] so the victim
     /// stops processing immediately, including envelopes already queued in
     /// its inbox (matching the simulator dropping undelivered events).
@@ -176,7 +193,7 @@ impl ThreadedCluster {
                 id,
                 node_config,
                 profile,
-                MemoryStore::unbounded(),
+                ShardedStore::new(node_config.effective_store_shards()),
                 rng.gen(),
             ));
         }
@@ -209,7 +226,7 @@ impl ThreadedCluster {
     }
 
     fn start_nodes(
-        nodes: Vec<DataFlasksNode<MemoryStore>>,
+        nodes: Vec<DataFlasksNode<DefaultStore>>,
         node_config: NodeConfig,
         seed: u64,
     ) -> Self {
@@ -248,8 +265,17 @@ impl ThreadedCluster {
             rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed ^ 0xC11E)),
             env_clients: std::collections::HashSet::new(),
             env_pending: std::cell::RefCell::new(Vec::new()),
+            drain_idle_grace: std::time::Duration::from_secs(1),
             kill_switches,
         }
+    }
+
+    /// Overrides how long [`Environment::drain_effects`] treats inbox
+    /// silence as quiescence (default: one second). In-process hops take
+    /// microseconds, so harnesses issuing many drains (the differential
+    /// property test) can lower this substantially without losing replies.
+    pub fn set_drain_idle_grace(&mut self, grace: Duration) {
+        self.drain_idle_grace = to_std(grace);
     }
 
     /// Identifiers of the running nodes.
@@ -342,7 +368,7 @@ impl ThreadedCluster {
     /// Stops every node thread and returns the final node states for
     /// inspection (stores, statistics, slice assignments). Nodes failed with
     /// [`Environment::fail_node`] are included, frozen at their final state.
-    pub fn shutdown(self) -> Vec<DataFlasksNode<MemoryStore>> {
+    pub fn shutdown(self) -> Vec<DataFlasksNode<DefaultStore>> {
         {
             let guard = self.router.nodes.read();
             for tx in guard.values() {
@@ -456,7 +482,7 @@ impl Environment for ThreadedCluster {
         // A full second of inbox silence means the in-process cascade (whose
         // hops take microseconds) has quiesced; the budget caps the total
         // wait either way.
-        let idle_grace = std::time::Duration::from_secs(1);
+        let idle_grace = self.drain_idle_grace;
         loop {
             let remaining = deadline.saturating_duration_since(Instant::now());
             if remaining.is_zero() {
@@ -480,23 +506,33 @@ impl Environment for ThreadedCluster {
     }
 }
 
+/// Upper bound on how many already-queued envelopes one dispatch round
+/// absorbs before flushing, bounding effect-buffer growth under load.
+const MAX_DISPATCH_BATCH: usize = 128;
+
 /// The per-node thread: hosts the node, waits for envelopes, fires timers at
 /// the deadlines the node's own re-arm effects maintain, and hands every
 /// other effect to the router.
+///
+/// Each dispatch round feeds the received envelope *plus any backlog already
+/// queued in the inbox* into the host, then flushes once: same-destination
+/// sends produced by the whole round coalesce into one [`Output::SendBatch`]
+/// — one channel send per destination per round — which is what amortises
+/// per-message channel and lock overhead for slice-wide fan-outs under load.
 fn node_thread(
-    node: DataFlasksNode<MemoryStore>,
+    node: DataFlasksNode<DefaultStore>,
     rx: Receiver<Envelope>,
     router: Arc<Router>,
     config: NodeConfig,
     failed: Arc<AtomicBool>,
-) -> DataFlasksNode<MemoryStore> {
+) -> DataFlasksNode<DefaultStore> {
     let mut host = NodeHost::new(node);
     let id = host.node().id();
     let mut deadlines: Vec<(TimerKind, Instant)> = TimerKind::ALL
         .iter()
         .map(|&kind| (kind, Instant::now() + to_std(kind.period(&config))))
         .collect();
-    loop {
+    'running: loop {
         let next_deadline = deadlines
             .iter()
             .map(|&(_, at)| at)
@@ -509,25 +545,53 @@ fn node_thread(
             break;
         }
         match envelope {
-            Ok(Envelope::FromNode { from, message }) => {
+            Ok(first) => {
                 let now = router.now();
-                host.deliver_message(from, message, now, |output| {
+                let mut pending = Some(first);
+                let mut absorbed = 0;
+                let mut stopping = false;
+                while let Some(envelope) = pending.take() {
+                    match envelope {
+                        Envelope::FromNode { from, message } => {
+                            host.enqueue_message(from, message, now);
+                        }
+                        Envelope::Batch { from, messages } => {
+                            for message in messages {
+                                host.enqueue_message(from, message, now);
+                            }
+                        }
+                        Envelope::FromClient { client, request } => {
+                            host.enqueue_client_request(client, request, now);
+                        }
+                        Envelope::Timer { kind } => {
+                            host.enqueue_timer(kind, now);
+                        }
+                        Envelope::Shutdown => {
+                            stopping = true;
+                            break;
+                        }
+                    }
+                    if failed.load(Ordering::SeqCst) {
+                        // Crashed mid-round: stop absorbing, but still route
+                        // what was already processed (below) — everything a
+                        // node handles before dying has its effects
+                        // delivered, matching the simulator, where effects
+                        // of pre-crash dispatches are always routed.
+                        stopping = true;
+                        break;
+                    }
+                    absorbed += 1;
+                    if absorbed < MAX_DISPATCH_BATCH {
+                        pending = rx.try_recv().ok();
+                    }
+                }
+                host.flush_effects(|output| {
                     route_thread_output(&router, id, &mut deadlines, output);
                 });
+                if stopping {
+                    break 'running;
+                }
             }
-            Ok(Envelope::FromClient { client, request }) => {
-                let now = router.now();
-                host.submit_client_request(client, request, now, |output| {
-                    route_thread_output(&router, id, &mut deadlines, output);
-                });
-            }
-            Ok(Envelope::Timer { kind }) => {
-                let now = router.now();
-                host.fire_timer(kind, now, |output| {
-                    route_thread_output(&router, id, &mut deadlines, output);
-                });
-            }
-            Ok(Envelope::Shutdown) => break,
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }

@@ -75,6 +75,17 @@ pub enum EventPayload {
         /// The message itself.
         message: Message,
     },
+    /// A batch of node-to-node messages arrives as one transport unit (the
+    /// queue-side form of [`dataflasks_core::Output::SendBatch`]): one event,
+    /// one latency sample and one loss decision for the whole batch.
+    DeliverBatch {
+        /// Sender of the messages.
+        from: NodeId,
+        /// Receiver of the messages.
+        to: NodeId,
+        /// The messages, delivered in order.
+        messages: Vec<Message>,
+    },
     /// A periodic protocol timer fires on a node.
     Timer {
         /// Node whose timer fires.

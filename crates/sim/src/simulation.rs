@@ -9,11 +9,11 @@ use rand::{Rng, SeedableRng};
 use dataflasks_core::Message;
 use dataflasks_core::{
     ClientId, ClientLibrary, ClientReply, ClientRequest, ClusterSpec, CompletedOperation,
-    DataFlasksNode, Environment, LoadBalancer, LoadBalancerPolicy, NodeHost, NodeStats, Output,
-    TimerKind,
+    DataFlasksNode, DefaultStore, Environment, LoadBalancer, LoadBalancerPolicy, NodeHost,
+    NodeStats, Output, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
-use dataflasks_store::{DataStore, MemoryStore};
+use dataflasks_store::{DataStore, ShardedStore};
 use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, NodeProfile, SimTime, SliceId, Value, Version,
 };
@@ -47,7 +47,7 @@ impl Default for SimConfig {
 }
 
 struct SimNode {
-    host: NodeHost<MemoryStore>,
+    host: NodeHost<DefaultStore>,
     alive: bool,
 }
 
@@ -104,6 +104,19 @@ impl Routing<'_> {
                 self.queue.schedule(
                     self.now + latency,
                     EventPayload::Deliver { from, to, message },
+                );
+            }
+            Output::SendBatch { to, messages } => {
+                // One transport unit: one loss decision, one latency sample
+                // and one queue entry for the whole per-destination batch.
+                if self.network.drops(self.rng) {
+                    *self.messages_dropped += messages.len() as u64;
+                    return;
+                }
+                let latency = self.network.sample_latency(self.rng);
+                self.queue.schedule(
+                    self.now + latency,
+                    EventPayload::DeliverBatch { from, to, messages },
                 );
             }
             Output::Reply { client, reply } => {
@@ -238,7 +251,7 @@ impl Simulation {
     ///
     /// Panics if no node with this identifier was ever added.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &DataFlasksNode<MemoryStore> {
+    pub fn node(&self, id: NodeId) -> &DataFlasksNode<DefaultStore> {
         self.nodes.get(&id).expect("unknown node id").host.node()
     }
 
@@ -276,8 +289,8 @@ impl Simulation {
         self.next_node_id += 1;
         let profile = NodeProfile::with_capacity_and_tie_break(capacity, id.as_u64());
         let seed = self.rng.gen();
-        let mut node =
-            DataFlasksNode::new(id, node_config, profile, MemoryStore::unbounded(), seed);
+        let store = ShardedStore::new(node_config.effective_store_shards());
+        let mut node = DataFlasksNode::new(id, node_config, profile, store, seed);
         node.bootstrap(self.bootstrap_contacts(id));
         self.nodes.insert(
             id,
@@ -478,35 +491,10 @@ impl Simulation {
     fn dispatch(&mut self, payload: EventPayload) {
         match payload {
             EventPayload::Deliver { from, to, message } => {
-                let now = self.now;
-                let Self {
-                    nodes,
-                    queue,
-                    rng,
-                    config,
-                    messages_dropped,
-                    messages_delivered,
-                    timer_generations,
-                    ..
-                } = self;
-                let Some(entry) = nodes.get_mut(&to) else {
-                    return;
-                };
-                if !entry.alive {
-                    return;
-                }
-                *messages_delivered += 1;
-                let mut routing = Routing {
-                    queue,
-                    rng,
-                    network: &config.network,
-                    messages_dropped,
-                    timers: timer_generations,
-                    now,
-                };
-                entry
-                    .host
-                    .deliver_message(from, message, now, |output| routing.route(to, output));
+                self.deliver_to_node(from, to, std::iter::once(message));
+            }
+            EventPayload::DeliverBatch { from, to, messages } => {
+                self.deliver_to_node(from, to, messages.into_iter());
             }
             EventPayload::Timer {
                 node,
@@ -609,6 +597,45 @@ impl Simulation {
                 let _ = self.spawn_node(config, capacity);
             }
         }
+    }
+
+    /// Shared delivery path for single messages and per-destination batches
+    /// (one transport unit either way): skips dead nodes, counts delivered
+    /// messages and routes the whole dispatch round's effects through the
+    /// simulated network.
+    fn deliver_to_node<I>(&mut self, from: NodeId, to: NodeId, messages: I)
+    where
+        I: ExactSizeIterator<Item = Message>,
+    {
+        let now = self.now;
+        let Self {
+            nodes,
+            queue,
+            rng,
+            config,
+            messages_dropped,
+            messages_delivered,
+            timer_generations,
+            ..
+        } = self;
+        let Some(entry) = nodes.get_mut(&to) else {
+            return;
+        };
+        if !entry.alive {
+            return;
+        }
+        *messages_delivered += messages.len() as u64;
+        let mut routing = Routing {
+            queue,
+            rng,
+            network: &config.network,
+            messages_dropped,
+            timers: timer_generations,
+            now,
+        };
+        entry
+            .host
+            .deliver_batch(from, messages, now, |output| routing.route(to, output));
     }
 
     fn deliver_client_request(

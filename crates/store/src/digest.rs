@@ -36,6 +36,24 @@ impl StoreDigest {
         Self::default()
     }
 
+    /// Creates an empty digest with room for `capacity` keys (used by merge
+    /// paths that know the final size up front).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Merges `other` into this digest assuming the two summarise *disjoint*
+    /// key sets (the sharded store's per-shard digests, whose key ranges
+    /// never overlap). Skips the per-key version comparison [`Self::record`]
+    /// performs; if a key does appear on both sides, `other`'s version wins.
+    pub fn merge_disjoint(&mut self, other: &Self) {
+        self.entries
+            .extend(other.entries.iter().map(|(&k, &v)| (k, v)));
+    }
+
     /// Records (or raises) the version known for a key.
     pub fn record(&mut self, key: Key, version: Version) {
         self.entries

@@ -8,10 +8,13 @@
 //!   the simulated experiments, where thousands of nodes run in one process),
 //! * [`LogStore`] — a persistent append-only log with crash recovery, showing
 //!   the abstraction backed by the node hard disk as the paper intends for a
-//!   real deployment.
+//!   real deployment,
+//! * [`ShardedStore`] — a key-range sharded wrapper over any inner store
+//!   (the default node store), whose anti-entropy digests, shipping diffs
+//!   and slice-migration scans touch only the affected shards.
 //!
-//! Both implement the [`DataStore`] trait used by the DataFlasks request
-//! handler, and both expose [`StoreDigest`]s — compact `key → latest version`
+//! All implement the [`DataStore`] trait used by the DataFlasks request
+//! handler, and all expose [`StoreDigest`]s — compact `key → latest version`
 //! summaries — that the anti-entropy protocol exchanges to find missing or
 //! stale replicas.
 //!
@@ -24,7 +27,7 @@
 //! let mut store = MemoryStore::unbounded();
 //! let key = Key::from_user_key("user:1");
 //! let outcome = store
-//!     .put(StoredObject::new(key, Version::new(1), Value::from_bytes(b"v1")))
+//!     .put(&StoredObject::new(key, Version::new(1), Value::from_bytes(b"v1")))
 //!     .unwrap();
 //! assert_eq!(outcome, PutOutcome::Stored);
 //! let read = store.get_latest(key).unwrap();
@@ -38,12 +41,14 @@ pub mod digest;
 pub mod error;
 pub mod log_store;
 pub mod memory;
+pub mod sharded;
 pub mod traits;
 
 pub use digest::StoreDigest;
 pub use error::StoreError;
 pub use log_store::LogStore;
 pub use memory::MemoryStore;
+pub use sharded::{ShardedStore, DEFAULT_SHARD_COUNT};
 pub use traits::{DataStore, PutOutcome};
 
 #[cfg(test)]
@@ -57,14 +62,14 @@ mod tests {
         fn exercise<S: DataStore>(store: &mut S) {
             let key = Key::from_user_key("agree");
             store
-                .put(StoredObject::new(
+                .put(&StoredObject::new(
                     key,
                     Version::new(1),
                     Value::from_bytes(b"a"),
                 ))
                 .unwrap();
             store
-                .put(StoredObject::new(
+                .put(&StoredObject::new(
                     key,
                     Version::new(3),
                     Value::from_bytes(b"c"),

@@ -35,7 +35,7 @@ const COMPACT_FILE: &str = "dataflasks.log.compact";
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let mut store = LogStore::open("/var/lib/dataflasks/node-1")?;
-/// store.put(StoredObject::new(
+/// store.put(&StoredObject::new(
 ///     Key::from_user_key("a"),
 ///     Version::new(1),
 ///     Value::from_bytes(b"payload"),
@@ -73,7 +73,7 @@ impl LogStore {
             File::open(&log_path)?.read_to_end(&mut bytes)?;
             let (records, consumed) = decode_records(&bytes)?;
             for object in records {
-                image.put(object)?;
+                image.put(&object)?;
                 records_recovered += 1;
             }
             valid_prefix = consumed as u64;
@@ -154,12 +154,12 @@ impl LogStore {
 }
 
 impl DataStore for LogStore {
-    fn put(&mut self, object: StoredObject) -> Result<PutOutcome, StoreError> {
+    fn put(&mut self, object: &StoredObject) -> Result<PutOutcome, StoreError> {
         // Apply to the image first so capacity/ordering rules are enforced,
         // then persist only the puts that changed the state.
-        let outcome = self.image.put(object.clone())?;
+        let outcome = self.image.put(object)?;
         if outcome.changed() {
-            self.append(&object)?;
+            self.append(object)?;
         }
         Ok(outcome)
     }
@@ -291,9 +291,9 @@ mod tests {
         let dir = TempDir::new("reopen");
         {
             let mut store = LogStore::open(dir.path()).unwrap();
-            store.put(object("a", 1, b"one")).unwrap();
-            store.put(object("b", 2, b"two")).unwrap();
-            store.put(object("a", 3, b"three")).unwrap();
+            store.put(&object("a", 1, b"one")).unwrap();
+            store.put(&object("b", 2, b"two")).unwrap();
+            store.put(&object("a", 3, b"three")).unwrap();
             store.sync().unwrap();
         }
         let store = LogStore::open(dir.path()).unwrap();
@@ -322,11 +322,11 @@ mod tests {
         let dir = TempDir::new("flush");
         {
             let mut store = LogStore::open(dir.path()).unwrap();
-            store.put(object("a", 1, b"one")).unwrap();
+            store.put(&object("a", 1, b"one")).unwrap();
             store.sync().unwrap();
             // A second put left unflushed may or may not survive; only the
             // synced prefix is guaranteed.
-            store.put(object("b", 1, b"two")).unwrap();
+            store.put(&object("b", 1, b"two")).unwrap();
         }
         let store = LogStore::open(dir.path()).unwrap();
         assert!(store.get_latest(Key::from_user_key("a")).is_some());
@@ -337,8 +337,8 @@ mod tests {
         let dir = TempDir::new("torn");
         {
             let mut store = LogStore::open(dir.path()).unwrap();
-            store.put(object("a", 1, b"payload-one")).unwrap();
-            store.put(object("b", 1, b"payload-two")).unwrap();
+            store.put(&object("a", 1, b"payload-one")).unwrap();
+            store.put(&object("b", 1, b"payload-two")).unwrap();
             store.sync().unwrap();
         }
         // Truncate the log in the middle of the last record.
@@ -353,7 +353,7 @@ mod tests {
         assert!(store.get_latest(Key::from_user_key("b")).is_none());
         // And the store keeps working after recovery.
         let mut store = store;
-        store.put(object("c", 1, b"three")).unwrap();
+        store.put(&object("c", 1, b"three")).unwrap();
         store.sync().unwrap();
         let reopened = LogStore::open(dir.path()).unwrap();
         assert_eq!(reopened.len(), 2);
@@ -364,7 +364,7 @@ mod tests {
         let dir = TempDir::new("corrupt");
         {
             let mut store = LogStore::open(dir.path()).unwrap();
-            store.put(object("a", 1, b"payload")).unwrap();
+            store.put(&object("a", 1, b"payload")).unwrap();
             store.sync().unwrap();
         }
         let log_path = dir.path().join(LOG_FILE);
@@ -379,13 +379,13 @@ mod tests {
     fn duplicate_and_obsolete_puts_are_not_logged() {
         let dir = TempDir::new("dedup");
         let mut store = LogStore::open(dir.path()).unwrap();
-        store.put(object("a", 2, b"two")).unwrap();
+        store.put(&object("a", 2, b"two")).unwrap();
         assert_eq!(
-            store.put(object("a", 2, b"two")).unwrap(),
+            store.put(&object("a", 2, b"two")).unwrap(),
             PutOutcome::Duplicate
         );
         assert_eq!(
-            store.put(object("a", 1, b"one")).unwrap(),
+            store.put(&object("a", 1, b"one")).unwrap(),
             PutOutcome::Obsolete
         );
         store.sync().unwrap();
@@ -404,14 +404,14 @@ mod tests {
         let mut store = LogStore::open(dir.path()).unwrap();
         for v in 1..=10u64 {
             store
-                .put(object("a", v, format!("v{v}").as_bytes()))
+                .put(&object("a", v, format!("v{v}").as_bytes()))
                 .unwrap();
         }
-        store.put(object("b", 1, b"b1")).unwrap();
+        store.put(&object("b", 1, b"b1")).unwrap();
         let written = store.compact().unwrap();
         assert_eq!(written, 2);
         // New writes after compaction still append correctly.
-        store.put(object("c", 1, b"c1")).unwrap();
+        store.put(&object("c", 1, b"c1")).unwrap();
         store.sync().unwrap();
         drop(store);
         let store = LogStore::open(dir.path()).unwrap();
@@ -429,13 +429,13 @@ mod tests {
         let dir_b = TempDir::new("digest-b");
         let mut a = LogStore::open(dir_a.path()).unwrap();
         let mut b = LogStore::open(dir_b.path()).unwrap();
-        a.put(object("x", 2, b"x2")).unwrap();
-        a.put(object("y", 1, b"y1")).unwrap();
-        b.put(object("x", 1, b"x1")).unwrap();
+        a.put(&object("x", 2, b"x2")).unwrap();
+        a.put(&object("y", 1, b"y1")).unwrap();
+        b.put(&object("x", 1, b"x1")).unwrap();
         let to_ship = a.objects_newer_than(&b.digest(), 16);
         assert_eq!(to_ship.len(), 2);
         for o in to_ship {
-            b.put(o).unwrap();
+            b.put(&o).unwrap();
         }
         assert_eq!(
             b.latest_version(Key::from_user_key("x")),
@@ -452,7 +452,7 @@ mod tests {
         let dir = TempDir::new("retain");
         let mut store = LogStore::open(dir.path()).unwrap();
         for i in 0..32u64 {
-            store.put(object(&format!("k{i}"), 1, b"v")).unwrap();
+            store.put(&object(&format!("k{i}"), 1, b"v")).unwrap();
         }
         let partition = SlicePartition::new(4);
         let removed = store.retain_slice(partition, SliceId::new(0));

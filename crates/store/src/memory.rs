@@ -27,8 +27,8 @@ const DEFAULT_HISTORY: usize = 4;
 ///
 /// let mut store = MemoryStore::with_capacity(100);
 /// let key = Key::from_user_key("a");
-/// store.put(StoredObject::new(key, Version::new(1), Value::from_bytes(b"1"))).unwrap();
-/// store.put(StoredObject::new(key, Version::new(2), Value::from_bytes(b"2"))).unwrap();
+/// store.put(&StoredObject::new(key, Version::new(1), Value::from_bytes(b"1"))).unwrap();
+/// store.put(&StoredObject::new(key, Version::new(2), Value::from_bytes(b"2"))).unwrap();
 /// assert_eq!(store.get(key, Some(Version::new(1))).unwrap().value.as_slice(), b"1");
 /// assert_eq!(store.get_latest(key).unwrap().version, Version::new(2));
 /// ```
@@ -101,7 +101,7 @@ impl Default for MemoryStore {
 }
 
 impl DataStore for MemoryStore {
-    fn put(&mut self, object: StoredObject) -> Result<PutOutcome, StoreError> {
+    fn put(&mut self, object: &StoredObject) -> Result<PutOutcome, StoreError> {
         let is_new_key = !self.objects.contains_key(&object.key);
         if is_new_key && self.capacity_keys > 0 && self.objects.len() >= self.capacity_keys {
             return Err(StoreError::CapacityExceeded {
@@ -116,13 +116,13 @@ impl DataStore for MemoryStore {
                 // change.
                 if !versions.contains_key(&object.version) && versions.len() < self.history_per_key
                 {
-                    versions.insert(object.version, object.value);
+                    versions.insert(object.version, object.value.clone());
                 }
                 PutOutcome::Obsolete
             }
             Some(latest) if latest == object.version => PutOutcome::Duplicate,
             _ => {
-                versions.insert(object.version, object.value);
+                versions.insert(object.version, object.value.clone());
                 while versions.len() > self.history_per_key {
                     let oldest = *versions.keys().next().expect("non-empty history");
                     versions.remove(&oldest);
@@ -221,7 +221,7 @@ mod tests {
     #[test]
     fn put_and_get_roundtrip() {
         let mut store = MemoryStore::unbounded();
-        assert_eq!(store.put(object("a", 1)).unwrap(), PutOutcome::Stored);
+        assert_eq!(store.put(&object("a", 1)).unwrap(), PutOutcome::Stored);
         let read = store.get_latest(Key::from_user_key("a")).unwrap();
         assert_eq!(read.version, Version::new(1));
         assert_eq!(read.value.as_slice(), b"a:1");
@@ -232,9 +232,9 @@ mod tests {
     #[test]
     fn duplicate_and_obsolete_puts_are_absorbed() {
         let mut store = MemoryStore::unbounded();
-        store.put(object("a", 5)).unwrap();
-        assert_eq!(store.put(object("a", 5)).unwrap(), PutOutcome::Duplicate);
-        assert_eq!(store.put(object("a", 3)).unwrap(), PutOutcome::Obsolete);
+        store.put(&object("a", 5)).unwrap();
+        assert_eq!(store.put(&object("a", 5)).unwrap(), PutOutcome::Duplicate);
+        assert_eq!(store.put(&object("a", 3)).unwrap(), PutOutcome::Obsolete);
         assert_eq!(
             store.latest_version(Key::from_user_key("a")),
             Some(Version::new(5))
@@ -251,7 +251,7 @@ mod tests {
     fn versioned_reads_hit_the_history() {
         let mut store = MemoryStore::unbounded();
         for v in 1..=3u64 {
-            store.put(object("a", v)).unwrap();
+            store.put(&object("a", v)).unwrap();
         }
         for v in 1..=3u64 {
             let read = store
@@ -269,7 +269,7 @@ mod tests {
     fn history_is_bounded_and_keeps_the_newest_versions() {
         let mut store = MemoryStore::unbounded().with_history(2);
         for v in 1..=5u64 {
-            store.put(object("a", v)).unwrap();
+            store.put(&object("a", v)).unwrap();
         }
         assert_eq!(store.total_versions(), 2);
         assert!(store
@@ -286,19 +286,19 @@ mod tests {
     #[test]
     fn capacity_rejects_new_keys_but_accepts_updates() {
         let mut store = MemoryStore::with_capacity(2);
-        store.put(object("a", 1)).unwrap();
-        store.put(object("b", 1)).unwrap();
-        let err = store.put(object("c", 1)).unwrap_err();
+        store.put(&object("a", 1)).unwrap();
+        store.put(&object("b", 1)).unwrap();
+        let err = store.put(&object("c", 1)).unwrap_err();
         assert!(matches!(err, StoreError::CapacityExceeded { capacity: 2 }));
         // Updating an existing key still works at capacity.
-        assert_eq!(store.put(object("a", 2)).unwrap(), PutOutcome::Stored);
+        assert_eq!(store.put(&object("a", 2)).unwrap(), PutOutcome::Stored);
         assert_eq!(store.capacity_keys(), 2);
     }
 
     #[test]
     fn contains_at_least_checks_versions() {
         let mut store = MemoryStore::unbounded();
-        store.put(object("a", 3)).unwrap();
+        store.put(&object("a", 3)).unwrap();
         assert!(store.contains_at_least(Key::from_user_key("a"), Version::new(2)));
         assert!(store.contains_at_least(Key::from_user_key("a"), Version::new(3)));
         assert!(!store.contains_at_least(Key::from_user_key("a"), Version::new(4)));
@@ -308,9 +308,9 @@ mod tests {
     #[test]
     fn digest_reflects_latest_versions() {
         let mut store = MemoryStore::unbounded();
-        store.put(object("a", 1)).unwrap();
-        store.put(object("a", 4)).unwrap();
-        store.put(object("b", 2)).unwrap();
+        store.put(&object("a", 1)).unwrap();
+        store.put(&object("a", 4)).unwrap();
+        store.put(&object("b", 2)).unwrap();
         let digest = store.digest();
         assert_eq!(
             digest.version_of(Key::from_user_key("a")),
@@ -326,13 +326,13 @@ mod tests {
     #[test]
     fn objects_newer_than_ships_missing_and_stale_keys() {
         let mut ours = MemoryStore::unbounded();
-        ours.put(object("a", 3)).unwrap();
-        ours.put(object("b", 1)).unwrap();
-        ours.put(object("c", 2)).unwrap();
+        ours.put(&object("a", 3)).unwrap();
+        ours.put(&object("b", 1)).unwrap();
+        ours.put(&object("c", 2)).unwrap();
         let mut theirs = MemoryStore::unbounded();
-        theirs.put(object("a", 3)).unwrap(); // up to date
-        theirs.put(object("b", 0)).unwrap(); // stale
-                                             // c missing entirely
+        theirs.put(&object("a", 3)).unwrap(); // up to date
+        theirs.put(&object("b", 0)).unwrap(); // stale
+                                              // c missing entirely
         let to_ship = ours.objects_newer_than(&theirs.digest(), 10);
         let keys: Vec<Key> = to_ship.iter().map(|o| o.key).collect();
         assert_eq!(to_ship.len(), 2);
@@ -347,7 +347,7 @@ mod tests {
         let partition = SlicePartition::new(4);
         let mut store = MemoryStore::unbounded();
         for i in 0..64u64 {
-            store.put(object(&format!("key{i}"), 1)).unwrap();
+            store.put(&object(&format!("key{i}"), 1)).unwrap();
         }
         let slice = SliceId::new(2);
         let removed = store.retain_slice(partition, slice);
@@ -362,8 +362,8 @@ mod tests {
     #[test]
     fn keys_lists_every_stored_key() {
         let mut store = MemoryStore::unbounded();
-        store.put(object("a", 1)).unwrap();
-        store.put(object("b", 1)).unwrap();
+        store.put(&object("a", 1)).unwrap();
+        store.put(&object("b", 1)).unwrap();
         let mut keys = store.keys();
         keys.sort();
         let mut expected = vec![Key::from_user_key("a"), Key::from_user_key("b")];

@@ -34,11 +34,17 @@ impl PutOutcome {
 pub trait DataStore {
     /// Stores an object.
     ///
+    /// Takes the object by reference so callers that keep using it (the
+    /// request handler stores *and* forwards the same object; anti-entropy
+    /// applies a shared `Arc<[StoredObject]>` batch) never clone it per
+    /// insert — implementations clone only the parts they retain (for the
+    /// in-memory stores that is one `Arc` bump on the value).
+    ///
     /// # Errors
     ///
     /// Returns [`StoreError::CapacityExceeded`] if the store is full and the
     /// key is new, or an I/O error for persistent stores.
-    fn put(&mut self, object: StoredObject) -> Result<PutOutcome, StoreError>;
+    fn put(&mut self, object: &StoredObject) -> Result<PutOutcome, StoreError>;
 
     /// Reads an object. With `version: None` the latest stored version is
     /// returned; otherwise the exact requested version (if retained).

@@ -34,7 +34,7 @@ proptest! {
         let mut store = MemoryStore::unbounded();
         let mut expected_latest: std::collections::HashMap<u8, u64> = std::collections::HashMap::new();
         for (tag, version, payload) in &puts {
-            let _ = store.put(object(*tag, *version, payload));
+            let _ = store.put(&object(*tag, *version, payload));
             let entry = expected_latest.entry(*tag).or_insert(*version);
             if *version > *entry {
                 *entry = *version;
@@ -53,8 +53,8 @@ proptest! {
     #[test]
     fn put_outcomes_follow_version_ordering(v1 in 0u64..100, v2 in 0u64..100) {
         let mut store = MemoryStore::unbounded();
-        store.put(object(0, v1, b"first")).unwrap();
-        let outcome = store.put(object(0, v2, b"second")).unwrap();
+        store.put(&object(0, v1, b"first")).unwrap();
+        let outcome = store.put(&object(0, v2, b"second")).unwrap();
         if v2 > v1 {
             prop_assert_eq!(outcome, PutOutcome::Stored);
         } else if v2 == v1 {
@@ -74,17 +74,17 @@ proptest! {
         let mut a = MemoryStore::unbounded();
         let mut b = MemoryStore::unbounded();
         for (tag, version, payload) in &puts_a {
-            let _ = a.put(object(*tag, *version, payload));
+            let _ = a.put(&object(*tag, *version, payload));
         }
         for (tag, version, payload) in &puts_b {
-            let _ = b.put(object(*tag, *version, payload));
+            let _ = b.put(&object(*tag, *version, payload));
         }
         // One full bidirectional exchange.
         for o in a.objects_newer_than(&b.digest(), usize::MAX) {
-            let _ = b.put(o);
+            let _ = b.put(&o);
         }
         for o in b.objects_newer_than(&a.digest(), usize::MAX) {
-            let _ = a.put(o);
+            let _ = a.put(&o);
         }
         // Digests now agree on every key.
         let da = a.digest();
@@ -102,7 +102,7 @@ proptest! {
         let mut store = MemoryStore::with_capacity(capacity);
         for (tag, version, payload) in &puts {
             let had_key = store.latest_version(Key::from_user_key(&format!("key-{tag}"))).is_some();
-            let result = store.put(object(*tag, *version, payload));
+            let result = store.put(&object(*tag, *version, payload));
             if had_key {
                 prop_assert!(result.is_ok());
             }
@@ -118,7 +118,7 @@ proptest! {
         let slice = SliceId::new(slice % k);
         let mut store = MemoryStore::unbounded();
         for (tag, version, payload) in &puts {
-            let _ = store.put(object(*tag, *version, payload));
+            let _ = store.put(&object(*tag, *version, payload));
         }
         let owned_before: Vec<Key> = store
             .keys()
@@ -175,8 +175,8 @@ fn log_store_recovers_effective_state() {
             {
                 let mut log = LogStore::open(&dir).unwrap();
                 for (tag, version, payload) in &puts {
-                    let _ = log.put(object(*tag, *version, payload));
-                    let _ = reference.put(object(*tag, *version, payload));
+                    let _ = log.put(&object(*tag, *version, payload));
+                    let _ = reference.put(&object(*tag, *version, payload));
                 }
                 log.sync().unwrap();
             }

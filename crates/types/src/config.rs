@@ -130,8 +130,12 @@ impl Default for ReplicationConfig {
     }
 }
 
+/// Default number of key-range shards a node's data store is split into
+/// (mirrors `dataflasks_store::DEFAULT_SHARD_COUNT`).
+pub const DEFAULT_STORE_SHARDS: u32 = 8;
+
 /// Complete configuration of a DataFlasks node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeConfig {
     /// Peer Sampling Service parameters.
     pub pss: PssConfig,
@@ -144,6 +148,24 @@ pub struct NodeConfig {
     /// Capacity of the local data store in abstract object units
     /// (0 means unbounded).
     pub store_capacity_objects: usize,
+    /// Number of key-range shards the node's data store is split into, so
+    /// anti-entropy digests, shipping diffs and slice-migration scans touch
+    /// only affected shards. `0` and `1` both mean a single (unsharded)
+    /// shard.
+    pub store_shards: u32,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            pss: PssConfig::default(),
+            slicing: SlicingConfig::default(),
+            dissemination: DisseminationConfig::default(),
+            replication: ReplicationConfig::default(),
+            store_capacity_objects: 0,
+            store_shards: DEFAULT_STORE_SHARDS,
+        }
+    }
 }
 
 impl NodeConfig {
@@ -183,6 +205,7 @@ impl NodeConfig {
             },
             replication: ReplicationConfig::default(),
             store_capacity_objects: 0,
+            store_shards: DEFAULT_STORE_SHARDS,
         }
     }
 
@@ -208,6 +231,21 @@ impl NodeConfig {
     pub fn with_slice_count(mut self, slice_count: u32) -> Self {
         self.slicing.slice_count = slice_count;
         self
+    }
+
+    /// Returns a copy of the configuration with a different number of
+    /// data-store key-range shards (`1` or `0` disables sharding).
+    #[must_use]
+    pub fn with_store_shards(mut self, store_shards: u32) -> Self {
+        self.store_shards = store_shards;
+        self
+    }
+
+    /// The number of store shards to materialise: the configured knob,
+    /// clamped to at least one shard.
+    #[must_use]
+    pub fn effective_store_shards(&self) -> u32 {
+        self.store_shards.max(1)
     }
 }
 
@@ -254,6 +292,18 @@ mod tests {
             .with_slice_count(25);
         assert!(!cfg.replication.anti_entropy_enabled);
         assert_eq!(cfg.slicing.slice_count, 25);
+    }
+
+    #[test]
+    fn store_shards_knob_defaults_and_clamps() {
+        let cfg = NodeConfig::default();
+        assert_eq!(cfg.store_shards, DEFAULT_STORE_SHARDS);
+        assert_eq!(cfg.with_store_shards(0).effective_store_shards(), 1);
+        assert_eq!(cfg.with_store_shards(16).effective_store_shards(), 16);
+        assert_eq!(
+            NodeConfig::for_system_size(100, 4).store_shards,
+            DEFAULT_STORE_SHARDS
+        );
     }
 
     #[test]

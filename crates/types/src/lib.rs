@@ -42,7 +42,10 @@ pub mod profile;
 pub mod slice;
 pub mod time;
 
-pub use config::{DisseminationConfig, NodeConfig, PssConfig, ReplicationConfig, SlicingConfig};
+pub use config::{
+    DisseminationConfig, NodeConfig, PssConfig, ReplicationConfig, SlicingConfig,
+    DEFAULT_STORE_SHARDS,
+};
 pub use hashing::fnv1a_64;
 pub use ids::{NodeId, RequestId};
 pub use object::{Key, StoredObject, Value, Version};

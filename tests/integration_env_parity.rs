@@ -16,11 +16,18 @@
 //!   intra-slice and deterministic,
 //! * protocol timers are configured far beyond the test horizon, so only
 //!   request traffic flows.
+//!
+//! Beyond the scripted scenario, `random_scenarios_agree_across_environments`
+//! generalises this into cross-environment differential fuzzing: randomly
+//! generated seeded scenarios — puts, gets, slicing-gossip and anti-entropy
+//! rounds, node crashes — are driven through both backends and must produce
+//! identical client-visible replies and identical per-node [`NodeStats`].
 
 use std::collections::HashMap;
 
 use dataflasks::core::ClientReply;
 use dataflasks::prelude::*;
+use proptest::prelude::*;
 
 const CLIENT: u64 = 42;
 
@@ -246,4 +253,211 @@ fn scenario_outcomes_are_reply_complete() {
     assert_eq!(steps[4].len(), replicas - 1);
     // The post-churn read observes the overwritten version.
     assert!(steps[4].iter().all(|r| r.contains("GetHit")));
+}
+
+// ---------------------------------------------------------------------------
+// Cross-environment differential fuzzing
+// ---------------------------------------------------------------------------
+
+/// One randomly generated scenario step. Every step is order-independent
+/// under the full-coverage configuration of [`parity_spec`], so thread
+/// scheduling in the threaded runtime cannot change its outcome:
+///
+/// * puts/gets flood the full view (fanout ≥ cluster size) with ample TTL,
+///   so target selection never depends on how much randomness a node has
+///   consumed,
+/// * slicing-gossip and anti-entropy rounds are injected through
+///   `Environment::fire_timer` and drained to quiescence before the next
+///   step, so both backends process the same message sets,
+/// * crashes remove a node in both backends identically (its inbox is
+///   discarded, later traffic to it is dropped).
+#[derive(Debug, Clone)]
+enum Step {
+    Put { key_tag: u8, contact: u8 },
+    Get { key_tag: u8, contact: u8 },
+    SliceGossipRound { node: u8 },
+    AntiEntropyRound { node: u8 },
+    Crash { node: u8 },
+}
+
+/// Strategy: steps are decoded from small integer tuples (the vendored
+/// proptest stub has no `prop_oneof`), with crashes rare so most scenarios
+/// keep several live replicas.
+fn arb_step() -> impl Strategy<Value = (u8, u8, u8)> {
+    (0u8..10, 0u8..6, 0u8..16)
+}
+
+fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
+    match selector {
+        0..=3 => Step::Put {
+            key_tag: a,
+            contact: b,
+        },
+        4..=6 => Step::Get {
+            key_tag: a,
+            contact: b,
+        },
+        7 => Step::SliceGossipRound { node: b },
+        8 => Step::AntiEntropyRound { node: b },
+        _ => Step::Crash { node: b },
+    }
+}
+
+/// A parity spec with randomised capacities and seed (same full-coverage,
+/// far-timer configuration as the scripted scenario).
+fn random_spec(capacities: &[u64], seed: u64) -> ClusterSpec {
+    let mut config = NodeConfig::for_system_size(capacities.len(), 2);
+    config.pss.view_size = 16;
+    config.pss.intra_view_size = 16;
+    config.dissemination.global_fanout = 16;
+    config.dissemination.intra_fanout = 16;
+    config.dissemination.intra_ttl = 32;
+    config.dissemination.global_ttl = 32;
+    let far = Duration::from_secs(1 << 26);
+    config.pss.shuffle_period = far;
+    config.slicing.gossip_period = far;
+    config.replication.anti_entropy_period = far;
+    ClusterSpec::new(config, capacities.to_vec(), seed)
+}
+
+/// Drives the decoded steps through any environment, draining to quiescence
+/// after each one, and returns the normalised replies per step.
+///
+/// Like the scripted scenario, puts and gets go through a contact that is a
+/// member of the key's target slice: dissemination stays intra-slice, which
+/// is what keeps per-copy TTLs (and therefore forward-vs-expire decisions on
+/// nodes outside the slice) independent of message arrival order. The
+/// contact member is still chosen by the fuzzer.
+fn run_random_scenario<E: Environment>(
+    env: &mut E,
+    spec: &ClusterSpec,
+    steps: &[Step],
+    budget: Duration,
+) -> Vec<Vec<String>> {
+    let n = spec.len() as u8;
+    // The slice layout is a deterministic function of the spec; plan contacts
+    // against a private materialisation exactly like the scripted scenario.
+    let plan = spec.build_nodes();
+    let responsible_contact = |key: Key, choice: u8| -> NodeId {
+        let target = plan[0].partition().slice_of(key);
+        let members: Vec<NodeId> = plan
+            .iter()
+            .filter(|node| node.slice() == Some(target))
+            .map(DataFlasksNode::id)
+            .collect();
+        assert!(
+            !members.is_empty(),
+            "every slice of a warm spec is populated"
+        );
+        members[usize::from(choice) % members.len()]
+    };
+    let mut outcomes = Vec::with_capacity(steps.len());
+    for (sequence, step) in steps.iter().enumerate() {
+        match step {
+            Step::Put { key_tag, contact } => {
+                let key = Key::from_user_key(&format!("fuzz-{key_tag}"));
+                env.submit_client_request(
+                    CLIENT,
+                    responsible_contact(key, *contact),
+                    ClientRequest::Put {
+                        id: RequestId::new(CLIENT, sequence as u64),
+                        key,
+                        version: Version::new(sequence as u64 + 1),
+                        value: Value::from_bytes(format!("payload-{sequence}").as_bytes()),
+                    },
+                );
+            }
+            Step::Get { key_tag, contact } => {
+                let key = Key::from_user_key(&format!("fuzz-{key_tag}"));
+                env.submit_client_request(
+                    CLIENT,
+                    responsible_contact(key, *contact),
+                    ClientRequest::Get {
+                        id: RequestId::new(CLIENT, sequence as u64),
+                        key,
+                        version: None,
+                    },
+                );
+            }
+            Step::SliceGossipRound { node } => {
+                env.fire_timer(NodeId::new(u64::from(node % n)), TimerKind::SliceGossip);
+            }
+            Step::AntiEntropyRound { node } => {
+                env.fire_timer(NodeId::new(u64::from(node % n)), TimerKind::AntiEntropy);
+            }
+            Step::Crash { node } => {
+                env.fail_node(NodeId::new(u64::from(node % n)));
+            }
+        }
+        outcomes.push(normalise(env.drain_effects(budget)));
+    }
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Differential fuzzing: identical replies and identical `NodeStats`
+    /// across both environments, for randomized seeded scenarios, with the
+    /// sharded store as the default store.
+    #[test]
+    fn random_scenarios_agree_across_environments(
+        capacities in proptest::collection::vec(50u64..10_000, 6..9),
+        raw_steps in proptest::collection::vec(arb_step(), 3..8),
+        seed in 1u64..u64::MAX,
+    ) {
+        let spec = random_spec(&capacities, seed);
+        let steps: Vec<Step> = raw_steps.iter().copied().map(decode_step).collect();
+
+        // --- Discrete-event simulation -----------------------------------
+        let mut sim = Simulation::new(SimConfig {
+            seed: spec.seed,
+            ..SimConfig::default()
+        });
+        sim.spawn_spec(&spec);
+        let sim_outcomes = run_random_scenario(&mut sim, &spec, &steps, Duration::from_secs(30));
+        let sim_stats: HashMap<NodeId, NodeStats> = spec
+            .node_ids()
+            .map(|id| (id, *sim.node(id).stats()))
+            .collect();
+
+        // --- Threaded runtime --------------------------------------------
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        // In-process hops take microseconds; a short idle grace keeps the
+        // many drains of a fuzzing run fast without losing replies.
+        cluster.set_drain_idle_grace(Duration::from_millis(300));
+        let threaded_outcomes =
+            run_random_scenario(&mut cluster, &spec, &steps, Duration::from_secs(10));
+        let threaded_stats: HashMap<NodeId, NodeStats> = cluster
+            .shutdown()
+            .into_iter()
+            .map(|node| (node.id(), *node.stats()))
+            .collect();
+
+        // --- Identical client-visible outcomes ---------------------------
+        prop_assert_eq!(sim_outcomes.len(), threaded_outcomes.len());
+        for (step, (sim_replies, threaded_replies)) in
+            sim_outcomes.iter().zip(&threaded_outcomes).enumerate()
+        {
+            prop_assert_eq!(
+                sim_replies,
+                threaded_replies,
+                "step {} ({:?}): environments disagree on replies",
+                step,
+                steps[step]
+            );
+        }
+
+        // --- Identical per-node protocol accounting ----------------------
+        prop_assert_eq!(sim_stats.len(), threaded_stats.len());
+        for (id, sim_node_stats) in &sim_stats {
+            let threaded_node_stats = threaded_stats.get(id).expect("node survived shutdown");
+            prop_assert_eq!(
+                sim_node_stats,
+                threaded_node_stats,
+                "node {}: environments disagree on NodeStats",
+                id
+            );
+        }
+    }
 }
