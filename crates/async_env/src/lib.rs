@@ -1,0 +1,875 @@
+//! An event-driven in-process runtime for DataFlasks nodes.
+//!
+//! The threaded runtime (`dataflasks-runtime`) spends one operating-system
+//! thread per node, which tops out around the OS thread budget. This crate
+//! hosts **thousands of nodes on a few threads**: every node lives in a
+//! [`NodeHost`] slot with its own mailbox, a small worker pool (default
+//! `min(cores, 8)`) pops ready nodes off the shared
+//! [`Scheduler`](dataflasks_core::Scheduler) readiness queue, and a hashed
+//! [timer wheel](wheel::TimerWheel) drives the periodic protocol timers — the
+//! reactor-owns-state shape of event-sourced state-engine designs, applied to
+//! the sans-io node state machine.
+//!
+//! Three properties distinguish the backend:
+//!
+//! * **Framed transport.** Every hop is a length-prefixed wire frame
+//!   (`dataflasks_core::wire`): one [`Output::SendBatch`] becomes one encoded
+//!   multi-message frame, pushed as a single mailbox entry and decoded in one
+//!   dispatch round at the receiver — byte-for-byte what a socket-backed
+//!   deployment would write, so the wire format is exercised on every
+//!   message the cluster exchanges.
+//! * **Shared scheduling discipline.** Mailboxes, the per-round run budget
+//!   and the fair readiness queue come from `dataflasks_core::sched`, the
+//!   same primitives the threaded runtime uses — the backends differ only in
+//!   how hosts map to threads.
+//! * **Full [`Environment`] parity.** The cluster implements the same driver
+//!   interface as the simulator and the threaded runtime (including
+//!   crash/restart injection), and the three-way differential fuzzer holds
+//!   it to identical client-visible behaviour.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_async_env::AsyncCluster;
+//! use dataflasks_types::{Duration, Key, NodeConfig, Value, Version};
+//!
+//! // A tiny single-slice cluster keeps the doctest fast.
+//! let cluster = AsyncCluster::start(3, NodeConfig::for_system_size(3, 1), 7);
+//! cluster
+//!     .put(Key::from_user_key("a"), Version::new(1), Value::from_bytes(b"x"), Duration::from_secs(5))
+//!     .unwrap();
+//! let read = cluster
+//!     .get(Key::from_user_key("a"), None, Duration::from_secs(5))
+//!     .unwrap();
+//! assert_eq!(read.unwrap().value.as_slice(), b"x");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod wheel;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataflasks_core::wire::{decode_frame, encode_frame, encode_output};
+use dataflasks_core::{
+    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
+    DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, Poll, Scheduler,
+    SchedulerConfig, TimerKind,
+};
+use dataflasks_types::{
+    Duration, Key, NodeConfig, NodeId, RequestId, SimTime, StoredObject, Value, Version,
+};
+
+use wheel::TimerWheel;
+
+/// Errors returned by the blocking client API (the shared
+/// [`dataflasks_core::gateway`] error type).
+pub use dataflasks_core::GatewayError as AsyncRuntimeError;
+
+/// Tuning knobs of the event-driven runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncClusterConfig {
+    /// Worker threads multiplexing the node hosts. `0` (the default) picks
+    /// `min(available cores, 8)`.
+    pub workers: usize,
+    /// Shared scheduling knobs (run budget per dispatch round).
+    pub sched: SchedulerConfig,
+    /// Timer-wheel granularity; firing latency is bounded by one tick.
+    pub wheel_tick: Duration,
+    /// Timer-wheel slot count (tick × slots = one rotation).
+    pub wheel_slots: usize,
+}
+
+impl Default for AsyncClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            sched: SchedulerConfig::default(),
+            wheel_tick: Duration::from_millis(5),
+            wheel_slots: 1024,
+        }
+    }
+}
+
+impl AsyncClusterConfig {
+    /// The worker-pool size after resolving the `0 = auto` default.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// The client id the blocking `put`/`get` API issues requests under.
+/// Reserved: [`Environment::submit_client_request`] rejects it, exactly like
+/// the threaded runtime.
+const BLOCKING_CLIENT: ClientId = u64::MAX;
+
+/// What waits in a node's mailbox.
+enum AsyncInput {
+    /// An encoded wire frame: one transport unit (single message or batch)
+    /// from one sender, decoded in the receiving dispatch round.
+    Frame(Vec<u8>),
+    /// A client operation submitted to this node as contact.
+    Client {
+        client: ClientId,
+        request: ClientRequest,
+    },
+    /// Fire a protocol timer (wheel expiry or [`Environment`] injection).
+    Timer { kind: TimerKind },
+}
+
+/// One hosted node: the host behind a mutex (a worker owns it for the length
+/// of a dispatch round), its mailbox, and its crash flag.
+struct NodeSlot {
+    host: Mutex<NodeHost<DefaultStore>>,
+    inbox: Inbox<AsyncInput>,
+    failed: AtomicBool,
+}
+
+/// State shared by the driver thread, the workers and the timer thread.
+struct Shared {
+    slots: Vec<NodeSlot>,
+    scheduler: Scheduler,
+    wheel: Mutex<TimerWheel>,
+    client_inbox: Sender<(ClientId, ClientReply)>,
+    epoch: Instant,
+    node_config: NodeConfig,
+    stopping: AtomicBool,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn slot_of(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.slots.get(node.as_u64() as usize)
+    }
+
+    /// Routes one effect of `from`'s dispatch round: transport units are
+    /// framed and mailed (one frame per destination), replies go to the
+    /// cluster-wide client inbox, timer re-arms go to the wheel.
+    fn route(&self, from: usize, output: Output) {
+        match output {
+            Output::Timer { kind, after } => {
+                let deadline = Instant::now() + to_std(after);
+                self.wheel.lock().arm(from, kind, deadline);
+            }
+            Output::Reply { client, reply } => {
+                let _ = self.client_inbox.send((client, reply));
+            }
+            transport @ (Output::Send { .. } | Output::SendBatch { .. }) => {
+                let mut frame = Vec::new();
+                match encode_output(NodeId::new(from as u64), &transport, &mut frame) {
+                    Ok(to) => {
+                        let to = to.expect("send outputs always frame");
+                        self.mail_frame(to, frame);
+                    }
+                    // A pathological unit (e.g. an unbounded client value)
+                    // exceeding the frame limit is dropped like a network
+                    // rejecting an oversized datagram; the worker survives.
+                    Err(_) => debug_assert!(false, "protocol produced an oversized frame"),
+                }
+            }
+        }
+    }
+
+    /// Delivers one encoded frame to `to`'s mailbox and marks the host
+    /// ready. Frames to failed or unknown nodes are silently dropped (the
+    /// crash semantics every backend shares).
+    fn mail_frame(&self, to: NodeId, frame: Vec<u8>) {
+        let Some(slot) = self.slot_of(to) else { return };
+        if slot.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        if slot.inbox.push(AsyncInput::Frame(frame)) {
+            self.scheduler.mark_ready(to.as_u64() as usize);
+        }
+    }
+}
+
+fn to_std(duration: Duration) -> std::time::Duration {
+    std::time::Duration::from_millis(duration.as_millis())
+}
+
+/// A cluster of DataFlasks nodes multiplexed over a worker pool, with wire
+/// frames as transport.
+pub struct AsyncCluster {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+    node_ids: Vec<NodeId>,
+    /// The shared reply-routing discipline between the blocking client API
+    /// and the Environment driver surface.
+    gate: ClientGateway,
+    request_sequence: std::cell::Cell<u64>,
+    rng: std::cell::RefCell<StdRng>,
+    /// The spec this cluster was started from: the recipe
+    /// [`Environment::restart_node`] rebuilds crashed nodes with.
+    spec: ClusterSpec,
+    /// Cached warm-up rounds of the spec, computed on the first restart so
+    /// later restarts rebuild one node in O(cluster) instead of building
+    /// (and discarding) the whole cluster.
+    restart_rounds: Option<BootstrapRounds>,
+}
+
+impl AsyncCluster {
+    /// Starts `node_count` nodes sharing `node_config`, with capacities drawn
+    /// deterministically from `seed`, on the default worker pool.
+    #[must_use]
+    pub fn start(node_count: usize, node_config: NodeConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capacities = (0..node_count)
+            .map(|_| rng.gen_range(100..=10_000))
+            .collect();
+        Self::start_spec(&ClusterSpec::new(node_config, capacities, seed))
+    }
+
+    /// Starts the cluster described by a [`ClusterSpec`] on the default
+    /// worker pool — the exact same node state the other environments
+    /// materialise, so the three backends can be compared input for input.
+    #[must_use]
+    pub fn start_spec(spec: &ClusterSpec) -> Self {
+        Self::start_spec_with(spec, AsyncClusterConfig::default())
+    }
+
+    /// Starts a spec-described cluster with explicit runtime knobs.
+    #[must_use]
+    pub fn start_spec_with(spec: &ClusterSpec, config: AsyncClusterConfig) -> Self {
+        let epoch = Instant::now();
+        let nodes = spec.build_nodes();
+        let node_ids: Vec<NodeId> = nodes.iter().map(DataFlasksNode::id).collect();
+        let slots: Vec<NodeSlot> = nodes
+            .into_iter()
+            .map(|node| NodeSlot {
+                host: Mutex::new(NodeHost::new(node)),
+                inbox: Inbox::new(),
+                failed: AtomicBool::new(false),
+            })
+            .collect();
+        let (client_tx, client_rx) = mpsc::channel();
+        let mut wheel = TimerWheel::new(
+            config.wheel_slots.max(1),
+            to_std(config.wheel_tick).max(std::time::Duration::from_millis(1)),
+            epoch,
+        );
+        // Seed the first round of each protocol timer with a deterministic
+        // per-node stagger so periodic work spreads over the period instead
+        // of arriving as one thundering herd.
+        let count = slots.len().max(1) as u64;
+        for (index, _) in slots.iter().enumerate() {
+            for kind in TimerKind::ALL {
+                let period = kind.period(&spec.node_config).as_millis();
+                let stagger = period * index as u64 / count;
+                let deadline =
+                    epoch + std::time::Duration::from_millis(period.saturating_add(stagger));
+                wheel.arm(index, kind, deadline);
+            }
+        }
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::new(slots.len(), config.sched),
+            slots,
+            wheel: Mutex::new(wheel),
+            client_inbox: client_tx,
+            epoch,
+            node_config: spec.node_config,
+            stopping: AtomicBool::new(false),
+        });
+        let workers = (0..config.effective_workers())
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dataflasks-worker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let timer_shared = Arc::clone(&shared);
+        let timer_thread = std::thread::Builder::new()
+            .name("dataflasks-timer-wheel".to_string())
+            .spawn(move || timer_loop(&timer_shared))
+            .expect("spawn timer thread");
+        Self {
+            shared,
+            workers,
+            timer_thread: Some(timer_thread),
+            node_ids,
+            gate: ClientGateway::new(client_rx),
+            request_sequence: std::cell::Cell::new(0),
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(spec.seed ^ 0xA5C1)),
+            spec: spec.clone(),
+            restart_rounds: None,
+        }
+    }
+
+    /// Overrides how long [`Environment::drain_effects`] treats inbox
+    /// silence as quiescence (default: one second). In-process hops take
+    /// microseconds, so harnesses issuing many drains (the differential
+    /// property test) can lower this substantially without losing replies.
+    pub fn set_drain_idle_grace(&mut self, grace: Duration) {
+        self.gate.set_drain_idle_grace(grace);
+    }
+
+    /// Identifiers of the hosted nodes.
+    #[must_use]
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Number of worker threads multiplexing the nodes.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Stores `value` under `key` and waits until at least one replica
+    /// acknowledges it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncRuntimeError::Timeout`] if no acknowledgement arrives
+    /// within `timeout`.
+    pub fn put(
+        &self,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<(), AsyncRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(
+            None,
+            ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            },
+        )?;
+        self.gate.await_reply(id, timeout).map(|_| ())
+    }
+
+    /// Like [`Self::put`], but through an explicit contact node — the
+    /// slice-aware client pattern: a caller that knows (or learned) the
+    /// responsible slice submits straight to one of its members instead of
+    /// relying on the epidemic search from a random contact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncRuntimeError::Timeout`] if no acknowledgement arrives
+    /// within `timeout`, [`AsyncRuntimeError::Shutdown`] if `contact` is
+    /// unknown or failed.
+    pub fn put_via(
+        &self,
+        contact: NodeId,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<(), AsyncRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(
+            Some(contact),
+            ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            },
+        )?;
+        self.gate.await_reply(id, timeout).map(|_| ())
+    }
+
+    /// Reads `key` (a specific version or the latest). Semantics match the
+    /// threaded runtime: the first replica returning the object wins, and
+    /// "not found" is only trusted once the timeout expires with misses only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsyncRuntimeError::Timeout`] if no reply of any kind arrives
+    /// within `timeout`.
+    pub fn get(
+        &self,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, AsyncRuntimeError> {
+        self.get_from(None, key, version, timeout)
+    }
+
+    /// Like [`Self::get`], but through an explicit contact node (see
+    /// [`Self::put_via`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::get`], plus [`AsyncRuntimeError::Shutdown`] if
+    /// `contact` is unknown or failed.
+    pub fn get_via(
+        &self,
+        contact: NodeId,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, AsyncRuntimeError> {
+        self.get_from(Some(contact), key, version, timeout)
+    }
+
+    fn get_from(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, AsyncRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(contact, ClientRequest::Get { id, key, version })?;
+        self.gate.await_get(id, timeout)
+    }
+
+    /// Stops the worker pool and the timer wheel, and returns the final node
+    /// states for inspection. Failed nodes are included frozen at their final
+    /// state; restarted nodes appear once, at their restarted state.
+    pub fn shutdown(mut self) -> Vec<DataFlasksNode<DefaultStore>> {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.scheduler.shutdown();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(timer) = self.timer_thread.take() {
+            let _ = timer.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("workers and timer thread released the shared state");
+        shared
+            .slots
+            .into_iter()
+            .map(|slot| slot.host.into_inner().into_node())
+            .collect()
+    }
+
+    fn submit_blocking(
+        &self,
+        contact: Option<NodeId>,
+        request: ClientRequest,
+    ) -> Result<(), AsyncRuntimeError> {
+        let contact = match contact {
+            Some(node) => {
+                let index = node.as_u64() as usize;
+                let known = self
+                    .shared
+                    .slots
+                    .get(index)
+                    .is_some_and(|slot| !slot.failed.load(Ordering::SeqCst));
+                if !known {
+                    return Err(AsyncRuntimeError::Shutdown);
+                }
+                index
+            }
+            None => {
+                // Contacts are drawn from live nodes only, so operations keep
+                // succeeding after failures as long as any node is alive.
+                let live: Vec<usize> = (0..self.shared.slots.len())
+                    .filter(|&index| !self.shared.slots[index].failed.load(Ordering::SeqCst))
+                    .collect();
+                if live.is_empty() {
+                    return Err(AsyncRuntimeError::Shutdown);
+                }
+                let mut rng = self.rng.borrow_mut();
+                live[rng.gen_range(0..live.len())]
+            }
+        };
+        let slot = &self.shared.slots[contact];
+        if !slot.inbox.push(AsyncInput::Client {
+            client: BLOCKING_CLIENT,
+            request,
+        }) {
+            return Err(AsyncRuntimeError::Shutdown);
+        }
+        self.shared.scheduler.mark_ready(contact);
+        Ok(())
+    }
+
+    fn next_request_id(&self) -> RequestId {
+        let sequence = self.request_sequence.get();
+        self.request_sequence.set(sequence + 1);
+        RequestId::new(0, sequence)
+    }
+}
+
+impl Environment for AsyncCluster {
+    fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message) {
+        let mut frame = Vec::new();
+        if encode_frame(from, std::slice::from_ref(&message), &mut frame).is_ok() {
+            self.shared.mail_frame(to, frame);
+        }
+    }
+
+    fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
+        let Some(slot) = self.shared.slot_of(node) else {
+            return;
+        };
+        if slot.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        // The injected firing goes straight to the mailbox; the handler's
+        // own re-arm effect supersedes the pending wheel deadline (a
+        // generation bump), matching the single-deadline semantics of the
+        // other backends.
+        if slot.inbox.push(AsyncInput::Timer { kind }) {
+            self.shared.scheduler.mark_ready(node.as_u64() as usize);
+        }
+    }
+
+    fn submit_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest) {
+        assert!(
+            client != BLOCKING_CLIENT,
+            "client id {BLOCKING_CLIENT} is reserved for the blocking put/get API"
+        );
+        self.gate.register_env_client(client);
+        let Some(slot) = self.shared.slot_of(contact) else {
+            return;
+        };
+        if slot.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        if slot.inbox.push(AsyncInput::Client { client, request }) {
+            self.shared.scheduler.mark_ready(contact.as_u64() as usize);
+        }
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        let Some(slot) = self.shared.slot_of(node) else {
+            return;
+        };
+        // Flag first (a worker mid-round stops absorbing immediately), then
+        // close the mailbox *before* discarding the backlog: closing first
+        // means a push racing the crash either lands before the clear (and
+        // is discarded with the rest) or is rejected by the closed mailbox —
+        // nothing can slip into the window and survive into a restart.
+        slot.failed.store(true, Ordering::SeqCst);
+        slot.inbox.close();
+        slot.inbox.clear();
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        let index = node.as_u64() as usize;
+        assert!(
+            index < self.spec.len(),
+            "node {node} is not part of the spec"
+        );
+        Environment::fail_node(self, node);
+        // First restart pays one full warm-up capture; later restarts replay
+        // the cached rounds in O(cluster).
+        let rounds = self
+            .restart_rounds
+            .get_or_insert_with(|| self.spec.bootstrap_rounds());
+        let fresh = NodeHost::new(self.spec.rebuild_node_with(index, rounds));
+        let slot = &self.shared.slots[index];
+        // Acquiring the host lock serialises with any worker still flushing
+        // the pre-crash incarnation's final round.
+        *slot.host.lock() = fresh;
+        // Defensive: nothing can be queued between close and here, but the
+        // fresh incarnation must start from an empty mailbox regardless.
+        slot.inbox.clear();
+        slot.inbox.reopen();
+        slot.failed.store(false, Ordering::SeqCst);
+        // Fresh deadline table: one full period from the restart instant,
+        // exactly like the other backends.
+        let mut wheel = self.shared.wheel.lock();
+        let now = Instant::now();
+        for kind in TimerKind::ALL {
+            wheel.arm(
+                index,
+                kind,
+                now + to_std(kind.period(&self.shared.node_config)),
+            );
+        }
+    }
+
+    fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
+        self.gate.drain_effects(budget)
+    }
+}
+
+/// How long an idle worker parks before re-checking for shutdown.
+const WORKER_PARK: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// The worker loop: pop a ready host, absorb up to the run budget from its
+/// mailbox, dispatch, flush once (coalescing the whole round's
+/// same-destination sends into per-destination frames), and re-queue the
+/// host if backlog remains.
+fn worker_loop(shared: &Shared) {
+    let run_budget = shared.scheduler.config().effective_run_budget();
+    let mut round: Vec<AsyncInput> = Vec::with_capacity(run_budget);
+    loop {
+        let slot_index = match shared.scheduler.next_ready(WORKER_PARK) {
+            Poll::Ready(slot_index) => slot_index,
+            Poll::Idle => continue,
+            Poll::Shutdown => return,
+        };
+        let slot = &shared.slots[slot_index];
+        let mut host = slot.host.lock();
+        round.clear();
+        slot.inbox.drain_up_to(run_budget, &mut round);
+        let now = shared.now();
+        for input in round.drain(..) {
+            // Crashed (possibly mid-round): stop absorbing. Effects of
+            // inputs already dispatched this round are still flushed below,
+            // matching the other backends' pre-crash delivery semantics.
+            if slot.failed.load(Ordering::SeqCst) {
+                break;
+            }
+            match input {
+                AsyncInput::Frame(bytes) => {
+                    // In-process frames are produced by our own encoder; a
+                    // decode failure is a bug, not a peer problem.
+                    let frame = decode_frame(&bytes).expect("self-encoded frame decodes");
+                    for message in frame.messages {
+                        host.enqueue_message(frame.from, message, now);
+                    }
+                }
+                AsyncInput::Client { client, request } => {
+                    host.enqueue_client_request(client, request, now);
+                }
+                AsyncInput::Timer { kind } => {
+                    host.enqueue_timer(kind, now);
+                }
+            }
+        }
+        host.flush_effects(|output| shared.route(slot_index, output));
+        drop(host);
+        let still_pending = !slot.inbox.is_empty() && !slot.failed.load(Ordering::SeqCst);
+        shared.scheduler.finish(slot_index, still_pending);
+    }
+}
+
+/// The timer thread: advances the wheel once per tick and mails due firings
+/// to their hosts.
+fn timer_loop(shared: &Shared) {
+    let tick = shared.wheel.lock().tick();
+    let mut due: Vec<(usize, TimerKind)> = Vec::new();
+    while !shared.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        due.clear();
+        shared.wheel.lock().advance(Instant::now(), &mut due);
+        for &(slot_index, kind) in &due {
+            let slot = &shared.slots[slot_index];
+            if slot.failed.load(Ordering::SeqCst) {
+                continue;
+            }
+            if slot.inbox.push(AsyncInput::Timer { kind }) {
+                shared.scheduler.mark_ready(slot_index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_core::ReplyBody;
+    use dataflasks_store::DataStore;
+    use dataflasks_types::PssConfig;
+
+    /// A configuration with fast gossip so tests converge quickly.
+    fn fast_config(nodes: usize, slices: u32) -> NodeConfig {
+        let mut config = NodeConfig::for_system_size(nodes, slices);
+        config.pss = PssConfig {
+            shuffle_period: Duration::from_millis(20),
+            ..config.pss
+        };
+        config.slicing.gossip_period = Duration::from_millis(20);
+        config.replication.anti_entropy_period = Duration::from_millis(50);
+        config
+    }
+
+    #[test]
+    fn put_then_get_roundtrip_through_the_worker_pool() {
+        let cluster = AsyncCluster::start(4, fast_config(4, 1), 11);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let key = Key::from_user_key("async");
+        cluster
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(b"value"),
+                Duration::from_secs(5),
+            )
+            .expect("put should be acknowledged");
+        let read = cluster
+            .get(key, None, Duration::from_secs(5))
+            .expect("get should complete");
+        assert_eq!(read.unwrap().value.as_slice(), b"value");
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 4);
+        let replicas = nodes
+            .iter()
+            .filter(|n| n.store().get_latest(key).is_some())
+            .count();
+        assert!(replicas >= 1);
+    }
+
+    #[test]
+    fn many_nodes_run_on_a_bounded_worker_pool() {
+        // Far more nodes than workers: the readiness queue multiplexes.
+        let spec = ClusterSpec::new(fast_config(48, 4), vec![500; 48], 17);
+        let cluster = AsyncCluster::start_spec_with(
+            &spec,
+            AsyncClusterConfig {
+                workers: 3,
+                ..AsyncClusterConfig::default()
+            },
+        );
+        assert_eq!(cluster.worker_count(), 3);
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 48);
+        // Gossip ran across the whole cluster on three threads.
+        assert!(nodes.iter().any(|n| n.stats().total_messages() > 0));
+        assert!(nodes.iter().all(|n| n.slice().is_some()));
+    }
+
+    #[test]
+    fn spec_started_cluster_serves_requests_through_the_environment() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            21,
+        );
+        let mut cluster = AsyncCluster::start_spec(&spec);
+        let key = Key::from_user_key("env-driven");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"spec"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(
+            replies
+                .iter()
+                .any(|r| matches!(r.body, ReplyBody::PutAck { .. })),
+            "expected an acknowledgement, got {replies:?}"
+        );
+        let nodes = cluster.shutdown();
+        // Single slice and warm views: every node replicated the object.
+        assert!(nodes.iter().all(|n| n.store().get_latest(key).is_some()));
+    }
+
+    #[test]
+    fn failed_nodes_stop_answering() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 22);
+        let mut cluster = AsyncCluster::start_spec(&spec);
+        let victim = NodeId::new(2);
+        cluster.fail_node(victim);
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Put {
+                id: RequestId::new(9, 1),
+                key: Key::from_user_key("to-the-dead"),
+                version: Version::new(1),
+                value: Value::from_bytes(b"lost"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_millis(400));
+        assert!(replies.is_empty(), "a failed contact cannot reply");
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 3, "failed nodes still return their state");
+    }
+
+    #[test]
+    fn restarted_node_rejoins_with_empty_volatile_state() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            25,
+        );
+        let mut cluster = AsyncCluster::start_spec(&spec);
+        let key = Key::from_user_key("lost-on-restart");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"volatile"),
+            },
+        );
+        assert!(!cluster.drain_effects(Duration::from_secs(5)).is_empty());
+        let victim = NodeId::new(1);
+        cluster.restart_node(victim); // restart implies the crash
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Get {
+                id: RequestId::new(9, 1),
+                key,
+                version: None,
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(
+            !replies.is_empty(),
+            "a restarted contact must answer requests"
+        );
+        let nodes = cluster.shutdown();
+        let restarted = nodes.iter().find(|n| n.id() == victim).unwrap();
+        assert_eq!(restarted.store().len(), 0, "volatile state must be lost");
+        assert!(restarted.slice().is_some(), "membership rejoins warm");
+    }
+
+    /// The reserved-id guard of the threaded runtime, mirrored here: an
+    /// Environment submission under the blocking API's client id would
+    /// silently steal its replies, so it must panic instead.
+    #[test]
+    #[should_panic(expected = "reserved for the blocking put/get API")]
+    fn reserved_blocking_client_id_is_rejected() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 24);
+        let mut cluster = AsyncCluster::start_spec(&spec);
+        Environment::submit_client_request(
+            &mut cluster,
+            u64::MAX,
+            NodeId::new(0),
+            ClientRequest::Get {
+                id: RequestId::new(1, 0),
+                key: Key::from_user_key("collision"),
+                version: None,
+            },
+        );
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(AsyncRuntimeError::Timeout.to_string().contains("timed out"));
+        assert!(AsyncRuntimeError::Shutdown
+            .to_string()
+            .contains("shut down"));
+    }
+}

@@ -1,0 +1,257 @@
+//! A hashed timer wheel for per-node protocol timers.
+//!
+//! The event-driven runtime hosts thousands of nodes, each with a handful of
+//! periodic timers; a binary heap would pay `O(log n)` per re-arm on a path
+//! that runs for every dispatched timer. The wheel makes arming `O(1)`:
+//! deadlines hash into one of `S` slots by tick index, the driver advances
+//! the cursor over the slots whose ticks have fully elapsed, and entries for
+//! a future rotation are simply retained in their slot until their tick
+//! comes around again.
+//!
+//! Superseding is generation-stamped, exactly like the simulator's timer
+//! chains: arming `(host, kind)` bumps its generation, and entries with a
+//! stale stamp are discarded when their slot is processed — so there is
+//! exactly one live deadline per host and timer kind, and a re-arm never
+//! needs to search the wheel for the entry it replaces.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use dataflasks_core::TimerKind;
+
+/// One armed deadline.
+#[derive(Debug)]
+struct TimerEntry {
+    at: Instant,
+    host: usize,
+    kind: TimerKind,
+    generation: u64,
+}
+
+/// A fixed-slot hashed timer wheel. Firing latency is bounded by one tick.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    tick: Duration,
+    epoch: Instant,
+    /// Index of the next tick to process (ticks `< cursor` have fired).
+    cursor: u64,
+    /// Live generation per `(host, kind)`; entries stamped with an older
+    /// generation are dead.
+    generations: HashMap<(usize, TimerKind), GenState>,
+    /// Number of live entries (dead ones are discounted lazily).
+    armed: usize,
+}
+
+/// Generation bookkeeping for one `(host, kind)` pair.
+#[derive(Debug, Default)]
+struct GenState {
+    generation: u64,
+    /// Whether a deadline stamped with `generation` is still waiting in a
+    /// slot (it neither fired nor was cancelled).
+    live: bool,
+}
+
+impl TimerWheel {
+    /// Creates a wheel of `slot_count` slots advancing every `tick`,
+    /// starting its tick 0 at `epoch`.
+    #[must_use]
+    pub fn new(slot_count: usize, tick: Duration, epoch: Instant) -> Self {
+        assert!(slot_count > 0, "a wheel needs at least one slot");
+        assert!(!tick.is_zero(), "a wheel tick must be positive");
+        Self {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            tick,
+            epoch,
+            cursor: 0,
+            generations: HashMap::new(),
+            armed: 0,
+        }
+    }
+
+    /// The wheel's tick (the driver's natural wake-up interval).
+    #[must_use]
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    /// Number of live deadlines.
+    #[must_use]
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Arms (or re-arms) the `(host, kind)` timer for `at`, superseding any
+    /// live deadline of the same pair.
+    pub fn arm(&mut self, host: usize, kind: TimerKind, at: Instant) {
+        let state = self.generations.entry((host, kind)).or_default();
+        state.generation += 1;
+        if !state.live {
+            self.armed += 1;
+            state.live = true;
+        }
+        let generation = state.generation;
+        // A deadline already due (or in the partially elapsed current tick)
+        // lands on the cursor's tick so the next advance fires it; it can
+        // never land on an already-processed tick.
+        let ticks = self.ticks_at(at).max(self.cursor);
+        let index = (ticks % self.slots.len() as u64) as usize;
+        self.slots[index].push(TimerEntry {
+            at,
+            host,
+            kind,
+            generation,
+        });
+    }
+
+    /// Cancels the live `(host, kind)` deadline, if any.
+    pub fn cancel(&mut self, host: usize, kind: TimerKind) {
+        if let Some(state) = self.generations.get_mut(&(host, kind)) {
+            if state.live {
+                state.live = false;
+                self.armed -= 1;
+            }
+            state.generation += 1;
+        }
+    }
+
+    /// Collects every timer due at `now` into `due`, in firing order within
+    /// each slot. Entries armed for a later rotation of the wheel stay put.
+    pub fn advance(&mut self, now: Instant, due: &mut Vec<(usize, TimerKind)>) {
+        let now_ticks = self.ticks_at(now);
+        if now_ticks <= self.cursor {
+            return;
+        }
+        // Each slot needs processing at most once per advance, however far
+        // the cursor is behind.
+        let slot_count = self.slots.len() as u64;
+        let steps = (now_ticks - self.cursor).min(slot_count);
+        for step in 0..steps {
+            let index = ((self.cursor + step) % slot_count) as usize;
+            let mut slot = std::mem::take(&mut self.slots[index]);
+            slot.retain(|entry| {
+                let Some(state) = self.generations.get_mut(&(entry.host, entry.kind)) else {
+                    return false;
+                };
+                if state.generation != entry.generation {
+                    return false; // superseded or cancelled
+                }
+                if entry.at <= now {
+                    due.push((entry.host, entry.kind));
+                    state.live = false;
+                    self.armed -= 1;
+                    false
+                } else {
+                    true // a later rotation of this slot
+                }
+            });
+            self.slots[index] = slot;
+        }
+        self.cursor = now_ticks;
+    }
+
+    fn ticks_at(&self, at: Instant) -> u64 {
+        (at.saturating_duration_since(self.epoch).as_nanos() / self.tick.as_nanos()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TICK: Duration = Duration::from_millis(10);
+
+    fn wheel() -> (TimerWheel, Instant) {
+        let epoch = Instant::now();
+        (TimerWheel::new(8, TICK, epoch), epoch)
+    }
+
+    fn advance_at(wheel: &mut TimerWheel, at: Instant) -> Vec<(usize, TimerKind)> {
+        let mut due = Vec::new();
+        wheel.advance(at, &mut due);
+        due
+    }
+
+    #[test]
+    fn timers_fire_once_their_tick_elapses() {
+        let (mut wheel, epoch) = wheel();
+        wheel.arm(3, TimerKind::PssShuffle, epoch + TICK * 2);
+        assert_eq!(wheel.armed(), 1);
+        // Tick 2 has not fully elapsed yet.
+        assert!(advance_at(&mut wheel, epoch + TICK * 2).is_empty());
+        assert_eq!(
+            advance_at(&mut wheel, epoch + TICK * 3),
+            vec![(3, TimerKind::PssShuffle)]
+        );
+        assert_eq!(wheel.armed(), 0);
+        // Nothing fires twice.
+        assert!(advance_at(&mut wheel, epoch + TICK * 20).is_empty());
+    }
+
+    #[test]
+    fn rearming_supersedes_the_pending_deadline() {
+        let (mut wheel, epoch) = wheel();
+        wheel.arm(1, TimerKind::AntiEntropy, epoch + TICK * 2);
+        wheel.arm(1, TimerKind::AntiEntropy, epoch + TICK * 5);
+        assert_eq!(wheel.armed(), 1, "a re-arm replaces, not adds");
+        assert!(advance_at(&mut wheel, epoch + TICK * 4).is_empty());
+        assert_eq!(
+            advance_at(&mut wheel, epoch + TICK * 6),
+            vec![(1, TimerKind::AntiEntropy)]
+        );
+    }
+
+    #[test]
+    fn far_deadlines_survive_whole_rotations() {
+        let (mut wheel, epoch) = wheel();
+        // 8 slots: a deadline 19 ticks out shares a slot with tick 3.
+        wheel.arm(2, TimerKind::SliceGossip, epoch + TICK * 19);
+        assert!(advance_at(&mut wheel, epoch + TICK * 10).is_empty());
+        assert!(advance_at(&mut wheel, epoch + TICK * 18).is_empty());
+        assert_eq!(
+            advance_at(&mut wheel, epoch + TICK * 21),
+            vec![(2, TimerKind::SliceGossip)]
+        );
+    }
+
+    #[test]
+    fn cancel_kills_the_pending_deadline() {
+        let (mut wheel, epoch) = wheel();
+        wheel.arm(4, TimerKind::PssShuffle, epoch + TICK * 2);
+        wheel.cancel(4, TimerKind::PssShuffle);
+        assert_eq!(wheel.armed(), 0);
+        assert!(advance_at(&mut wheel, epoch + TICK * 10).is_empty());
+        // The pair is still armable afterwards.
+        wheel.arm(4, TimerKind::PssShuffle, epoch + TICK * 12);
+        assert_eq!(
+            advance_at(&mut wheel, epoch + TICK * 13),
+            vec![(4, TimerKind::PssShuffle)]
+        );
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let (mut wheel, epoch) = wheel();
+        let _ = advance_at(&mut wheel, epoch + TICK * 6);
+        // Armed "in the past" relative to the cursor: fires next advance
+        // instead of waiting a full rotation.
+        wheel.arm(5, TimerKind::AntiEntropy, epoch + TICK * 2);
+        assert_eq!(
+            advance_at(&mut wheel, epoch + TICK * 7),
+            vec![(5, TimerKind::AntiEntropy)]
+        );
+    }
+
+    #[test]
+    fn distinct_hosts_and_kinds_are_independent() {
+        let (mut wheel, epoch) = wheel();
+        wheel.arm(1, TimerKind::PssShuffle, epoch + TICK * 2);
+        wheel.arm(1, TimerKind::SliceGossip, epoch + TICK * 2);
+        wheel.arm(2, TimerKind::PssShuffle, epoch + TICK * 2);
+        assert_eq!(wheel.armed(), 3);
+        let mut due = advance_at(&mut wheel, epoch + TICK * 3);
+        due.sort_by_key(|&(host, kind)| (host, kind as u8));
+        assert_eq!(due.len(), 3);
+        assert_eq!(due[2], (2, TimerKind::PssShuffle));
+    }
+}

@@ -210,6 +210,7 @@ fn bench_batched_delivery(c: &mut Criterion) {
     // A shared template: emitting clones an Arc, exactly like a relay.
     let template = Message::AntiEntropyDigest {
         digest: Arc::new(StoreDigest::new()),
+        range: KeyRange::FULL,
     };
     let fill = |fx: &mut EffectBuffer| {
         for round in 0..per_dest {

@@ -1,0 +1,311 @@
+//! Async-runtime scaling baseline: hosts a multi-thousand-node DataFlasks
+//! cluster on the event-driven `AsyncCluster` (a handful of worker threads,
+//! framed transport, timer-wheel-driven gossip), drives a put/get workload
+//! through it, and writes throughput and latency medians to
+//! `BENCH_async.json` so successive PRs have a scaling trajectory.
+//!
+//! ```bash
+//! cargo run -p dataflasks-bench --release --bin async_bench
+//! # CI smoke: fewer operations, same 2000-node cluster
+//! cargo run -p dataflasks-bench --release --bin async_bench -- --puts 150 --gets 150 --latency-ops 40
+//! ```
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use dataflasks::core::{ClientRequest, Environment, ReplyBody};
+use dataflasks::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+struct Args {
+    nodes: usize,
+    slices: u32,
+    workers: usize,
+    puts: usize,
+    gets: usize,
+    latency_ops: usize,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut args = Self {
+            nodes: 2_000,
+            slices: 0, // 0 = derive (≈50 nodes per slice)
+            workers: 0,
+            puts: 400,
+            gets: 400,
+            latency_ops: 100,
+        };
+        let mut iter = std::env::args().skip(1);
+        while let Some(flag) = iter.next() {
+            let mut take = |target: &mut usize| {
+                *target = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("{flag} needs a numeric value"));
+            };
+            match flag.as_str() {
+                "--nodes" => take(&mut args.nodes),
+                "--workers" => take(&mut args.workers),
+                "--puts" => take(&mut args.puts),
+                "--gets" => take(&mut args.gets),
+                "--latency-ops" => take(&mut args.latency_ops),
+                "--slices" => {
+                    let mut v = 0usize;
+                    take(&mut v);
+                    args.slices = v as u32;
+                }
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        if args.slices == 0 {
+            args.slices = (args.nodes as u32 / 50).max(2);
+        }
+        args
+    }
+}
+
+const CLIENT: u64 = 7;
+
+fn main() {
+    let args = Args::parse();
+    // Paper-style configuration, with the periodic substrate slowed to match
+    // a multi-thousand-node cluster on a small worker pool: gossip stays
+    // live (the timer wheel earns its keep) without drowning request
+    // traffic.
+    let mut config = NodeConfig::for_system_size(args.nodes, args.slices);
+    config.pss.shuffle_period = Duration::from_secs(4);
+    config.slicing.gossip_period = Duration::from_secs(4);
+    config.replication.anti_entropy_period = Duration::from_secs(20);
+    let mut rng = StdRng::seed_from_u64(0xA57C);
+    let capacities: Vec<u64> = (0..args.nodes)
+        .map(|_| rng.gen_range(100..=10_000))
+        .collect();
+    let spec = ClusterSpec::new(config, capacities, 0xA57C);
+
+    let spawn_start = Instant::now();
+    let mut cluster = AsyncCluster::start_spec_with(
+        &spec,
+        AsyncClusterConfig {
+            workers: args.workers,
+            ..AsyncClusterConfig::default()
+        },
+    );
+    let spawn_ms = spawn_start.elapsed().as_millis();
+    let workers = cluster.worker_count();
+    assert!(workers <= 8, "the scaling claim is ≤8 worker threads");
+    cluster.set_drain_idle_grace(Duration::from_millis(100));
+    println!(
+        "spawned {} nodes ({} slices) on {workers} workers in {spawn_ms} ms",
+        args.nodes, args.slices
+    );
+
+    // Let the staggered first gossip rounds start flowing.
+    std::thread::sleep(std::time::Duration::from_millis(500));
+
+    // Contact selection models the repo's warmed slice-aware load balancer
+    // (`LoadBalancer` + `ClientLibrary`): requests go to a member of the
+    // key's responsible slice, chosen uniformly — the steady state the
+    // paper's client library converges to after a few replies.
+    let plan = spec.build_nodes();
+    let partition = plan[0].partition();
+    let mut members_by_slice: Vec<Vec<NodeId>> = vec![Vec::new(); args.slices as usize];
+    for node in &plan {
+        if let Some(slice) = node.slice() {
+            members_by_slice[slice.index() as usize].push(node.id());
+        }
+    }
+    drop(plan);
+    for (index, members) in members_by_slice.iter().enumerate() {
+        assert!(
+            !members.is_empty(),
+            "slice {index} has no members: the --nodes/--slices ratio leaves \
+             slices unpopulated; use at least ~25 nodes per slice"
+        );
+    }
+    let contact_for = |key: Key, rng: &mut StdRng| -> NodeId {
+        let members = &members_by_slice[partition.slice_of(key).index() as usize];
+        members[rng.gen_range(0..members.len())]
+    };
+
+    // --- Pipelined put throughput ---------------------------------------
+    let key_of = |i: usize| Key::from_user_key(&format!("bench-{i}"));
+    let put_start = Instant::now();
+    for i in 0..args.puts {
+        let key = key_of(i);
+        let contact = contact_for(key, &mut rng);
+        cluster.submit_client_request(
+            CLIENT,
+            contact,
+            ClientRequest::Put {
+                id: RequestId::new(CLIENT, i as u64),
+                key,
+                version: Version::new(1),
+                value: Value::filled(128, 7),
+            },
+        );
+    }
+    let (put_acked, put_elapsed) = await_completions(&mut cluster, put_start, args.puts, |reply| {
+        matches!(reply.body, ReplyBody::PutAck { .. })
+    });
+    let put_throughput = put_acked as f64 / put_elapsed.as_secs_f64();
+
+    // --- Pipelined get throughput ----------------------------------------
+    let get_start = Instant::now();
+    for i in 0..args.gets {
+        let key = key_of(i % args.puts.max(1));
+        let contact = contact_for(key, &mut rng);
+        cluster.submit_client_request(
+            CLIENT,
+            contact,
+            ClientRequest::Get {
+                id: RequestId::new(CLIENT, (args.puts + i) as u64),
+                key,
+                version: None,
+            },
+        );
+    }
+    // A get is *answered* once any responsible replica replies (hit or
+    // miss); hits are tracked separately — epidemic replication coverage is
+    // what decides whether the contacted subgraph holds the object.
+    let mut get_hits: HashSet<RequestId> = HashSet::new();
+    let (get_answered, get_elapsed) = {
+        let hits = &mut get_hits;
+        await_completions(&mut cluster, get_start, args.gets, |reply| {
+            match reply.body {
+                ReplyBody::GetHit { .. } => {
+                    hits.insert(reply.request);
+                    true
+                }
+                ReplyBody::GetMiss { .. } => true,
+                ReplyBody::PutAck { .. } => false,
+            }
+        })
+    };
+    let get_throughput = get_answered as f64 / get_elapsed.as_secs_f64();
+
+    // --- Blocking-API latency --------------------------------------------
+    let mut put_lat_us = Vec::with_capacity(args.latency_ops);
+    let mut get_lat_us = Vec::with_capacity(args.latency_ops);
+    // Slice-aware blocking round trips: submit to a responsible contact
+    // (the warmed-load-balancer pattern, like the throughput phases) and
+    // time submit→first-reply. A retry guards the rare in-slice expiry.
+    let with_retries = |mut op: Box<dyn FnMut() -> bool + '_>| -> f64 {
+        for _ in 0..5 {
+            let start = Instant::now();
+            if op() {
+                return start.elapsed().as_nanos() as f64 / 1_000.0;
+            }
+        }
+        panic!("operation failed five attempts in a row");
+    };
+    for i in 0..args.latency_ops {
+        let key = Key::from_user_key(&format!("lat-{i}"));
+        let contact = contact_for(key, &mut rng);
+        put_lat_us.push(with_retries(Box::new(|| {
+            cluster
+                .put_via(
+                    contact,
+                    key,
+                    Version::new(1),
+                    Value::filled(128, 9),
+                    Duration::from_secs(5),
+                )
+                .is_ok()
+        })));
+        get_lat_us.push(with_retries(Box::new(|| {
+            matches!(
+                cluster.get_via(contact, key, None, Duration::from_secs(5)),
+                Ok(Some(_))
+            )
+        })));
+    }
+
+    // --- Substrate sanity + teardown --------------------------------------
+    let nodes = cluster.shutdown();
+    let gossip_messages: u64 = nodes
+        .iter()
+        .map(|n| n.stats().sent(MessageKind::Membership) + n.stats().sent(MessageKind::Slicing))
+        .sum();
+    let stored_keys: usize = nodes
+        .iter()
+        .map(|n| dataflasks::store::DataStore::len(n.store()))
+        .sum();
+    assert!(
+        gossip_messages > 0,
+        "the periodic substrate must have run on the timer wheel"
+    );
+
+    let results = [
+        ("nodes", args.nodes as f64),
+        ("slices", f64::from(args.slices)),
+        ("workers", workers as f64),
+        ("spawn_ms", spawn_ms as f64),
+        ("puts_submitted", args.puts as f64),
+        ("puts_completed", put_acked as f64),
+        ("put_throughput_ops_per_s", put_throughput),
+        ("gets_submitted", args.gets as f64),
+        ("gets_answered", get_answered as f64),
+        ("get_hits", get_hits.len() as f64),
+        ("get_throughput_ops_per_s", get_throughput),
+        ("put_latency_p50_us", percentile(&mut put_lat_us, 0.50)),
+        ("put_latency_p99_us", percentile(&mut put_lat_us, 0.99)),
+        ("get_latency_p50_us", percentile(&mut get_lat_us, 0.50)),
+        ("get_latency_p99_us", percentile(&mut get_lat_us, 0.99)),
+        ("gossip_messages", gossip_messages as f64),
+        ("replica_objects_total", stored_keys as f64),
+    ];
+    let mut json = String::from("{\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        json.push_str(&format!("  \"{name}\": {value:.2}{comma}\n"));
+        println!("{name}: {value:.2}");
+    }
+    json.push_str("}\n");
+    std::fs::write("BENCH_async.json", json).expect("write BENCH_async.json");
+    println!("wrote BENCH_async.json");
+}
+
+/// Drains environment replies until `total` distinct requests completed
+/// (first matching reply wins), completions stop making progress (a raw
+/// epidemic search can die of TTL; clients would retry), or a generous cap
+/// expires. Returns the completion count and the elapsed time at the last
+/// completion — the honest numerator and denominator for throughput.
+fn await_completions(
+    cluster: &mut AsyncCluster,
+    start: Instant,
+    total: usize,
+    mut matches: impl FnMut(&dataflasks::core::ClientReply) -> bool,
+) -> (usize, std::time::Duration) {
+    let mut done: HashSet<RequestId> = HashSet::with_capacity(total);
+    let cap = Instant::now() + std::time::Duration::from_secs(120);
+    let progress_grace = std::time::Duration::from_secs(3);
+    let mut last_progress = Instant::now();
+    let mut elapsed_at_last = start.elapsed();
+    while done.len() < total && Instant::now() < cap {
+        for reply in cluster.drain_effects(Duration::from_millis(200)) {
+            if matches(&reply) && done.insert(reply.request) {
+                last_progress = Instant::now();
+                elapsed_at_last = start.elapsed();
+            }
+        }
+        if last_progress.elapsed() > progress_grace {
+            break;
+        }
+    }
+    (
+        done.len(),
+        elapsed_at_last.max(std::time::Duration::from_millis(1)),
+    )
+}
+
+/// The `q`-quantile of the samples (sorts in place).
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let index = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[index]
+}

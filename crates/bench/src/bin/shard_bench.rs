@@ -142,6 +142,7 @@ fn deliver_round(batched: bool, rounds: usize) {
     // A shared template: emitting clones an Arc, exactly like a relay.
     let template = Message::AntiEntropyDigest {
         digest: Arc::new(StoreDigest::new()),
+        range: KeyRange::FULL,
     };
     for _ in 0..rounds {
         for round in 0..4 {
@@ -209,6 +210,7 @@ fn channel_round(batched: bool, rounds: usize) {
     let mut handled = 0usize;
     let template = Message::AntiEntropyDigest {
         digest: Arc::new(StoreDigest::new()),
+        range: KeyRange::FULL,
     };
     for _ in 0..rounds {
         for round in 0..4 {

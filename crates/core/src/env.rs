@@ -58,11 +58,12 @@ pub trait Effects {
 ///
 /// ```
 /// use dataflasks_core::{EffectBuffer, Effects, Message, Output};
-/// use dataflasks_types::NodeId;
+/// use dataflasks_types::{KeyRange, NodeId};
 ///
 /// let mut fx = EffectBuffer::new();
 /// fx.emit_send(NodeId::new(2), Message::AntiEntropyDigest {
 ///     digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
+///     range: KeyRange::FULL,
 /// });
 /// assert_eq!(fx.len(), 1);
 /// let effects: Vec<Output> = fx.drain().collect();
@@ -367,6 +368,18 @@ pub trait Environment {
     /// no longer reachable.
     fn fail_node(&mut self, node: NodeId);
 
+    /// Restarts `node` (crashing it first if it is still alive): it rejoins
+    /// with its identity, configuration, profile and derived seed intact but
+    /// **empty volatile state** — an empty store, fresh statistics, fresh
+    /// protocol state. This is the crash→recover scenario anti-entropy
+    /// repairs: the restarted replica is stale until its slice peers re-ship
+    /// the objects it lost.
+    ///
+    /// Deterministic across environments for spec-materialised clusters (the
+    /// rejoined node is [`ClusterSpec::rebuild_node`]); implementations may
+    /// panic for clusters not started from a [`ClusterSpec`].
+    fn restart_node(&mut self, node: NodeId);
+
     /// Lets the environment process outstanding work for up to `budget`
     /// (virtual time for the simulator, wall-clock time for the threaded
     /// runtime) and returns the replies to operations submitted through
@@ -459,6 +472,20 @@ impl ClusterSpec {
     /// across environments — without simulating the convergence phase.
     #[must_use]
     pub fn build_nodes(&self) -> Vec<DataFlasksNode<DefaultStore>> {
+        self.build_rounds().0
+    }
+
+    /// The warm-up inputs of [`Self::build_nodes`]: the descriptor list each
+    /// of the two observation rounds fed to every node. Rebuilding a single
+    /// node only needs these lists, so environments cache them once and make
+    /// every later [`Environment::restart_node`] O(cluster) instead of
+    /// rebuilding (and discarding) the whole cluster.
+    #[must_use]
+    pub fn bootstrap_rounds(&self) -> BootstrapRounds {
+        BootstrapRounds(self.build_rounds().1)
+    }
+
+    fn build_rounds(&self) -> (Vec<DataFlasksNode<DefaultStore>>, Vec<Vec<NodeDescriptor>>) {
         let shards = self.node_config.effective_store_shards();
         let mut nodes: Vec<DataFlasksNode<DefaultStore>> = (0..self.capacities.len())
             .map(|i| {
@@ -472,6 +499,7 @@ impl ClusterSpec {
                 )
             })
             .collect();
+        let mut rounds = Vec::with_capacity(2);
         for _ in 0..2 {
             let descriptors: Vec<NodeDescriptor> = nodes
                 .iter()
@@ -481,10 +509,65 @@ impl ClusterSpec {
                 let own = node.id();
                 node.bootstrap(descriptors.iter().copied().filter(|d| d.id() != own));
             }
+            rounds.push(descriptors);
         }
-        nodes
+        (nodes, rounds)
+    }
+
+    /// Materialises node `index` exactly as a fresh [`Self::build_nodes`]
+    /// would: same seed, same profile, same warm membership, empty store.
+    ///
+    /// This is the state a crashed node rejoins with under
+    /// [`Environment::restart_node`] — identical across environments, which
+    /// is what keeps restarts differentially testable. (Volatile *data* is
+    /// gone either way: built nodes never carry store contents.)
+    ///
+    /// Convenience for one-off rebuilds; restart paths should cache
+    /// [`Self::bootstrap_rounds`] and use [`Self::rebuild_node_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn rebuild_node(&self, index: usize) -> DataFlasksNode<DefaultStore> {
+        self.rebuild_node_with(index, &self.bootstrap_rounds())
+    }
+
+    /// Like [`Self::rebuild_node`], but replaying cached
+    /// [`Self::bootstrap_rounds`] instead of rebuilding the whole cluster:
+    /// bootstrapping is deterministic, so feeding the same two descriptor
+    /// rounds to a fresh node reproduces `build_nodes()[index]` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn rebuild_node_with(
+        &self,
+        index: usize,
+        rounds: &BootstrapRounds,
+    ) -> DataFlasksNode<DefaultStore> {
+        assert!(index < self.len(), "node index {index} out of range");
+        let id = NodeId::new(index as u64);
+        let mut node = DataFlasksNode::new(
+            id,
+            self.node_config,
+            self.profile(index),
+            ShardedStore::new(self.node_config.effective_store_shards()),
+            self.node_seed(id),
+        );
+        for round in &rounds.0 {
+            node.bootstrap(round.iter().copied().filter(|d| d.id() != id));
+        }
+        node
     }
 }
+
+/// The per-round descriptor lists [`ClusterSpec::build_nodes`] warms its
+/// nodes with, captured so single nodes can be rebuilt without rebuilding
+/// the cluster (see [`ClusterSpec::bootstrap_rounds`]).
+#[derive(Debug, Clone)]
+pub struct BootstrapRounds(Vec<Vec<NodeDescriptor>>);
 
 #[cfg(test)]
 mod tests {
@@ -500,6 +583,7 @@ mod tests {
                     NodeId::new(i),
                     Message::AntiEntropyDigest {
                         digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
+                        range: dataflasks_types::KeyRange::FULL,
                     },
                 );
             }
@@ -547,11 +631,36 @@ mod tests {
         assert_eq!(slices.len(), 2);
     }
 
+    #[test]
+    fn rebuilt_nodes_match_a_fresh_build() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(6, 2),
+            vec![100, 900, 300, 4_000, 2_000, 700],
+            11,
+        );
+        let built = spec.build_nodes();
+        let rounds = spec.bootstrap_rounds();
+        for (index, reference) in built.iter().enumerate() {
+            for rebuilt in [
+                spec.rebuild_node(index),
+                spec.rebuild_node_with(index, &rounds),
+            ] {
+                assert_eq!(rebuilt.id(), reference.id());
+                assert_eq!(rebuilt.slice(), reference.slice());
+                assert_eq!(rebuilt.profile(), reference.profile());
+                assert_eq!(rebuilt.view_len(), reference.view_len());
+                assert_eq!(rebuilt.slice_view_len(), reference.slice_view_len());
+                assert_eq!(rebuilt.store().len(), 0);
+            }
+        }
+    }
+
     fn digest_to(to: u64) -> (NodeId, Message) {
         (
             NodeId::new(to),
             Message::AntiEntropyDigest {
                 digest: std::sync::Arc::new(dataflasks_store::StoreDigest::new()),
+                range: dataflasks_types::KeyRange::FULL,
             },
         )
     }

@@ -1,0 +1,307 @@
+//! The client-reply gateway shared by the concurrent runtimes.
+//!
+//! Both the threaded and the event-driven runtime funnel every
+//! [`Output::Reply`](crate::Output) into one cluster-wide mpsc channel and
+//! then answer two kinds of consumer from it:
+//!
+//! * the **blocking client API** (`put`/`get`), which waits for the replies
+//!   of one specific request, and
+//! * the **[`Environment`](crate::Environment) driver surface**
+//!   (`drain_effects`), which collects the replies of injected requests
+//!   until the cascade quiesces.
+//!
+//! The two must not steal each other's replies — an Environment reply
+//! arriving while the blocking API waits is stashed for the next drain, and
+//! blocking-API replies surfacing during a drain are late duplicates to
+//! discard. That routing discipline (and the idle-grace quiescence
+//! detection) is runtime-independent, so it lives here once; the runtimes
+//! differ only in how a request is submitted.
+
+use std::cell::RefCell;
+use std::collections::HashSet;
+use std::error::Error;
+use std::fmt;
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::Instant;
+
+use dataflasks_types::{Duration, RequestId, StoredObject};
+
+use crate::message::{ClientId, ClientReply, ReplyBody};
+
+/// Errors returned by the runtimes' blocking client APIs.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum GatewayError {
+    /// No reply arrived before the caller-supplied timeout.
+    Timeout,
+    /// The cluster is shutting down and can no longer accept operations.
+    Shutdown,
+}
+
+impl fmt::Display for GatewayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("operation timed out waiting for a replica reply"),
+            Self::Shutdown => f.write_str("cluster is shut down"),
+        }
+    }
+}
+
+impl Error for GatewayError {}
+
+fn to_std(duration: Duration) -> std::time::Duration {
+    std::time::Duration::from_millis(duration.as_millis())
+}
+
+/// The receiving half of a cluster-wide reply channel, with the routing
+/// discipline between the blocking client API and the Environment driver.
+#[derive(Debug)]
+pub struct ClientGateway {
+    replies: Receiver<(ClientId, ClientReply)>,
+    /// Client ids injected through `Environment::submit_client_request`;
+    /// their replies belong to [`Self::drain_effects`], everything else to
+    /// the blocking awaits.
+    env_clients: HashSet<ClientId>,
+    /// Environment replies received while a blocking await was at the
+    /// channel.
+    env_pending: RefCell<Vec<ClientReply>>,
+    /// How long [`Self::drain_effects`] waits on a silent channel before
+    /// concluding the in-process cascade has quiesced.
+    idle_grace: std::time::Duration,
+}
+
+impl ClientGateway {
+    /// Wraps the receiving half of the cluster's reply channel.
+    #[must_use]
+    pub fn new(replies: Receiver<(ClientId, ClientReply)>) -> Self {
+        Self {
+            replies,
+            env_clients: HashSet::new(),
+            env_pending: RefCell::new(Vec::new()),
+            idle_grace: std::time::Duration::from_secs(1),
+        }
+    }
+
+    /// Overrides how long [`Self::drain_effects`] treats channel silence as
+    /// quiescence (default: one second). In-process hops take microseconds,
+    /// so harnesses issuing many drains can lower this substantially
+    /// without losing replies.
+    pub fn set_drain_idle_grace(&mut self, grace: Duration) {
+        self.idle_grace = to_std(grace);
+    }
+
+    /// Claims `client` for the Environment driver: its replies surface
+    /// through [`Self::drain_effects`] from now on.
+    pub fn register_env_client(&mut self, client: ClientId) {
+        self.env_clients.insert(client);
+    }
+
+    /// Waits for the first reply to `id` (a put acknowledgement, or any
+    /// first reply of a request where one answer suffices).
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Timeout`] if nothing arrives within `timeout`,
+    /// [`GatewayError::Shutdown`] if the reply channel disconnected.
+    pub fn await_reply(
+        &self,
+        id: RequestId,
+        timeout: Duration,
+    ) -> Result<ClientReply, GatewayError> {
+        let deadline = Instant::now() + to_std(timeout);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(GatewayError::Timeout);
+            }
+            match self.replies.recv_timeout(remaining) {
+                Ok((client, reply)) if self.env_clients.contains(&client) => {
+                    // An Environment reply racing the blocking API: keep it
+                    // for the next drain_effects call.
+                    self.env_pending.borrow_mut().push(reply);
+                }
+                Ok((_, reply)) if reply.request == id => return Ok(reply),
+                Ok(_) => continue, // reply for an earlier (completed) request
+                Err(RecvTimeoutError::Timeout) => return Err(GatewayError::Timeout),
+                Err(RecvTimeoutError::Disconnected) => return Err(GatewayError::Shutdown),
+            }
+        }
+    }
+
+    /// Waits for the outcome of get request `id`. Epidemic dissemination
+    /// makes several replicas answer the same read; the call returns as soon
+    /// as one returns the object. "Not found" replies are only trusted once
+    /// the timeout expires without any replica producing the object, in
+    /// which case `Ok(None)` is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Timeout`] if no reply of any kind arrives within
+    /// `timeout`, [`GatewayError::Shutdown`] on disconnect.
+    pub fn await_get(
+        &self,
+        id: RequestId,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, GatewayError> {
+        let deadline = Instant::now() + to_std(timeout);
+        let mut saw_miss = false;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return if saw_miss {
+                    Ok(None)
+                } else {
+                    Err(GatewayError::Timeout)
+                };
+            }
+            match self.replies.recv_timeout(remaining) {
+                Ok((client, reply)) if self.env_clients.contains(&client) => {
+                    self.env_pending.borrow_mut().push(reply);
+                }
+                Ok((_, reply)) if reply.request == id => match reply.body {
+                    ReplyBody::GetHit { object } => return Ok(Some(object)),
+                    ReplyBody::GetMiss { .. } => saw_miss = true,
+                    ReplyBody::PutAck { .. } => {}
+                },
+                Ok(_) => continue,
+                Err(RecvTimeoutError::Timeout) => {
+                    return if saw_miss {
+                        Ok(None)
+                    } else {
+                        Err(GatewayError::Timeout)
+                    };
+                }
+                Err(RecvTimeoutError::Disconnected) => return Err(GatewayError::Shutdown),
+            }
+        }
+    }
+
+    /// Collects the replies of Environment-submitted requests for up to
+    /// `budget`, returning early once the channel has been silent for the
+    /// idle grace. Blocking-API replies arriving here belong to operations
+    /// that already completed or timed out (late duplicates); they are
+    /// discarded, matching the blocking awaits' own treatment.
+    pub fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
+        // Replies stashed while the blocking API was at the channel first.
+        let mut collected: Vec<ClientReply> = self.env_pending.borrow_mut().drain(..).collect();
+        let deadline = Instant::now() + to_std(budget);
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match self.replies.recv_timeout(self.idle_grace.min(remaining)) {
+                Ok((client, reply)) => {
+                    if self.env_clients.contains(&client) {
+                        collected.push(reply);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        collected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_types::{Key, NodeId, Value, Version};
+    use std::sync::mpsc;
+
+    fn reply(request: RequestId, body: ReplyBody) -> ClientReply {
+        ClientReply {
+            request,
+            responder: NodeId::new(1),
+            responder_slice: None,
+            body,
+        }
+    }
+
+    fn ack(request: RequestId) -> ClientReply {
+        reply(
+            request,
+            ReplyBody::PutAck {
+                key: Key::from_user_key("k"),
+                version: Version::new(1),
+            },
+        )
+    }
+
+    #[test]
+    fn await_reply_skips_foreign_requests_and_stashes_env_replies() {
+        let (tx, rx) = mpsc::channel();
+        let mut gate = ClientGateway::new(rx);
+        gate.register_env_client(9);
+        let target = RequestId::new(0, 1);
+        tx.send((9, ack(RequestId::new(9, 0)))).unwrap(); // env → stash
+        tx.send((0, ack(RequestId::new(0, 0)))).unwrap(); // stale → drop
+        tx.send((0, ack(target))).unwrap();
+        let got = gate.await_reply(target, Duration::from_secs(1)).unwrap();
+        assert_eq!(got.request, target);
+        // The stashed env reply surfaces in the next drain.
+        let drained = gate.drain_effects(Duration::from_millis(50));
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].request, RequestId::new(9, 0));
+    }
+
+    #[test]
+    fn await_get_trusts_misses_only_at_the_deadline() {
+        let (tx, rx) = mpsc::channel();
+        let gate = ClientGateway::new(rx);
+        let id = RequestId::new(0, 4);
+        tx.send((
+            0,
+            reply(
+                id,
+                ReplyBody::GetMiss {
+                    key: Key::from_user_key("k"),
+                },
+            ),
+        ))
+        .unwrap();
+        // A miss alone resolves to Ok(None) once the timeout expires.
+        assert!(matches!(
+            gate.await_get(id, Duration::from_millis(60)),
+            Ok(None)
+        ));
+        // A hit short-circuits immediately.
+        let id = RequestId::new(0, 5);
+        tx.send((
+            0,
+            reply(
+                id,
+                ReplyBody::GetHit {
+                    object: StoredObject::new(
+                        Key::from_user_key("k"),
+                        Version::new(2),
+                        Value::from_bytes(b"v"),
+                    ),
+                },
+            ),
+        ))
+        .unwrap();
+        let got = gate.await_get(id, Duration::from_secs(1)).unwrap().unwrap();
+        assert_eq!(got.version, Version::new(2));
+    }
+
+    #[test]
+    fn drains_report_only_env_replies_and_disconnects_are_shutdown() {
+        let (tx, rx) = mpsc::channel();
+        let mut gate = ClientGateway::new(rx);
+        gate.set_drain_idle_grace(Duration::from_millis(20));
+        gate.register_env_client(5);
+        tx.send((5, ack(RequestId::new(5, 0)))).unwrap();
+        tx.send((0, ack(RequestId::new(0, 9)))).unwrap(); // blocking-API late dup
+        let drained = gate.drain_effects(Duration::from_secs(1));
+        assert_eq!(drained.len(), 1);
+        drop(tx);
+        assert!(matches!(
+            gate.await_reply(RequestId::new(0, 0), Duration::from_secs(1)),
+            Err(GatewayError::Shutdown)
+        ));
+        assert!(GatewayError::Timeout.to_string().contains("timed out"));
+        assert!(GatewayError::Shutdown.to_string().contains("shut down"));
+    }
+}

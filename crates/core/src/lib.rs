@@ -65,17 +65,25 @@
 pub mod client;
 pub mod dedup;
 pub mod env;
+pub mod gateway;
 pub mod load_balancer;
 pub mod message;
 pub mod node;
+pub mod sched;
 pub mod stats;
+pub mod wire;
 
 pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, OperationOutcome};
-pub use env::{ClusterSpec, DefaultStore, EffectBuffer, Effects, Environment, NodeHost};
+pub use env::{
+    BootstrapRounds, ClusterSpec, DefaultStore, EffectBuffer, Effects, Environment, NodeHost,
+};
+pub use gateway::{ClientGateway, GatewayError};
 pub use load_balancer::{LoadBalancer, LoadBalancerPolicy};
 pub use message::{
     ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,
     PutRequest, ReplyBody, TimerKind,
 };
 pub use node::DataFlasksNode;
+pub use sched::{Inbox, Poll, RecvOutcome, Scheduler, SchedulerConfig};
 pub use stats::{MessageKind, NodeStats};
+pub use wire::{decode_frame, encode_frame, encode_output, DecodedFrame, WireError};

@@ -6,7 +6,7 @@ use dataflasks_membership::{NewscastExchange, ShuffleRequest, ShuffleResponse};
 use dataflasks_slicing::SliceExchange;
 use dataflasks_store::StoreDigest;
 use dataflasks_types::{
-    Duration, Key, NodeConfig, NodeId, RequestId, SliceId, StoredObject, Value, Version,
+    Duration, Key, KeyRange, NodeConfig, NodeId, RequestId, SliceId, StoredObject, Value, Version,
 };
 
 /// Identifier of a client endpoint (the client library instance that issued
@@ -79,23 +79,34 @@ pub enum Message {
     Put(Arc<PutRequest>),
     /// An epidemic get dissemination (reference-counted like [`Self::Put`]).
     Get(Arc<GetRequest>),
-    /// Anti-entropy round 1: the initiator's digest.
+    /// Anti-entropy round 1: the initiator's digest of one key-range chunk.
+    ///
+    /// Exchanges are *incremental*: each round covers one contiguous chunk
+    /// of the key space (one shard of the node's sharded store), named by
+    /// `range`, instead of summarising the whole replica — the responder
+    /// diffs and ships only that chunk. A `range` of [`KeyRange::FULL`]
+    /// degenerates to the classic whole-store exchange.
     ///
     /// Anti-entropy payloads are reference-counted like the epidemic
     /// requests: digests and object batches are built once and shared, so
     /// queueing, relaying or cloning the message never deep-copies the
     /// per-key summaries or the shipped objects.
     AntiEntropyDigest {
-        /// Summary of the initiator's store.
+        /// Summary of the initiator's store, restricted to `range`.
         digest: Arc<StoreDigest>,
+        /// The key-range chunk this exchange covers.
+        range: KeyRange,
     },
     /// Anti-entropy round 2: objects the initiator is missing plus the
     /// responder's own digest so the initiator can push back in round 3.
     AntiEntropyReply {
-        /// Objects the initiator was missing or held at a stale version.
+        /// Objects (inside the exchanged range) the initiator was missing or
+        /// held at a stale version.
         objects: Arc<[StoredObject]>,
-        /// Summary of the responder's store.
+        /// Summary of the responder's store, restricted to `range`.
         digest: Arc<StoreDigest>,
+        /// The key-range chunk this exchange covers (echoed from round 1).
+        range: KeyRange,
     },
     /// Anti-entropy round 3: objects the responder was missing.
     AntiEntropyPush {
@@ -299,6 +310,7 @@ mod tests {
         assert_eq!(put.kind(), MessageKind::Request);
         let digest = Message::AntiEntropyDigest {
             digest: Arc::new(StoreDigest::new()),
+            range: KeyRange::FULL,
         };
         assert_eq!(digest.kind(), MessageKind::AntiEntropy);
         let push = Message::AntiEntropyPush {

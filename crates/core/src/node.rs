@@ -23,7 +23,8 @@ use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling, SliceV
 use dataflasks_slicing::{OrderedSlicer, Slicer};
 use dataflasks_store::{DataStore, PutOutcome, StoreDigest};
 use dataflasks_types::{
-    Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId, SlicePartition, StoredObject,
+    Key, KeyRange, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId, SlicePartition,
+    StoredObject,
 };
 
 use crate::dedup::DedupCache;
@@ -73,6 +74,10 @@ pub struct DataFlasksNode<S> {
     stats: NodeStats,
     rng: StdRng,
     current_slice: Option<SliceId>,
+    /// Incremental anti-entropy cursor: which key-range chunk (store shard)
+    /// the next exchange covers. Rounds cycle over the chunks overlapping the
+    /// node's slice range, so repeated rounds tile the whole replica.
+    anti_entropy_cursor: u32,
     /// Reusable fan-out target buffer (steady state: no allocation per
     /// dissemination step).
     peer_scratch: Vec<NodeId>,
@@ -106,6 +111,7 @@ impl<S: DataStore> DataFlasksNode<S> {
             stats: NodeStats::new(),
             rng,
             current_slice: None,
+            anti_entropy_cursor: 0,
             peer_scratch: Vec::new(),
             sample_scratch: Vec::new(),
             descriptor_scratch: Vec::new(),
@@ -251,11 +257,15 @@ impl<S: DataStore> DataFlasksNode<S> {
             }
             Message::Put(request) => self.handle_put(request, fx),
             Message::Get(request) => self.handle_get(request, fx),
-            Message::AntiEntropyDigest { digest } => {
-                self.handle_anti_entropy_digest(from, &digest, fx);
+            Message::AntiEntropyDigest { digest, range } => {
+                self.handle_anti_entropy_digest(from, &digest, range, fx);
             }
-            Message::AntiEntropyReply { objects, digest } => {
-                self.handle_anti_entropy_reply(from, &objects, &digest, fx);
+            Message::AntiEntropyReply {
+                objects,
+                digest,
+                range,
+            } => {
+                self.handle_anti_entropy_reply(from, &objects, &digest, range, fx);
             }
             Message::AntiEntropyPush { objects } => {
                 self.apply_repair_objects(&objects);
@@ -352,8 +362,29 @@ impl<S: DataStore> DataFlasksNode<S> {
         let Some(peer) = self.slice_view.random_peer(&mut self.rng) else {
             return;
         };
-        let digest = Arc::new(self.store.digest());
-        self.send_to(fx, peer, Message::AntiEntropyDigest { digest });
+        let range = self.next_anti_entropy_range();
+        let digest = Arc::new(self.store.range_digest(range));
+        self.send_to(fx, peer, Message::AntiEntropyDigest { digest, range });
+    }
+
+    /// The key-range chunk the next anti-entropy exchange covers.
+    ///
+    /// The key space is divided into `store_shards` chunks (the same ranges
+    /// the sharded store's shards own, so [`DataStore::range_digest`] is a
+    /// cached-summary clone); successive rounds cycle over the chunks
+    /// overlapping the node's slice range. A node without a slice yet falls
+    /// back to whole-store exchanges.
+    fn next_anti_entropy_range(&mut self) -> KeyRange {
+        let Some(slice) = self.current_slice else {
+            return KeyRange::FULL;
+        };
+        let chunks = SlicePartition::new(self.config.effective_store_shards());
+        let slice_range = self.partition.range_of(slice);
+        let first = chunks.slice_of(slice_range.start()).index();
+        let last = chunks.slice_of(slice_range.end()).index();
+        let pick = first + self.anti_entropy_cursor % (last - first + 1);
+        self.anti_entropy_cursor = self.anti_entropy_cursor.wrapping_add(1);
+        chunks.range_of(SliceId::new(pick))
     }
 
     // ------------------------------------------------------------------
@@ -584,14 +615,31 @@ impl<S: DataStore> DataFlasksNode<S> {
         &mut self,
         from: NodeId,
         remote: &StoreDigest,
+        range: KeyRange,
         fx: &mut dyn Effects,
     ) {
+        // The whole exchange stays scoped to the initiator's chunk: the
+        // shipped batch and the echoed digest both cover only `range`, so an
+        // initiator that summarised one shard is never flooded with the rest
+        // of the replica.
         let objects: Arc<[StoredObject]> = self
             .store
-            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange)
+            .objects_newer_than_in(
+                remote,
+                range,
+                self.config.replication.max_objects_per_exchange,
+            )
             .into();
-        let digest = Arc::new(self.store.digest());
-        self.send_to(fx, from, Message::AntiEntropyReply { objects, digest });
+        let digest = Arc::new(self.store.range_digest(range));
+        self.send_to(
+            fx,
+            from,
+            Message::AntiEntropyReply {
+                objects,
+                digest,
+                range,
+            },
+        );
     }
 
     fn handle_anti_entropy_reply(
@@ -599,12 +647,15 @@ impl<S: DataStore> DataFlasksNode<S> {
         from: NodeId,
         objects: &[StoredObject],
         remote: &StoreDigest,
+        range: KeyRange,
         fx: &mut dyn Effects,
     ) {
         self.apply_repair_objects(objects);
-        let push = self
-            .store
-            .objects_newer_than(remote, self.config.replication.max_objects_per_exchange);
+        let push = self.store.objects_newer_than_in(
+            remote,
+            range,
+            self.config.replication.max_objects_per_exchange,
+        );
         if !push.is_empty() {
             self.send_to(
                 fx,

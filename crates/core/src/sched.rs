@@ -1,0 +1,480 @@
+//! Host scheduling shared by the concurrent runtimes.
+//!
+//! Every concurrent backend faces the same three questions: where do a
+//! host's pending inputs wait (an [`Inbox`]), how much of that backlog one
+//! dispatch round may absorb before flushing ([`SchedulerConfig::run_budget`]),
+//! and which host runs next when many are ready (the [`Scheduler`]'s fair
+//! readiness queue). This module answers them once, in the sans-io core, so
+//! the backends differ only in how they map hosts to threads:
+//!
+//! * the **threaded runtime** (`dataflasks-runtime`) is the degenerate
+//!   one-thread-per-host case: each node thread blocks on its own [`Inbox`]
+//!   and absorbs backlog up to the run budget — it needs no readiness queue
+//!   because the OS scheduler multiplexes the threads,
+//! * the **event-driven runtime** (`dataflasks-async-env`) multiplexes
+//!   thousands of hosts over a small worker pool: routing an input to a host
+//!   pushes onto its [`Inbox`] and marks the host ready in the shared
+//!   [`Scheduler`]; workers pop ready hosts, absorb up to the run budget,
+//!   flush, and re-mark the host if backlog remains.
+//!
+//! The at-most-once scheduling discipline (a host is never in the ready
+//! queue twice, and [`Scheduler::finish`] re-queues it only if new inputs
+//! arrived while it ran) is what keeps one slow host from starving the rest
+//! while still guaranteeing no lost wakeups.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration as StdDuration;
+
+/// Default number of already-queued inputs one dispatch round absorbs before
+/// flushing, bounding effect-buffer growth under load.
+pub const DEFAULT_RUN_BUDGET: usize = 128;
+
+/// Scheduling knobs shared by the concurrent runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Upper bound on how many pending inputs one dispatch round feeds into
+    /// a host before flushing its effects. Larger budgets amortise flushing
+    /// (same-destination sends of the whole round coalesce into one batch)
+    /// at the cost of latency and effect-buffer growth.
+    pub run_budget: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            run_budget: DEFAULT_RUN_BUDGET,
+        }
+    }
+}
+
+impl SchedulerConfig {
+    /// The run budget, clamped to at least one input per round.
+    #[must_use]
+    pub fn effective_run_budget(&self) -> usize {
+        self.run_budget.max(1)
+    }
+}
+
+/// The outcome of a blocking [`Inbox::recv_timeout`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum RecvOutcome<T> {
+    /// An input was dequeued.
+    Item(T),
+    /// The timeout elapsed with the inbox empty.
+    TimedOut,
+    /// The inbox is closed and fully drained; no input will ever arrive.
+    Closed,
+}
+
+/// A host's mailbox: an unbounded MPSC queue with blocking receive and
+/// close-on-failure semantics.
+///
+/// Closing the inbox (a node crash, a cluster shutdown) lets a receiver
+/// blocked in [`Inbox::recv_timeout`] observe `Closed` once the queue is
+/// drained — the lock-and-condvar equivalent of a channel disconnect.
+#[derive(Debug, Default)]
+pub struct Inbox<T> {
+    queue: Mutex<InboxState<T>>,
+    available: Condvar,
+}
+
+#[derive(Debug)]
+struct InboxState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+impl<T> Default for InboxState<T> {
+    fn default() -> Self {
+        Self {
+            items: VecDeque::new(),
+            closed: false,
+        }
+    }
+}
+
+impl<T> Inbox<T> {
+    /// Creates an empty, open inbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: Mutex::new(InboxState::default()),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Enqueues one input. Returns `false` (dropping the input) if the inbox
+    /// is closed — sending to a crashed node is a silent drop, exactly like
+    /// the simulator discarding deliveries to dead nodes.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.queue.lock().expect("inbox lock poisoned");
+        if state.closed {
+            return false;
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        true
+    }
+
+    /// Dequeues one input without blocking.
+    pub fn try_pop(&self) -> Option<T> {
+        self.queue
+            .lock()
+            .expect("inbox lock poisoned")
+            .items
+            .pop_front()
+    }
+
+    /// Dequeues one input, waiting up to `timeout` for one to arrive.
+    /// Queued inputs are still delivered after a close; `Closed` is only
+    /// reported once the queue is empty.
+    pub fn recv_timeout(&self, timeout: StdDuration) -> RecvOutcome<T> {
+        let mut state = self.queue.lock().expect("inbox lock poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return RecvOutcome::Item(item);
+            }
+            if state.closed {
+                return RecvOutcome::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return RecvOutcome::TimedOut;
+            }
+            let (next, result) = self
+                .available
+                .wait_timeout(state, remaining)
+                .expect("inbox lock poisoned");
+            state = next;
+            if result.timed_out() && state.items.is_empty() {
+                return if state.closed {
+                    RecvOutcome::Closed
+                } else {
+                    RecvOutcome::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Moves up to `budget` inputs into `into`, preserving order. Returns how
+    /// many were moved.
+    pub fn drain_up_to(&self, budget: usize, into: &mut Vec<T>) -> usize {
+        let mut state = self.queue.lock().expect("inbox lock poisoned");
+        let take = budget.min(state.items.len());
+        into.extend(state.items.drain(..take));
+        take
+    }
+
+    /// Number of queued inputs (the inbox depth).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.lock().expect("inbox lock poisoned").items.len()
+    }
+
+    /// Returns `true` if no input is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards every queued input (a crashed node's backlog), keeping the
+    /// inbox usable.
+    pub fn clear(&self) {
+        self.queue
+            .lock()
+            .expect("inbox lock poisoned")
+            .items
+            .clear();
+    }
+
+    /// Closes the inbox: later pushes are dropped and, once the queue is
+    /// drained, blocked receivers observe [`RecvOutcome::Closed`].
+    pub fn close(&self) {
+        self.queue.lock().expect("inbox lock poisoned").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Reopens a closed inbox (a restarted node accepting traffic again).
+    pub fn reopen(&self) {
+        self.queue.lock().expect("inbox lock poisoned").closed = false;
+    }
+}
+
+/// What a worker observed when asking the scheduler for work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// A host is ready; the worker now owns its dispatch round.
+    Ready(usize),
+    /// No host became ready within the timeout.
+    Idle,
+    /// The scheduler is shut down; the worker should exit.
+    Shutdown,
+}
+
+/// The fair readiness queue multiplexing many hosts over a worker pool.
+///
+/// Hosts are identified by their slot index. [`Scheduler::mark_ready`]
+/// enqueues a host at most once (an atomic-flag guard), so a host with a
+/// thousand queued inputs occupies one queue entry and hosts are served in
+/// readiness order — FIFO fairness with no duplicate wakeups.
+#[derive(Debug)]
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    ready: Condvar,
+    config: SchedulerConfig,
+}
+
+#[derive(Debug)]
+struct SchedState {
+    queue: VecDeque<usize>,
+    /// `scheduled[slot]` is `true` while the slot is in the queue *or* being
+    /// dispatched by a worker; `mark_ready` on such a slot does not
+    /// double-queue it — it raises `repoll[slot]` instead, and `finish`
+    /// re-queues the host if either the worker saw leftover backlog or a
+    /// repoll arrived while it ran.
+    scheduled: Vec<bool>,
+    /// Raised by `mark_ready` on an already-scheduled slot; consumed by
+    /// `finish`. This closes the classic lost-wakeup race: a producer that
+    /// pushes *after* the dispatching worker's final backlog check still
+    /// forces one more dispatch round.
+    repoll: Vec<bool>,
+    shutdown: bool,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `slots` hosts.
+    #[must_use]
+    pub fn new(slots: usize, config: SchedulerConfig) -> Self {
+        Self {
+            state: Mutex::new(SchedState {
+                queue: VecDeque::with_capacity(slots),
+                scheduled: vec![false; slots],
+                repoll: vec![false; slots],
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            config,
+        }
+    }
+
+    /// The scheduling knobs the workers should honour.
+    #[must_use]
+    pub fn config(&self) -> SchedulerConfig {
+        self.config
+    }
+
+    /// Marks a host as having pending input. Returns `true` if the host was
+    /// newly enqueued (and a worker was woken); on an already-scheduled host
+    /// it records a repoll instead (consumed by [`Self::finish`]), so an
+    /// input pushed while the host is being dispatched is never stranded.
+    pub fn mark_ready(&self, slot: usize) -> bool {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        if state.shutdown || slot >= state.scheduled.len() {
+            return false;
+        }
+        if state.scheduled[slot] {
+            state.repoll[slot] = true;
+            return false;
+        }
+        state.scheduled[slot] = true;
+        state.queue.push_back(slot);
+        drop(state);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Pops the next ready host, waiting up to `timeout` for one.
+    pub fn next_ready(&self, timeout: StdDuration) -> Poll {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if state.shutdown {
+                return Poll::Shutdown;
+            }
+            if let Some(slot) = state.queue.pop_front() {
+                // The scheduled flag stays set: the worker owns the slot's
+                // dispatch round until it calls `finish`.
+                return Poll::Ready(slot);
+            }
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return Poll::Idle;
+            }
+            let (next, _) = self
+                .ready
+                .wait_timeout(state, remaining)
+                .expect("scheduler lock poisoned");
+            state = next;
+        }
+    }
+
+    /// Ends a dispatch round for `slot`. The host is re-queued (at the back,
+    /// so other ready hosts run first) if the worker saw leftover backlog
+    /// (`still_pending`) *or* a [`Self::mark_ready`] raced the end of the
+    /// round — the worker's backlog check is a snapshot, and the repoll flag
+    /// is what makes the handoff race-free.
+    pub fn finish(&self, slot: usize, still_pending: bool) {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        if slot >= state.scheduled.len() {
+            return;
+        }
+        let pending = still_pending || state.repoll[slot];
+        state.repoll[slot] = false;
+        if pending && !state.shutdown {
+            state.queue.push_back(slot);
+            drop(state);
+            self.ready.notify_one();
+        } else {
+            state.scheduled[slot] = false;
+        }
+    }
+
+    /// Shuts the scheduler down: every waiting and future [`Self::next_ready`]
+    /// returns [`Poll::Shutdown`].
+    pub fn shutdown(&self) {
+        self.state.lock().expect("scheduler lock poisoned").shutdown = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of hosts currently queued (for tests and introspection).
+    #[must_use]
+    pub fn queued(&self) -> usize {
+        self.state
+            .lock()
+            .expect("scheduler lock poisoned")
+            .queue
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration as StdDuration;
+
+    const TICK: StdDuration = StdDuration::from_millis(20);
+
+    #[test]
+    fn inbox_delivers_in_order_and_reports_depth() {
+        let inbox = Inbox::new();
+        assert!(inbox.is_empty());
+        for i in 0..5 {
+            assert!(inbox.push(i));
+        }
+        assert_eq!(inbox.len(), 5);
+        assert_eq!(inbox.try_pop(), Some(0));
+        let mut batch = Vec::new();
+        assert_eq!(inbox.drain_up_to(3, &mut batch), 3);
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::Item(4));
+        assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::TimedOut);
+    }
+
+    #[test]
+    fn closed_inbox_drops_pushes_and_drains_before_reporting_closed() {
+        let inbox = Inbox::new();
+        assert!(inbox.push("queued"));
+        inbox.close();
+        assert!(!inbox.push("dropped"));
+        assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::Item("queued"));
+        assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::Closed);
+        inbox.reopen();
+        assert!(inbox.push("again"));
+        assert_eq!(inbox.try_pop(), Some("again"));
+    }
+
+    #[test]
+    fn close_wakes_a_blocked_receiver() {
+        let inbox: Arc<Inbox<u8>> = Arc::new(Inbox::new());
+        let waiter = Arc::clone(&inbox);
+        let handle = std::thread::spawn(move || waiter.recv_timeout(StdDuration::from_secs(30)));
+        std::thread::sleep(TICK);
+        inbox.close();
+        assert_eq!(handle.join().unwrap(), RecvOutcome::Closed);
+    }
+
+    #[test]
+    fn push_wakes_a_blocked_receiver() {
+        let inbox: Arc<Inbox<u8>> = Arc::new(Inbox::new());
+        let waiter = Arc::clone(&inbox);
+        let handle = std::thread::spawn(move || waiter.recv_timeout(StdDuration::from_secs(30)));
+        std::thread::sleep(TICK);
+        inbox.push(9);
+        assert_eq!(handle.join().unwrap(), RecvOutcome::Item(9));
+    }
+
+    #[test]
+    fn scheduler_enqueues_each_host_at_most_once() {
+        let sched = Scheduler::new(4, SchedulerConfig::default());
+        assert!(sched.mark_ready(2));
+        assert!(!sched.mark_ready(2), "double mark must not double-queue");
+        assert!(sched.mark_ready(0));
+        assert_eq!(sched.queued(), 2);
+        // FIFO: first-marked host runs first.
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(2));
+        // Marking while dispatched is absorbed by `finish(still_pending)`.
+        assert!(!sched.mark_ready(2));
+        sched.finish(2, true);
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(0));
+        sched.finish(0, false);
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(2));
+        sched.finish(2, false);
+        assert_eq!(sched.next_ready(TICK), Poll::Idle);
+        // Out-of-range slots are rejected.
+        assert!(!sched.mark_ready(99));
+    }
+
+    #[test]
+    fn mark_during_dispatch_forces_a_repoll_round() {
+        // The lost-wakeup race: a producer pushes (and marks) after the
+        // dispatching worker's final backlog check but before `finish`. The
+        // repoll flag must force one more round even though the worker
+        // reports no pending backlog.
+        let sched = Scheduler::new(2, SchedulerConfig::default());
+        assert!(sched.mark_ready(1));
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        // Producer races the end of the round.
+        assert!(!sched.mark_ready(1));
+        // Worker snapshot said "empty" — the host must still be re-queued.
+        sched.finish(1, false);
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        // The repoll was consumed: a quiet finish now parks the host.
+        sched.finish(1, false);
+        assert_eq!(sched.next_ready(TICK), Poll::Idle);
+    }
+
+    #[test]
+    fn finished_hosts_can_be_marked_again() {
+        let sched = Scheduler::new(2, SchedulerConfig { run_budget: 7 });
+        assert_eq!(sched.config().effective_run_budget(), 7);
+        assert!(sched.mark_ready(1));
+        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        sched.finish(1, false);
+        assert!(sched.mark_ready(1), "a finished host is schedulable again");
+    }
+
+    #[test]
+    fn shutdown_wakes_waiting_workers() {
+        let sched = Arc::new(Scheduler::new(1, SchedulerConfig::default()));
+        let waiter = Arc::clone(&sched);
+        let handle = std::thread::spawn(move || waiter.next_ready(StdDuration::from_secs(30)));
+        std::thread::sleep(TICK);
+        sched.shutdown();
+        assert_eq!(handle.join().unwrap(), Poll::Shutdown);
+        assert!(
+            !sched.mark_ready(0),
+            "a shut-down scheduler accepts no work"
+        );
+        assert_eq!(sched.next_ready(TICK), Poll::Shutdown);
+    }
+
+    #[test]
+    fn run_budget_clamps_to_one() {
+        assert_eq!(SchedulerConfig { run_budget: 0 }.effective_run_budget(), 1);
+        assert_eq!(SchedulerConfig::default().run_budget, DEFAULT_RUN_BUDGET);
+    }
+}

@@ -13,7 +13,8 @@
 //! | [`sim`] | Deterministic discrete-event cluster simulation |
 //! | [`workload`] | YCSB-style workload generation |
 //! | [`baseline`] | Structured DHT baseline for comparison experiments |
-//! | [`runtime`] | Threaded in-process runtime |
+//! | [`runtime`] | Threaded in-process runtime (one thread per node) |
+//! | [`async_env`] | Event-driven runtime (thousands of nodes on a worker pool) |
 //!
 //! The most commonly used items are additionally re-exported at the crate
 //! root (see the [`prelude`]).
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use dataflasks_async_env as async_env;
 pub use dataflasks_baseline as baseline;
 pub use dataflasks_core as core;
 pub use dataflasks_membership as membership;
@@ -53,8 +55,64 @@ pub use dataflasks_store as store;
 pub use dataflasks_types as types;
 pub use dataflasks_workload as workload;
 
+/// Which backend should host a [`ClusterSpec`](dataflasks_core::ClusterSpec):
+/// the runtime-selection knob for harness code written against the
+/// [`Environment`](dataflasks_core::Environment) driver interface.
+///
+/// All three backends materialise the same spec into byte-identical node
+/// state machines and are held to identical client-visible behaviour by the
+/// differential parity fuzzer; they differ in what they cost:
+///
+/// * [`RuntimeKind::Sim`] — virtual time, perfectly deterministic, fastest
+///   for experiments and figure reproduction,
+/// * [`RuntimeKind::Threaded`] — one OS thread per node; real concurrency
+///   for small clusters,
+/// * [`RuntimeKind::Async`] — event-driven worker pool; thousands of nodes
+///   on a few threads, with every hop travelling as an encoded wire frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// Deterministic discrete-event simulation (`dataflasks-sim`).
+    Sim,
+    /// One OS thread per node (`dataflasks-runtime`).
+    Threaded,
+    /// Event-driven worker pool (`dataflasks-async-env`).
+    Async,
+}
+
+impl RuntimeKind {
+    /// Materialises `spec` on the selected backend, returned behind the
+    /// shared [`Environment`](dataflasks_core::Environment) driver interface.
+    ///
+    /// The boxed environment supports the full driver surface (submit,
+    /// timers, crash, restart, drain); keep a concrete
+    /// [`Simulation`](dataflasks_sim::Simulation) /
+    /// [`ThreadedCluster`](dataflasks_runtime::ThreadedCluster) /
+    /// [`AsyncCluster`](dataflasks_async_env::AsyncCluster) instead when you
+    /// need backend-specific APIs (blocking clients, shutdown-for-state).
+    #[must_use]
+    pub fn spawn(
+        self,
+        spec: &dataflasks_core::ClusterSpec,
+    ) -> Box<dyn dataflasks_core::Environment> {
+        match self {
+            Self::Sim => {
+                let mut sim = dataflasks_sim::Simulation::new(dataflasks_sim::SimConfig {
+                    seed: spec.seed,
+                    ..dataflasks_sim::SimConfig::default()
+                });
+                sim.spawn_spec(spec);
+                Box::new(sim)
+            }
+            Self::Threaded => Box::new(dataflasks_runtime::ThreadedCluster::start_spec(spec)),
+            Self::Async => Box::new(dataflasks_async_env::AsyncCluster::start_spec(spec)),
+        }
+    }
+}
+
 /// The items most programs need, importable with a single `use`.
 pub mod prelude {
+    pub use crate::RuntimeKind;
+    pub use dataflasks_async_env::{AsyncCluster, AsyncClusterConfig};
     pub use dataflasks_baseline::DhtCluster;
     pub use dataflasks_core::{
         ClientLibrary, ClientRequest, ClusterSpec, DataFlasksNode, DefaultStore, EffectBuffer,
@@ -67,7 +125,7 @@ pub mod prelude {
     pub use dataflasks_slicing::{HashSlicer, OrderedSlicer, Slicer};
     pub use dataflasks_store::{DataStore, LogStore, MemoryStore, ShardedStore, StoreDigest};
     pub use dataflasks_types::{
-        Duration, Key, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId,
+        Duration, Key, KeyRange, NodeConfig, NodeId, NodeProfile, RequestId, SimTime, SliceId,
         SlicePartition, StoredObject, Value, Version,
     };
     pub use dataflasks_workload::{

@@ -7,11 +7,17 @@
 //! carries over unchanged to a concurrent deployment.
 //!
 //! Each node thread hosts its node in a [`NodeHost`] — the same dispatch
-//! pipeline the simulator uses — so the only runtime-specific code is how one
-//! [`Output`] is routed: protocol sends become channel messages, client
-//! replies land in the cluster-wide reply inbox, and timer re-arms update the
-//! thread's local deadline table. The cluster as a whole implements
-//! [`Environment`], the driver interface shared with the simulator.
+//! pipeline the simulator uses — and waits on a core [`Inbox`] (the shared
+//! mailbox of the `dataflasks_core::sched` scheduling layer, absorbing
+//! backlog up to the shared [`SchedulerConfig`] run budget per dispatch
+//! round), so the only runtime-specific code is how one [`Output`] is
+//! routed: protocol sends become inbox pushes, client replies land in the
+//! cluster-wide reply inbox, and timer re-arms update the thread's local
+//! deadline table. The cluster as a whole implements [`Environment`], the
+//! driver interface shared with the simulator; this runtime is the
+//! one-thread-per-host degenerate case of the scheduling layer, while the
+//! event-driven runtime (`dataflasks-async-env`) multiplexes the same hosts
+//! over a worker pool.
 //!
 //! * [`ThreadedCluster`] — spawns the node threads, routes messages between
 //!   them, exposes a blocking `put`/`get` client API and joins everything on
@@ -39,10 +45,8 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{self, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -52,8 +56,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dataflasks_core::{
-    ClientId, ClientReply, ClientRequest, ClusterSpec, DataFlasksNode, DefaultStore, Environment,
-    Message, NodeHost, Output, ReplyBody, TimerKind,
+    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
+    DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, RecvOutcome,
+    SchedulerConfig, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
 use dataflasks_store::ShardedStore;
@@ -62,26 +67,9 @@ use dataflasks_types::{
     Version,
 };
 
-/// Errors returned by the blocking client API.
-#[derive(Debug)]
-#[non_exhaustive]
-pub enum RuntimeError {
-    /// No reply arrived before the caller-supplied timeout.
-    Timeout,
-    /// The cluster is shutting down and can no longer accept operations.
-    Shutdown,
-}
-
-impl fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Self::Timeout => f.write_str("operation timed out waiting for a replica reply"),
-            Self::Shutdown => f.write_str("cluster is shut down"),
-        }
-    }
-}
-
-impl Error for RuntimeError {}
+/// Errors returned by the blocking client API (the shared
+/// [`dataflasks_core::gateway`] error type).
+pub use dataflasks_core::GatewayError as RuntimeError;
 
 /// What travels through a node's inbox channel.
 enum Envelope {
@@ -108,7 +96,7 @@ enum Envelope {
 
 /// Routing table shared by every node thread.
 struct Router {
-    nodes: RwLock<HashMap<NodeId, Sender<Envelope>>>,
+    nodes: RwLock<HashMap<NodeId, Arc<Inbox<Envelope>>>>,
     client_inbox: Sender<(ClientId, ClientReply)>,
     epoch: Instant,
 }
@@ -124,16 +112,16 @@ impl Router {
         match output {
             Output::Send { to, message } => {
                 let guard = self.nodes.read();
-                if let Some(tx) = guard.get(&to) {
-                    let _ = tx.send(Envelope::FromNode { from, message });
+                if let Some(inbox) = guard.get(&to) {
+                    inbox.push(Envelope::FromNode { from, message });
                 }
             }
             Output::SendBatch { to, messages } => {
-                // The whole per-destination batch travels as one channel
-                // send (and one routing-table lookup).
+                // The whole per-destination batch travels as one inbox push
+                // (and one routing-table lookup).
                 let guard = self.nodes.read();
-                if let Some(tx) = guard.get(&to) {
-                    let _ = tx.send(Envelope::Batch { from, messages });
+                if let Some(inbox) = guard.get(&to) {
+                    inbox.push(Envelope::Batch { from, messages });
                 }
             }
             Output::Reply { client, reply } => {
@@ -159,22 +147,27 @@ pub struct ThreadedCluster {
     router: Arc<Router>,
     node_ids: Vec<NodeId>,
     handles: Vec<JoinHandle<DataFlasksNode<DefaultStore>>>,
-    client_rx: Receiver<(ClientId, ClientReply)>,
+    /// The shared reply-routing discipline between the blocking client API
+    /// and the Environment driver surface.
+    gate: ClientGateway,
     request_sequence: std::cell::Cell<u64>,
     rng: std::cell::RefCell<StdRng>,
-    /// Client ids injected through [`Environment::submit_client_request`];
-    /// their replies belong to [`Environment::drain_effects`], everything
-    /// else to the blocking API.
-    env_clients: std::collections::HashSet<ClientId>,
-    /// Environment replies received while the blocking API was waiting.
-    env_pending: std::cell::RefCell<Vec<(ClientId, ClientReply)>>,
-    /// How long [`Environment::drain_effects`] waits on a silent inbox
-    /// before concluding the in-process cascade has quiesced.
-    drain_idle_grace: std::time::Duration,
     /// Per-node crash flags: set by [`Environment::fail_node`] so the victim
     /// stops processing immediately, including envelopes already queued in
     /// its inbox (matching the simulator dropping undelivered events).
     kill_switches: HashMap<NodeId, Arc<AtomicBool>>,
+    /// Scheduling knobs handed to every node thread (run budget per
+    /// dispatch round) — the same knobs the event-driven runtime honours.
+    sched: SchedulerConfig,
+    /// Shared node configuration (used to re-arm timers on restart spawns).
+    node_config: NodeConfig,
+    /// The spec this cluster was started from (if any): the recipe
+    /// [`Environment::restart_node`] rebuilds crashed nodes with.
+    spec: Option<ClusterSpec>,
+    /// Cached warm-up rounds of the spec, computed on the first restart so
+    /// later restarts rebuild one node in O(cluster) instead of building
+    /// (and discarding) the whole cluster.
+    restart_rounds: Option<BootstrapRounds>,
 }
 
 impl ThreadedCluster {
@@ -222,7 +215,9 @@ impl ThreadedCluster {
     /// input for input.
     #[must_use]
     pub fn start_spec(spec: &ClusterSpec) -> Self {
-        Self::start_nodes(spec.build_nodes(), spec.node_config, spec.seed)
+        let mut cluster = Self::start_nodes(spec.build_nodes(), spec.node_config, spec.seed);
+        cluster.spec = Some(spec.clone());
+        cluster
     }
 
     fn start_nodes(
@@ -236,38 +231,39 @@ impl ThreadedCluster {
             client_inbox: client_tx,
             epoch: Instant::now(),
         });
-        let mut node_ids = Vec::with_capacity(nodes.len());
-        let mut inboxes = Vec::with_capacity(nodes.len());
-        let mut kill_switches = HashMap::with_capacity(nodes.len());
-        for node in &nodes {
-            let (tx, rx) = mpsc::channel();
-            router.nodes.write().insert(node.id(), tx);
-            node_ids.push(node.id());
-            kill_switches.insert(node.id(), Arc::new(AtomicBool::new(false)));
-            inboxes.push(rx);
-        }
-        let handles = nodes
-            .into_iter()
-            .zip(inboxes)
-            .map(|(node, rx)| {
-                let router = Arc::clone(&router);
-                let config = node_config;
-                let failed = Arc::clone(&kill_switches[&node.id()]);
-                std::thread::spawn(move || node_thread(node, rx, router, config, failed))
-            })
-            .collect();
-        Self {
+        let sched = SchedulerConfig::default();
+        let mut cluster = Self {
             router,
-            node_ids,
-            handles,
-            client_rx,
+            node_ids: nodes.iter().map(DataFlasksNode::id).collect(),
+            handles: Vec::with_capacity(nodes.len()),
+            gate: ClientGateway::new(client_rx),
             request_sequence: std::cell::Cell::new(0),
             rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed ^ 0xC11E)),
-            env_clients: std::collections::HashSet::new(),
-            env_pending: std::cell::RefCell::new(Vec::new()),
-            drain_idle_grace: std::time::Duration::from_secs(1),
-            kill_switches,
+            kill_switches: HashMap::with_capacity(nodes.len()),
+            sched,
+            node_config,
+            spec: None,
+            restart_rounds: None,
+        };
+        for node in nodes {
+            cluster.spawn_node_thread(node);
         }
+        cluster
+    }
+
+    /// Registers a node's inbox and kill switch and spawns its thread.
+    fn spawn_node_thread(&mut self, node: DataFlasksNode<DefaultStore>) {
+        let id = node.id();
+        let inbox = Arc::new(Inbox::new());
+        self.router.nodes.write().insert(id, Arc::clone(&inbox));
+        let failed = Arc::new(AtomicBool::new(false));
+        self.kill_switches.insert(id, Arc::clone(&failed));
+        let router = Arc::clone(&self.router);
+        let config = self.node_config;
+        let sched = self.sched;
+        self.handles.push(std::thread::spawn(move || {
+            node_thread(node, inbox, router, config, sched, failed)
+        }));
     }
 
     /// Overrides how long [`Environment::drain_effects`] treats inbox
@@ -275,7 +271,7 @@ impl ThreadedCluster {
     /// microseconds, so harnesses issuing many drains (the differential
     /// property test) can lower this substantially without losing replies.
     pub fn set_drain_idle_grace(&mut self, grace: Duration) {
-        self.drain_idle_grace = to_std(grace);
+        self.gate.set_drain_idle_grace(grace);
     }
 
     /// Identifiers of the running nodes.
@@ -306,7 +302,7 @@ impl ThreadedCluster {
             value,
         };
         self.submit(request)?;
-        self.await_reply(id, timeout).map(|_| ())
+        self.gate.await_reply(id, timeout).map(|_| ())
     }
 
     /// Reads `key` (a specific version or the latest).
@@ -330,54 +326,35 @@ impl ThreadedCluster {
         let id = self.next_request_id();
         let request = ClientRequest::Get { id, key, version };
         self.submit(request)?;
-        let deadline = Instant::now() + to_std(timeout);
-        let mut saw_miss = false;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return if saw_miss {
-                    Ok(None)
-                } else {
-                    Err(RuntimeError::Timeout)
-                };
-            }
-            match self.client_rx.recv_timeout(remaining) {
-                Ok((client, reply)) if self.env_clients.contains(&client) => {
-                    // An Environment reply racing the blocking API: keep it
-                    // for the next drain_effects call.
-                    self.env_pending.borrow_mut().push((client, reply));
-                }
-                Ok((_, reply)) if reply.request == id => match reply.body {
-                    ReplyBody::GetHit { object } => return Ok(Some(object)),
-                    ReplyBody::GetMiss { .. } => saw_miss = true,
-                    ReplyBody::PutAck { .. } => {}
-                },
-                Ok(_) => continue,
-                Err(RecvTimeoutError::Timeout) => {
-                    return if saw_miss {
-                        Ok(None)
-                    } else {
-                        Err(RuntimeError::Timeout)
-                    };
-                }
-                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
-            }
-        }
+        self.gate.await_get(id, timeout)
     }
 
     /// Stops every node thread and returns the final node states for
     /// inspection (stores, statistics, slice assignments). Nodes failed with
-    /// [`Environment::fail_node`] are included, frozen at their final state.
+    /// [`Environment::fail_node`] are included, frozen at their final state;
+    /// a node that was restarted is reported once, at its restarted state
+    /// (the pre-crash incarnation is superseded).
     pub fn shutdown(self) -> Vec<DataFlasksNode<DefaultStore>> {
         {
             let guard = self.router.nodes.read();
-            for tx in guard.values() {
-                let _ = tx.send(Envelope::Shutdown);
+            for inbox in guard.values() {
+                inbox.push(Envelope::Shutdown);
             }
         }
-        self.handles
+        // Handles are joined in spawn order, so a restarted incarnation
+        // lands after (and supersedes) the crashed one.
+        let mut by_id: HashMap<NodeId, DataFlasksNode<DefaultStore>> = HashMap::new();
+        let mut order = Vec::new();
+        for handle in self.handles {
+            let Ok(node) = handle.join() else { continue };
+            if !by_id.contains_key(&node.id()) {
+                order.push(node.id());
+            }
+            by_id.insert(node.id(), node);
+        }
+        order
             .into_iter()
-            .filter_map(|handle| handle.join().ok())
+            .filter_map(|id| by_id.remove(&id))
             .collect()
     }
 
@@ -398,30 +375,14 @@ impl ThreadedCluster {
             let mut rng = self.rng.borrow_mut();
             live[rng.gen_range(0..live.len())]
         };
-        let tx = guard.get(&contact).ok_or(RuntimeError::Shutdown)?;
-        tx.send(Envelope::FromClient {
+        let inbox = guard.get(&contact).ok_or(RuntimeError::Shutdown)?;
+        if inbox.push(Envelope::FromClient {
             client: BLOCKING_CLIENT,
             request,
-        })
-        .map_err(|_| RuntimeError::Shutdown)
-    }
-
-    fn await_reply(&self, id: RequestId, timeout: Duration) -> Result<ClientReply, RuntimeError> {
-        let deadline = Instant::now() + to_std(timeout);
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                return Err(RuntimeError::Timeout);
-            }
-            match self.client_rx.recv_timeout(remaining) {
-                Ok((client, reply)) if self.env_clients.contains(&client) => {
-                    self.env_pending.borrow_mut().push((client, reply));
-                }
-                Ok((_, reply)) if reply.request == id => return Ok(reply),
-                Ok(_) => continue, // reply for an earlier (already completed) request
-                Err(RecvTimeoutError::Timeout) => return Err(RuntimeError::Timeout),
-                Err(RecvTimeoutError::Disconnected) => return Err(RuntimeError::Shutdown),
-            }
+        }) {
+            Ok(())
+        } else {
+            Err(RuntimeError::Shutdown)
         }
     }
 
@@ -435,15 +396,15 @@ impl ThreadedCluster {
 impl Environment for ThreadedCluster {
     fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message) {
         let guard = self.router.nodes.read();
-        if let Some(tx) = guard.get(&to) {
-            let _ = tx.send(Envelope::FromNode { from, message });
+        if let Some(inbox) = guard.get(&to) {
+            inbox.push(Envelope::FromNode { from, message });
         }
     }
 
     fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
         let guard = self.router.nodes.read();
-        if let Some(tx) = guard.get(&node) {
-            let _ = tx.send(Envelope::Timer { kind });
+        if let Some(inbox) = guard.get(&node) {
+            inbox.push(Envelope::Timer { kind });
         }
     }
 
@@ -452,82 +413,75 @@ impl Environment for ThreadedCluster {
             client != BLOCKING_CLIENT,
             "client id {BLOCKING_CLIENT} is reserved for the blocking put/get API"
         );
-        self.env_clients.insert(client);
+        self.gate.register_env_client(client);
         let guard = self.router.nodes.read();
-        if let Some(tx) = guard.get(&contact) {
-            let _ = tx.send(Envelope::FromClient { client, request });
+        if let Some(inbox) = guard.get(&contact) {
+            inbox.push(Envelope::FromClient { client, request });
         }
     }
 
     fn fail_node(&mut self, node: NodeId) {
         // The kill switch makes the victim discard everything still queued
         // in its inbox (the simulator equivalently drops undelivered
-        // events); removing the sender then makes every later send to the
-        // node a silent drop — the channel equivalent of a crash.
+        // events); closing and unrouting the inbox then makes every later
+        // send to the node a silent drop — and lets the victim's thread,
+        // once it wakes, observe the closed mailbox and exit.
         if let Some(failed) = self.kill_switches.get(&node) {
             failed.store(true, Ordering::SeqCst);
         }
-        self.router.nodes.write().remove(&node);
+        if let Some(inbox) = self.router.nodes.write().remove(&node) {
+            inbox.close();
+        }
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        let fresh = {
+            let spec = self
+                .spec
+                .as_ref()
+                .expect("restart_node requires a spec-started cluster (start_spec)");
+            let index = node.as_u64() as usize;
+            assert!(index < spec.len(), "node {node} is not part of the spec");
+            // First restart pays one full warm-up capture; later restarts
+            // replay the cached rounds in O(cluster).
+            let rounds = self
+                .restart_rounds
+                .get_or_insert_with(|| spec.bootstrap_rounds());
+            spec.rebuild_node_with(index, rounds)
+        };
+        // Crash the running incarnation first (idempotent if already dead).
+        Environment::fail_node(self, node);
+        // Rejoin with identity, profile, seed and warm membership intact but
+        // empty volatile state, on a fresh thread with a fresh inbox.
+        self.spawn_node_thread(fresh);
     }
 
     fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
-        // Replies stashed while the blocking API was at the inbox come first.
-        let mut replies: Vec<ClientReply> = self
-            .env_pending
-            .borrow_mut()
-            .drain(..)
-            .map(|(_, reply)| reply)
-            .collect();
-        let deadline = Instant::now() + to_std(budget);
-        // A full second of inbox silence means the in-process cascade (whose
-        // hops take microseconds) has quiesced; the budget caps the total
-        // wait either way.
-        let idle_grace = self.drain_idle_grace;
-        loop {
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                break;
-            }
-            match self.client_rx.recv_timeout(idle_grace.min(remaining)) {
-                Ok((client, reply)) => {
-                    if self.env_clients.contains(&client) {
-                        replies.push(reply);
-                    }
-                    // Replies for the blocking API arriving here belong to
-                    // operations that already completed or timed out
-                    // (duplicates); they are discarded, matching the
-                    // blocking loops' own treatment of late duplicates.
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
-            }
-        }
-        replies
+        self.gate.drain_effects(budget)
     }
 }
 
-/// Upper bound on how many already-queued envelopes one dispatch round
-/// absorbs before flushing, bounding effect-buffer growth under load.
-const MAX_DISPATCH_BATCH: usize = 128;
-
-/// The per-node thread: hosts the node, waits for envelopes, fires timers at
-/// the deadlines the node's own re-arm effects maintain, and hands every
+/// The per-node thread: hosts the node, waits on its [`Inbox`], fires timers
+/// at the deadlines the node's own re-arm effects maintain, and hands every
 /// other effect to the router.
 ///
 /// Each dispatch round feeds the received envelope *plus any backlog already
-/// queued in the inbox* into the host, then flushes once: same-destination
-/// sends produced by the whole round coalesce into one [`Output::SendBatch`]
-/// — one channel send per destination per round — which is what amortises
-/// per-message channel and lock overhead for slice-wide fan-outs under load.
+/// queued in the inbox* (up to the shared [`SchedulerConfig`] run budget)
+/// into the host, then flushes once: same-destination sends produced by the
+/// whole round coalesce into one [`Output::SendBatch`] — one inbox push per
+/// destination per round — which is what amortises per-message queue and
+/// lock overhead for slice-wide fan-outs under load.
 fn node_thread(
     node: DataFlasksNode<DefaultStore>,
-    rx: Receiver<Envelope>,
+    rx: Arc<Inbox<Envelope>>,
     router: Arc<Router>,
     config: NodeConfig,
+    sched: SchedulerConfig,
     failed: Arc<AtomicBool>,
 ) -> DataFlasksNode<DefaultStore> {
     let mut host = NodeHost::new(node);
     let id = host.node().id();
+    let run_budget = sched.effective_run_budget();
     let mut deadlines: Vec<(TimerKind, Instant)> = TimerKind::ALL
         .iter()
         .map(|&kind| (kind, Instant::now() + to_std(kind.period(&config))))
@@ -545,7 +499,7 @@ fn node_thread(
             break;
         }
         match envelope {
-            Ok(first) => {
+            RecvOutcome::Item(first) => {
                 let now = router.now();
                 let mut pending = Some(first);
                 let mut absorbed = 0;
@@ -581,8 +535,8 @@ fn node_thread(
                         break;
                     }
                     absorbed += 1;
-                    if absorbed < MAX_DISPATCH_BATCH {
-                        pending = rx.try_recv().ok();
+                    if absorbed < run_budget {
+                        pending = rx.try_pop();
                     }
                 }
                 host.flush_effects(|output| {
@@ -592,8 +546,8 @@ fn node_thread(
                     break 'running;
                 }
             }
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
+            RecvOutcome::TimedOut => {}
+            RecvOutcome::Closed => break,
         }
         // Fire every timer whose deadline passed; the node's re-arm effect
         // moves the deadline forward (the pre-arm below only covers the
@@ -634,6 +588,7 @@ fn route_thread_output(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dataflasks_core::ReplyBody;
     use dataflasks_types::PssConfig;
 
     /// A configuration with fast gossip so tests converge quickly.
@@ -782,5 +737,82 @@ mod tests {
     fn error_display_is_informative() {
         assert!(RuntimeError::Timeout.to_string().contains("timed out"));
         assert!(RuntimeError::Shutdown.to_string().contains("shut down"));
+    }
+
+    /// Regression test: the blocking put/get API owns client id `u64::MAX`;
+    /// an Environment submission under that id would silently steal the
+    /// blocking API's replies, so it must panic instead.
+    #[test]
+    #[should_panic(expected = "reserved for the blocking put/get API")]
+    fn reserved_blocking_client_id_is_rejected() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 24);
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        Environment::submit_client_request(
+            &mut cluster,
+            u64::MAX,
+            NodeId::new(0),
+            ClientRequest::Get {
+                id: RequestId::new(1, 0),
+                key: Key::from_user_key("collision"),
+                version: None,
+            },
+        );
+    }
+
+    #[test]
+    fn restarted_node_rejoins_with_empty_volatile_state() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            25,
+        );
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        let key = Key::from_user_key("lost-on-restart");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"volatile"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(!replies.is_empty(), "the put must be acknowledged");
+        let victim = NodeId::new(1);
+        cluster.fail_node(victim);
+        cluster.restart_node(victim);
+        // The restarted replica answers requests again — with a miss, since
+        // its volatile store is empty.
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Get {
+                id: RequestId::new(9, 1),
+                key,
+                version: None,
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(
+            !replies.is_empty(),
+            "a restarted contact must answer requests"
+        );
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 4, "restart must not duplicate node states");
+        let restarted = nodes.iter().find(|n| n.id() == victim).unwrap();
+        assert_eq!(
+            dataflasks_store::DataStore::len(restarted.store()),
+            0,
+            "volatile state must be lost on restart"
+        );
+        // The other replicas still hold the object.
+        assert!(nodes
+            .iter()
+            .filter(|n| n.id() != victim)
+            .all(|n| dataflasks_store::DataStore::get_latest(n.store(), key).is_some()));
     }
 }

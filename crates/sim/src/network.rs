@@ -212,6 +212,21 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Discards every pending event whose payload matches `doomed`,
+    /// preserving order among the survivors. Used by crash/restart handling
+    /// to drop in-flight inputs addressed to a dead incarnation — the
+    /// queue-based equivalent of the concurrent runtimes clearing a failed
+    /// node's inbox. O(n), off the hot path.
+    pub fn discard<F: FnMut(&EventPayload) -> bool>(&mut self, mut doomed: F) -> usize {
+        let before = self.heap.len();
+        let survivors: Vec<Event> = std::mem::take(&mut self.heap)
+            .into_iter()
+            .filter(|event| !doomed(&event.payload))
+            .collect();
+        self.heap = survivors.into();
+        before - self.heap.len()
+    }
+
     /// Time of the earliest scheduled event, if any.
     #[must_use]
     pub fn next_time(&self) -> Option<SimTime> {

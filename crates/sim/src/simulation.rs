@@ -179,6 +179,13 @@ pub struct Simulation {
     timer_generations: TimerGenerations,
     default_node_config: NodeConfig,
     client_policy: LoadBalancerPolicy,
+    /// The spec this simulation was materialised from (if any): the recipe
+    /// [`Environment::restart_node`] rebuilds crashed nodes with.
+    spec: Option<ClusterSpec>,
+    /// Cached warm-up rounds of the spec, computed on the first restart so
+    /// later restarts rebuild one node in O(cluster) instead of building
+    /// (and discarding) the whole cluster.
+    restart_rounds: Option<dataflasks_core::BootstrapRounds>,
 }
 
 impl Simulation {
@@ -203,6 +210,8 @@ impl Simulation {
             timer_generations: TimerGenerations::new(),
             default_node_config: NodeConfig::default(),
             client_policy: LoadBalancerPolicy::Random,
+            spec: None,
+            restart_rounds: None,
         }
     }
 
@@ -319,6 +328,7 @@ impl Simulation {
         );
         self.default_node_config = spec.node_config;
         self.next_node_id = spec.len() as u64;
+        self.spec = Some(spec.clone());
         for node in spec.build_nodes() {
             let id = node.id();
             self.nodes.insert(
@@ -847,6 +857,52 @@ impl Environment for Simulation {
         }
     }
 
+    fn restart_node(&mut self, node: NodeId) {
+        let spec = self
+            .spec
+            .as_ref()
+            .expect("restart_node requires a spec-materialised cluster (spawn_spec)");
+        let index = node.as_u64() as usize;
+        assert!(index < spec.len(), "node {node} is not part of the spec");
+        // First restart pays one full warm-up capture; later restarts replay
+        // the cached rounds in O(cluster).
+        let rounds = self
+            .restart_rounds
+            .get_or_insert_with(|| spec.bootstrap_rounds());
+        let fresh = spec.rebuild_node_with(index, rounds);
+        let config = spec.node_config;
+        // The restart implies the crash: in-flight deliveries and client
+        // submissions addressed to the pre-crash incarnation are lost with
+        // it, exactly like the concurrent runtimes clearing the victim's
+        // inbox. (Pending timer events are superseded by generation below.)
+        self.queue.discard(|payload| {
+            matches!(
+                payload,
+                EventPayload::Deliver { to, .. }
+                | EventPayload::DeliverBatch { to, .. } if *to == node
+            ) || matches!(payload, EventPayload::ClientSubmit { contact, .. } if *contact == node)
+        });
+        let entry = self
+            .nodes
+            .get_mut(&node)
+            .expect("spec nodes are registered");
+        entry.host = NodeHost::new(fresh);
+        entry.alive = true;
+        // Re-seed the periodic timers deterministically (no spawn jitter):
+        // one full period from the restart instant, exactly like the
+        // concurrent runtimes arming a fresh deadline table. Arming bumps the
+        // chain generation, so pre-crash timer events are superseded.
+        for kind in TimerKind::ALL {
+            arm_timer(
+                &mut self.queue,
+                &mut self.timer_generations,
+                node,
+                kind,
+                self.now + kind.period(&config),
+            );
+        }
+    }
+
     fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
         self.run_for(budget);
         std::mem::take(&mut self.reply_log)
@@ -976,6 +1032,104 @@ mod tests {
             sent_after - sent_before,
             1,
             "five injected firings must collapse into one live timer chain"
+        );
+    }
+
+    #[test]
+    fn restarted_nodes_rejoin_with_empty_volatile_state() {
+        use dataflasks_core::{ClientRequest, ReplyBody};
+        use dataflasks_types::{RequestId, Value, Version};
+
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            31,
+        );
+        let mut sim = Simulation::new(SimConfig {
+            seed: spec.seed,
+            ..SimConfig::default()
+        });
+        sim.spawn_spec(&spec);
+        let key = Key::from_user_key("lost-on-restart");
+        Environment::submit_client_request(
+            &mut sim,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"volatile"),
+            },
+        );
+        let replies = sim.drain_effects(Duration::from_secs(10));
+        assert!(replies
+            .iter()
+            .any(|r| matches!(r.body, ReplyBody::PutAck { .. })));
+        let victim = NodeId::new(1);
+        assert!(sim.node(victim).store().get_latest(key).is_some());
+        Environment::fail_node(&mut sim, victim);
+        Environment::restart_node(&mut sim, victim);
+        // Rejoined: alive, warm membership, but store and stats are empty.
+        assert!(sim.alive_nodes().contains(&victim));
+        assert_eq!(sim.node(victim).store().len(), 0);
+        assert_eq!(sim.node(victim).stats().total_messages(), 0);
+        assert!(sim.node(victim).slice().is_some());
+        assert!(sim.node(victim).view_len() > 0);
+        // The restarted replica serves traffic again.
+        Environment::submit_client_request(
+            &mut sim,
+            9,
+            victim,
+            ClientRequest::Get {
+                id: RequestId::new(9, 1),
+                key,
+                version: None,
+            },
+        );
+        let replies = sim.drain_effects(Duration::from_secs(10));
+        assert!(
+            !replies.is_empty(),
+            "a restarted contact must answer requests"
+        );
+    }
+
+    #[test]
+    fn restart_discards_in_flight_deliveries_to_the_old_incarnation() {
+        use dataflasks_core::Message;
+        use std::sync::Arc;
+
+        // Far-future periodic timers isolate the injected traffic.
+        let mut config = NodeConfig::for_system_size(3, 1);
+        let far = Duration::from_secs(1 << 26);
+        config.pss.shuffle_period = far;
+        config.slicing.gossip_period = far;
+        config.replication.anti_entropy_period = far;
+        let spec = ClusterSpec::new(config, vec![300, 200, 100], 33);
+        let mut sim = Simulation::new(SimConfig {
+            seed: spec.seed,
+            ..SimConfig::default()
+        });
+        sim.spawn_spec(&spec);
+        let victim = NodeId::new(1);
+        // Queue a delivery for the victim, then restart it before the event
+        // dispatches: the message belonged to the dead incarnation and must
+        // be lost, exactly like the concurrent runtimes clearing the inbox.
+        Environment::deliver_message(
+            &mut sim,
+            NodeId::new(0),
+            victim,
+            Message::AntiEntropyDigest {
+                digest: Arc::new(dataflasks_store::StoreDigest::new()),
+                range: dataflasks_types::KeyRange::FULL,
+            },
+        );
+        Environment::restart_node(&mut sim, victim);
+        sim.run_for(Duration::from_secs(5));
+        assert_eq!(
+            sim.node(victim).stats().total_messages(),
+            0,
+            "pre-restart deliveries must not reach the fresh incarnation"
         );
     }
 

@@ -24,7 +24,7 @@
 //! it slot in as the default node store behind the unchanged [`DataStore`]
 //! trait.
 
-use dataflasks_types::{Key, SliceId, SlicePartition, StoredObject, Version};
+use dataflasks_types::{Key, KeyRange, SliceId, SlicePartition, StoredObject, Version};
 
 use crate::digest::StoreDigest;
 use crate::error::StoreError;
@@ -138,6 +138,11 @@ impl<S: DataStore> ShardedStore<S> {
     fn shard_index(&self, key: Key) -> usize {
         self.shard_map.slice_of(key).index() as usize
     }
+
+    /// The key range shard `index` owns.
+    fn shard_range(&self, index: usize) -> KeyRange {
+        self.shard_map.range_of(SliceId::new(index as u32))
+    }
 }
 
 impl<S: DataStore + Default> Default for ShardedStore<S> {
@@ -190,6 +195,26 @@ impl<S: DataStore> DataStore for ShardedStore<S> {
         merged
     }
 
+    fn range_digest(&self, range: KeyRange) -> StoreDigest {
+        // Shards fully inside the range contribute their cached digest
+        // verbatim (the incremental-anti-entropy fast path: a range that *is*
+        // a shard range costs one clone of the cached summary); only the at
+        // most two boundary shards are filtered key by key.
+        let mut merged = StoreDigest::new();
+        for (index, digest) in self.digests.iter().enumerate() {
+            let shard_range = self.shard_range(index);
+            if !range.overlaps(&shard_range) {
+                continue;
+            }
+            if range.contains_range(&shard_range) {
+                merged.merge_disjoint(digest);
+            } else {
+                merged.extend(digest.iter().filter(|&(key, _)| range.contains(key)));
+            }
+        }
+        merged
+    }
+
     fn objects_newer_than(&self, remote: &StoreDigest, limit: usize) -> Vec<StoredObject> {
         // Shard 0 owns the lowest key range, so visiting shards in order and
         // chaining per-shard (sorted) batches yields exactly the globally
@@ -202,6 +227,35 @@ impl<S: DataStore> DataStore for ShardedStore<S> {
                 break;
             }
             shipped.extend(shard.objects_newer_than(remote, remaining));
+        }
+        shipped
+    }
+
+    fn objects_newer_than_in(
+        &self,
+        remote: &StoreDigest,
+        range: KeyRange,
+        limit: usize,
+    ) -> Vec<StoredObject> {
+        // Shards are visited in ascending key order, so chaining per-shard
+        // sorted batches yields the globally sorted, limit-truncated batch of
+        // the range; shards outside the range (and past the limit) are never
+        // scanned.
+        let mut shipped = Vec::new();
+        for (index, shard) in self.shards.iter().enumerate() {
+            let remaining = limit - shipped.len();
+            if remaining == 0 {
+                break;
+            }
+            let shard_range = self.shard_range(index);
+            if !range.overlaps(&shard_range) {
+                continue;
+            }
+            if range.contains_range(&shard_range) {
+                shipped.extend(shard.objects_newer_than(remote, remaining));
+            } else {
+                shipped.extend(shard.objects_newer_than_in(remote, range, remaining));
+            }
         }
         shipped
     }
@@ -410,6 +464,63 @@ mod tests {
         // A second call finds the fully-inside shards untouched.
         assert_eq!(store.retain_slice(partition, slice), 0);
         assert_eq!(store.len(), len);
+    }
+
+    #[test]
+    fn range_digest_matches_a_filtered_full_digest() {
+        let store = populated(8, 200);
+        let full = store.digest();
+        // Shard-aligned chunks (the cached-digest fast path) and misaligned
+        // chunks (boundary filtering) both match a brute-force filter.
+        for chunks in [8u32, 3] {
+            let partition = SlicePartition::new(chunks);
+            let mut union = StoreDigest::new();
+            for index in 0..chunks {
+                let range = partition.range_of(SliceId::new(index));
+                let scoped = store.range_digest(range);
+                let filtered: StoreDigest = full
+                    .iter()
+                    .filter(|&(key, _)| range.contains(key))
+                    .collect();
+                assert_eq!(scoped, filtered, "{chunks} chunks, chunk {index}");
+                union.merge_disjoint(&scoped);
+            }
+            assert_eq!(union, full, "{chunks} chunks must tile the digest");
+        }
+    }
+
+    #[test]
+    fn range_scoped_shipping_matches_the_flat_store() {
+        let mut sharded = ShardedStore::new(8);
+        let mut flat = MemoryStore::unbounded();
+        for i in 0..160u64 {
+            let o = object(&format!("rk{i}"), i % 4 + 1);
+            sharded.put(&o).unwrap();
+            flat.put(&o).unwrap();
+        }
+        let mut remote = MemoryStore::unbounded();
+        for i in 0..40u64 {
+            remote.put(&object(&format!("rk{i}"), 9)).unwrap();
+        }
+        let remote = remote.digest();
+        for chunks in [8u32, 5] {
+            let partition = SlicePartition::new(chunks);
+            for index in 0..chunks {
+                let range = partition.range_of(SliceId::new(index));
+                for limit in [0usize, 1, 7, 1000] {
+                    assert_eq!(
+                        sharded.objects_newer_than_in(&remote, range, limit),
+                        flat.objects_newer_than_in(&remote, range, limit),
+                        "{chunks} chunks, chunk {index}, limit {limit}"
+                    );
+                }
+            }
+        }
+        // The full range degenerates to the unscoped batch.
+        assert_eq!(
+            sharded.objects_newer_than_in(&remote, KeyRange::FULL, 64),
+            sharded.objects_newer_than(&remote, 64)
+        );
     }
 
     #[test]

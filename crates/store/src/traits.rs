@@ -1,6 +1,6 @@
 //! The [`DataStore`] abstraction used by the DataFlasks request handler.
 
-use dataflasks_types::{Key, SliceId, SlicePartition, StoredObject, Version};
+use dataflasks_types::{Key, KeyRange, SliceId, SlicePartition, StoredObject, Version};
 
 use crate::digest::StoreDigest;
 use crate::error::StoreError;
@@ -79,9 +79,53 @@ pub trait DataStore {
     /// A compact `key → latest version` summary used by anti-entropy.
     fn digest(&self) -> StoreDigest;
 
+    /// A compact `key → latest version` summary of the keys inside `range`,
+    /// used by incremental anti-entropy exchanges that cover one key-range
+    /// chunk per round instead of the whole store.
+    ///
+    /// The default implementation filters [`Self::digest`]; sharded stores
+    /// override it to reuse their cached per-shard digests.
+    fn range_digest(&self, range: KeyRange) -> StoreDigest {
+        self.digest()
+            .iter()
+            .filter(|&(key, _)| range.contains(key))
+            .collect()
+    }
+
     /// Objects this store holds that are missing or stale in `remote`,
     /// bounded to at most `limit` objects (latest versions only).
     fn objects_newer_than(&self, remote: &StoreDigest, limit: usize) -> Vec<StoredObject>;
+
+    /// Like [`Self::objects_newer_than`], restricted to keys inside `range`:
+    /// the shipped batch is the keys of `range` that are missing or stale in
+    /// `remote`, sorted by key and truncated to `limit` — exactly the subset
+    /// of an unbounded [`Self::objects_newer_than`] that falls in the range.
+    ///
+    /// The default implementation diffs [`Self::digest`]; sharded stores
+    /// override it to visit only the shards overlapping the range.
+    fn objects_newer_than_in(
+        &self,
+        remote: &StoreDigest,
+        range: KeyRange,
+        limit: usize,
+    ) -> Vec<StoredObject> {
+        let mut newer: Vec<(Key, Version)> = self
+            .digest()
+            .iter()
+            .filter(|&(key, version)| {
+                range.contains(key)
+                    && remote
+                        .version_of(key)
+                        .is_none_or(|remote_version| remote_version < version)
+            })
+            .collect();
+        newer.sort_unstable();
+        newer.truncate(limit);
+        newer
+            .into_iter()
+            .filter_map(|(key, version)| self.get(key, Some(version)))
+            .collect()
+    }
 
     /// Drops every object whose key is *not* owned by `slice` under
     /// `partition`, returning the number of keys removed. Called when the

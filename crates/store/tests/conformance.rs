@@ -13,7 +13,7 @@
 use std::path::PathBuf;
 
 use dataflasks_store::{DataStore, LogStore, MemoryStore, ShardedStore, StoreDigest};
-use dataflasks_types::{Key, SliceId, SlicePartition, StoredObject, Value, Version};
+use dataflasks_types::{Key, KeyRange, SliceId, SlicePartition, StoredObject, Value, Version};
 use proptest::prelude::*;
 use proptest::test_runner::{Config, TestCaseError, TestRunner};
 
@@ -128,6 +128,33 @@ fn check_conformance<S: DataStore>(
             return Err(TestCaseError::Fail(format!(
                 "{label}: shipping batch diverged at limit {limit}"
             )));
+        }
+    }
+    // Incremental anti-entropy surface: range-scoped digests and shipping
+    // batches agree for shard-aligned chunks, misaligned chunks and the full
+    // range (the sharded store's cached-digest fast path must be exact).
+    let mut probe_ranges = vec![KeyRange::FULL];
+    let aligned = SlicePartition::new(8);
+    let misaligned = SlicePartition::new(5);
+    for partition in [aligned, misaligned] {
+        for index in 0..partition.slice_count() {
+            probe_ranges.push(partition.range_of(SliceId::new(index)));
+        }
+    }
+    for range in probe_ranges {
+        if store.range_digest(range) != reference.range_digest(range) {
+            return Err(TestCaseError::Fail(format!(
+                "{label}: range digest diverged for {range}"
+            )));
+        }
+        for limit in [0usize, 1, 3, usize::MAX] {
+            if store.objects_newer_than_in(&remote, range, limit)
+                != reference.objects_newer_than_in(&remote, range, limit)
+            {
+                return Err(TestCaseError::Fail(format!(
+                    "{label}: range shipping batch diverged for {range} at limit {limit}"
+                )));
+            }
         }
     }
     Ok(())

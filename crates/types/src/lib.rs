@@ -50,7 +50,7 @@ pub use hashing::fnv1a_64;
 pub use ids::{NodeId, RequestId};
 pub use object::{Key, StoredObject, Value, Version};
 pub use profile::NodeProfile;
-pub use slice::{SliceId, SlicePartition};
+pub use slice::{KeyRange, SliceId, SlicePartition};
 pub use time::{Duration, SimTime};
 
 #[cfg(test)]

@@ -147,10 +147,98 @@ impl SlicePartition {
         SliceId::new(index)
     }
 
+    /// Returns the inclusive key range owned by `slice`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice` is not part of this partition.
+    #[must_use]
+    pub fn range_of(self, slice: SliceId) -> KeyRange {
+        KeyRange::new(self.range_start(slice), self.range_end(slice))
+    }
+
     fn range_width(slice_count: u32) -> u64 {
         // Ceiling division so that `slice_count * width` covers the whole key
         // space; the last slice absorbs the remainder.
         (u64::MAX / u64::from(slice_count)).saturating_add(1)
+    }
+}
+
+/// An inclusive, contiguous range of the 64-bit key space.
+///
+/// Key ranges name the chunk of the key space one incremental anti-entropy
+/// exchange covers: instead of summarising a replica's whole store, an
+/// exchange carries the digest of one range (one shard of the sharded store)
+/// plus the range itself, so the responder can diff and ship only that chunk.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_types::{Key, KeyRange};
+///
+/// let low = KeyRange::new(Key::from_raw(0), Key::from_raw(99));
+/// assert!(low.contains(Key::from_raw(42)));
+/// assert!(!low.contains(Key::from_raw(100)));
+/// assert!(KeyRange::FULL.contains_range(&low));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KeyRange {
+    start: Key,
+    end: Key,
+}
+
+impl KeyRange {
+    /// The whole 64-bit key space.
+    pub const FULL: Self = Self {
+        start: Key::from_raw(0),
+        end: Key::from_raw(u64::MAX),
+    };
+
+    /// Creates the inclusive range `[start, end]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` (an inclusive range is never empty).
+    #[must_use]
+    pub fn new(start: Key, end: Key) -> Self {
+        assert!(start <= end, "key range start must not exceed its end");
+        Self { start, end }
+    }
+
+    /// The inclusive lower bound.
+    #[must_use]
+    pub const fn start(self) -> Key {
+        self.start
+    }
+
+    /// The inclusive upper bound.
+    #[must_use]
+    pub const fn end(self) -> Key {
+        self.end
+    }
+
+    /// Returns `true` if `key` falls inside the range.
+    #[must_use]
+    pub fn contains(self, key: Key) -> bool {
+        self.start <= key && key <= self.end
+    }
+
+    /// Returns `true` if every key of `other` falls inside this range.
+    #[must_use]
+    pub fn contains_range(self, other: &Self) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Returns `true` if the two ranges share at least one key.
+    #[must_use]
+    pub fn overlaps(self, other: &Self) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+}
+
+impl fmt::Display for KeyRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
     }
 }
 
@@ -238,5 +326,53 @@ mod tests {
     fn display_formats() {
         assert_eq!(SliceId::new(2).to_string(), "s2");
         assert_eq!(SlicePartition::new(8).to_string(), "partition(k=8)");
+    }
+
+    #[test]
+    fn range_of_matches_start_and_end() {
+        let p = SlicePartition::new(5);
+        for s in 0..5 {
+            let slice = SliceId::new(s);
+            let range = p.range_of(slice);
+            assert_eq!(range.start(), p.range_start(slice));
+            assert_eq!(range.end(), p.range_end(slice));
+            assert!(range.contains(p.range_start(slice)));
+            assert!(range.contains(p.range_end(slice)));
+        }
+    }
+
+    #[test]
+    fn key_range_containment_and_overlap() {
+        let low = KeyRange::new(Key::from_raw(0), Key::from_raw(99));
+        let mid = KeyRange::new(Key::from_raw(50), Key::from_raw(149));
+        let high = KeyRange::new(Key::from_raw(100), Key::from_raw(u64::MAX));
+        assert!(low.overlaps(&mid));
+        assert!(mid.overlaps(&low));
+        assert!(!low.overlaps(&high));
+        assert!(mid.overlaps(&high));
+        assert!(KeyRange::FULL.contains_range(&low));
+        assert!(KeyRange::FULL.contains_range(&high));
+        assert!(!low.contains_range(&mid));
+        assert!(low.contains(Key::from_raw(99)));
+        assert!(!low.contains(Key::from_raw(100)));
+        assert_eq!(low.to_string(), "[k0000000000000000, k0000000000000063]");
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not exceed")]
+    fn inverted_key_range_is_rejected() {
+        let _ = KeyRange::new(Key::from_raw(2), Key::from_raw(1));
+    }
+
+    #[test]
+    fn partition_ranges_tile_the_key_space() {
+        let p = SlicePartition::new(7);
+        for s in 0..6 {
+            let this = p.range_of(SliceId::new(s));
+            let next = p.range_of(SliceId::new(s + 1));
+            assert_eq!(this.end().as_u64() + 1, next.start().as_u64());
+            assert!(!this.overlaps(&next));
+        }
+        assert_eq!(p.range_of(SliceId::new(6)).end(), Key::from_raw(u64::MAX));
     }
 }
