@@ -1,9 +1,10 @@
 //! Environment parity: the same seeded put/get/churn scenario driven through
-//! both [`Environment`] implementations — the discrete-event [`Simulation`]
-//! and the [`ThreadedCluster`] — produces identical client-visible outcomes
-//! and identical per-node [`NodeStats`].
+//! every [`Environment`] implementation — the discrete-event [`Simulation`],
+//! the one-thread-per-node [`ThreadedCluster`] and the event-driven
+//! [`AsyncCluster`] — produces identical client-visible outcomes and
+//! identical per-node [`NodeStats`].
 //!
-//! Both environments materialise the same [`ClusterSpec`] (identical node
+//! All environments materialise the same [`ClusterSpec`] (identical node
 //! seeds, capacities and warm full-mesh membership) and are driven through
 //! the shared `Environment` trait only. The scenario is constructed to be
 //! order-independent so thread scheduling cannot change the outcome:
@@ -20,8 +21,13 @@
 //! Beyond the scripted scenario, `random_scenarios_agree_across_environments`
 //! generalises this into cross-environment differential fuzzing: randomly
 //! generated seeded scenarios — puts, gets, slicing-gossip and anti-entropy
-//! rounds, node crashes — are driven through both backends and must produce
-//! identical client-visible replies and identical per-node [`NodeStats`].
+//! rounds, node crashes *and crash→restart rejoins* — are driven through all
+//! three backends and must produce identical client-visible replies and
+//! identical per-node [`NodeStats`]. Restarts make the anti-entropy traffic
+//! meaningful: a rejoined replica has lost its volatile store, so the
+//! incremental per-chunk exchanges must actually repair divergence instead
+//! of comparing identical replicas (see
+//! `restarted_replica_converges_via_incremental_anti_entropy`).
 
 use std::collections::HashMap;
 
@@ -164,8 +170,35 @@ fn normalise(replies: Vec<ClientReply>) -> Vec<String> {
     rendered
 }
 
+/// Asserts two backends produced identical per-step replies and stats.
+fn assert_backend_parity(
+    label: &str,
+    reference_steps: &[Vec<String>],
+    steps: &[Vec<String>],
+    reference_stats: &HashMap<NodeId, NodeStats>,
+    stats: &HashMap<NodeId, NodeStats>,
+) {
+    assert_eq!(reference_steps.len(), steps.len());
+    for (step, (reference_replies, replies)) in reference_steps.iter().zip(steps).enumerate() {
+        assert_eq!(
+            reference_replies, replies,
+            "step {step}: {label} disagrees on client-visible replies"
+        );
+    }
+    assert_eq!(reference_stats.len(), stats.len());
+    for (id, reference_node_stats) in reference_stats {
+        let node_stats = stats
+            .get(id)
+            .unwrap_or_else(|| panic!("{label} lost node {id}"));
+        assert_eq!(
+            reference_node_stats, node_stats,
+            "node {id}: {label} disagrees on NodeStats"
+        );
+    }
+}
+
 #[test]
-fn both_environments_produce_identical_outcomes_and_stats() {
+fn all_three_environments_produce_identical_outcomes_and_stats() {
     let spec = parity_spec();
 
     // --- Discrete-event simulation ---------------------------------------
@@ -183,8 +216,8 @@ fn both_environments_produce_identical_outcomes_and_stats() {
 
     // --- Threaded runtime -------------------------------------------------
     let mut cluster = ThreadedCluster::start_spec(&spec);
-    // Wall-clock budget: channel hops take microseconds; the drain exits on
-    // quiescence well before the cap.
+    // Wall-clock budget: in-process hops take microseconds; the drain exits
+    // on quiescence well before the cap.
     let threaded_steps = run_scenario(&mut cluster, &spec, Duration::from_secs(10));
     let threaded_stats: HashMap<NodeId, NodeStats> = cluster
         .shutdown()
@@ -192,31 +225,35 @@ fn both_environments_produce_identical_outcomes_and_stats() {
         .map(|n| (n.id(), *n.stats()))
         .collect();
 
-    // --- Client-visible outcomes are identical ----------------------------
-    assert_eq!(sim_steps.len(), threaded_steps.len());
-    for (step, (sim_replies, threaded_replies)) in sim_steps.iter().zip(&threaded_steps).enumerate()
-    {
+    // --- Event-driven runtime (framed transport) ---------------------------
+    let mut async_cluster = AsyncCluster::start_spec(&spec);
+    let async_steps = run_scenario(&mut async_cluster, &spec, Duration::from_secs(10));
+    let async_stats: HashMap<NodeId, NodeStats> = async_cluster
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    for (step, replies) in sim_steps.iter().enumerate() {
         assert!(
-            !sim_replies.is_empty(),
+            !replies.is_empty(),
             "step {step} produced no replies in the simulator"
         );
-        assert_eq!(
-            sim_replies, threaded_replies,
-            "step {step}: environments disagree on client-visible replies"
-        );
     }
-
-    // --- Per-node protocol accounting is identical -------------------------
-    assert_eq!(sim_stats.len(), threaded_stats.len());
-    for (id, sim_node_stats) in &sim_stats {
-        let threaded_node_stats = threaded_stats
-            .get(id)
-            .unwrap_or_else(|| panic!("threaded runtime lost node {id}"));
-        assert_eq!(
-            sim_node_stats, threaded_node_stats,
-            "node {id}: environments disagree on NodeStats"
-        );
-    }
+    assert_backend_parity(
+        "threaded runtime",
+        &sim_steps,
+        &threaded_steps,
+        &sim_stats,
+        &threaded_stats,
+    );
+    assert_backend_parity(
+        "async runtime",
+        &sim_steps,
+        &async_steps,
+        &sim_stats,
+        &async_stats,
+    );
 
     // Sanity: the scenario actually exercised the request path.
     let total_requests: u64 = sim_stats.values().map(NodeStats::request_messages).sum();
@@ -268,9 +305,12 @@ fn scenario_outcomes_are_reply_complete() {
 ///   consumed,
 /// * slicing-gossip and anti-entropy rounds are injected through
 ///   `Environment::fire_timer` and drained to quiescence before the next
-///   step, so both backends process the same message sets,
-/// * crashes remove a node in both backends identically (its inbox is
-///   discarded, later traffic to it is dropped).
+///   step, so every backend processes the same message sets,
+/// * crashes remove a node in every backend identically (its inbox is
+///   discarded, later traffic to it is dropped),
+/// * restarts rejoin the crashed node with the spec-derived state every
+///   backend rebuilds identically (warm membership, empty volatile store),
+///   making later anti-entropy rounds repair *real* divergence.
 #[derive(Debug, Clone)]
 enum Step {
     Put { key_tag: u8, contact: u8 },
@@ -278,13 +318,14 @@ enum Step {
     SliceGossipRound { node: u8 },
     AntiEntropyRound { node: u8 },
     Crash { node: u8 },
+    Restart { node: u8 },
 }
 
 /// Strategy: steps are decoded from small integer tuples (the vendored
 /// proptest stub has no `prop_oneof`), with crashes rare so most scenarios
 /// keep several live replicas.
 fn arb_step() -> impl Strategy<Value = (u8, u8, u8)> {
-    (0u8..10, 0u8..6, 0u8..16)
+    (0u8..12, 0u8..6, 0u8..16)
 }
 
 fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
@@ -299,7 +340,8 @@ fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
         },
         7 => Step::SliceGossipRound { node: b },
         8 => Step::AntiEntropyRound { node: b },
-        _ => Step::Crash { node: b },
+        9 => Step::Crash { node: b },
+        _ => Step::Restart { node: b },
     }
 }
 
@@ -388,6 +430,9 @@ fn run_random_scenario<E: Environment>(
             Step::Crash { node } => {
                 env.fail_node(NodeId::new(u64::from(node % n)));
             }
+            Step::Restart { node } => {
+                env.restart_node(NodeId::new(u64::from(node % n)));
+            }
         }
         outcomes.push(normalise(env.drain_effects(budget)));
     }
@@ -434,15 +479,32 @@ proptest! {
             .map(|node| (node.id(), *node.stats()))
             .collect();
 
+        // --- Event-driven runtime (framed transport) ----------------------
+        let mut async_cluster = AsyncCluster::start_spec(&spec);
+        async_cluster.set_drain_idle_grace(Duration::from_millis(300));
+        let async_outcomes =
+            run_random_scenario(&mut async_cluster, &spec, &steps, Duration::from_secs(10));
+        let async_stats: HashMap<NodeId, NodeStats> = async_cluster
+            .shutdown()
+            .into_iter()
+            .map(|node| (node.id(), *node.stats()))
+            .collect();
+
         // --- Identical client-visible outcomes ---------------------------
         prop_assert_eq!(sim_outcomes.len(), threaded_outcomes.len());
-        for (step, (sim_replies, threaded_replies)) in
-            sim_outcomes.iter().zip(&threaded_outcomes).enumerate()
-        {
+        prop_assert_eq!(sim_outcomes.len(), async_outcomes.len());
+        for (step, sim_replies) in sim_outcomes.iter().enumerate() {
             prop_assert_eq!(
                 sim_replies,
-                threaded_replies,
-                "step {} ({:?}): environments disagree on replies",
+                &threaded_outcomes[step],
+                "step {} ({:?}): threaded runtime disagrees on replies",
+                step,
+                steps[step]
+            );
+            prop_assert_eq!(
+                sim_replies,
+                &async_outcomes[step],
+                "step {} ({:?}): async runtime disagrees on replies",
                 step,
                 steps[step]
             );
@@ -450,13 +512,169 @@ proptest! {
 
         // --- Identical per-node protocol accounting ----------------------
         prop_assert_eq!(sim_stats.len(), threaded_stats.len());
+        prop_assert_eq!(sim_stats.len(), async_stats.len());
         for (id, sim_node_stats) in &sim_stats {
             let threaded_node_stats = threaded_stats.get(id).expect("node survived shutdown");
             prop_assert_eq!(
                 sim_node_stats,
                 threaded_node_stats,
-                "node {}: environments disagree on NodeStats",
+                "node {}: threaded runtime disagrees on NodeStats",
                 id
+            );
+            let async_node_stats = async_stats.get(id).expect("node survived shutdown");
+            prop_assert_eq!(
+                sim_node_stats,
+                async_node_stats,
+                "node {}: async runtime disagrees on NodeStats",
+                id
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash→restart divergence repaired by incremental anti-entropy
+// ---------------------------------------------------------------------------
+
+/// The crash→restart scenario the fuzzer can only hit by chance, scripted:
+/// a replica loses its volatile store on restart and must converge back to
+/// its peers through the *incremental* anti-entropy exchanges (one key-range
+/// chunk per round), on every backend, with identical accounting.
+#[test]
+fn restarted_replica_converges_via_incremental_anti_entropy() {
+    let spec = random_spec(&[100, 900, 300, 4_000, 2_000, 700], 0xD1F3);
+
+    /// Per-node sorted stored key sets: the convergence observable.
+    type KeySets = HashMap<NodeId, Vec<Key>>;
+
+    /// Drives the scripted divergence scenario, returning per-step replies.
+    fn run<E: Environment>(env: &mut E, spec: &ClusterSpec, budget: Duration) -> Vec<Vec<String>> {
+        let plan = spec.build_nodes();
+        let probe = Key::from_user_key("diverge-0");
+        let target = plan[0].partition().slice_of(probe);
+        let victim = plan
+            .iter()
+            .find(|n| n.slice() == Some(target))
+            .map(DataFlasksNode::id)
+            .expect("warm specs populate every slice");
+        let mut outcomes = Vec::new();
+        // Seed several keys (both slices get traffic; the victim's slice gets
+        // keys spread over multiple store-shard chunks).
+        for sequence in 0..8u64 {
+            let key = Key::from_user_key(&format!("diverge-{sequence}"));
+            let slice = plan[0].partition().slice_of(key);
+            let contact = plan
+                .iter()
+                .find(|n| n.slice() == Some(slice))
+                .map(DataFlasksNode::id)
+                .expect("warm specs populate every slice");
+            env.submit_client_request(
+                CLIENT,
+                contact,
+                ClientRequest::Put {
+                    id: RequestId::new(CLIENT, sequence),
+                    key,
+                    version: Version::new(1),
+                    value: Value::from_bytes(format!("divergent-{sequence}").as_bytes()),
+                },
+            );
+            outcomes.push(normalise(env.drain_effects(budget)));
+        }
+        // Crash → restart: the victim rejoins warm but with an empty store.
+        env.restart_node(victim);
+        outcomes.push(normalise(env.drain_effects(budget)));
+        // Incremental anti-entropy from the stale side: each round covers the
+        // next key-range chunk of the victim's slice, so cycling through all
+        // chunks (store_shards of them; twice for slack) repairs everything
+        // its peers still hold.
+        let rounds = 2 * spec.node_config.effective_store_shards();
+        for _ in 0..rounds {
+            env.fire_timer(victim, TimerKind::AntiEntropy);
+            outcomes.push(normalise(env.drain_effects(budget)));
+        }
+        outcomes
+    }
+
+    /// Sorted key set and stats per node, from owned final node states.
+    fn final_state(
+        nodes: Vec<DataFlasksNode<DefaultStore>>,
+    ) -> (KeySets, HashMap<NodeId, NodeStats>) {
+        nodes
+            .into_iter()
+            .map(|node| {
+                let mut keys = DataStore::keys(node.store());
+                keys.sort();
+                ((node.id(), keys), (node.id(), *node.stats()))
+            })
+            .unzip()
+    }
+
+    // --- Discrete-event simulation ----------------------------------------
+    let mut sim = Simulation::new(SimConfig {
+        seed: spec.seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_spec(&spec);
+    let sim_outcomes = run(&mut sim, &spec, Duration::from_secs(30));
+    let mut sim_keys = KeySets::new();
+    let mut sim_stats: HashMap<NodeId, NodeStats> = HashMap::new();
+    for id in spec.node_ids() {
+        let node = sim.node(id);
+        let mut keys = DataStore::keys(node.store());
+        keys.sort();
+        sim_keys.insert(id, keys);
+        sim_stats.insert(id, *node.stats());
+    }
+
+    // --- Concurrent runtimes ----------------------------------------------
+    let mut threaded = ThreadedCluster::start_spec(&spec);
+    threaded.set_drain_idle_grace(Duration::from_millis(300));
+    let threaded_outcomes = run(&mut threaded, &spec, Duration::from_secs(10));
+    let (threaded_keys, threaded_stats) = final_state(threaded.shutdown());
+
+    let mut async_cluster = AsyncCluster::start_spec(&spec);
+    async_cluster.set_drain_idle_grace(Duration::from_millis(300));
+    let async_outcomes = run(&mut async_cluster, &spec, Duration::from_secs(10));
+    let (async_keys, async_stats) = final_state(async_cluster.shutdown());
+
+    // --- The stale replica actually converged ------------------------------
+    let plan = spec.build_nodes();
+    let probe = Key::from_user_key("diverge-0");
+    let target = plan[0].partition().slice_of(probe);
+    let members: Vec<NodeId> = plan
+        .iter()
+        .filter(|n| n.slice() == Some(target))
+        .map(DataFlasksNode::id)
+        .collect();
+    let victim = members[0];
+    let reference = members
+        .iter()
+        .find(|&&id| id != victim)
+        .expect("a surviving replica exists");
+    assert!(
+        !sim_keys[reference].is_empty(),
+        "the surviving replica holds data to repair from"
+    );
+    assert_eq!(
+        sim_keys[&victim], sim_keys[reference],
+        "anti-entropy must fully repair the restarted replica"
+    );
+
+    // --- And every backend agrees on everything ----------------------------
+    assert_eq!(sim_outcomes, threaded_outcomes, "threaded replies diverge");
+    assert_eq!(sim_outcomes, async_outcomes, "async replies diverge");
+    assert_eq!(sim_keys, threaded_keys, "threaded stores diverge");
+    assert_eq!(sim_keys, async_keys, "async stores diverge");
+    for (id, stats) in &sim_stats {
+        assert_eq!(
+            stats, &threaded_stats[id],
+            "threaded stats diverge for {id}"
+        );
+        assert_eq!(stats, &async_stats[id], "async stats diverge for {id}");
+        if *id == victim {
+            assert!(
+                stats.objects_repaired > 0,
+                "the victim must have been repaired by anti-entropy"
             );
         }
     }
