@@ -1,13 +1,16 @@
 //! Async-runtime scaling baseline: hosts a multi-thousand-node DataFlasks
-//! cluster on the event-driven `AsyncCluster` (a handful of worker threads,
-//! framed transport, timer-wheel-driven gossip), drives a put/get workload
-//! through it, and writes throughput and latency medians to
-//! `BENCH_async.json` so successive PRs have a scaling trajectory.
+//! cluster on the event-driven `AsyncCluster` (sharded work-stealing
+//! scheduler, framed transport, per-worker timer wheels), drives a put/get
+//! workload through it at each worker count of a sweep, and writes
+//! throughput and latency medians to `BENCH_async.json` so successive PRs
+//! have a scaling trajectory. The `workers = 1` row is the baseline the
+//! multi-worker rows are judged against.
 //!
 //! ```bash
 //! cargo run -p dataflasks-bench --release --bin async_bench
-//! # CI smoke: fewer operations, same 2000-node cluster
-//! cargo run -p dataflasks-bench --release --bin async_bench -- --puts 150 --gets 150 --latency-ops 40
+//! # CI smoke: fewer operations, same 2000-node cluster, same sweep
+//! cargo run -p dataflasks-bench --release --bin async_bench -- \
+//!     --puts 150 --gets 150 --latency-ops 40
 //! ```
 
 use std::collections::HashSet;
@@ -21,7 +24,8 @@ use rand::{Rng, SeedableRng};
 struct Args {
     nodes: usize,
     slices: u32,
-    workers: usize,
+    sweep: Vec<usize>,
+    mailbox: usize,
     puts: usize,
     gets: usize,
     latency_ops: usize,
@@ -32,7 +36,8 @@ impl Args {
         let mut args = Self {
             nodes: 2_000,
             slices: 0, // 0 = derive (≈50 nodes per slice)
-            workers: 0,
+            sweep: vec![1, 2, 4, 8],
+            mailbox: 0,
             puts: 400,
             gets: 400,
             latency_ops: 100,
@@ -47,10 +52,24 @@ impl Args {
             };
             match flag.as_str() {
                 "--nodes" => take(&mut args.nodes),
-                "--workers" => take(&mut args.workers),
+                "--mailbox" => take(&mut args.mailbox),
                 "--puts" => take(&mut args.puts),
                 "--gets" => take(&mut args.gets),
                 "--latency-ops" => take(&mut args.latency_ops),
+                "--workers" => {
+                    // A single-point "sweep" for quick ad-hoc runs.
+                    let mut v = 0usize;
+                    take(&mut v);
+                    args.sweep = vec![v];
+                }
+                "--sweep" => {
+                    let list = iter.next().unwrap_or_else(|| panic!("--sweep needs 1,2,4"));
+                    args.sweep = list
+                        .split(',')
+                        .map(|w| w.parse().expect("--sweep takes worker counts"))
+                        .collect();
+                    assert!(!args.sweep.is_empty(), "--sweep must name a worker count");
+                }
                 "--slices" => {
                     let mut v = 0usize;
                     take(&mut v);
@@ -68,46 +87,32 @@ impl Args {
 
 const CLIENT: u64 = 7;
 
+/// One sweep row: every metric of one full workload run at one worker count.
+struct Row {
+    results: Vec<(&'static str, f64)>,
+}
+
 fn main() {
     let args = Args::parse();
-    // Paper-style configuration, with the periodic substrate slowed to match
-    // a multi-thousand-node cluster on a small worker pool: gossip stays
-    // live (the timer wheel earns its keep) without drowning request
-    // traffic.
+    // Paper-style configuration. The periodic substrate runs at two-second
+    // gossip: every sweep row (sub-second workloads after the parallel
+    // spawn) still measures with live timer-wheel traffic competing with
+    // requests, without 2000 shuffles per second drowning a small host.
     let mut config = NodeConfig::for_system_size(args.nodes, args.slices);
-    config.pss.shuffle_period = Duration::from_secs(4);
+    config.pss.shuffle_period = Duration::from_secs(2);
     config.slicing.gossip_period = Duration::from_secs(4);
-    config.replication.anti_entropy_period = Duration::from_secs(20);
-    let mut rng = StdRng::seed_from_u64(0xA57C);
+    config.replication.anti_entropy_period = Duration::from_secs(10);
+    let mut capacity_rng = StdRng::seed_from_u64(0xA57C);
     let capacities: Vec<u64> = (0..args.nodes)
-        .map(|_| rng.gen_range(100..=10_000))
+        .map(|_| capacity_rng.gen_range(100..=10_000))
         .collect();
     let spec = ClusterSpec::new(config, capacities, 0xA57C);
-
-    let spawn_start = Instant::now();
-    let mut cluster = AsyncCluster::start_spec_with(
-        &spec,
-        AsyncClusterConfig {
-            workers: args.workers,
-            ..AsyncClusterConfig::default()
-        },
-    );
-    let spawn_ms = spawn_start.elapsed().as_millis();
-    let workers = cluster.worker_count();
-    assert!(workers <= 8, "the scaling claim is ≤8 worker threads");
-    cluster.set_drain_idle_grace(Duration::from_millis(100));
-    println!(
-        "spawned {} nodes ({} slices) on {workers} workers in {spawn_ms} ms",
-        args.nodes, args.slices
-    );
-
-    // Let the staggered first gossip rounds start flowing.
-    std::thread::sleep(std::time::Duration::from_millis(500));
 
     // Contact selection models the repo's warmed slice-aware load balancer
     // (`LoadBalancer` + `ClientLibrary`): requests go to a member of the
     // key's responsible slice, chosen uniformly — the steady state the
-    // paper's client library converges to after a few replies.
+    // paper's client library converges to after a few replies. The plan is
+    // shared by every sweep row (the spec is deterministic).
     let plan = spec.build_nodes();
     let partition = plan[0].partition();
     let mut members_by_slice: Vec<Vec<NodeId>> = vec![Vec::new(); args.slices as usize];
@@ -124,13 +129,102 @@ fn main() {
              slices unpopulated; use at least ~25 nodes per slice"
         );
     }
+
+    let rows: Vec<Row> = args
+        .sweep
+        .iter()
+        .map(|&workers| run_row(&args, &spec, partition, &members_by_slice, workers))
+        .collect();
+
+    // --- Emit the swept JSON ----------------------------------------------
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"nodes\": {:.2},\n", args.nodes as f64));
+    json.push_str(&format!("  \"slices\": {:.2},\n", f64::from(args.slices)));
+    json.push_str(&format!(
+        "  \"mailbox_capacity\": {:.2},\n",
+        args.mailbox as f64
+    ));
+    json.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        for (j, (name, value)) in row.results.iter().enumerate() {
+            let comma = if j + 1 == row.results.len() { "" } else { "," };
+            json.push_str(&format!("      \"{name}\": {value:.2}{comma}\n"));
+        }
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_async.json", &json).expect("write BENCH_async.json");
+    println!("wrote BENCH_async.json");
+
+    // --- Scaling summary ---------------------------------------------------
+    let metric = |row: &Row, name: &str| -> f64 {
+        row.results
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    if let Some(baseline) = rows.first() {
+        let base = metric(baseline, "put_throughput_ops_per_s")
+            + metric(baseline, "get_throughput_ops_per_s");
+        for row in &rows {
+            let combined =
+                metric(row, "put_throughput_ops_per_s") + metric(row, "get_throughput_ops_per_s");
+            println!(
+                "workers {:>2}: put+get {:>10.0} ops/s ({:.2}x of the {}-worker baseline)",
+                metric(row, "workers"),
+                combined,
+                if base > 0.0 { combined / base } else { 0.0 },
+                metric(baseline, "workers"),
+            );
+        }
+    }
+}
+
+/// Runs the whole workload once at `workers` workers and returns the row.
+fn run_row(
+    args: &Args,
+    spec: &ClusterSpec,
+    partition: SlicePartition,
+    members_by_slice: &[Vec<NodeId>],
+    workers: usize,
+) -> Row {
+    let mut rng = StdRng::seed_from_u64(0xA57C ^ (workers as u64) << 32);
+    let spawn_start = Instant::now();
+    let mut cluster = AsyncCluster::start_spec_with(
+        spec,
+        AsyncClusterConfig {
+            workers,
+            mailbox_capacity: args.mailbox,
+            ..AsyncClusterConfig::default()
+        },
+    );
+    let spawn_ms = spawn_start.elapsed().as_millis();
+    let timings = cluster.spawn_timings();
+    let workers = cluster.worker_count();
+    assert!(workers <= 8, "the scaling claim is ≤8 worker threads");
+    cluster.set_drain_idle_grace(Duration::from_millis(100));
+    println!(
+        "spawned {} nodes ({} slices) on {workers} workers in {spawn_ms} ms \
+         (build {} ms, arm {} ms)",
+        args.nodes,
+        args.slices,
+        timings.build.as_millis(),
+        timings.arm.as_millis(),
+    );
+
+    // Let the staggered first gossip rounds start flowing (a bit over one
+    // shuffle period, so every row measures with the substrate live).
+    std::thread::sleep(std::time::Duration::from_millis(2_300));
+
     let contact_for = |key: Key, rng: &mut StdRng| -> NodeId {
         let members = &members_by_slice[partition.slice_of(key).index() as usize];
         members[rng.gen_range(0..members.len())]
     };
 
     // --- Pipelined put throughput ---------------------------------------
-    let key_of = |i: usize| Key::from_user_key(&format!("bench-{i}"));
+    let key_of = |i: usize| Key::from_user_key(&format!("bench-{workers}-{i}"));
     let put_start = Instant::now();
     for i in 0..args.puts {
         let key = key_of(i);
@@ -192,16 +286,16 @@ fn main() {
     // (the warmed-load-balancer pattern, like the throughput phases) and
     // time submit→first-reply. A retry guards the rare in-slice expiry.
     let with_retries = |mut op: Box<dyn FnMut() -> bool + '_>| -> f64 {
-        for _ in 0..5 {
+        for _ in 0..8 {
             let start = Instant::now();
             if op() {
                 return start.elapsed().as_nanos() as f64 / 1_000.0;
             }
         }
-        panic!("operation failed five attempts in a row");
+        panic!("operation failed eight attempts in a row");
     };
     for i in 0..args.latency_ops {
-        let key = Key::from_user_key(&format!("lat-{i}"));
+        let key = Key::from_user_key(&format!("lat-{workers}-{i}"));
         let contact = contact_for(key, &mut rng);
         put_lat_us.push(with_retries(Box::new(|| {
             cluster
@@ -223,25 +317,37 @@ fn main() {
     }
 
     // --- Substrate sanity + teardown --------------------------------------
+    let saturations = cluster.saturation_events();
     let nodes = cluster.shutdown();
     let gossip_messages: u64 = nodes
         .iter()
         .map(|n| n.stats().sent(MessageKind::Membership) + n.stats().sent(MessageKind::Slicing))
         .sum();
+    let ae_skipped: u64 = nodes.iter().map(|n| n.stats().ae_chunks_skipped).sum();
     let stored_keys: usize = nodes
         .iter()
         .map(|n| dataflasks::store::DataStore::len(n.store()))
         .sum();
     assert!(
+        put_acked > 0 && get_answered > 0,
+        "a sweep row completed zero operations (workers {workers})"
+    );
+    // The warm-up sleep outlives one shuffle period, so every row — smoke
+    // included — must show periodic traffic from the timer wheels.
+    assert!(
         gossip_messages > 0,
-        "the periodic substrate must have run on the timer wheel"
+        "the periodic substrate must have run on the timer wheels"
     );
 
-    let results = [
-        ("nodes", args.nodes as f64),
-        ("slices", f64::from(args.slices)),
+    let results = vec![
         ("workers", workers as f64),
         ("spawn_ms", spawn_ms as f64),
+        ("spawn_build_ms", timings.build.as_millis() as f64),
+        ("spawn_arm_ms", timings.arm.as_millis() as f64),
+        (
+            "spawn_ms_per_node",
+            spawn_ms as f64 / (args.nodes.max(1)) as f64,
+        ),
         ("puts_submitted", args.puts as f64),
         ("puts_completed", put_acked as f64),
         ("put_throughput_ops_per_s", put_throughput),
@@ -253,18 +359,15 @@ fn main() {
         ("put_latency_p99_us", percentile(&mut put_lat_us, 0.99)),
         ("get_latency_p50_us", percentile(&mut get_lat_us, 0.50)),
         ("get_latency_p99_us", percentile(&mut get_lat_us, 0.99)),
+        ("mailbox_saturations", saturations as f64),
         ("gossip_messages", gossip_messages as f64),
+        ("ae_chunks_skipped", ae_skipped as f64),
         ("replica_objects_total", stored_keys as f64),
     ];
-    let mut json = String::from("{\n");
-    for (i, (name, value)) in results.iter().enumerate() {
-        let comma = if i + 1 == results.len() { "" } else { "," };
-        json.push_str(&format!("  \"{name}\": {value:.2}{comma}\n"));
-        println!("{name}: {value:.2}");
+    for (name, value) in &results {
+        println!("[workers {workers}] {name}: {value:.2}");
     }
-    json.push_str("}\n");
-    std::fs::write("BENCH_async.json", json).expect("write BENCH_async.json");
-    println!("wrote BENCH_async.json");
+    Row { results }
 }
 
 /// Drains environment replies until `total` distinct requests completed

@@ -487,31 +487,102 @@ impl ClusterSpec {
 
     fn build_rounds(&self) -> (Vec<DataFlasksNode<DefaultStore>>, Vec<Vec<NodeDescriptor>>) {
         let shards = self.node_config.effective_store_shards();
-        let mut nodes: Vec<DataFlasksNode<DefaultStore>> = (0..self.capacities.len())
-            .map(|i| {
-                let id = NodeId::new(i as u64);
-                DataFlasksNode::new(
-                    id,
-                    self.node_config,
-                    self.profile(i),
-                    ShardedStore::new(shards),
-                    self.node_seed(id),
-                )
-            })
-            .collect();
+        let threads = Self::build_threads(self.capacities.len());
+        let mut nodes: Vec<DataFlasksNode<DefaultStore>> = if threads > 1 {
+            // Node construction is independent per node (each derives its own
+            // seed), so large clusters materialise across the thread pool.
+            let mut nodes = Vec::with_capacity(self.capacities.len());
+            let chunk = self.capacities.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.capacities.len())
+                    .collect::<Vec<_>>()
+                    .chunks(chunk)
+                    .map(|indices| {
+                        let indices = indices.to_vec();
+                        scope.spawn(move || {
+                            indices
+                                .into_iter()
+                                .map(|i| {
+                                    let id = NodeId::new(i as u64);
+                                    DataFlasksNode::new(
+                                        id,
+                                        self.node_config,
+                                        self.profile(i),
+                                        ShardedStore::new(shards),
+                                        self.node_seed(id),
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    nodes.extend(handle.join().expect("node-build worker panicked"));
+                }
+            });
+            nodes
+        } else {
+            (0..self.capacities.len())
+                .map(|i| {
+                    let id = NodeId::new(i as u64);
+                    DataFlasksNode::new(
+                        id,
+                        self.node_config,
+                        self.profile(i),
+                        ShardedStore::new(shards),
+                        self.node_seed(id),
+                    )
+                })
+                .collect()
+        };
         let mut rounds = Vec::with_capacity(2);
         for _ in 0..2 {
             let descriptors: Vec<NodeDescriptor> = nodes
                 .iter()
                 .map(|n| NodeDescriptor::new(n.id(), n.profile()).with_slice(n.slice()))
                 .collect();
-            for node in nodes.iter_mut() {
-                let own = node.id();
-                node.bootstrap(descriptors.iter().copied().filter(|d| d.id() != own));
+            // Each node absorbs the same immutable descriptor snapshot and
+            // touches only its own state: the warm-up rounds parallelise
+            // without changing a single observation (bootstrap draws no
+            // randomness), so parallel and serial builds stay byte-identical.
+            if threads > 1 {
+                let chunk = nodes.len().div_ceil(threads);
+                std::thread::scope(|scope| {
+                    for batch in nodes.chunks_mut(chunk) {
+                        let descriptors = &descriptors;
+                        scope.spawn(move || {
+                            for node in batch {
+                                let own = node.id();
+                                node.bootstrap(
+                                    descriptors.iter().copied().filter(|d| d.id() != own),
+                                );
+                            }
+                        });
+                    }
+                });
+            } else {
+                for node in nodes.iter_mut() {
+                    let own = node.id();
+                    node.bootstrap(descriptors.iter().copied().filter(|d| d.id() != own));
+                }
             }
             rounds.push(descriptors);
         }
         (nodes, rounds)
+    }
+
+    /// How many threads a spec build fans out over: one per core up to eight,
+    /// but only when the cluster is large enough for the O(n²) warm-up to
+    /// dwarf thread-spawn overhead. Parallelism never changes the result —
+    /// node builds and warm-up rounds are data-parallel over disjoint nodes.
+    fn build_threads(node_count: usize) -> usize {
+        if node_count < 256 {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
     }
 
     /// Materialises node `index` exactly as a fresh [`Self::build_nodes`]

@@ -84,6 +84,6 @@ pub use message::{
     PutRequest, ReplyBody, TimerKind,
 };
 pub use node::DataFlasksNode;
-pub use sched::{Inbox, Poll, RecvOutcome, Scheduler, SchedulerConfig};
+pub use sched::{Inbox, Poll, PushOutcome, RecvOutcome, Scheduler, SchedulerConfig, StealPolicy};
 pub use stats::{MessageKind, NodeStats};
 pub use wire::{decode_frame, encode_frame, encode_output, DecodedFrame, WireError};

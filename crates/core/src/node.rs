@@ -78,6 +78,12 @@ pub struct DataFlasksNode<S> {
     /// the next exchange covers. Rounds cycle over the chunks overlapping the
     /// node's slice range, so repeated rounds tile the whole replica.
     anti_entropy_cursor: u32,
+    /// Adaptive chunk scheduling: the digest fingerprint of the last
+    /// *in-sync* exchange per `(peer, chunk)`. A round whose chunk still
+    /// carries the matching fingerprint is skipped (the entry is consumed, so
+    /// at most every other round of a stable chunk is elided — bounding how
+    /// long a silent divergence on the peer's side can hide behind a skip).
+    ae_synced: std::collections::HashMap<(NodeId, KeyRange), u64>,
     /// Reusable fan-out target buffer (steady state: no allocation per
     /// dissemination step).
     peer_scratch: Vec<NodeId>,
@@ -112,6 +118,7 @@ impl<S: DataStore> DataFlasksNode<S> {
             rng,
             current_slice: None,
             anti_entropy_cursor: 0,
+            ae_synced: std::collections::HashMap::new(),
             peer_scratch: Vec::new(),
             sample_scratch: Vec::new(),
             descriptor_scratch: Vec::new(),
@@ -364,6 +371,17 @@ impl<S: DataStore> DataFlasksNode<S> {
         };
         let range = self.next_anti_entropy_range();
         let digest = Arc::new(self.store.range_digest(range));
+        // Adaptive chunk skipping: if the last exchange of this chunk with
+        // this peer ended fully in sync and the chunk has not changed since
+        // (same fingerprint), the whole round is elided. The entry is
+        // consumed, so the next occurrence runs a full exchange — skips
+        // halve steady-state traffic without ever parking a chunk for good.
+        if let Some(synced) = self.ae_synced.remove(&(peer, range)) {
+            if synced == digest.fingerprint() {
+                self.stats.ae_chunks_skipped += 1;
+                return;
+            }
+        }
         self.send_to(fx, peer, Message::AntiEntropyDigest { digest, range });
     }
 
@@ -656,7 +674,20 @@ impl<S: DataStore> DataFlasksNode<S> {
             range,
             self.config.replication.max_objects_per_exchange,
         );
-        if !push.is_empty() {
+        if push.is_empty() {
+            if objects.is_empty() {
+                // Nothing shipped in either direction: both replicas hold the
+                // identical key/version map for this chunk, whose fingerprint
+                // is exactly the remote digest's. Remember it so the next
+                // round of this (peer, chunk) pair can be skipped if the
+                // chunk is still unchanged.
+                if self.ae_synced.len() >= 256 {
+                    // Churned peers would otherwise accrete entries forever.
+                    self.ae_synced.clear();
+                }
+                self.ae_synced.insert((from, range), remote.fingerprint());
+            }
+        } else {
             self.send_to(
                 fx,
                 from,
@@ -1162,6 +1193,84 @@ mod tests {
         }
         assert!(repaired, "anti-entropy never repaired the stale replica");
         assert!(nodes[stale].stats().objects_repaired >= 1);
+    }
+
+    #[test]
+    fn anti_entropy_skips_chunks_whose_fingerprint_matched_last_round() {
+        // Two in-sync replicas with a single store chunk: after one fully
+        // in-sync exchange, the next round of the same (peer, chunk) pair is
+        // elided, and the round after that runs a full exchange again.
+        let config = NodeConfig::for_system_size(4, 1).with_store_shards(1);
+        let mut a = DataFlasksNode::new(
+            NodeId::new(0),
+            config,
+            NodeProfile::with_capacity_and_tie_break(100, 0),
+            MemoryStore::unbounded(),
+            1,
+        );
+        let mut b = DataFlasksNode::new(
+            NodeId::new(1),
+            config,
+            NodeProfile::with_capacity_and_tie_break(200, 1),
+            MemoryStore::unbounded(),
+            2,
+        );
+        a.bootstrap([descriptor(1, 200, Some(0))]);
+        b.bootstrap([descriptor(0, 100, Some(0))]);
+        let shared = StoredObject::new(Key::from_user_key("in-sync"), Version::new(3), {
+            Value::from_bytes(b"same")
+        });
+        a.store_mut().put(&shared).unwrap();
+        b.store_mut().put(&shared).unwrap();
+
+        // One round = A's timer, B's reply, A's (possible) push back to B;
+        // returns (digests sent, objects pushed back).
+        let exchange = |a: &mut DataFlasksNode<MemoryStore>,
+                        b: &mut DataFlasksNode<MemoryStore>|
+         -> (usize, usize) {
+            let outs = timer_outputs(a, TimerKind::AntiEntropy);
+            let digests = sends(&outs);
+            let mut pushes = 0;
+            for (_, message) in &digests {
+                let replies = message_outputs(b, 0, message.clone());
+                for (_, reply) in sends(&replies) {
+                    for (_, push) in sends(&message_outputs(a, 1, reply)) {
+                        message_outputs(b, 0, push);
+                        pushes += 1;
+                    }
+                }
+            }
+            (digests.len(), pushes)
+        };
+        // Round 1: a full exchange that ends in sync (nothing ships).
+        assert_eq!(exchange(&mut a, &mut b), (1, 0), "round 1 sends the digest");
+        assert_eq!(a.stats().ae_chunks_skipped, 0);
+        // Round 2: same chunk, same fingerprint — skipped.
+        assert_eq!(exchange(&mut a, &mut b), (0, 0), "round 2 is skipped");
+        assert_eq!(a.stats().ae_chunks_skipped, 1);
+        // Round 3: the skip entry was consumed — full exchange again.
+        assert_eq!(exchange(&mut a, &mut b), (1, 0), "round 3 exchanges again");
+        assert_eq!(a.stats().ae_chunks_skipped, 1);
+        // Round 4 would skip, but a local write changed the fingerprint: the
+        // exchange runs and repairs B instead.
+        a.store_mut()
+            .put(&StoredObject::new(
+                Key::from_user_key("in-sync"),
+                Version::new(9),
+                Value::from_bytes(b"newer"),
+            ))
+            .unwrap();
+        assert_eq!(
+            exchange(&mut a, &mut b),
+            (1, 1),
+            "a changed chunk must exchange and repair, not skip"
+        );
+        assert_eq!(a.stats().ae_chunks_skipped, 1);
+        assert_eq!(
+            b.store().latest_version(Key::from_user_key("in-sync")),
+            Some(Version::new(9)),
+            "the push repaired the peer"
+        );
     }
 
     #[test]

@@ -17,12 +17,38 @@
 //!   [`Scheduler`]; workers pop ready hosts, absorb up to the run budget,
 //!   flush, and re-mark the host if backlog remains.
 //!
+//! # Sharded, work-stealing readiness
+//!
+//! The scheduler is **sharded per worker**: every host has a home shard
+//! (`slot % workers`), [`Scheduler::mark_ready`] enqueues onto the home
+//! shard's deque, and a worker pops from its own shard first. The hot path —
+//! mark, pop, finish — touches only per-slot atomics and one per-shard lock,
+//! so concurrent workers never convoy behind a single scheduler mutex. An
+//! idle worker **steals from the busiest foreign shard** before parking
+//! ([`StealPolicy::Busiest`]), which keeps the pool busy when readiness is
+//! skewed, and parks on its own shard's condvar otherwise; producers wake the
+//! home worker if it is parked, or any parked worker so the new work can be
+//! stolen immediately.
+//!
 //! The at-most-once scheduling discipline (a host is never in the ready
 //! queue twice, and [`Scheduler::finish`] re-queues it only if new inputs
 //! arrived while it ran) is what keeps one slow host from starving the rest
-//! while still guaranteeing no lost wakeups.
+//! while still guaranteeing no lost wakeups. It is enforced with a per-slot
+//! `scheduled` flag and a `repoll` flag that closes the classic race of an
+//! input arriving between a worker's final backlog check and its `finish`.
+//!
+//! # Bounded mailboxes
+//!
+//! An [`Inbox`] can carry a **high-water mark** ([`Inbox::bounded`]):
+//! [`Inbox::try_push`] refuses inputs past the mark with
+//! [`PushOutcome::Saturated`], handing the item back so a cooperating sender
+//! can defer and retry once the receiver drains — backpressure without loss.
+//! [`Inbox::push`] deliberately ignores the mark (driver injections, timer
+//! firings and shutdown signals must never be refused); the mark is a
+//! contract between the dispatch loops, not a hard queue limit.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration as StdDuration;
 
@@ -30,29 +56,42 @@ use std::time::Duration as StdDuration;
 /// flushing, bounding effect-buffer growth under load.
 pub const DEFAULT_RUN_BUDGET: usize = 128;
 
+/// How an idle worker looks for work beyond its own shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// Steal from the foreign shard with the most queued hosts (default):
+    /// skewed readiness spreads over the whole pool.
+    #[default]
+    Busiest,
+    /// Never steal: a worker only runs hosts homed on its own shard. Useful
+    /// for experiments isolating the stealing win, and as a strict-affinity
+    /// mode when hosts benefit from worker-local cache residency.
+    Disabled,
+}
+
 /// Scheduling knobs shared by the concurrent runtimes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SchedulerConfig {
     /// Upper bound on how many pending inputs one dispatch round feeds into
     /// a host before flushing its effects. Larger budgets amortise flushing
     /// (same-destination sends of the whole round coalesce into one batch)
-    /// at the cost of latency and effect-buffer growth.
+    /// at the cost of latency and effect-buffer growth. `0` means the
+    /// default ([`DEFAULT_RUN_BUDGET`]).
     pub run_budget: usize,
-}
-
-impl Default for SchedulerConfig {
-    fn default() -> Self {
-        Self {
-            run_budget: DEFAULT_RUN_BUDGET,
-        }
-    }
+    /// How idle workers look for work on other workers' shards.
+    pub steal: StealPolicy,
 }
 
 impl SchedulerConfig {
-    /// The run budget, clamped to at least one input per round.
+    /// The run budget, clamped to at least one input per round. A zero
+    /// budget means "use the default".
     #[must_use]
     pub fn effective_run_budget(&self) -> usize {
-        self.run_budget.max(1)
+        if self.run_budget == 0 {
+            DEFAULT_RUN_BUDGET
+        } else {
+            self.run_budget
+        }
     }
 }
 
@@ -67,8 +106,30 @@ pub enum RecvOutcome<T> {
     Closed,
 }
 
-/// A host's mailbox: an unbounded MPSC queue with blocking receive and
-/// close-on-failure semantics.
+/// The outcome of a bounded [`Inbox::try_push`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The input was enqueued; a receiver will see it.
+    Delivered,
+    /// The inbox is at its high-water mark. The input was **not** enqueued
+    /// and is handed back so the sender can defer and retry — backpressure
+    /// signals saturation, it never drops.
+    Saturated(T),
+    /// The inbox is closed (a crashed node); the input is dropped, exactly
+    /// like the simulator discarding deliveries to dead nodes.
+    Closed,
+}
+
+impl<T> PushOutcome<T> {
+    /// Returns `true` if the input was enqueued.
+    #[must_use]
+    pub fn is_delivered(&self) -> bool {
+        matches!(self, Self::Delivered)
+    }
+}
+
+/// A host's mailbox: an MPSC queue with blocking receive, close-on-failure
+/// semantics and an optional high-water mark for backpressure.
 ///
 /// Closing the inbox (a node crash, a cluster shutdown) lets a receiver
 /// blocked in [`Inbox::recv_timeout`] observe `Closed` once the queue is
@@ -77,6 +138,9 @@ pub enum RecvOutcome<T> {
 pub struct Inbox<T> {
     queue: Mutex<InboxState<T>>,
     available: Condvar,
+    /// Depth past which [`Self::try_push`] reports saturation; `0` means
+    /// unbounded.
+    high_water: usize,
 }
 
 #[derive(Debug)]
@@ -95,18 +159,41 @@ impl<T> Default for InboxState<T> {
 }
 
 impl<T> Inbox<T> {
-    /// Creates an empty, open inbox.
+    /// Creates an empty, open, unbounded inbox.
     #[must_use]
     pub fn new() -> Self {
         Self {
             queue: Mutex::new(InboxState::default()),
             available: Condvar::new(),
+            high_water: 0,
         }
     }
 
-    /// Enqueues one input. Returns `false` (dropping the input) if the inbox
-    /// is closed — sending to a crashed node is a silent drop, exactly like
-    /// the simulator discarding deliveries to dead nodes.
+    /// Creates an empty, open inbox whose [`Self::try_push`] saturates once
+    /// `high_water` inputs are queued. `0` means unbounded ([`Self::new`]).
+    #[must_use]
+    pub fn bounded(high_water: usize) -> Self {
+        Self {
+            queue: Mutex::new(InboxState::default()),
+            available: Condvar::new(),
+            high_water,
+        }
+    }
+
+    /// The configured high-water mark (`0` = unbounded).
+    #[must_use]
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Enqueues one input regardless of the high-water mark. Returns `false`
+    /// (dropping the input) if the inbox is closed — sending to a crashed
+    /// node is a silent drop, exactly like the simulator discarding
+    /// deliveries to dead nodes.
+    ///
+    /// Driver injections, timer firings and shutdown signals use this path:
+    /// refusing them would wedge the runtime, so the mark only governs
+    /// cooperating senders going through [`Self::try_push`].
     pub fn push(&self, item: T) -> bool {
         let mut state = self.queue.lock().expect("inbox lock poisoned");
         if state.closed {
@@ -116,6 +203,23 @@ impl<T> Inbox<T> {
         drop(state);
         self.available.notify_one();
         true
+    }
+
+    /// Enqueues one input, honouring the high-water mark: a saturated inbox
+    /// hands the input back ([`PushOutcome::Saturated`]) instead of growing,
+    /// so the sender can defer delivery until the receiver drains.
+    pub fn try_push(&self, item: T) -> PushOutcome<T> {
+        let mut state = self.queue.lock().expect("inbox lock poisoned");
+        if state.closed {
+            return PushOutcome::Closed;
+        }
+        if self.high_water > 0 && state.items.len() >= self.high_water {
+            return PushOutcome::Saturated(item);
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.available.notify_one();
+        PushOutcome::Delivered
     }
 
     /// Dequeues one input without blocking.
@@ -214,48 +318,78 @@ pub enum Poll {
     Shutdown,
 }
 
-/// The fair readiness queue multiplexing many hosts over a worker pool.
-///
-/// Hosts are identified by their slot index. [`Scheduler::mark_ready`]
-/// enqueues a host at most once (an atomic-flag guard), so a host with a
-/// thousand queued inputs occupies one queue entry and hosts are served in
-/// readiness order — FIFO fairness with no duplicate wakeups.
+/// One worker's shard of the readiness queue.
 #[derive(Debug)]
-pub struct Scheduler {
-    state: Mutex<SchedState>,
-    ready: Condvar,
-    config: SchedulerConfig,
+struct Shard {
+    queue: Mutex<VecDeque<usize>>,
+    /// Wakes this shard's parked worker.
+    available: Condvar,
+    /// Queue depth mirror, readable without the lock: the stealers' busyness
+    /// probe.
+    depth: AtomicUsize,
+    /// Raised by the shard's worker for the parked→notified handshake.
+    parked: AtomicBool,
 }
 
+impl Shard {
+    fn new() -> Self {
+        Self {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            depth: AtomicUsize::new(0),
+            parked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Per-host scheduling state (the at-most-once-queued discipline).
 #[derive(Debug)]
-struct SchedState {
-    queue: VecDeque<usize>,
-    /// `scheduled[slot]` is `true` while the slot is in the queue *or* being
-    /// dispatched by a worker; `mark_ready` on such a slot does not
-    /// double-queue it — it raises `repoll[slot]` instead, and `finish`
-    /// re-queues the host if either the worker saw leftover backlog or a
-    /// repoll arrived while it ran.
-    scheduled: Vec<bool>,
+struct SlotState {
+    /// `true` while the slot is queued in a shard *or* being dispatched by a
+    /// worker.
+    scheduled: AtomicBool,
     /// Raised by `mark_ready` on an already-scheduled slot; consumed by
     /// `finish`. This closes the classic lost-wakeup race: a producer that
     /// pushes *after* the dispatching worker's final backlog check still
     /// forces one more dispatch round.
-    repoll: Vec<bool>,
-    shutdown: bool,
+    repoll: AtomicBool,
+}
+
+/// The sharded, work-stealing readiness queue multiplexing many hosts over a
+/// worker pool.
+///
+/// Hosts are identified by their slot index and homed on shard
+/// `slot % workers`. [`Scheduler::mark_ready`] enqueues a host at most once
+/// (an atomic-flag guard), so a host with a thousand queued inputs occupies
+/// one queue entry and hosts are served in readiness order — per-shard FIFO
+/// fairness with no duplicate wakeups, and idle workers stealing from the
+/// busiest shard keep the service order close to global FIFO under skew.
+#[derive(Debug)]
+pub struct Scheduler {
+    shards: Vec<Shard>,
+    slots: Vec<SlotState>,
+    /// Total queued entries across all shards: the stealers' and parkers'
+    /// lock-free "is there any work at all" probe.
+    ready_total: AtomicUsize,
+    shutdown: AtomicBool,
+    config: SchedulerConfig,
 }
 
 impl Scheduler {
-    /// Creates a scheduler for `slots` hosts.
+    /// Creates a scheduler for `slots` hosts served by `workers` workers
+    /// (one shard per worker; `workers` is clamped to at least one).
     #[must_use]
-    pub fn new(slots: usize, config: SchedulerConfig) -> Self {
+    pub fn new(slots: usize, workers: usize, config: SchedulerConfig) -> Self {
         Self {
-            state: Mutex::new(SchedState {
-                queue: VecDeque::with_capacity(slots),
-                scheduled: vec![false; slots],
-                repoll: vec![false; slots],
-                shutdown: false,
-            }),
-            ready: Condvar::new(),
+            shards: (0..workers.max(1)).map(|_| Shard::new()).collect(),
+            slots: (0..slots)
+                .map(|_| SlotState {
+                    scheduled: AtomicBool::new(false),
+                    repoll: AtomicBool::new(false),
+                })
+                .collect(),
+            ready_total: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
             config,
         }
     }
@@ -266,97 +400,252 @@ impl Scheduler {
         self.config
     }
 
+    /// Number of shards (= workers) the queue is split over.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard (home worker) a slot is enqueued on.
+    #[must_use]
+    pub fn home_shard(&self, slot: usize) -> usize {
+        slot % self.shards.len()
+    }
+
     /// Marks a host as having pending input. Returns `true` if the host was
     /// newly enqueued (and a worker was woken); on an already-scheduled host
     /// it records a repoll instead (consumed by [`Self::finish`]), so an
     /// input pushed while the host is being dispatched is never stranded.
     pub fn mark_ready(&self, slot: usize) -> bool {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        if state.shutdown || slot >= state.scheduled.len() {
+        if self.shutdown.load(Ordering::SeqCst) || slot >= self.slots.len() {
             return false;
         }
-        if state.scheduled[slot] {
-            state.repoll[slot] = true;
-            return false;
+        let state = &self.slots[slot];
+        loop {
+            if state
+                .scheduled
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                self.enqueue(slot);
+                return true;
+            }
+            state.repoll.store(true, Ordering::SeqCst);
+            if state.scheduled.load(Ordering::SeqCst) {
+                // Still scheduled after the repoll was raised: `finish` is
+                // guaranteed to observe it (it re-checks repoll after
+                // releasing the slot), so the wakeup cannot be lost.
+                return false;
+            }
+            // The round finished between the failed CAS and the repoll store
+            // and may have missed it — retry so the host is queued.
         }
-        state.scheduled[slot] = true;
-        state.queue.push_back(slot);
-        drop(state);
-        self.ready.notify_one();
-        true
     }
 
-    /// Pops the next ready host, waiting up to `timeout` for one.
-    pub fn next_ready(&self, timeout: StdDuration) -> Poll {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
+    /// Pops the next ready host for `worker`, waiting up to `timeout` for
+    /// one: own shard first, then a steal from the busiest foreign shard,
+    /// then park on the own shard's condvar.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is not a valid shard index.
+    pub fn next_ready(&self, worker: usize, timeout: StdDuration) -> Poll {
+        assert!(worker < self.shards.len(), "worker {worker} has no shard");
         let deadline = std::time::Instant::now() + timeout;
         loop {
-            if state.shutdown {
+            if self.shutdown.load(Ordering::SeqCst) {
                 return Poll::Shutdown;
             }
-            if let Some(slot) = state.queue.pop_front() {
-                // The scheduled flag stays set: the worker owns the slot's
-                // dispatch round until it calls `finish`.
+            if let Some(slot) = self.pop_local(worker) {
+                return Poll::Ready(slot);
+            }
+            if let Some(slot) = self.try_steal(worker) {
                 return Poll::Ready(slot);
             }
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             if remaining.is_zero() {
                 return Poll::Idle;
             }
-            let (next, _) = self
-                .ready
-                .wait_timeout(state, remaining)
-                .expect("scheduler lock poisoned");
-            state = next;
+            self.park(worker, remaining);
         }
     }
 
-    /// Ends a dispatch round for `slot`. The host is re-queued (at the back,
-    /// so other ready hosts run first) if the worker saw leftover backlog
-    /// (`still_pending`) *or* a [`Self::mark_ready`] raced the end of the
-    /// round — the worker's backlog check is a snapshot, and the repoll flag
-    /// is what makes the handoff race-free.
+    /// Ends a dispatch round for `slot`. The host is re-queued (at the back
+    /// of its home shard, so other ready hosts run first) if the worker saw
+    /// leftover backlog (`still_pending`) *or* a [`Self::mark_ready`] raced
+    /// the end of the round — the worker's backlog check is a snapshot, and
+    /// the repoll flag is what makes the handoff race-free.
     pub fn finish(&self, slot: usize, still_pending: bool) {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
-        if slot >= state.scheduled.len() {
+        if slot >= self.slots.len() {
             return;
         }
-        let pending = still_pending || state.repoll[slot];
-        state.repoll[slot] = false;
-        if pending && !state.shutdown {
-            state.queue.push_back(slot);
-            drop(state);
-            self.ready.notify_one();
-        } else {
-            state.scheduled[slot] = false;
+        let state = &self.slots[slot];
+        // The swap must run unconditionally: a repoll raised during a round
+        // that also saw backlog is answered by the requeue below, so it is
+        // consumed either way (no `||` short-circuit).
+        let repoll = state.repoll.swap(false, Ordering::SeqCst);
+        let pending = still_pending || repoll;
+        if pending && !self.shutdown.load(Ordering::SeqCst) {
+            // Scheduled stays true: the slot goes straight back in the queue.
+            self.enqueue(slot);
+            return;
+        }
+        state.scheduled.store(false, Ordering::SeqCst);
+        // A mark_ready may have raised repoll between the swap above and the
+        // store: it saw `scheduled == true` and trusts this round to act.
+        // Re-check now that the slot is released; whoever wins the CAS queues
+        // the host exactly once.
+        if state.repoll.swap(false, Ordering::SeqCst)
+            && !self.shutdown.load(Ordering::SeqCst)
+            && state
+                .scheduled
+                .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        {
+            self.enqueue(slot);
         }
     }
 
     /// Shuts the scheduler down: every waiting and future [`Self::next_ready`]
     /// returns [`Poll::Shutdown`].
     pub fn shutdown(&self) {
-        self.state.lock().expect("scheduler lock poisoned").shutdown = true;
-        self.ready.notify_all();
+        self.shutdown.store(true, Ordering::SeqCst);
+        for shard in &self.shards {
+            let _guard = shard.queue.lock().expect("scheduler shard lock poisoned");
+            shard.available.notify_all();
+        }
     }
 
-    /// Number of hosts currently queued (for tests and introspection).
+    /// Number of hosts currently queued across all shards (for tests and
+    /// introspection).
     #[must_use]
     pub fn queued(&self) -> usize {
-        self.state
-            .lock()
-            .expect("scheduler lock poisoned")
-            .queue
-            .len()
+        self.ready_total.load(Ordering::SeqCst)
+    }
+
+    /// Queue depth of one shard (for tests and introspection).
+    #[must_use]
+    pub fn shard_depth(&self, shard: usize) -> usize {
+        self.shards[shard].depth.load(Ordering::SeqCst)
+    }
+
+    /// Appends `slot` to its home shard and wakes a worker that can serve it.
+    fn enqueue(&self, slot: usize) {
+        let home = self.home_shard(slot);
+        let shard = &self.shards[home];
+        {
+            let mut queue = shard.queue.lock().expect("scheduler shard lock poisoned");
+            queue.push_back(slot);
+            shard.depth.store(queue.len(), Ordering::SeqCst);
+            // Raised while the shard lock is still held: the pop that will
+            // consume this entry takes the same lock, so its decrement can
+            // never precede this increment (the counter cannot wrap), and
+            // the total is visible before `wake`'s parked-flag scan — a
+            // worker that parks concurrently re-checks it after raising its
+            // flag, so one side always sees the other (both are SeqCst).
+            self.ready_total.fetch_add(1, Ordering::SeqCst);
+        }
+        self.wake(home);
+    }
+
+    /// Wakes the home worker if it is parked; otherwise, when stealing is
+    /// enabled, wakes any parked worker so the new work is stolen instead of
+    /// waiting for its busy home worker.
+    fn wake(&self, home: usize) {
+        let target = if self.shards[home].parked.load(Ordering::SeqCst)
+            || self.config.steal == StealPolicy::Disabled
+        {
+            home
+        } else {
+            match self
+                .shards
+                .iter()
+                .position(|shard| shard.parked.load(Ordering::SeqCst))
+            {
+                Some(other) => other,
+                None => return, // every worker is busy; one will poll soon
+            }
+        };
+        let shard = &self.shards[target];
+        // Taking the shard lock serialises with the worker's store-flag→wait
+        // window: the notify cannot land between them.
+        let _guard = shard.queue.lock().expect("scheduler shard lock poisoned");
+        shard.available.notify_one();
+    }
+
+    fn pop_local(&self, worker: usize) -> Option<usize> {
+        self.pop_shard(worker)
+    }
+
+    fn pop_shard(&self, index: usize) -> Option<usize> {
+        let shard = &self.shards[index];
+        if shard.depth.load(Ordering::SeqCst) == 0 {
+            return None;
+        }
+        let mut queue = shard.queue.lock().expect("scheduler shard lock poisoned");
+        let slot = queue.pop_front()?;
+        shard.depth.store(queue.len(), Ordering::SeqCst);
+        // Under the same lock as the matching increment in `enqueue`, so the
+        // total never transiently undercounts (or wraps past zero).
+        self.ready_total.fetch_sub(1, Ordering::SeqCst);
+        Some(slot)
+    }
+
+    /// Steals the oldest entry of the busiest foreign shard, re-probing until
+    /// every candidate reads empty (a probe can race a pop).
+    fn try_steal(&self, thief: usize) -> Option<usize> {
+        if self.config.steal == StealPolicy::Disabled || self.shards.len() == 1 {
+            return None;
+        }
+        for _ in 0..self.shards.len() {
+            let victim = self
+                .shards
+                .iter()
+                .enumerate()
+                .filter(|&(index, shard)| index != thief && shard.depth.load(Ordering::SeqCst) > 0)
+                .max_by_key(|&(_, shard)| shard.depth.load(Ordering::SeqCst))
+                .map(|(index, _)| index)?;
+            if let Some(slot) = self.pop_shard(victim) {
+                return Some(slot);
+            }
+        }
+        None
+    }
+
+    /// Parks `worker` on its shard's condvar for up to `timeout`, unless work
+    /// exists anywhere (re-checked after raising the parked flag, closing the
+    /// race with a concurrent [`Self::enqueue`]).
+    fn park(&self, worker: usize, timeout: StdDuration) {
+        let shard = &self.shards[worker];
+        let queue = shard.queue.lock().expect("scheduler shard lock poisoned");
+        if !queue.is_empty() {
+            return;
+        }
+        shard.parked.store(true, Ordering::SeqCst);
+        if self.ready_total.load(Ordering::SeqCst) > 0 || self.shutdown.load(Ordering::SeqCst) {
+            shard.parked.store(false, Ordering::SeqCst);
+            return;
+        }
+        let (_queue, _result) = shard
+            .available
+            .wait_timeout(queue, timeout)
+            .expect("scheduler shard lock poisoned");
+        shard.parked.store(false, Ordering::SeqCst);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use std::sync::Arc;
     use std::time::Duration as StdDuration;
 
     const TICK: StdDuration = StdDuration::from_millis(20);
+
+    fn single(slots: usize) -> Scheduler {
+        Scheduler::new(slots, 1, SchedulerConfig::default())
+    }
 
     #[test]
     fn inbox_delivers_in_order_and_reports_depth() {
@@ -380,6 +669,7 @@ mod tests {
         assert!(inbox.push("queued"));
         inbox.close();
         assert!(!inbox.push("dropped"));
+        assert_eq!(inbox.try_push("also dropped"), PushOutcome::Closed);
         assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::Item("queued"));
         assert_eq!(inbox.recv_timeout(TICK), RecvOutcome::Closed);
         inbox.reopen();
@@ -408,22 +698,119 @@ mod tests {
     }
 
     #[test]
+    fn bounded_inbox_saturates_at_the_high_water_mark_without_loss() {
+        let inbox = Inbox::bounded(2);
+        assert_eq!(inbox.high_water(), 2);
+        assert_eq!(inbox.try_push(1), PushOutcome::Delivered);
+        assert_eq!(inbox.try_push(2), PushOutcome::Delivered);
+        // The third input is handed back, not dropped.
+        assert_eq!(inbox.try_push(3), PushOutcome::Saturated(3));
+        assert!(!PushOutcome::Saturated(3).is_delivered());
+        // The forced path ignores the mark (driver injections must land).
+        assert!(inbox.push(4));
+        assert_eq!(inbox.len(), 3);
+        // Draining reopens capacity for the deferred retry.
+        assert_eq!(inbox.try_pop(), Some(1));
+        assert_eq!(inbox.try_pop(), Some(2));
+        assert_eq!(inbox.try_push(3), PushOutcome::Delivered);
+        assert_eq!(inbox.try_pop(), Some(4));
+        assert_eq!(inbox.try_pop(), Some(3));
+        assert_eq!(inbox.try_pop(), None);
+    }
+
+    #[test]
+    fn unbounded_try_push_never_saturates() {
+        let inbox = Inbox::new();
+        for i in 0..10_000 {
+            assert_eq!(inbox.try_push(i), PushOutcome::Delivered);
+        }
+        assert_eq!(inbox.len(), 10_000);
+    }
+
+    proptest! {
+        /// Backpressure is lossless: across arbitrary interleavings of
+        /// bounded pushes and drains, every input is delivered exactly once
+        /// and in order once the deferred retries are flushed.
+        #[test]
+        fn bounded_inbox_loses_and_duplicates_nothing(
+            high_water in 1usize..8,
+            ops in proptest::collection::vec((0u8..2, 1u8..6), 1..40),
+        ) {
+            let inbox = Inbox::bounded(high_water);
+            let mut deferred: VecDeque<u32> = VecDeque::new();
+            let mut next = 0u32;
+            let mut received = Vec::new();
+            for (kind, count) in ops {
+                if kind == 0 {
+                    // Produce `count` inputs: saturated ones defer, in order.
+                    for _ in 0..count {
+                        // Retry deferred inputs first to preserve order.
+                        while let Some(&item) = deferred.front() {
+                            match inbox.try_push(item) {
+                                PushOutcome::Delivered => { deferred.pop_front(); }
+                                PushOutcome::Saturated(_) => break,
+                                PushOutcome::Closed => unreachable!("never closed"),
+                            }
+                        }
+                        let item = next;
+                        next += 1;
+                        if !deferred.is_empty() {
+                            deferred.push_back(item);
+                            continue;
+                        }
+                        match inbox.try_push(item) {
+                            PushOutcome::Delivered => {}
+                            PushOutcome::Saturated(item) => deferred.push_back(item),
+                            PushOutcome::Closed => unreachable!("never closed"),
+                        }
+                    }
+                } else {
+                    for _ in 0..count {
+                        if let Some(item) = inbox.try_pop() {
+                            received.push(item);
+                        }
+                    }
+                }
+                prop_assert!(inbox.len() <= high_water, "the mark bounds the queue");
+            }
+            // Flush: drain deferred and queued inputs to the receiver.
+            loop {
+                while let Some(&item) = deferred.front() {
+                    match inbox.try_push(item) {
+                        PushOutcome::Delivered => { deferred.pop_front(); }
+                        PushOutcome::Saturated(_) => break,
+                        PushOutcome::Closed => unreachable!("never closed"),
+                    }
+                }
+                match inbox.try_pop() {
+                    Some(item) => received.push(item),
+                    None if deferred.is_empty() => break,
+                    None => {}
+                }
+            }
+            prop_assert_eq!(received.len(), next as usize, "no loss, no duplicates");
+            let expected: Vec<u32> = (0..next).collect();
+            prop_assert_eq!(received, expected, "delivery preserves order");
+        }
+    }
+
+    #[test]
     fn scheduler_enqueues_each_host_at_most_once() {
-        let sched = Scheduler::new(4, SchedulerConfig::default());
+        let sched = single(4);
         assert!(sched.mark_ready(2));
         assert!(!sched.mark_ready(2), "double mark must not double-queue");
         assert!(sched.mark_ready(0));
         assert_eq!(sched.queued(), 2);
         // FIFO: first-marked host runs first.
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(2));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(2));
         // Marking while dispatched is absorbed by `finish(still_pending)`.
         assert!(!sched.mark_ready(2));
         sched.finish(2, true);
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(0));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(0));
         sched.finish(0, false);
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(2));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(2));
         sched.finish(2, false);
-        assert_eq!(sched.next_ready(TICK), Poll::Idle);
+        assert_eq!(sched.next_ready(0, TICK), Poll::Idle);
         // Out-of-range slots are rejected.
         assert!(!sched.mark_ready(99));
     }
@@ -434,34 +821,41 @@ mod tests {
         // dispatching worker's final backlog check but before `finish`. The
         // repoll flag must force one more round even though the worker
         // reports no pending backlog.
-        let sched = Scheduler::new(2, SchedulerConfig::default());
+        let sched = single(2);
         assert!(sched.mark_ready(1));
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(1));
         // Producer races the end of the round.
         assert!(!sched.mark_ready(1));
         // Worker snapshot said "empty" — the host must still be re-queued.
         sched.finish(1, false);
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(1));
         // The repoll was consumed: a quiet finish now parks the host.
         sched.finish(1, false);
-        assert_eq!(sched.next_ready(TICK), Poll::Idle);
+        assert_eq!(sched.next_ready(0, TICK), Poll::Idle);
     }
 
     #[test]
     fn finished_hosts_can_be_marked_again() {
-        let sched = Scheduler::new(2, SchedulerConfig { run_budget: 7 });
+        let sched = Scheduler::new(
+            2,
+            1,
+            SchedulerConfig {
+                run_budget: 7,
+                ..SchedulerConfig::default()
+            },
+        );
         assert_eq!(sched.config().effective_run_budget(), 7);
         assert!(sched.mark_ready(1));
-        assert_eq!(sched.next_ready(TICK), Poll::Ready(1));
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(1));
         sched.finish(1, false);
         assert!(sched.mark_ready(1), "a finished host is schedulable again");
     }
 
     #[test]
     fn shutdown_wakes_waiting_workers() {
-        let sched = Arc::new(Scheduler::new(1, SchedulerConfig::default()));
+        let sched = Arc::new(single(1));
         let waiter = Arc::clone(&sched);
-        let handle = std::thread::spawn(move || waiter.next_ready(StdDuration::from_secs(30)));
+        let handle = std::thread::spawn(move || waiter.next_ready(0, StdDuration::from_secs(30)));
         std::thread::sleep(TICK);
         sched.shutdown();
         assert_eq!(handle.join().unwrap(), Poll::Shutdown);
@@ -469,12 +863,285 @@ mod tests {
             !sched.mark_ready(0),
             "a shut-down scheduler accepts no work"
         );
-        assert_eq!(sched.next_ready(TICK), Poll::Shutdown);
+        assert_eq!(sched.next_ready(0, TICK), Poll::Shutdown);
     }
 
     #[test]
-    fn run_budget_clamps_to_one() {
-        assert_eq!(SchedulerConfig { run_budget: 0 }.effective_run_budget(), 1);
-        assert_eq!(SchedulerConfig::default().run_budget, DEFAULT_RUN_BUDGET);
+    fn run_budget_clamps_to_the_default() {
+        assert_eq!(
+            SchedulerConfig::default().effective_run_budget(),
+            DEFAULT_RUN_BUDGET
+        );
+        assert_eq!(
+            SchedulerConfig {
+                run_budget: 0,
+                ..SchedulerConfig::default()
+            }
+            .effective_run_budget(),
+            DEFAULT_RUN_BUDGET
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Sharding and stealing
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn slots_route_to_their_home_shard() {
+        let sched = Scheduler::new(8, 4, SchedulerConfig::default());
+        assert_eq!(sched.shard_count(), 4);
+        for slot in 0..8 {
+            assert!(sched.mark_ready(slot));
+        }
+        for shard in 0..4 {
+            assert_eq!(sched.shard_depth(shard), 2, "shard {shard} depth");
+        }
+        // Each worker pops its own slots in FIFO order.
+        assert_eq!(sched.next_ready(1, TICK), Poll::Ready(1));
+        assert_eq!(sched.next_ready(1, TICK), Poll::Ready(5));
+        sched.finish(1, false);
+        sched.finish(5, false);
+    }
+
+    #[test]
+    fn idle_workers_steal_from_the_busiest_shard() {
+        // Four workers; all the work is homed on shard 0.
+        let sched = Scheduler::new(8, 4, SchedulerConfig::default());
+        for slot in [0, 4] {
+            assert!(sched.mark_ready(slot));
+        }
+        // Worker 3 owns no ready slot but steals the oldest of shard 0.
+        assert_eq!(sched.next_ready(3, TICK), Poll::Ready(0));
+        assert_eq!(sched.next_ready(3, TICK), Poll::Ready(4));
+        sched.finish(0, false);
+        sched.finish(4, false);
+        assert_eq!(sched.next_ready(3, TICK), Poll::Idle);
+    }
+
+    #[test]
+    fn stealing_prefers_the_deepest_backlog() {
+        let sched = Scheduler::new(12, 3, SchedulerConfig::default());
+        // Shard 0 gets one entry, shard 1 gets three.
+        assert!(sched.mark_ready(0));
+        for slot in [1, 4, 7] {
+            assert!(sched.mark_ready(slot));
+        }
+        // Worker 2 steals from shard 1 (depth 3) before shard 0 (depth 1).
+        assert_eq!(sched.next_ready(2, TICK), Poll::Ready(1));
+        sched.finish(1, false);
+    }
+
+    #[test]
+    fn disabled_stealing_pins_slots_to_their_home_worker() {
+        let sched = Scheduler::new(
+            4,
+            2,
+            SchedulerConfig {
+                steal: StealPolicy::Disabled,
+                ..SchedulerConfig::default()
+            },
+        );
+        assert!(sched.mark_ready(0)); // homed on shard 0
+        assert_eq!(
+            sched.next_ready(1, TICK),
+            Poll::Idle,
+            "worker 1 must not steal"
+        );
+        assert_eq!(sched.next_ready(0, TICK), Poll::Ready(0));
+        sched.finish(0, false);
+    }
+
+    #[test]
+    fn steal_fairness_spreads_a_skewed_backlog_over_all_workers() {
+        // Everything is homed on worker 0; three stealing workers must end up
+        // serving a comparable share instead of idling.
+        let workers = 4;
+        let slots = 64;
+        let sched = Arc::new(Scheduler::new(slots, workers, SchedulerConfig::default()));
+        let served: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..workers).map(|_| AtomicUsize::new(0)).collect());
+        // Only slots ≡ 0 (mod workers) are used, so every entry lands on
+        // shard 0.
+        let home_slots: Vec<usize> = (0..slots).step_by(workers).collect();
+        for &slot in &home_slots {
+            assert!(sched.mark_ready(slot));
+        }
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let sched = Arc::clone(&sched);
+                let served = Arc::clone(&served);
+                std::thread::spawn(move || loop {
+                    match sched.next_ready(worker, StdDuration::from_millis(100)) {
+                        Poll::Ready(slot) => {
+                            // A tiny dispatch round keeps all workers hungry.
+                            std::thread::sleep(StdDuration::from_micros(500));
+                            served[worker].fetch_add(1, Ordering::SeqCst);
+                            sched.finish(slot, false);
+                        }
+                        Poll::Idle => return,
+                        Poll::Shutdown => return,
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let counts: Vec<usize> = served.iter().map(|c| c.load(Ordering::SeqCst)).collect();
+        let total: usize = counts.iter().sum();
+        assert_eq!(total, home_slots.len(), "every slot served exactly once");
+        let thieves = counts[1..].iter().sum::<usize>();
+        assert!(
+            thieves > 0,
+            "stealing workers served nothing: counts {counts:?}"
+        );
+    }
+
+    #[test]
+    fn at_most_once_queued_holds_under_concurrent_marks_and_steals() {
+        // Producers hammer mark_ready on a few slots while a worker pool
+        // pops, "dispatches" and finishes. A per-slot dispatching flag proves
+        // no slot is ever owned by two workers at once, and a final drain
+        // proves no mark is lost.
+        let workers = 4;
+        let slots = 8;
+        let sched = Arc::new(Scheduler::new(slots, workers, SchedulerConfig::default()));
+        let dispatching: Arc<Vec<AtomicBool>> =
+            Arc::new((0..slots).map(|_| AtomicBool::new(false)).collect());
+        let pending: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..slots).map(|_| AtomicUsize::new(0)).collect());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let sched = Arc::clone(&sched);
+                let pending = Arc::clone(&pending);
+                std::thread::spawn(move || {
+                    for i in 0..2_000usize {
+                        let slot = (i * 7 + p * 3) % slots;
+                        pending[slot].fetch_add(1, Ordering::SeqCst);
+                        sched.mark_ready(slot);
+                    }
+                })
+            })
+            .collect();
+
+        let consumers: Vec<_> = (0..workers)
+            .map(|worker| {
+                let sched = Arc::clone(&sched);
+                let dispatching = Arc::clone(&dispatching);
+                let pending = Arc::clone(&pending);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    loop {
+                        match sched.next_ready(worker, StdDuration::from_millis(50)) {
+                            Poll::Ready(slot) => {
+                                assert!(
+                                    !dispatching[slot].swap(true, Ordering::SeqCst),
+                                    "slot {slot} dispatched twice concurrently"
+                                );
+                                // Absorb the backlog snapshot, like a real
+                                // dispatch round draining the inbox.
+                                pending[slot].store(0, Ordering::SeqCst);
+                                dispatching[slot].store(false, Ordering::SeqCst);
+                                let still = pending[slot].load(Ordering::SeqCst) > 0;
+                                sched.finish(slot, still);
+                            }
+                            Poll::Idle => {
+                                if stop.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                            }
+                            Poll::Shutdown => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        for producer in producers {
+            producer.join().unwrap();
+        }
+        stop.store(true, Ordering::SeqCst);
+        for consumer in consumers {
+            consumer.join().unwrap();
+        }
+        // No mark was lost: every slot's pending count was absorbed.
+        for (slot, count) in pending.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::SeqCst),
+                0,
+                "slot {slot} kept unabsorbed marks"
+            );
+        }
+        assert_eq!(sched.queued(), 0);
+    }
+
+    #[test]
+    fn parked_workers_wake_for_work_on_foreign_shards() {
+        // The park/unpark race: a worker parks with a long timeout; a
+        // producer then marks a slot homed on a *different* (busy) shard. The
+        // parked worker must be woken to steal it — promptly, not after the
+        // park timeout.
+        let sched = Arc::new(Scheduler::new(4, 2, SchedulerConfig::default()));
+        let waiter = Arc::clone(&sched);
+        let handle = std::thread::spawn(move || {
+            let start = std::time::Instant::now();
+            let poll = waiter.next_ready(1, StdDuration::from_secs(30));
+            (poll, start.elapsed())
+        });
+        std::thread::sleep(TICK);
+        // Slot 0 is homed on shard 0, whose worker never polls.
+        assert!(sched.mark_ready(0));
+        let (poll, waited) = handle.join().unwrap();
+        assert_eq!(poll, Poll::Ready(0));
+        assert!(
+            waited < StdDuration::from_secs(5),
+            "worker 1 should be woken promptly, waited {waited:?}"
+        );
+        sched.finish(0, false);
+    }
+
+    #[test]
+    fn mark_racing_a_park_is_never_lost() {
+        // Repeatedly park a worker with a short timeout while a producer
+        // marks at unsynchronised instants; every mark must be served.
+        let sched = Arc::new(Scheduler::new(1, 1, SchedulerConfig::default()));
+        let rounds = 200;
+        let stop = Arc::new(AtomicBool::new(false));
+        let consumer = {
+            let sched = Arc::clone(&sched);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut served = 0u32;
+                loop {
+                    match sched.next_ready(0, StdDuration::from_millis(10)) {
+                        Poll::Ready(slot) => {
+                            served += 1;
+                            sched.finish(slot, false);
+                        }
+                        Poll::Idle => {
+                            if stop.load(Ordering::SeqCst) {
+                                return served;
+                            }
+                        }
+                        Poll::Shutdown => return served,
+                    }
+                }
+            })
+        };
+        for _ in 0..rounds {
+            // Each iteration waits for a *fresh* enqueue, so the scheduler
+            // must serve at least `rounds` distinct dispatch rounds.
+            while !sched.mark_ready(0) {
+                std::thread::yield_now();
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+        let served = consumer.join().unwrap();
+        assert!(
+            served >= rounds,
+            "every fresh enqueue forces a round: served {served} < {rounds}"
+        );
     }
 }

@@ -77,6 +77,10 @@ pub struct NodeStats {
     pub requests_duplicate: u64,
     /// Objects received through anti-entropy repair.
     pub objects_repaired: u64,
+    /// Anti-entropy rounds skipped because the chunk's digest fingerprint
+    /// matched the peer's at the last in-sync exchange (adaptive chunk
+    /// scheduling: unchanged chunks cost no traffic).
+    pub ae_chunks_skipped: u64,
     /// Number of times the node changed slice.
     pub slice_changes: u64,
 }
@@ -153,6 +157,7 @@ impl NodeStats {
         self.requests_expired += other.requests_expired;
         self.requests_duplicate += other.requests_duplicate;
         self.objects_repaired += other.objects_repaired;
+        self.ae_chunks_skipped += other.ae_chunks_skipped;
         self.slice_changes += other.slice_changes;
     }
 }

@@ -287,6 +287,11 @@ fn put_digest(out: &mut Vec<u8>, digest: &StoreDigest) {
         put_u64(out, key.as_u64());
         put_u64(out, version.as_u64());
     }
+    // The chunk fingerprint rides along so receivers can verify the entry
+    // list decoded intact (it is recomputable from the entries — carrying it
+    // makes corruption detectable instead of silently skewing the adaptive
+    // chunk-skipping decisions built on it).
+    put_u64(out, digest.fingerprint());
 }
 
 fn put_descriptors(out: &mut Vec<u8>, descriptors: &[NodeDescriptor]) {
@@ -524,6 +529,10 @@ fn get_digest(reader: &mut Reader<'_>) -> Result<StoreDigest, WireError> {
         let version = Version::new(reader.u64()?);
         digest.record(key, version);
     }
+    let announced = reader.u64()?;
+    if announced != digest.fingerprint() {
+        return Err(WireError::Malformed("digest fingerprint mismatch"));
+    }
     Ok(digest)
 }
 
@@ -746,6 +755,26 @@ mod tests {
         )
         .is_err());
         assert!(via_output.is_empty());
+    }
+
+    #[test]
+    fn corrupted_digest_fingerprints_are_rejected() {
+        let mut digest = StoreDigest::new();
+        digest.record(Key::from_raw(9), Version::new(2));
+        let message = Message::AntiEntropyDigest {
+            digest: Arc::new(digest),
+            range: KeyRange::FULL,
+        };
+        let mut buf = Vec::new();
+        encode_frame(NodeId::new(3), std::slice::from_ref(&message), &mut buf).unwrap();
+        assert!(decode_frame(&buf).is_ok(), "intact frame decodes");
+        // The digest fingerprint sits just before the 16-byte key range.
+        let fp_offset = buf.len() - 16 - 8;
+        buf[fp_offset] ^= 0xFF;
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::Malformed("digest fingerprint mismatch"))
+        );
     }
 
     #[test]

@@ -79,6 +79,28 @@ pub enum RuntimeKind {
     Async,
 }
 
+/// Backend-tuning knobs for [`RuntimeKind::spawn_with`]: the runtime-scaling
+/// surface of the event-driven backend, in one facade-level struct.
+///
+/// The simulator and the threaded runtime have no worker pool, so only the
+/// async backend consumes every field; the others ignore what does not apply
+/// (documented per field).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeOptions {
+    /// Worker threads multiplexing the node hosts (async backend only).
+    /// `0` picks `min(available cores, 8)`.
+    pub worker_count: usize,
+    /// Per-node mailbox high-water mark (async backend only; `0` =
+    /// unbounded). Saturated destinations defer worker-to-worker frames
+    /// instead of dropping them — see
+    /// [`AsyncClusterConfig::mailbox_capacity`](dataflasks_async_env::AsyncClusterConfig).
+    pub mailbox_capacity: usize,
+    /// Shared scheduling knobs — the per-round run budget (honoured by the
+    /// threaded and async backends) and the work-stealing policy (async
+    /// backend only).
+    pub sched: dataflasks_core::SchedulerConfig,
+}
+
 impl RuntimeKind {
     /// Materialises `spec` on the selected backend, returned behind the
     /// shared [`Environment`](dataflasks_core::Environment) driver interface.
@@ -94,6 +116,17 @@ impl RuntimeKind {
         self,
         spec: &dataflasks_core::ClusterSpec,
     ) -> Box<dyn dataflasks_core::Environment> {
+        self.spawn_with(spec, RuntimeOptions::default())
+    }
+
+    /// Like [`Self::spawn`], with explicit runtime knobs (worker count,
+    /// mailbox high-water mark, run budget, steal policy).
+    #[must_use]
+    pub fn spawn_with(
+        self,
+        spec: &dataflasks_core::ClusterSpec,
+        options: RuntimeOptions,
+    ) -> Box<dyn dataflasks_core::Environment> {
         match self {
             Self::Sim => {
                 let mut sim = dataflasks_sim::Simulation::new(dataflasks_sim::SimConfig {
@@ -104,14 +137,22 @@ impl RuntimeKind {
                 Box::new(sim)
             }
             Self::Threaded => Box::new(dataflasks_runtime::ThreadedCluster::start_spec(spec)),
-            Self::Async => Box::new(dataflasks_async_env::AsyncCluster::start_spec(spec)),
+            Self::Async => Box::new(dataflasks_async_env::AsyncCluster::start_spec_with(
+                spec,
+                dataflasks_async_env::AsyncClusterConfig {
+                    workers: options.worker_count,
+                    sched: options.sched,
+                    mailbox_capacity: options.mailbox_capacity,
+                    ..dataflasks_async_env::AsyncClusterConfig::default()
+                },
+            )),
         }
     }
 }
 
 /// The items most programs need, importable with a single `use`.
 pub mod prelude {
-    pub use crate::RuntimeKind;
+    pub use crate::{RuntimeKind, RuntimeOptions};
     pub use dataflasks_async_env::{AsyncCluster, AsyncClusterConfig};
     pub use dataflasks_baseline::DhtCluster;
     pub use dataflasks_core::{
@@ -119,6 +160,7 @@ pub mod prelude {
         Effects, Environment, LoadBalancer, LoadBalancerPolicy, MessageKind, NodeHost, NodeStats,
         OperationOutcome, Output, TimerKind,
     };
+    pub use dataflasks_core::{SchedulerConfig, StealPolicy};
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
     pub use dataflasks_runtime::ThreadedCluster;
     pub use dataflasks_sim::{ClusterReport, NetworkConfig, SimConfig, Simulation};

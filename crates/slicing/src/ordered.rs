@@ -10,7 +10,7 @@
 //! paper requires from its slicing substrate (and which the hash baseline
 //! lacks).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -55,6 +55,12 @@ pub struct OrderedSlicer {
     partition: SlicePartition,
     round: u64,
     samples: HashMap<NodeId, AttributeSample>,
+    /// Staleness index over `samples`, ordered by `(round, node)`: the first
+    /// entry is always the eviction victim, making the buffer-full path
+    /// O(log n) instead of a full scan per insert. (Bootstrapping a node feeds
+    /// it the whole cluster's descriptors; with a linear eviction scan that
+    /// path alone dominated multi-thousand-node spawn time.)
+    staleness: BTreeSet<(u64, u64)>,
     exchanges: u64,
 }
 
@@ -74,6 +80,7 @@ impl OrderedSlicer {
             partition,
             round: 0,
             samples: HashMap::new(),
+            staleness: BTreeSet::new(),
             exchanges: 0,
         }
     }
@@ -126,7 +133,9 @@ impl OrderedSlicer {
 
     /// Forgets everything known about `node` (suspected dead).
     pub fn purge(&mut self, node: NodeId) {
-        self.samples.remove(&node);
+        if let Some(sample) = self.samples.remove(&node) {
+            self.staleness.remove(&(sample.round(), node.as_u64()));
+        }
     }
 
     /// Advances the local gossip round: expires stale samples and returns the
@@ -136,7 +145,15 @@ impl OrderedSlicer {
         let horizon = self
             .round
             .saturating_sub(u64::from(self.config.sample_ttl_rounds));
-        self.samples.retain(|_, s| s.round() >= horizon);
+        // The staleness index is ordered by round, so the expired prefix is a
+        // range query instead of a full-buffer retain.
+        while let Some(&(round, id)) = self.staleness.first() {
+            if round >= horizon {
+                break;
+            }
+            self.staleness.remove(&(round, id));
+            self.samples.remove(&NodeId::new(id));
+        }
         self.round
     }
 
@@ -214,27 +231,32 @@ impl OrderedSlicer {
     }
 
     fn merge_sample(&mut self, sample: AttributeSample) {
-        self.samples
-            .entry(sample.node())
-            .and_modify(|existing| {
+        let id = sample.node().as_u64();
+        match self.samples.entry(sample.node()) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let existing = entry.get_mut();
                 if sample.is_newer_than(existing) || sample.round() == existing.round() {
+                    self.staleness.remove(&(existing.round(), id));
                     *existing = sample;
+                    self.staleness.insert((sample.round(), id));
                 }
-            })
-            .or_insert(sample);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(sample);
+                self.staleness.insert((sample.round(), id));
+            }
+        }
         if self.samples.len() > self.config.sample_buffer_size {
             self.evict_stalest();
         }
     }
 
     fn evict_stalest(&mut self) {
-        if let Some(&stalest) = self
-            .samples
-            .iter()
-            .min_by_key(|(id, s)| (s.round(), id.as_u64()))
-            .map(|(id, _)| id)
-        {
-            self.samples.remove(&stalest);
+        // The index's first entry is exactly the `min_by_key((round, id))`
+        // victim a full scan would pick.
+        if let Some(&(round, id)) = self.staleness.first() {
+            self.staleness.remove(&(round, id));
+            self.samples.remove(&NodeId::new(id));
         }
     }
 }

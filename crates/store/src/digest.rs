@@ -27,6 +27,24 @@ use dataflasks_types::{Key, Version};
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StoreDigest {
     entries: HashMap<Key, Version>,
+    /// Order-independent XOR of the entry hashes, maintained incrementally:
+    /// two digests summarising the same `key → version` map always carry the
+    /// same fingerprint, whatever order the entries arrived in. Anti-entropy
+    /// uses it to recognise (and skip) chunks that have not changed since
+    /// the last in-sync exchange, at O(1) instead of a per-key diff.
+    fingerprint: u64,
+}
+
+/// One entry's contribution to the XOR fingerprint: a SplitMix64 finalisation
+/// of the key/version pair, so single-bit version bumps flip about half the
+/// fingerprint.
+fn entry_hash(key: Key, version: Version) -> u64 {
+    let mut z = key
+        .as_u64()
+        .wrapping_add(version.as_u64().wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl StoreDigest {
@@ -42,7 +60,17 @@ impl StoreDigest {
     pub fn with_capacity(capacity: usize) -> Self {
         Self {
             entries: HashMap::with_capacity(capacity),
+            fingerprint: 0,
         }
+    }
+
+    /// The order-independent fingerprint of the summarised entries: equal
+    /// entry maps produce equal fingerprints, and any recorded change flips
+    /// it (up to 64-bit collisions, which adaptive chunk skipping tolerates —
+    /// a collision only delays one repair round, it never loses data).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// Merges `other` into this digest assuming the two summarise *disjoint*
@@ -50,20 +78,31 @@ impl StoreDigest {
     /// never overlap). Skips the per-key version comparison [`Self::record`]
     /// performs; if a key does appear on both sides, `other`'s version wins.
     pub fn merge_disjoint(&mut self, other: &Self) {
-        self.entries
-            .extend(other.entries.iter().map(|(&k, &v)| (k, v)));
+        for (&key, &version) in &other.entries {
+            if let Some(previous) = self.entries.insert(key, version) {
+                // Overlap despite the name: keep the fingerprint exact.
+                self.fingerprint ^= entry_hash(key, previous);
+            }
+            self.fingerprint ^= entry_hash(key, version);
+        }
     }
 
     /// Records (or raises) the version known for a key.
     pub fn record(&mut self, key: Key, version: Version) {
-        self.entries
-            .entry(key)
-            .and_modify(|existing| {
+        match self.entries.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                let existing = entry.get_mut();
                 if version > *existing {
+                    self.fingerprint ^= entry_hash(key, *existing);
+                    self.fingerprint ^= entry_hash(key, version);
                     *existing = version;
                 }
-            })
-            .or_insert(version);
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                entry.insert(version);
+                self.fingerprint ^= entry_hash(key, version);
+            }
+        }
     }
 
     /// The version recorded for `key`, if any.
@@ -200,5 +239,53 @@ mod tests {
         assert!(d.is_empty());
         assert_eq!(d.len(), 0);
         assert_eq!(d.version_of(key("a")), None);
+        assert_eq!(d.fingerprint(), 0);
+    }
+
+    #[test]
+    fn fingerprint_is_order_independent_and_change_sensitive() {
+        let mut forward = StoreDigest::new();
+        forward.record(key("a"), Version::new(1));
+        forward.record(key("b"), Version::new(2));
+        forward.record(key("c"), Version::new(3));
+        let mut backward = StoreDigest::new();
+        backward.record(key("c"), Version::new(3));
+        backward.record(key("b"), Version::new(2));
+        backward.record(key("a"), Version::new(1));
+        assert_eq!(forward.fingerprint(), backward.fingerprint());
+        assert_ne!(forward.fingerprint(), 0);
+        // A version bump flips it; re-recording the same entry does not.
+        let before = forward.fingerprint();
+        forward.record(key("b"), Version::new(2));
+        assert_eq!(forward.fingerprint(), before);
+        forward.record(key("b"), Version::new(9));
+        assert_ne!(forward.fingerprint(), before);
+    }
+
+    #[test]
+    fn fingerprint_tracks_merges_and_incremental_updates() {
+        // The incremental fingerprint must always equal the fingerprint of a
+        // digest rebuilt from scratch over the same final entries.
+        let rebuilt_of = |digest: &StoreDigest| -> u64 {
+            let rebuilt: StoreDigest = digest.iter().collect();
+            rebuilt.fingerprint()
+        };
+        let mut left = StoreDigest::new();
+        left.record(key("a"), Version::new(4));
+        left.record(key("b"), Version::new(1));
+        let mut right = StoreDigest::new();
+        right.record(key("c"), Version::new(2));
+        left.merge_disjoint(&right);
+        assert_eq!(left.fingerprint(), rebuilt_of(&left));
+        // Overlapping merge (other wins): the fingerprint stays exact.
+        let mut overlap = StoreDigest::new();
+        overlap.record(key("a"), Version::new(9));
+        left.merge_disjoint(&overlap);
+        assert_eq!(left.version_of(key("a")), Some(Version::new(9)));
+        assert_eq!(left.fingerprint(), rebuilt_of(&left));
+        // Version raises through `record` stay exact too.
+        left.record(key("b"), Version::new(7));
+        left.record(key("b"), Version::new(3)); // ignored: lower
+        assert_eq!(left.fingerprint(), rebuilt_of(&left));
     }
 }

@@ -37,6 +37,21 @@ use proptest::prelude::*;
 
 const CLIENT: u64 = 42;
 
+/// The async backend is exercised in its most concurrent configuration: four
+/// workers over a handful of nodes (so stealing and cross-worker routing are
+/// constant), with tiny bounded mailboxes (so frame delivery saturates and
+/// the deferred-delivery path runs). Parity must hold regardless.
+fn async_cluster_under_stress(spec: &ClusterSpec) -> AsyncCluster {
+    AsyncCluster::start_spec_with(
+        spec,
+        AsyncClusterConfig {
+            workers: 4,
+            mailbox_capacity: 2,
+            ..AsyncClusterConfig::default()
+        },
+    )
+}
+
 fn parity_spec() -> ClusterSpec {
     let mut config = NodeConfig::for_system_size(6, 2);
     // Full-coverage dissemination: every fan-out reaches the whole view.
@@ -225,8 +240,9 @@ fn all_three_environments_produce_identical_outcomes_and_stats() {
         .map(|n| (n.id(), *n.stats()))
         .collect();
 
-    // --- Event-driven runtime (framed transport) ---------------------------
-    let mut async_cluster = AsyncCluster::start_spec(&spec);
+    // --- Event-driven runtime (framed transport, stealing, backpressure) ---
+    let mut async_cluster = async_cluster_under_stress(&spec);
+    assert_eq!(async_cluster.worker_count(), 4);
     let async_steps = run_scenario(&mut async_cluster, &spec, Duration::from_secs(10));
     let async_stats: HashMap<NodeId, NodeStats> = async_cluster
         .shutdown()
@@ -479,8 +495,9 @@ proptest! {
             .map(|node| (node.id(), *node.stats()))
             .collect();
 
-        // --- Event-driven runtime (framed transport) ----------------------
-        let mut async_cluster = AsyncCluster::start_spec(&spec);
+        // --- Event-driven runtime (framed transport, 4 workers, bounded
+        // mailboxes: stealing and saturation must not break parity) --------
+        let mut async_cluster = async_cluster_under_stress(&spec);
         async_cluster.set_drain_idle_grace(Duration::from_millis(300));
         let async_outcomes =
             run_random_scenario(&mut async_cluster, &spec, &steps, Duration::from_secs(10));
@@ -632,7 +649,7 @@ fn restarted_replica_converges_via_incremental_anti_entropy() {
     let threaded_outcomes = run(&mut threaded, &spec, Duration::from_secs(10));
     let (threaded_keys, threaded_stats) = final_state(threaded.shutdown());
 
-    let mut async_cluster = AsyncCluster::start_spec(&spec);
+    let mut async_cluster = async_cluster_under_stress(&spec);
     async_cluster.set_drain_idle_grace(Duration::from_millis(300));
     let async_outcomes = run(&mut async_cluster, &spec, Duration::from_secs(10));
     let (async_keys, async_stats) = final_state(async_cluster.shutdown());
