@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Guard a bench sweep artifact: every expected worker-count row must be
+# present and no row may have recorded zero completed operations.
+#
+# Usage: ci/check_bench.sh <bench.json> <worker-count>...
+#
+# Shared by the async and socket bench smoke jobs. The bench binaries emit
+# `workers` as a JSON integer (`"workers": 4`) precisely so this check never
+# depends on float formatting; the zero-op pattern still tolerates the older
+# two-decimal rendering of the count metrics.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <bench.json> <worker-count>..." >&2
+    exit 2
+fi
+
+file="$1"
+shift
+
+if [ ! -f "$file" ]; then
+    echo "$file: bench artifact missing" >&2
+    exit 1
+fi
+
+if grep -E '"(puts_completed|gets_answered)": 0(\.00)?,?$' "$file"; then
+    echo "$file: a sweep row recorded zero completed operations" >&2
+    exit 1
+fi
+
+for workers in "$@"; do
+    if ! grep -Eq "\"workers\": ${workers},?$" "$file"; then
+        echo "$file: sweep row for ${workers} workers missing" >&2
+        exit 1
+    fi
+done
+
+echo "$file: all rows present (workers: $*), every row completed operations"

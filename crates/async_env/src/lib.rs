@@ -5,7 +5,7 @@
 //! hosts **thousands of nodes on a few threads**: every node lives in a
 //! [`NodeHost`] slot with its own mailbox, a small worker pool (default
 //! `min(cores, 8)`) pops ready nodes off the shared
-//! [`Scheduler`](dataflasks_core::Scheduler) readiness queue, and a hashed
+//! [`Scheduler`] readiness queue, and a hashed
 //! [timer wheel](wheel::TimerWheel) drives the periodic protocol timers — the
 //! reactor-owns-state shape of event-sourced state-engine designs, applied to
 //! the sans-io node state machine.

@@ -1,16 +1,18 @@
-//! Async-runtime scaling baseline: hosts a multi-thousand-node DataFlasks
-//! cluster on the event-driven `AsyncCluster` (sharded work-stealing
-//! scheduler, framed transport, per-worker timer wheels), drives a put/get
-//! workload through it at each worker count of a sweep, and writes
-//! throughput and latency medians to `BENCH_async.json` so successive PRs
-//! have a scaling trajectory. The `workers = 1` row is the baseline the
-//! multi-worker rows are judged against.
+//! Socket-runtime scaling baseline: hosts a ≥200-node DataFlasks cluster on
+//! the socket-backed `SocketCluster` — every node behind a real loopback
+//! listener, every protocol hop a dialed, framed, reassembled byte stream —
+//! drives a put/get workload through it at each worker count of a sweep, and
+//! writes throughput and latency medians to `BENCH_socket.json` (the same
+//! sweep schema as `BENCH_async.json`, plus the transport counters: dials,
+//! dial retries, wire rejects).
 //!
 //! ```bash
-//! cargo run -p dataflasks-bench --release --bin async_bench
-//! # CI smoke: fewer operations, same 2000-node cluster, same sweep
-//! cargo run -p dataflasks-bench --release --bin async_bench -- \
-//!     --puts 150 --gets 150 --latency-ops 40
+//! cargo run -p dataflasks-bench --release --bin socket_bench
+//! # CI smoke: fewer operations, same ≥200-node loopback cluster
+//! cargo run -p dataflasks-bench --release --bin socket_bench -- \
+//!     --sweep 1,2 --puts 100 --gets 100 --latency-ops 20
+//! # Unix-domain sockets instead of TCP
+//! cargo run -p dataflasks-bench --release --bin socket_bench -- --transport unix
 //! ```
 
 use std::collections::HashSet;
@@ -32,18 +34,22 @@ struct Args {
     puts: usize,
     gets: usize,
     latency_ops: usize,
+    transport: SocketTransportKind,
 }
 
 impl Args {
     fn parse() -> Self {
         let mut args = Self {
-            nodes: 2_000,
+            // The acceptance bar for the socket backend is a ≥200-node
+            // loopback cluster; leave headroom above it.
+            nodes: 220,
             slices: 0, // 0 = derive (≈50 nodes per slice)
-            sweep: vec![1, 2, 4, 8],
+            sweep: vec![1, 2],
             mailbox: 0,
-            puts: 400,
-            gets: 400,
-            latency_ops: 100,
+            puts: 200,
+            gets: 200,
+            latency_ops: 50,
+            transport: SocketTransportKind::Tcp,
         };
         let mut iter = std::env::args().skip(1);
         while let Some(flag) = iter.next() {
@@ -60,13 +66,12 @@ impl Args {
                 "--gets" => take(&mut args.gets),
                 "--latency-ops" => take(&mut args.latency_ops),
                 "--workers" => {
-                    // A single-point "sweep" for quick ad-hoc runs.
                     let mut v = 0usize;
                     take(&mut v);
                     args.sweep = vec![v];
                 }
                 "--sweep" => {
-                    let list = iter.next().unwrap_or_else(|| panic!("--sweep needs 1,2,4"));
+                    let list = iter.next().unwrap_or_else(|| panic!("--sweep needs 1,2"));
                     args.sweep = list
                         .split(',')
                         .map(|w| w.parse().expect("--sweep takes worker counts"))
@@ -77,6 +82,16 @@ impl Args {
                     let mut v = 0usize;
                     take(&mut v);
                     args.slices = v as u32;
+                }
+                "--transport" => {
+                    let kind = iter
+                        .next()
+                        .unwrap_or_else(|| panic!("--transport needs tcp|unix"));
+                    args.transport = match kind.as_str() {
+                        "tcp" => SocketTransportKind::Tcp,
+                        "unix" => SocketTransportKind::Unix,
+                        other => panic!("unknown transport {other} (tcp|unix)"),
+                    };
                 }
                 other => panic!("unknown flag {other}"),
             }
@@ -92,25 +107,19 @@ const CLIENT: u64 = 7;
 
 fn main() {
     let args = Args::parse();
-    // Paper-style configuration. The periodic substrate runs at two-second
-    // gossip: every sweep row (sub-second workloads after the parallel
-    // spawn) still measures with live timer-wheel traffic competing with
-    // requests, without 2000 shuffles per second drowning a small host.
+    // Same substrate pacing as the async bench: two-second gossip keeps the
+    // periodic protocols live under the workload without drowning the host.
     let mut config = NodeConfig::for_system_size(args.nodes, args.slices);
     config.pss.shuffle_period = Duration::from_secs(2);
     config.slicing.gossip_period = Duration::from_secs(4);
     config.replication.anti_entropy_period = Duration::from_secs(10);
-    let mut capacity_rng = StdRng::seed_from_u64(0xA57C);
+    let mut capacity_rng = StdRng::seed_from_u64(0x50C4E7);
     let capacities: Vec<u64> = (0..args.nodes)
         .map(|_| capacity_rng.gen_range(100..=10_000))
         .collect();
-    let spec = ClusterSpec::new(config, capacities, 0xA57C);
+    let spec = ClusterSpec::new(config, capacities, 0x50C4E7);
 
-    // Contact selection models the repo's warmed slice-aware load balancer
-    // (`LoadBalancer` + `ClientLibrary`): requests go to a member of the
-    // key's responsible slice, chosen uniformly — the steady state the
-    // paper's client library converges to after a few replies. The plan is
-    // shared by every sweep row (the spec is deterministic).
+    // Warmed slice-aware contact plan, shared by every sweep row.
     let plan = spec.build_nodes();
     let partition = plan[0].partition();
     let mut members_by_slice: Vec<Vec<NodeId>> = vec![Vec::new(); args.slices as usize];
@@ -134,16 +143,21 @@ fn main() {
         .map(|&workers| run_row(&args, &spec, partition, &members_by_slice, workers))
         .collect();
 
+    let transport_name = match args.transport {
+        SocketTransportKind::Tcp => "tcp",
+        SocketTransportKind::Unix => "unix",
+    };
     write_sweep_json(
-        "BENCH_async.json",
+        "BENCH_socket.json",
         &[
             ("nodes", format!("{:.2}", args.nodes as f64)),
             ("slices", format!("{:.2}", f64::from(args.slices))),
             ("mailbox_capacity", format!("{:.2}", args.mailbox as f64)),
+            ("transport", format!("\"{transport_name}\"")),
         ],
         &rows,
     );
-    print_scaling_summary(&rows, "");
+    print_scaling_summary(&rows, &format!(" ({transport_name})"));
 }
 
 /// Runs the whole workload once at `workers` workers and returns the row.
@@ -154,32 +168,29 @@ fn run_row(
     members_by_slice: &[Vec<NodeId>],
     workers: usize,
 ) -> SweepRow {
-    let mut rng = StdRng::seed_from_u64(0xA57C ^ (workers as u64) << 32);
+    let mut rng = StdRng::seed_from_u64(0x50C4E7 ^ (workers as u64) << 32);
     let spawn_start = Instant::now();
-    let mut cluster = AsyncCluster::start_spec_with(
+    let mut cluster = SocketCluster::start_spec_with(
         spec,
-        AsyncClusterConfig {
+        SocketClusterConfig {
             workers,
             mailbox_capacity: args.mailbox,
-            ..AsyncClusterConfig::default()
+            transport: args.transport,
+            ..SocketClusterConfig::default()
         },
     );
     let spawn_ms = spawn_start.elapsed().as_millis();
-    let timings = cluster.spawn_timings();
     let workers = cluster.worker_count();
     assert!(workers <= 8, "the scaling claim is ≤8 worker threads");
     cluster.set_drain_idle_grace(Duration::from_millis(100));
     println!(
-        "spawned {} nodes ({} slices) on {workers} workers in {spawn_ms} ms \
-         (build {} ms, arm {} ms)",
-        args.nodes,
-        args.slices,
-        timings.build.as_millis(),
-        timings.arm.as_millis(),
+        "spawned {} nodes ({} slices, {} listeners) on {workers} workers in {spawn_ms} ms",
+        args.nodes, args.slices, args.nodes,
     );
 
     // Let the staggered first gossip rounds start flowing (a bit over one
-    // shuffle period, so every row measures with the substrate live).
+    // shuffle period): every row measures with live socket traffic — and the
+    // lazy dials it triggers — competing with requests.
     std::thread::sleep(std::time::Duration::from_millis(2_300));
 
     let contact_for = |key: Key, rng: &mut StdRng| -> NodeId {
@@ -188,7 +199,7 @@ fn run_row(
     };
 
     // --- Pipelined put throughput ---------------------------------------
-    let key_of = |i: usize| Key::from_user_key(&format!("bench-{workers}-{i}"));
+    let key_of = |i: usize| Key::from_user_key(&format!("sock-{workers}-{i}"));
     let put_start = Instant::now();
     for i in 0..args.puts {
         let key = key_of(i);
@@ -224,9 +235,6 @@ fn run_row(
             },
         );
     }
-    // A get is *answered* once any responsible replica replies (hit or
-    // miss); hits are tracked separately — epidemic replication coverage is
-    // what decides whether the contacted subgraph holds the object.
     let mut get_hits: HashSet<RequestId> = HashSet::new();
     let (get_answered, get_elapsed) = {
         let hits = &mut get_hits;
@@ -243,12 +251,9 @@ fn run_row(
     };
     let get_throughput = get_answered as f64 / get_elapsed.as_secs_f64();
 
-    // --- Blocking-API latency --------------------------------------------
+    // --- Blocking-API latency (socket round trips) ------------------------
     let mut put_lat_us = Vec::with_capacity(args.latency_ops);
     let mut get_lat_us = Vec::with_capacity(args.latency_ops);
-    // Slice-aware blocking round trips: submit to a responsible contact
-    // (the warmed-load-balancer pattern, like the throughput phases) and
-    // time submit→first-reply. A retry guards the rare in-slice expiry.
     let with_retries = |mut op: Box<dyn FnMut() -> bool + '_>| -> f64 {
         for _ in 0..8 {
             let start = Instant::now();
@@ -268,26 +273,28 @@ fn run_row(
                     key,
                     Version::new(1),
                     Value::filled(128, 9),
-                    Duration::from_secs(5),
+                    Duration::from_secs(10),
                 )
                 .is_ok()
         })));
         get_lat_us.push(with_retries(Box::new(|| {
             matches!(
-                cluster.get_via(contact, key, None, Duration::from_secs(5)),
+                cluster.get_via(contact, key, None, Duration::from_secs(10)),
                 Ok(Some(_))
             )
         })));
     }
 
-    // --- Substrate sanity + teardown --------------------------------------
+    // --- Transport sanity + teardown ---------------------------------------
     let saturations = cluster.saturation_events();
+    let dials = cluster.dial_count();
+    let dial_retries = cluster.dial_retry_count();
+    let wire_rejects = cluster.wire_reject_count();
     let nodes = cluster.shutdown();
     let gossip_messages: u64 = nodes
         .iter()
         .map(|n| n.stats().sent(MessageKind::Membership) + n.stats().sent(MessageKind::Slicing))
         .sum();
-    let ae_skipped: u64 = nodes.iter().map(|n| n.stats().ae_chunks_skipped).sum();
     let stored_keys: usize = nodes
         .iter()
         .map(|n| dataflasks::store::DataStore::len(n.store()))
@@ -296,18 +303,22 @@ fn run_row(
         put_acked > 0 && get_answered > 0,
         "a sweep row completed zero operations (workers {workers})"
     );
-    // The warm-up sleep outlives one shuffle period, so every row — smoke
-    // included — must show periodic traffic from the timer wheels.
     assert!(
         gossip_messages > 0,
-        "the periodic substrate must have run on the timer wheels"
+        "the periodic substrate must have run over the sockets"
+    );
+    assert!(
+        dials > 0,
+        "protocol traffic must have dialed real connections"
+    );
+    assert_eq!(
+        wire_rejects, 0,
+        "loopback frames are byte-exact; a reject is an encoder/decoder bug"
     );
 
     let results = vec![
         ("workers", workers as f64),
         ("spawn_ms", spawn_ms as f64),
-        ("spawn_build_ms", timings.build.as_millis() as f64),
-        ("spawn_arm_ms", timings.arm.as_millis() as f64),
         (
             "spawn_ms_per_node",
             spawn_ms as f64 / (args.nodes.max(1)) as f64,
@@ -324,8 +335,10 @@ fn run_row(
         ("get_latency_p50_us", percentile(&mut get_lat_us, 0.50)),
         ("get_latency_p99_us", percentile(&mut get_lat_us, 0.99)),
         ("mailbox_saturations", saturations as f64),
+        ("dials", dials as f64),
+        ("dial_retries", dial_retries as f64),
+        ("wire_rejects", wire_rejects as f64),
         ("gossip_messages", gossip_messages as f64),
-        ("ae_chunks_skipped", ae_skipped as f64),
         ("replica_objects_total", stored_keys as f64),
     ];
     for (name, value) in &results {

@@ -62,6 +62,129 @@ impl ExperimentConfig {
     }
 }
 
+/// Renders one metric line of the sweep-JSON schema shared by
+/// `BENCH_async.json` and `BENCH_socket.json`.
+///
+/// Discrete identifiers the CI guard greps for exactly — today only the
+/// sweep key `workers` — are emitted as JSON integers (`"workers": 4`), so
+/// the guard never depends on float formatting; every measured quantity
+/// keeps two decimals.
+#[must_use]
+pub fn render_sweep_metric(name: &str, value: f64) -> String {
+    if name == "workers" {
+        format!("\"{name}\": {value:.0}")
+    } else {
+        format!("\"{name}\": {value:.2}")
+    }
+}
+
+/// One row of a worker-sweep bench run: metric name → value, in emission
+/// order (the first entry is conventionally `workers`).
+pub type SweepRow = Vec<(&'static str, f64)>;
+
+/// Writes a worker-sweep bench artifact in the JSON schema shared by
+/// `BENCH_async.json` and `BENCH_socket.json`: the pre-rendered top-level
+/// fields, then one object per sweep row (each metric through
+/// [`render_sweep_metric`]).
+///
+/// `header` values are inserted verbatim, so callers render them as JSON
+/// themselves (`"220.00"`, `"\"tcp\""`).
+///
+/// # Panics
+///
+/// Panics if the artifact cannot be written.
+pub fn write_sweep_json(path: &str, header: &[(&str, String)], rows: &[SweepRow]) {
+    let mut json = String::from("{\n");
+    for (name, value) in header {
+        json.push_str(&format!("  \"{name}\": {value},\n"));
+    }
+    json.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        for (j, (name, value)) in row.iter().enumerate() {
+            let comma = if j + 1 == row.len() { "" } else { "," };
+            let metric = render_sweep_metric(name, *value);
+            json.push_str(&format!("      {metric}{comma}\n"));
+        }
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).unwrap_or_else(|error| panic!("write {path}: {error}"));
+    println!("wrote {path}");
+}
+
+/// Prints a sweep's combined put+get throughput per row, relative to the
+/// first (baseline) row. `suffix` is appended to each row label (the socket
+/// bench names its transport there).
+pub fn print_scaling_summary(rows: &[SweepRow], suffix: &str) {
+    let metric = |row: &SweepRow, name: &str| -> f64 {
+        row.iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0.0, |(_, v)| *v)
+    };
+    let Some(baseline) = rows.first() else { return };
+    let base =
+        metric(baseline, "put_throughput_ops_per_s") + metric(baseline, "get_throughput_ops_per_s");
+    for row in rows {
+        let combined =
+            metric(row, "put_throughput_ops_per_s") + metric(row, "get_throughput_ops_per_s");
+        println!(
+            "workers {:>2}{suffix}: put+get {:>10.0} ops/s ({:.2}x of the {}-worker baseline)",
+            metric(row, "workers"),
+            combined,
+            if base > 0.0 { combined / base } else { 0.0 },
+            metric(baseline, "workers"),
+        );
+    }
+}
+
+/// Drains environment replies until `total` distinct requests completed
+/// (first matching reply wins), completions stop making progress (a raw
+/// epidemic search can die of TTL; clients would retry), or a generous cap
+/// expires. Returns the completion count and the elapsed time since `start`
+/// at the last completion — the honest numerator and denominator for the
+/// throughput the scaling benches report.
+pub fn await_completions<E: Environment + ?Sized>(
+    env: &mut E,
+    start: std::time::Instant,
+    total: usize,
+    mut matches: impl FnMut(&dataflasks::core::ClientReply) -> bool,
+) -> (usize, std::time::Duration) {
+    let mut done: std::collections::HashSet<RequestId> =
+        std::collections::HashSet::with_capacity(total);
+    let cap = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let progress_grace = std::time::Duration::from_secs(3);
+    let mut last_progress = std::time::Instant::now();
+    let mut elapsed_at_last = start.elapsed();
+    while done.len() < total && std::time::Instant::now() < cap {
+        for reply in env.drain_effects(Duration::from_millis(200)) {
+            if matches(&reply) && done.insert(reply.request) {
+                last_progress = std::time::Instant::now();
+                elapsed_at_last = start.elapsed();
+            }
+        }
+        if last_progress.elapsed() > progress_grace {
+            break;
+        }
+    }
+    (
+        done.len(),
+        elapsed_at_last.max(std::time::Duration::from_millis(1)),
+    )
+}
+
+/// The `q`-quantile of the samples (sorts in place).
+#[must_use]
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let index = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[index]
+}
+
 /// The measurements extracted from one experiment run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {

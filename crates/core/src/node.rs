@@ -163,6 +163,14 @@ impl<S: DataStore> DataFlasksNode<S> {
         &self.stats
     }
 
+    /// Records one inbound wire frame this node's transport rejected before
+    /// dispatch ([`NodeStats::wire_rejects`]). Byte transports call this when
+    /// a peer's bytes fail to decode — the node state machine itself never
+    /// sees the frame.
+    pub fn record_wire_reject(&mut self) {
+        self.stats.wire_rejects += 1;
+    }
+
     /// Read access to the backing data store.
     #[must_use]
     pub fn store(&self) -> &S {

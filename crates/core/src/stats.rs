@@ -81,6 +81,13 @@ pub struct NodeStats {
     /// matched the peer's at the last in-sync exchange (adaptive chunk
     /// scheduling: unchanged chunks cost no traffic).
     pub ae_chunks_skipped: u64,
+    /// Inbound wire frames rejected before dispatch because they failed to
+    /// decode (`WireError::Malformed`, `FrameTooLarge` or an unknown tag).
+    /// A transport-only counter: byte-exact transports (the in-process
+    /// runtimes, a healthy socket deployment) keep it at zero; the socket
+    /// backend counts each rejected frame here and closes the offending
+    /// connection.
+    pub wire_rejects: u64,
     /// Number of times the node changed slice.
     pub slice_changes: u64,
 }
@@ -158,6 +165,7 @@ impl NodeStats {
         self.requests_duplicate += other.requests_duplicate;
         self.objects_repaired += other.objects_repaired;
         self.ae_chunks_skipped += other.ae_chunks_skipped;
+        self.wire_rejects += other.wire_rejects;
         self.slice_changes += other.slice_changes;
     }
 }

@@ -15,6 +15,7 @@
 //! | [`baseline`] | Structured DHT baseline for comparison experiments |
 //! | [`runtime`] | Threaded in-process runtime (one thread per node) |
 //! | [`async_env`] | Event-driven runtime (thousands of nodes on a worker pool) |
+//! | [`net_env`] | Socket runtime (every node behind a real TCP/UDS listener) |
 //!
 //! The most commonly used items are additionally re-exported at the crate
 //! root (see the [`prelude`]).
@@ -48,6 +49,7 @@ pub use dataflasks_async_env as async_env;
 pub use dataflasks_baseline as baseline;
 pub use dataflasks_core as core;
 pub use dataflasks_membership as membership;
+pub use dataflasks_net_env as net_env;
 pub use dataflasks_runtime as runtime;
 pub use dataflasks_sim as sim;
 pub use dataflasks_slicing as slicing;
@@ -59,7 +61,7 @@ pub use dataflasks_workload as workload;
 /// the runtime-selection knob for harness code written against the
 /// [`Environment`](dataflasks_core::Environment) driver interface.
 ///
-/// All three backends materialise the same spec into byte-identical node
+/// All four backends materialise the same spec into byte-identical node
 /// state machines and are held to identical client-visible behaviour by the
 /// differential parity fuzzer; they differ in what they cost:
 ///
@@ -68,7 +70,11 @@ pub use dataflasks_workload as workload;
 /// * [`RuntimeKind::Threaded`] — one OS thread per node; real concurrency
 ///   for small clusters,
 /// * [`RuntimeKind::Async`] — event-driven worker pool; thousands of nodes
-///   on a few threads, with every hop travelling as an encoded wire frame.
+///   on a few threads, with every hop travelling as an encoded wire frame,
+/// * [`RuntimeKind::Socket`] — the same worker pool, but every hop travels
+///   a real socket (TCP on loopback or Unix-domain, see
+///   [`SocketTransportKind`](dataflasks_net_env::SocketTransportKind)): the
+///   deployment-shaped backend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RuntimeKind {
     /// Deterministic discrete-event simulation (`dataflasks-sim`).
@@ -77,28 +83,35 @@ pub enum RuntimeKind {
     Threaded,
     /// Event-driven worker pool (`dataflasks-async-env`).
     Async,
+    /// Socket transport over the event-driven substrate
+    /// (`dataflasks-net-env`).
+    Socket,
 }
 
 /// Backend-tuning knobs for [`RuntimeKind::spawn_with`]: the runtime-scaling
-/// surface of the event-driven backend, in one facade-level struct.
+/// surface of the worker-pool backends, in one facade-level struct.
 ///
 /// The simulator and the threaded runtime have no worker pool, so only the
-/// async backend consumes every field; the others ignore what does not apply
-/// (documented per field).
+/// async and socket backends consume every field; the others ignore what
+/// does not apply (documented per field).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct RuntimeOptions {
-    /// Worker threads multiplexing the node hosts (async backend only).
-    /// `0` picks `min(available cores, 8)`.
+    /// Worker threads multiplexing the node hosts (async and socket
+    /// backends). `0` picks `min(available cores, 8)`.
     pub worker_count: usize,
-    /// Per-node mailbox high-water mark (async backend only; `0` =
-    /// unbounded). Saturated destinations defer worker-to-worker frames
-    /// instead of dropping them — see
-    /// [`AsyncClusterConfig::mailbox_capacity`](dataflasks_async_env::AsyncClusterConfig).
+    /// Per-node mailbox high-water mark (async and socket backends; `0` =
+    /// unbounded). Saturated destinations defer frames instead of dropping
+    /// them — in user space for the async backend (see
+    /// [`AsyncClusterConfig::mailbox_capacity`](dataflasks_async_env::AsyncClusterConfig)),
+    /// in the kernel socket buffer for the socket backend.
     pub mailbox_capacity: usize,
     /// Shared scheduling knobs — the per-round run budget (honoured by the
-    /// threaded and async backends) and the work-stealing policy (async
-    /// backend only).
+    /// threaded, async and socket backends) and the work-stealing policy
+    /// (async and socket backends).
     pub sched: dataflasks_core::SchedulerConfig,
+    /// Socket family of the socket backend (ignored by the others):
+    /// TCP on loopback (the portable default) or Unix-domain sockets.
+    pub transport: dataflasks_net_env::SocketTransportKind,
 }
 
 impl RuntimeKind {
@@ -146,6 +159,16 @@ impl RuntimeKind {
                     ..dataflasks_async_env::AsyncClusterConfig::default()
                 },
             )),
+            Self::Socket => Box::new(dataflasks_net_env::SocketCluster::start_spec_with(
+                spec,
+                dataflasks_net_env::SocketClusterConfig {
+                    workers: options.worker_count,
+                    sched: options.sched,
+                    mailbox_capacity: options.mailbox_capacity,
+                    transport: options.transport,
+                    ..dataflasks_net_env::SocketClusterConfig::default()
+                },
+            )),
         }
     }
 }
@@ -162,6 +185,9 @@ pub mod prelude {
     };
     pub use dataflasks_core::{SchedulerConfig, StealPolicy};
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
+    pub use dataflasks_net_env::{
+        ReassemblyBuffer, SocketCluster, SocketClusterConfig, SocketTransportKind,
+    };
     pub use dataflasks_runtime::ThreadedCluster;
     pub use dataflasks_sim::{ClusterReport, NetworkConfig, SimConfig, Simulation};
     pub use dataflasks_slicing::{HashSlicer, OrderedSlicer, Slicer};

@@ -1,0 +1,1540 @@
+//! A socket-backed runtime for DataFlasks nodes: real TCP/UDS transport.
+//!
+//! The event-driven runtime (`dataflasks-async-env`) already moves every hop
+//! as an encoded `dataflasks_core::wire` frame — but through in-process
+//! mailboxes. This crate promotes those byte-exact frames onto **real
+//! sockets**: every node runs behind its own listener (TCP on loopback or a
+//! Unix-domain socket, selected by [`SocketTransportKind`]), peers dial each
+//! other lazily through a connection pool, and every inbound connection owns
+//! a [`ReassemblyBuffer`] that re-cuts the byte stream at frame boundaries.
+//! The scheduling substrate is shared with the async backend — the sharded
+//! work-stealing [`Scheduler`], per-worker
+//! [timer wheels](dataflasks_async_env::wheel::TimerWheel) and bounded
+//! [`Inbox`] mailboxes all come from `dataflasks_core::sched` /
+//! `dataflasks-async-env` — so the two runtimes differ *only* in transport.
+//!
+//! What the transport layer guarantees:
+//!
+//! * **One `SendBatch` = one frame = one write.** A dispatch round's
+//!   per-destination batch is encoded once and written as a single frame,
+//!   mirroring the in-process runtimes' one-transport-unit-per-batch
+//!   discipline (partial writes resume at the byte where the socket pushed
+//!   back).
+//! * **Defensive decode.** Partial reads, coalesced frames and mid-frame
+//!   connection drops are normal stream behaviour, absorbed by the
+//!   per-connection reassembly buffer. A frame that *completes* but fails to
+//!   decode (`WireError::Malformed`, `FrameTooLarge`, an unknown tag) closes
+//!   the connection and is counted on the receiving node
+//!   (`NodeStats::wire_rejects`).
+//! * **Lazy dialing with backoff.** Connections are established on first
+//!   send, shared by every onboard sender, and re-dialed with exponential
+//!   backoff when a dial is refused.
+//! * **Crash semantics.** Failing a node closes its mailbox *and* its
+//!   connections; in-flight and queued frames to it are discarded, exactly
+//!   like the other backends dropping deliveries to dead nodes. A restart
+//!   re-establishes connectivity from scratch (fresh dials, fresh accepts).
+//! * **Backpressure to the wire.** With a bounded mailbox, a saturated node
+//!   stops the reactor from reading its connections — unread bytes stay in
+//!   the kernel socket buffer, which is TCP/UDS flow control doing the
+//!   deferring the async backend does in user space.
+//!
+//! The cluster implements the same [`Environment`] driver surface as the
+//! other three backends, and the four-way differential parity suite holds it
+//! to identical client-visible behaviour, crash→restart included.
+//!
+//! # Example
+//!
+//! ```
+//! use dataflasks_net_env::SocketCluster;
+//! use dataflasks_types::{Duration, Key, NodeConfig, Value, Version};
+//!
+//! // Three nodes, three loopback TCP listeners, real socket hops.
+//! let cluster = SocketCluster::start(3, NodeConfig::for_system_size(3, 1), 7);
+//! cluster
+//!     .put(Key::from_user_key("a"), Version::new(1), Value::from_bytes(b"x"), Duration::from_secs(10))
+//!     .unwrap();
+//! let read = cluster
+//!     .get(Key::from_user_key("a"), None, Duration::from_secs(10))
+//!     .unwrap();
+//! assert_eq!(read.unwrap().value.as_slice(), b"x");
+//! cluster.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod reassembly;
+mod transport;
+
+pub use reassembly::ReassemblyBuffer;
+pub use transport::SocketTransportKind;
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataflasks_async_env::wheel::TimerWheel;
+use dataflasks_core::wire::encode_output;
+use dataflasks_core::{
+    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
+    DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, Poll, PushOutcome,
+    Scheduler, SchedulerConfig, TimerKind,
+};
+use dataflasks_types::{
+    Duration, Key, NodeConfig, NodeId, RequestId, SimTime, StoredObject, Value, Version,
+};
+
+use transport::{Listener, PeerAddr, Stream};
+
+/// Errors returned by the blocking client API (the shared
+/// [`dataflasks_core::gateway`] error type).
+pub use dataflasks_core::GatewayError as SocketRuntimeError;
+
+/// Tuning knobs of the socket runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketClusterConfig {
+    /// Worker threads multiplexing the node hosts. `0` (the default) picks
+    /// `min(available cores, 8)`.
+    pub workers: usize,
+    /// Reactor threads polling the sockets (accepts, reads, writes, dials).
+    /// Nodes and pool connections are sharded over them by slot index. `0`
+    /// (the default) picks one.
+    pub io_threads: usize,
+    /// Shared scheduling knobs (run budget per dispatch round, steal policy).
+    pub sched: SchedulerConfig,
+    /// Timer-wheel granularity; firing latency is bounded by one tick.
+    pub wheel_tick: Duration,
+    /// Timer-wheel slot count (tick × slots = one rotation), per worker
+    /// wheel.
+    pub wheel_slots: usize,
+    /// High-water mark of each node's mailbox (`0` = unbounded). A saturated
+    /// node's connections stop being read — the bytes wait in the kernel
+    /// socket buffer, so backpressure propagates to the sender's transport.
+    /// Client submissions, driver injections and timer firings always land.
+    pub mailbox_capacity: usize,
+    /// Socket family carrying the frames.
+    pub transport: SocketTransportKind,
+    /// First retry delay after a refused dial; doubles per consecutive
+    /// failure.
+    pub dial_backoff: Duration,
+    /// Upper bound on the dial retry delay.
+    pub dial_backoff_max: Duration,
+}
+
+impl Default for SocketClusterConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            io_threads: 0,
+            sched: SchedulerConfig::default(),
+            wheel_tick: Duration::from_millis(5),
+            wheel_slots: 1024,
+            mailbox_capacity: 0,
+            transport: SocketTransportKind::default(),
+            dial_backoff: Duration::from_millis(10),
+            dial_backoff_max: Duration::from_millis(500),
+        }
+    }
+}
+
+impl SocketClusterConfig {
+    /// The worker-pool size after resolving the `0 = auto` default.
+    #[must_use]
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(8)
+    }
+
+    /// The reactor-thread count after resolving the `0 = auto` default.
+    #[must_use]
+    pub fn effective_io_threads(&self) -> usize {
+        self.io_threads.max(1)
+    }
+}
+
+/// The client id the blocking `put`/`get` API issues requests under.
+/// Reserved: [`Environment::submit_client_request`] rejects it, exactly like
+/// the other runtimes.
+const BLOCKING_CLIENT: ClientId = u64::MAX;
+
+/// What waits in a node's mailbox. Wire frames arrive already decoded (the
+/// reactor validated the bytes when it cut the frame), so one mailbox entry
+/// still equals one transport unit.
+enum SocketInput {
+    /// The messages of one decoded frame, in emission order.
+    Frame {
+        from: NodeId,
+        messages: Vec<Message>,
+    },
+    /// A client operation submitted to this node as contact.
+    Client {
+        client: ClientId,
+        request: ClientRequest,
+    },
+    /// Fire a protocol timer (wheel expiry or [`Environment`] injection).
+    Timer { kind: TimerKind },
+}
+
+/// One accepted connection at a node's listener: the byte stream, its
+/// reassembly buffer, and at most one decoded frame the saturated mailbox
+/// refused (the read-side backpressure holdover).
+struct InboundConn {
+    stream: Stream,
+    buffer: ReassemblyBuffer,
+    pending: Option<(NodeId, Vec<Message>)>,
+}
+
+/// One hosted node: the sans-io host, its mailbox, its listener and the
+/// connections accepted at it.
+struct NodeSlot {
+    host: Mutex<NodeHost<DefaultStore>>,
+    inbox: Inbox<SocketInput>,
+    failed: AtomicBool,
+    addr: PeerAddr,
+    listener: Listener,
+    conns: Mutex<Vec<InboundConn>>,
+}
+
+/// The outgoing half of the connection pool for one destination node,
+/// shared by every onboard sender (frames carry their own `from`, so one
+/// stream multiplexes all senders — the pooling a real deployment does per
+/// process).
+struct PoolEntry {
+    state: Mutex<PoolState>,
+    /// Lock-free "anything to flush?" probe for the reactor's write pass.
+    has_work: AtomicBool,
+}
+
+#[derive(Default)]
+struct PoolState {
+    conn: Option<Stream>,
+    /// Encoded frames awaiting the wire, in submission order.
+    outbox: VecDeque<Vec<u8>>,
+    /// Bytes of `outbox[0]` already written (a partial write resumes here).
+    write_offset: usize,
+    /// Consecutive failed dials (drives the exponential backoff).
+    attempt: u32,
+    /// Earliest instant the next dial may be tried.
+    next_dial: Option<Instant>,
+}
+
+/// State shared by the driver, the workers, the reactor and the timer
+/// thread.
+struct Shared {
+    slots: Vec<NodeSlot>,
+    pool: Vec<PoolEntry>,
+    scheduler: Scheduler,
+    /// One timer wheel per worker; node `i` is armed on wheel `i % workers`
+    /// — the same home mapping as the scheduler shards.
+    wheels: Vec<Mutex<TimerWheel>>,
+    client_inbox: Sender<(ClientId, ClientReply)>,
+    epoch: Instant,
+    node_config: NodeConfig,
+    stopping: AtomicBool,
+    io_threads: usize,
+    dial_backoff: StdDuration,
+    dial_backoff_max: StdDuration,
+    /// Parks idle reactor threads; senders nudge it after enqueuing frames.
+    io_wake: (StdMutex<()>, Condvar),
+    /// Times a complete frame was refused by a saturated mailbox (each is
+    /// retried from the connection's holdover slot, never lost).
+    saturations: AtomicU64,
+    /// Successful dials (lazy connects and post-restart re-connects).
+    dials: AtomicU64,
+    /// Refused dials awaiting a backoff retry.
+    dial_retries: AtomicU64,
+    /// Inbound frames rejected by the wire decoder (also counted per node in
+    /// `NodeStats::wire_rejects`).
+    wire_rejects: AtomicU64,
+}
+
+/// How a decoded frame fared against the destination mailbox.
+enum Delivery {
+    Delivered,
+    /// Refused by the high-water mark; handed back for the connection's
+    /// holdover slot (which stops further reads from that connection).
+    Saturated((NodeId, Vec<Message>)),
+    /// Crashed or closed destination: dropped, the shared crash semantics.
+    Dropped,
+}
+
+impl Shared {
+    fn now(&self) -> SimTime {
+        SimTime::from_millis(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn slot_of(&self, node: NodeId) -> Option<&NodeSlot> {
+        self.slots.get(node.as_u64() as usize)
+    }
+
+    /// The worker whose wheel (and scheduler shard) owns `slot`.
+    fn home_worker(&self, slot: usize) -> usize {
+        slot % self.wheels.len()
+    }
+
+    /// Routes one effect of `from`'s dispatch round: transport units are
+    /// encoded once and queued on the destination's pool connection, replies
+    /// go to the cluster-wide client inbox, timer re-arms to the emitting
+    /// node's home wheel.
+    fn route(&self, from: usize, output: Output) {
+        match output {
+            Output::Timer { kind, after } => {
+                let deadline = Instant::now() + to_std(after);
+                self.wheels[self.home_worker(from)]
+                    .lock()
+                    .arm(from, kind, deadline);
+            }
+            Output::Reply { client, reply } => {
+                let _ = self.client_inbox.send((client, reply));
+            }
+            transport @ (Output::Send { .. } | Output::SendBatch { .. }) => {
+                let mut frame = Vec::new();
+                match encode_output(NodeId::new(from as u64), &transport, &mut frame) {
+                    Ok(to) => {
+                        let to = to.expect("send outputs always frame");
+                        self.send_frame(to, frame);
+                    }
+                    // A pathological unit exceeding the frame limit is
+                    // dropped like a network rejecting an oversized
+                    // datagram; the worker survives.
+                    Err(_) => debug_assert!(false, "protocol produced an oversized frame"),
+                }
+            }
+        }
+    }
+
+    /// Queues one encoded frame for `to`'s pool connection. Frames to
+    /// failed or unknown destinations are dropped silently (the crash
+    /// semantics every backend shares).
+    fn send_frame(&self, to: NodeId, frame: Vec<u8>) {
+        let index = to.as_u64() as usize;
+        let Some(slot) = self.slots.get(index) else {
+            return;
+        };
+        let entry = &self.pool[index];
+        let mut state = entry.state.lock();
+        // The crash check must happen under the pool-state lock:
+        // `fail_node` raises the flag *before* purging the outbox under this
+        // same lock, so a sender either observes the flag (and drops) or
+        // enqueues before the purge (and is swept with the rest) — a stale
+        // pre-crash frame can never slip in between a crash and the
+        // restart's un-failing and reach the fresh incarnation.
+        if slot.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        state.outbox.push_back(frame);
+        drop(state);
+        entry.has_work.store(true, Ordering::SeqCst);
+        self.wake_io();
+    }
+
+    /// Offers one decoded frame to `to_slot`'s mailbox, honouring its
+    /// high-water mark, and marks the host ready on delivery.
+    fn offer_input(&self, to_slot: usize, from: NodeId, messages: Vec<Message>) -> Delivery {
+        let slot = &self.slots[to_slot];
+        if slot.failed.load(Ordering::SeqCst) {
+            return Delivery::Dropped;
+        }
+        match slot.inbox.try_push(SocketInput::Frame { from, messages }) {
+            PushOutcome::Delivered => {
+                self.scheduler.mark_ready(to_slot);
+                Delivery::Delivered
+            }
+            PushOutcome::Saturated(SocketInput::Frame { from, messages }) => {
+                self.saturations.fetch_add(1, Ordering::Relaxed);
+                Delivery::Saturated((from, messages))
+            }
+            PushOutcome::Saturated(_) => unreachable!("a frame was offered"),
+            PushOutcome::Closed => Delivery::Dropped,
+        }
+    }
+
+    /// Delivers one input regardless of the high-water mark and marks the
+    /// host ready — the driver-injection, client-submission and timer paths,
+    /// which have no connection to defer into. Inputs to failed or unknown
+    /// nodes are silently dropped.
+    fn mail_input(&self, to: NodeId, input: SocketInput) {
+        let Some(slot) = self.slot_of(to) else { return };
+        if slot.failed.load(Ordering::SeqCst) {
+            return;
+        }
+        if slot.inbox.push(input) {
+            self.scheduler.mark_ready(to.as_u64() as usize);
+        }
+    }
+
+    /// Counts one rejected inbound frame, on the cluster and on the owning
+    /// node's [`NodeStats`](dataflasks_core::NodeStats).
+    fn record_wire_reject(&self, to_slot: usize) {
+        self.wire_rejects.fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = self.slots.get(to_slot) {
+            slot.host.lock().node_mut().record_wire_reject();
+        }
+    }
+
+    fn wake_io(&self) {
+        self.io_wake.1.notify_all();
+    }
+
+    /// Parks a reactor thread for up to `timeout` (woken early by senders).
+    fn io_park(&self, timeout: StdDuration) {
+        let guard = self.io_wake.0.lock().expect("io wake lock poisoned");
+        let _ = self
+            .io_wake
+            .1
+            .wait_timeout(guard, timeout)
+            .expect("io wake lock poisoned");
+    }
+}
+
+fn to_std(duration: Duration) -> StdDuration {
+    StdDuration::from_millis(duration.as_millis())
+}
+
+/// A cluster of DataFlasks nodes exchanging every protocol hop over real
+/// sockets (TCP loopback or Unix-domain), multiplexed over a worker pool.
+pub struct SocketCluster {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    io_workers: Vec<JoinHandle<()>>,
+    timer_thread: Option<JoinHandle<()>>,
+    node_ids: Vec<NodeId>,
+    /// The shared reply-routing discipline between the blocking client API
+    /// and the Environment driver surface.
+    gate: ClientGateway,
+    request_sequence: std::cell::Cell<u64>,
+    rng: std::cell::RefCell<StdRng>,
+    /// The spec this cluster was started from: the recipe
+    /// [`Environment::restart_node`] rebuilds crashed nodes with.
+    spec: ClusterSpec,
+    /// Cached warm-up rounds of the spec (computed on the first restart).
+    restart_rounds: Option<BootstrapRounds>,
+    /// The Unix-domain socket directory, removed on shutdown.
+    uds_dir: Option<PathBuf>,
+}
+
+/// Monotonic suffix distinguishing the UDS directories of clusters started
+/// by one process.
+static UDS_CLUSTER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+impl SocketCluster {
+    /// Starts `node_count` nodes sharing `node_config`, with capacities drawn
+    /// deterministically from `seed`, on the default configuration (TCP
+    /// loopback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listener cannot be bound.
+    #[must_use]
+    pub fn start(node_count: usize, node_config: NodeConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let capacities = (0..node_count)
+            .map(|_| rng.gen_range(100..=10_000))
+            .collect();
+        Self::start_spec(&ClusterSpec::new(node_config, capacities, seed))
+    }
+
+    /// Starts the cluster described by a [`ClusterSpec`] with default knobs —
+    /// the exact same node state the other environments materialise, so all
+    /// four backends can be compared input for input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listener cannot be bound.
+    #[must_use]
+    pub fn start_spec(spec: &ClusterSpec) -> Self {
+        Self::start_spec_with(spec, SocketClusterConfig::default())
+    }
+
+    /// Starts a spec-described cluster with explicit runtime knobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a listener cannot be bound (out of file descriptors, an
+    /// unwritable temp directory for [`SocketTransportKind::Unix`]) or if
+    /// the Unix transport is requested on a non-Unix platform.
+    #[must_use]
+    pub fn start_spec_with(spec: &ClusterSpec, config: SocketClusterConfig) -> Self {
+        let epoch = Instant::now();
+        let uds_dir = match config.transport {
+            SocketTransportKind::Tcp => None,
+            SocketTransportKind::Unix => {
+                let dir = std::env::temp_dir().join(format!(
+                    "dataflasks-net-{}-{}",
+                    std::process::id(),
+                    UDS_CLUSTER_SEQ.fetch_add(1, Ordering::Relaxed)
+                ));
+                std::fs::create_dir_all(&dir).expect("create the UDS socket directory");
+                Some(dir)
+            }
+        };
+        let nodes = spec.build_nodes();
+        let node_ids: Vec<NodeId> = nodes.iter().map(DataFlasksNode::id).collect();
+        let slots: Vec<NodeSlot> = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(index, node)| {
+                let (listener, addr) = Listener::bind(config.transport, index, uds_dir.as_deref())
+                    .expect("bind a node listener");
+                NodeSlot {
+                    host: Mutex::new(NodeHost::new(node)),
+                    inbox: if config.mailbox_capacity > 0 {
+                        Inbox::bounded(config.mailbox_capacity)
+                    } else {
+                        Inbox::new()
+                    },
+                    failed: AtomicBool::new(false),
+                    addr,
+                    listener,
+                    conns: Mutex::new(Vec::new()),
+                }
+            })
+            .collect();
+        let pool = (0..slots.len())
+            .map(|_| PoolEntry {
+                state: Mutex::new(PoolState::default()),
+                has_work: AtomicBool::new(false),
+            })
+            .collect();
+        let worker_count = config.effective_workers();
+        let io_count = config.effective_io_threads();
+        let (client_tx, client_rx) = mpsc::channel();
+        let wheel_tick = to_std(config.wheel_tick).max(StdDuration::from_millis(1));
+        let mut wheels: Vec<TimerWheel> = (0..worker_count)
+            .map(|_| TimerWheel::new(config.wheel_slots.max(1), wheel_tick, epoch))
+            .collect();
+        // Deterministic per-node stagger of the first timer round, exactly
+        // like the async backend: periodic work spreads over the period.
+        let count = slots.len().max(1) as u64;
+        for index in 0..slots.len() {
+            for kind in TimerKind::ALL {
+                let period = kind.period(&spec.node_config).as_millis();
+                let stagger = period * index as u64 / count;
+                let deadline = epoch + StdDuration::from_millis(period.saturating_add(stagger));
+                wheels[index % worker_count].arm(index, kind, deadline);
+            }
+        }
+        let shared = Arc::new(Shared {
+            scheduler: Scheduler::new(slots.len(), worker_count, config.sched),
+            slots,
+            pool,
+            wheels: wheels.into_iter().map(Mutex::new).collect(),
+            client_inbox: client_tx,
+            epoch,
+            node_config: spec.node_config,
+            stopping: AtomicBool::new(false),
+            io_threads: io_count,
+            dial_backoff: to_std(config.dial_backoff).max(StdDuration::from_millis(1)),
+            dial_backoff_max: to_std(config.dial_backoff_max).max(StdDuration::from_millis(1)),
+            io_wake: (StdMutex::new(()), Condvar::new()),
+            saturations: AtomicU64::new(0),
+            dials: AtomicU64::new(0),
+            dial_retries: AtomicU64::new(0),
+            wire_rejects: AtomicU64::new(0),
+        });
+        let workers = (0..worker_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dataflasks-sock-worker-{index}"))
+                    .spawn(move || worker_loop(&shared, index))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        let io_workers = (0..io_count)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dataflasks-sock-io-{index}"))
+                    .spawn(move || io_loop(&shared, index))
+                    .expect("spawn reactor thread")
+            })
+            .collect();
+        let timer_shared = Arc::clone(&shared);
+        let timer_thread = std::thread::Builder::new()
+            .name("dataflasks-sock-timer".to_string())
+            .spawn(move || timer_loop(&timer_shared))
+            .expect("spawn timer thread");
+        Self {
+            shared,
+            workers,
+            io_workers,
+            timer_thread: Some(timer_thread),
+            node_ids,
+            gate: ClientGateway::new(client_rx),
+            request_sequence: std::cell::Cell::new(0),
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(spec.seed ^ 0x50C4)),
+            spec: spec.clone(),
+            restart_rounds: None,
+            uds_dir,
+        }
+    }
+
+    /// Overrides how long [`Environment::drain_effects`] treats inbox
+    /// silence as quiescence (default: one second). Loopback hops take tens
+    /// of microseconds, so harnesses issuing many drains (the differential
+    /// property test) can lower this substantially without losing replies.
+    pub fn set_drain_idle_grace(&mut self, grace: Duration) {
+        self.gate.set_drain_idle_grace(grace);
+    }
+
+    /// Identifiers of the hosted nodes.
+    #[must_use]
+    pub fn node_ids(&self) -> &[NodeId] {
+        &self.node_ids
+    }
+
+    /// Number of worker threads multiplexing the nodes.
+    #[must_use]
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of reactor threads polling the sockets.
+    #[must_use]
+    pub fn io_thread_count(&self) -> usize {
+        self.io_workers.len()
+    }
+
+    /// Times a complete inbound frame was refused by a saturated mailbox
+    /// since start. Every refusal parks in its connection's holdover slot
+    /// and is retried — this counts backpressure events, not losses.
+    #[must_use]
+    pub fn saturation_events(&self) -> u64 {
+        self.shared.saturations.load(Ordering::Relaxed)
+    }
+
+    /// Successful outgoing dials since start (lazy first connects plus
+    /// post-crash re-connects).
+    #[must_use]
+    pub fn dial_count(&self) -> u64 {
+        self.shared.dials.load(Ordering::Relaxed)
+    }
+
+    /// Refused dials that were scheduled for a backoff retry.
+    #[must_use]
+    pub fn dial_retry_count(&self) -> u64 {
+        self.shared.dial_retries.load(Ordering::Relaxed)
+    }
+
+    /// Inbound frames the wire decoder rejected cluster-wide (each also
+    /// counted on the receiving node's `NodeStats::wire_rejects`).
+    #[must_use]
+    pub fn wire_reject_count(&self) -> u64 {
+        self.shared.wire_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Stores `value` under `key` and waits until at least one replica
+    /// acknowledges it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketRuntimeError::Timeout`] if no acknowledgement arrives
+    /// within `timeout`.
+    pub fn put(
+        &self,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<(), SocketRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(
+            None,
+            ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            },
+        )?;
+        self.gate.await_reply(id, timeout).map(|_| ())
+    }
+
+    /// Like [`Self::put`], but through an explicit contact node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketRuntimeError::Timeout`] if no acknowledgement arrives
+    /// within `timeout`, [`SocketRuntimeError::Shutdown`] if `contact` is
+    /// unknown or failed.
+    pub fn put_via(
+        &self,
+        contact: NodeId,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<(), SocketRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(
+            Some(contact),
+            ClientRequest::Put {
+                id,
+                key,
+                version,
+                value,
+            },
+        )?;
+        self.gate.await_reply(id, timeout).map(|_| ())
+    }
+
+    /// Reads `key` (a specific version or the latest). Semantics match the
+    /// other runtimes: the first replica returning the object wins, and
+    /// "not found" is only trusted once the timeout expires with misses
+    /// only.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SocketRuntimeError::Timeout`] if no reply of any kind
+    /// arrives within `timeout`.
+    pub fn get(
+        &self,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, SocketRuntimeError> {
+        self.get_from(None, key, version, timeout)
+    }
+
+    /// Like [`Self::get`], but through an explicit contact node.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::get`], plus [`SocketRuntimeError::Shutdown`] if
+    /// `contact` is unknown or failed.
+    pub fn get_via(
+        &self,
+        contact: NodeId,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, SocketRuntimeError> {
+        self.get_from(Some(contact), key, version, timeout)
+    }
+
+    fn get_from(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Option<StoredObject>, SocketRuntimeError> {
+        let id = self.next_request_id();
+        self.submit_blocking(contact, ClientRequest::Get { id, key, version })?;
+        self.gate.await_get(id, timeout)
+    }
+
+    /// Stops the workers, the reactor and the timer thread, closes every
+    /// socket, and returns the final node states for inspection. Failed
+    /// nodes are included frozen at their final state; restarted nodes
+    /// appear once, at their restarted state.
+    pub fn shutdown(mut self) -> Vec<DataFlasksNode<DefaultStore>> {
+        self.shared.stopping.store(true, Ordering::SeqCst);
+        self.shared.scheduler.shutdown();
+        self.shared.wake_io();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        for io in self.io_workers.drain(..) {
+            let _ = io.join();
+        }
+        if let Some(timer) = self.timer_thread.take() {
+            let _ = timer.join();
+        }
+        let shared = Arc::try_unwrap(self.shared)
+            .ok()
+            .expect("workers, reactor and timer thread released the shared state");
+        let nodes = shared
+            .slots
+            .into_iter()
+            .map(|slot| slot.host.into_inner().into_node())
+            .collect();
+        if let Some(dir) = self.uds_dir.take() {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        nodes
+    }
+
+    fn submit_blocking(
+        &self,
+        contact: Option<NodeId>,
+        request: ClientRequest,
+    ) -> Result<(), SocketRuntimeError> {
+        let contact = match contact {
+            Some(node) => {
+                let index = node.as_u64() as usize;
+                let known = self
+                    .shared
+                    .slots
+                    .get(index)
+                    .is_some_and(|slot| !slot.failed.load(Ordering::SeqCst));
+                if !known {
+                    return Err(SocketRuntimeError::Shutdown);
+                }
+                index
+            }
+            None => {
+                // Contacts are drawn from live nodes only, so operations keep
+                // succeeding after failures as long as any node is alive.
+                let live: Vec<usize> = (0..self.shared.slots.len())
+                    .filter(|&index| !self.shared.slots[index].failed.load(Ordering::SeqCst))
+                    .collect();
+                if live.is_empty() {
+                    return Err(SocketRuntimeError::Shutdown);
+                }
+                let mut rng = self.rng.borrow_mut();
+                live[rng.gen_range(0..live.len())]
+            }
+        };
+        let slot = &self.shared.slots[contact];
+        if !slot.inbox.push(SocketInput::Client {
+            client: BLOCKING_CLIENT,
+            request,
+        }) {
+            return Err(SocketRuntimeError::Shutdown);
+        }
+        self.shared.scheduler.mark_ready(contact);
+        Ok(())
+    }
+
+    fn next_request_id(&self) -> RequestId {
+        let sequence = self.request_sequence.get();
+        self.request_sequence.set(sequence + 1);
+        RequestId::new(0, sequence)
+    }
+}
+
+impl Environment for SocketCluster {
+    fn deliver_message(&mut self, from: NodeId, to: NodeId, message: Message) {
+        // Driver injections have no socket to travel; they land directly in
+        // the mailbox as a one-message transport unit, exactly like the
+        // async backend's injection path.
+        self.shared.mail_input(
+            to,
+            SocketInput::Frame {
+                from,
+                messages: vec![message],
+            },
+        );
+    }
+
+    fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
+        // The injected firing goes straight to the mailbox; the handler's
+        // own re-arm effect supersedes the pending wheel deadline (a
+        // generation bump), matching the other backends.
+        self.shared.mail_input(node, SocketInput::Timer { kind });
+    }
+
+    fn submit_client_request(&mut self, client: ClientId, contact: NodeId, request: ClientRequest) {
+        assert!(
+            client != BLOCKING_CLIENT,
+            "client id {BLOCKING_CLIENT} is reserved for the blocking put/get API"
+        );
+        self.gate.register_env_client(client);
+        self.shared
+            .mail_input(contact, SocketInput::Client { client, request });
+    }
+
+    fn fail_node(&mut self, node: NodeId) {
+        let Some(slot) = self.shared.slot_of(node) else {
+            return;
+        };
+        // Flag first (a worker mid-round stops absorbing immediately), then
+        // close the mailbox before discarding the backlog — nothing can slip
+        // into the window and survive into a restart (see the async backend
+        // for the race analysis). Connections follow: inbound streams are
+        // dropped (peers observe EOF/reset and discard partial frames) and
+        // the pool's outgoing connection plus its queued frames are
+        // discarded — the network's view of a crashed process.
+        slot.failed.store(true, Ordering::SeqCst);
+        slot.inbox.close();
+        slot.inbox.clear();
+        slot.conns.lock().clear();
+        let entry = &self.shared.pool[node.as_u64() as usize];
+        let mut state = entry.state.lock();
+        *state = PoolState::default();
+        entry.has_work.store(false, Ordering::SeqCst);
+    }
+
+    fn restart_node(&mut self, node: NodeId) {
+        let index = node.as_u64() as usize;
+        assert!(
+            index < self.spec.len(),
+            "node {node} is not part of the spec"
+        );
+        Environment::fail_node(self, node);
+        // First restart pays one full warm-up capture; later restarts replay
+        // the cached rounds in O(cluster).
+        let rounds = self
+            .restart_rounds
+            .get_or_insert_with(|| self.spec.bootstrap_rounds());
+        let fresh = NodeHost::new(self.spec.rebuild_node_with(index, rounds));
+        let slot = &self.shared.slots[index];
+        // Acquiring the host lock serialises with any worker still flushing
+        // the pre-crash incarnation's final round.
+        *slot.host.lock() = fresh;
+        slot.inbox.clear();
+        slot.inbox.reopen();
+        slot.failed.store(false, Ordering::SeqCst);
+        // The listener stayed bound (the OS endpoint survives the process
+        // restart it models), but every connection was closed by the crash:
+        // peers re-dial lazily on their next send, and the restarted node's
+        // own sends re-dial through the pool — connectivity is re-established
+        // from scratch.
+        let mut wheel = self.shared.wheels[self.shared.home_worker(index)].lock();
+        let now = Instant::now();
+        for kind in TimerKind::ALL {
+            wheel.arm(
+                index,
+                kind,
+                now + to_std(kind.period(&self.shared.node_config)),
+            );
+        }
+    }
+
+    fn drain_effects(&mut self, budget: Duration) -> Vec<ClientReply> {
+        self.gate.drain_effects(budget)
+    }
+}
+
+/// How long an idle worker parks before re-checking for shutdown.
+const WORKER_PARK: StdDuration = StdDuration::from_millis(200);
+
+/// The worker loop: pop a ready host (own shard first, stealing when idle),
+/// absorb up to the run budget from its mailbox, dispatch, flush once
+/// (coalescing the round's same-destination sends into per-destination
+/// frames), and re-queue the host if backlog remains.
+fn worker_loop(shared: &Shared, worker: usize) {
+    let run_budget = shared.scheduler.config().effective_run_budget();
+    let mut round: Vec<SocketInput> = Vec::with_capacity(run_budget);
+    loop {
+        let slot_index = match shared.scheduler.next_ready(worker, WORKER_PARK) {
+            Poll::Ready(slot_index) => slot_index,
+            Poll::Idle => continue,
+            Poll::Shutdown => return,
+        };
+        let slot = &shared.slots[slot_index];
+        let mut host = slot.host.lock();
+        round.clear();
+        slot.inbox.drain_up_to(run_budget, &mut round);
+        let now = shared.now();
+        for input in round.drain(..) {
+            // Crashed (possibly mid-round): stop absorbing. Effects of
+            // inputs already dispatched this round are still flushed below,
+            // matching the other backends' pre-crash delivery semantics.
+            if slot.failed.load(Ordering::SeqCst) {
+                break;
+            }
+            match input {
+                SocketInput::Frame { from, messages } => {
+                    for message in messages {
+                        host.enqueue_message(from, message, now);
+                    }
+                }
+                SocketInput::Client { client, request } => {
+                    host.enqueue_client_request(client, request, now);
+                }
+                SocketInput::Timer { kind } => {
+                    host.enqueue_timer(kind, now);
+                }
+            }
+        }
+        host.flush_effects(|output| shared.route(slot_index, output));
+        drop(host);
+        let still_pending = !slot.inbox.is_empty() && !slot.failed.load(Ordering::SeqCst);
+        shared.scheduler.finish(slot_index, still_pending);
+    }
+}
+
+/// Longest idle park of a reactor thread (woken earlier by senders).
+const IO_PARK_MAX: StdDuration = StdDuration::from_millis(2);
+/// Shortest idle park, used right after a pass that made progress.
+const IO_PARK_MIN: StdDuration = StdDuration::from_micros(100);
+/// Read scratch size: large enough that one syscall drains a burst of
+/// typical frames.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// The reactor loop: accept pending connections, pump every inbound stream
+/// through its reassembly buffer, flush and lazily dial the outgoing pool —
+/// all non-blocking, sharded over the reactor threads by slot index, with an
+/// adaptive park when a full pass makes no progress.
+fn io_loop(shared: &Shared, io_index: usize) {
+    let mut scratch = vec![0u8; READ_CHUNK];
+    let mut idle_streak: u32 = 0;
+    while !shared.stopping.load(Ordering::SeqCst) {
+        let mut progress = false;
+        let stride = shared.io_threads;
+        for slot_index in (io_index..shared.slots.len()).step_by(stride) {
+            progress |= pump_node(shared, slot_index, &mut scratch);
+        }
+        for dest in (io_index..shared.pool.len()).step_by(stride) {
+            progress |= flush_pool_entry(shared, dest);
+        }
+        if progress {
+            idle_streak = 0;
+            continue;
+        }
+        // Adaptive park: hot right after traffic, backing off to the cap
+        // when the cluster is quiet. Senders cut the park short via the
+        // condvar.
+        idle_streak = idle_streak.saturating_add(1);
+        let park = (IO_PARK_MIN * idle_streak.min(20)).min(IO_PARK_MAX);
+        shared.io_park(park);
+    }
+}
+
+/// Accepts and reads for one node. Returns `true` if any byte or connection
+/// moved.
+fn pump_node(shared: &Shared, slot_index: usize, scratch: &mut [u8]) -> bool {
+    let slot = &shared.slots[slot_index];
+    let mut progress = false;
+    // Accept every pending connection (cheap when none is pending).
+    loop {
+        match slot.listener.accept() {
+            Ok(stream) => {
+                // Connections to a failed node are accepted and then starve:
+                // frames decoded from them are dropped at the closed
+                // mailbox, the shared crash semantics. The streams
+                // themselves are discarded with the next fail/restart.
+                slot.conns.lock().push(InboundConn {
+                    stream,
+                    buffer: ReassemblyBuffer::new(),
+                    pending: None,
+                });
+                progress = true;
+            }
+            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+    let mut conns = slot.conns.lock();
+    conns.retain_mut(|conn| {
+        // A frame held over from a saturated mailbox blocks this connection
+        // until it lands: per-connection FIFO is preserved and the unread
+        // socket applies transport backpressure to the sender.
+        if let Some((from, messages)) = conn.pending.take() {
+            match shared.offer_input(slot_index, from, messages) {
+                Delivery::Delivered | Delivery::Dropped => progress = true,
+                Delivery::Saturated(held) => {
+                    conn.pending = Some(held);
+                    return true;
+                }
+            }
+        }
+        // Decode whatever already sits in the reassembly buffer *before*
+        // reading: a saturation can park a holdover with complete frames
+        // still buffered behind it, and those must not wait for the peer to
+        // send more bytes.
+        match drain_frames(shared, slot_index, conn, &mut progress) {
+            FrameDrain::Blocked => return true,
+            FrameDrain::Corrupt => return false,
+            FrameDrain::Drained => {}
+        }
+        loop {
+            match conn.stream.read(scratch) {
+                // EOF: the peer closed (or crashed — a partial frame in the
+                // buffer is exactly the mid-frame connection drop case, and
+                // is discarded with the buffer).
+                Ok(0) => return false,
+                Ok(read) => {
+                    progress = true;
+                    conn.buffer.extend_from_slice(&scratch[..read]);
+                    match drain_frames(shared, slot_index, conn, &mut progress) {
+                        // Stop decoding and stop reading: the backlog waits
+                        // on the socket.
+                        FrameDrain::Blocked => return true,
+                        FrameDrain::Corrupt => return false,
+                        FrameDrain::Drained => {}
+                    }
+                }
+                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                // Reset/broken pipe: the peer vanished; partial bytes are
+                // dropped with the connection.
+                Err(_) => return false,
+            }
+        }
+        true
+    });
+    progress
+}
+
+/// What draining a connection's reassembly buffer concluded.
+enum FrameDrain {
+    /// Every complete frame was cut and offered; only a partial frame (or
+    /// nothing) remains.
+    Drained,
+    /// A frame was refused by the saturated mailbox and parked in the
+    /// connection's holdover slot; stop reading this connection.
+    Blocked,
+    /// The bytes failed to decode; the reject was counted and the
+    /// connection must be dropped.
+    Corrupt,
+}
+
+/// Cuts and delivers every complete frame currently buffered on `conn`.
+fn drain_frames(
+    shared: &Shared,
+    slot_index: usize,
+    conn: &mut InboundConn,
+    progress: &mut bool,
+) -> FrameDrain {
+    loop {
+        match conn.buffer.next_frame() {
+            Ok(Some(frame)) => {
+                *progress = true;
+                match shared.offer_input(slot_index, frame.from, frame.messages) {
+                    Delivery::Delivered | Delivery::Dropped => {}
+                    Delivery::Saturated(held) => {
+                        conn.pending = Some(held);
+                        return FrameDrain::Blocked;
+                    }
+                }
+            }
+            Ok(None) => return FrameDrain::Drained, // mid-frame: read more
+            Err(_) => {
+                // Malformed or oversized: count the reject on the receiving
+                // node; the caller drops the connection.
+                shared.record_wire_reject(slot_index);
+                return FrameDrain::Corrupt;
+            }
+        }
+    }
+}
+
+/// Flushes (and, when necessary, dials) the pool connection to `dest`.
+/// Returns `true` if any byte moved or a connection was established.
+fn flush_pool_entry(shared: &Shared, dest: usize) -> bool {
+    let entry = &shared.pool[dest];
+    if !entry.has_work.load(Ordering::SeqCst) {
+        return false;
+    }
+    let mut state = entry.state.lock();
+    if state.outbox.is_empty() {
+        entry.has_work.store(false, Ordering::SeqCst);
+        return false;
+    }
+    if shared.slots[dest].failed.load(Ordering::SeqCst) {
+        // Crash semantics: queued frames to a dead node are dropped.
+        *state = PoolState::default();
+        entry.has_work.store(false, Ordering::SeqCst);
+        return true;
+    }
+    let mut progress = false;
+    if state.conn.is_none() {
+        if state
+            .next_dial
+            .is_some_and(|earliest| Instant::now() < earliest)
+        {
+            return false; // still backing off
+        }
+        match Stream::connect(&shared.slots[dest].addr) {
+            Ok(stream) => {
+                state.conn = Some(stream);
+                state.attempt = 0;
+                state.next_dial = None;
+                shared.dials.fetch_add(1, Ordering::Relaxed);
+                progress = true;
+            }
+            Err(_) => {
+                // Refused (or otherwise failed) dial: exponential backoff,
+                // capped; the queued frames wait.
+                state.attempt = state.attempt.saturating_add(1);
+                let exponent = state.attempt.saturating_sub(1).min(16);
+                let backoff = shared
+                    .dial_backoff
+                    .saturating_mul(1u32 << exponent)
+                    .min(shared.dial_backoff_max);
+                state.next_dial = Some(Instant::now() + backoff);
+                shared.dial_retries.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
+        }
+    }
+    // Write frames front to back: one frame per write call (one SendBatch =
+    // one write), resuming partial writes at the recorded offset.
+    let PoolState {
+        conn,
+        outbox,
+        write_offset,
+        ..
+    } = &mut *state;
+    while let Some(front) = outbox.front() {
+        let stream = conn.as_mut().expect("dialed above");
+        match stream.write(&front[*write_offset..]) {
+            Ok(0) => {
+                // The connection died mid-frame: the receiver discards the
+                // partial bytes, we discard the unfinishable frame and
+                // re-dial for the rest.
+                outbox.pop_front();
+                *write_offset = 0;
+                *conn = None;
+                break;
+            }
+            Ok(written) => {
+                progress = true;
+                *write_offset += written;
+                if *write_offset == front.len() {
+                    outbox.pop_front();
+                    *write_offset = 0;
+                }
+            }
+            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Reset/broken pipe (typically the destination crashed): a
+                // frame already partially on the wire cannot be resumed on a
+                // new connection; drop it and re-dial for the rest.
+                if *write_offset > 0 {
+                    outbox.pop_front();
+                    *write_offset = 0;
+                }
+                *conn = None;
+                break;
+            }
+        }
+    }
+    if state.outbox.is_empty() {
+        entry.has_work.store(false, Ordering::SeqCst);
+    }
+    progress
+}
+
+/// The timer thread: advances every worker's wheel once per tick and mails
+/// due firings to their hosts (mark-exempt, like driver injections).
+fn timer_loop(shared: &Shared) {
+    let tick = shared.wheels[0].lock().tick();
+    let mut due: Vec<(usize, TimerKind)> = Vec::new();
+    while !shared.stopping.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        due.clear();
+        let now = Instant::now();
+        for wheel in &shared.wheels {
+            wheel.lock().advance(now, &mut due);
+        }
+        for &(slot_index, kind) in &due {
+            let slot = &shared.slots[slot_index];
+            if slot.failed.load(Ordering::SeqCst) {
+                continue;
+            }
+            if slot.inbox.push(SocketInput::Timer { kind }) {
+                shared.scheduler.mark_ready(slot_index);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataflasks_core::ReplyBody;
+    use dataflasks_store::DataStore;
+    use dataflasks_types::PssConfig;
+
+    /// A configuration with fast gossip so tests converge quickly.
+    fn fast_config(nodes: usize, slices: u32) -> NodeConfig {
+        let mut config = NodeConfig::for_system_size(nodes, slices);
+        config.pss = PssConfig {
+            shuffle_period: Duration::from_millis(50),
+            ..config.pss
+        };
+        config.slicing.gossip_period = Duration::from_millis(50);
+        config.replication.anti_entropy_period = Duration::from_millis(100);
+        config
+    }
+
+    fn unix_config() -> SocketClusterConfig {
+        SocketClusterConfig {
+            transport: SocketTransportKind::Unix,
+            ..SocketClusterConfig::default()
+        }
+    }
+
+    #[test]
+    fn put_then_get_roundtrip_over_tcp_loopback() {
+        let cluster = SocketCluster::start(4, fast_config(4, 1), 11);
+        std::thread::sleep(StdDuration::from_millis(300));
+        let key = Key::from_user_key("socket");
+        cluster
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(b"value"),
+                Duration::from_secs(10),
+            )
+            .expect("put should be acknowledged");
+        let read = cluster
+            .get(key, None, Duration::from_secs(10))
+            .expect("get should complete");
+        assert_eq!(read.unwrap().value.as_slice(), b"value");
+        assert!(
+            cluster.dial_count() > 0,
+            "protocol traffic must have dialed real connections"
+        );
+        assert_eq!(cluster.wire_reject_count(), 0);
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 4);
+        let replicas = nodes
+            .iter()
+            .filter(|n| n.store().get_latest(key).is_some())
+            .count();
+        assert!(replicas >= 1);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn put_then_get_roundtrip_over_unix_domain_sockets() {
+        let spec = ClusterSpec::new(fast_config(4, 1), vec![400, 300, 200, 100], 13);
+        let cluster = SocketCluster::start_spec_with(&spec, unix_config());
+        std::thread::sleep(StdDuration::from_millis(300));
+        let key = Key::from_user_key("uds");
+        cluster
+            .put(
+                key,
+                Version::new(1),
+                Value::from_bytes(b"value"),
+                Duration::from_secs(10),
+            )
+            .expect("put should be acknowledged");
+        let read = cluster
+            .get(key, None, Duration::from_secs(10))
+            .expect("get should complete");
+        assert_eq!(read.unwrap().value.as_slice(), b"value");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn gossip_flows_between_nodes_over_sockets() {
+        let spec = ClusterSpec::new(fast_config(6, 1), vec![500; 6], 17);
+        let cluster = SocketCluster::start_spec(&spec);
+        std::thread::sleep(StdDuration::from_millis(600));
+        let nodes = cluster.shutdown();
+        assert!(
+            nodes.iter().any(|n| n.stats().total_received() > 0),
+            "periodic gossip must travel the sockets"
+        );
+        assert!(nodes.iter().all(|n| n.stats().wire_rejects == 0));
+    }
+
+    #[test]
+    fn spec_started_cluster_serves_requests_through_the_environment() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            21,
+        );
+        let mut cluster = SocketCluster::start_spec(&spec);
+        let key = Key::from_user_key("env-driven");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"spec"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(10));
+        assert!(
+            replies
+                .iter()
+                .any(|r| matches!(r.body, ReplyBody::PutAck { .. })),
+            "expected an acknowledgement, got {replies:?}"
+        );
+        let nodes = cluster.shutdown();
+        // Single slice and warm views: every node replicated the object.
+        assert!(nodes.iter().all(|n| n.store().get_latest(key).is_some()));
+    }
+
+    #[test]
+    fn failed_nodes_stop_answering_and_connections_drop() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 22);
+        let mut cluster = SocketCluster::start_spec(&spec);
+        let victim = NodeId::new(2);
+        cluster.fail_node(victim);
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Put {
+                id: RequestId::new(9, 1),
+                key: Key::from_user_key("to-the-dead"),
+                version: Version::new(1),
+                value: Value::from_bytes(b"lost"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_millis(400));
+        assert!(replies.is_empty(), "a failed contact cannot reply");
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes.len(), 3, "failed nodes still return their state");
+    }
+
+    #[test]
+    fn restarted_node_rejoins_and_reestablishes_connections() {
+        let spec = ClusterSpec::new(
+            NodeConfig::for_system_size(4, 1),
+            vec![400, 300, 200, 100],
+            25,
+        );
+        let mut cluster = SocketCluster::start_spec(&spec);
+        let key = Key::from_user_key("lost-on-restart");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"volatile"),
+            },
+        );
+        assert!(!cluster.drain_effects(Duration::from_secs(10)).is_empty());
+        let dials_before_restart = cluster.dial_count();
+        let victim = NodeId::new(1);
+        cluster.restart_node(victim); // restart implies the crash
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            victim,
+            ClientRequest::Get {
+                id: RequestId::new(9, 1),
+                key,
+                version: None,
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(10));
+        assert!(
+            !replies.is_empty(),
+            "a restarted contact must answer requests"
+        );
+        assert!(
+            cluster.dial_count() > dials_before_restart,
+            "post-restart traffic must re-dial the closed connections"
+        );
+        let nodes = cluster.shutdown();
+        let restarted = nodes.iter().find(|n| n.id() == victim).unwrap();
+        assert_eq!(restarted.store().len(), 0, "volatile state must be lost");
+        assert!(restarted.slice().is_some(), "membership rejoins warm");
+    }
+
+    #[test]
+    fn bounded_mailboxes_backpressure_through_the_socket_without_loss() {
+        let spec = ClusterSpec::new(fast_config(6, 1), vec![500; 6], 31);
+        let mut cluster = SocketCluster::start_spec_with(
+            &spec,
+            SocketClusterConfig {
+                workers: 2,
+                mailbox_capacity: 1,
+                ..SocketClusterConfig::default()
+            },
+        );
+        cluster.set_drain_idle_grace(Duration::from_millis(300));
+        let burst = 18u64;
+        for sequence in 0..burst {
+            Environment::submit_client_request(
+                &mut cluster,
+                9,
+                NodeId::new(sequence % 6),
+                ClientRequest::Put {
+                    id: RequestId::new(9, sequence),
+                    key: Key::from_user_key(&format!("burst-{sequence}")),
+                    version: Version::new(1),
+                    value: Value::from_bytes(b"pressure"),
+                },
+            );
+        }
+        let replies = cluster.drain_effects(Duration::from_secs(20));
+        let acked: std::collections::HashSet<_> = replies
+            .iter()
+            .filter(|r| matches!(r.body, ReplyBody::PutAck { .. }))
+            .map(|r| r.request)
+            .collect();
+        assert_eq!(
+            acked.len(),
+            burst as usize,
+            "every burst put must be acknowledged despite saturation \
+             ({} saturation events)",
+            cluster.saturation_events()
+        );
+        let nodes = cluster.shutdown();
+        for sequence in 0..burst {
+            let key = Key::from_user_key(&format!("burst-{sequence}"));
+            assert!(
+                nodes.iter().any(|n| n.store().get_latest(key).is_some()),
+                "burst-{sequence} was lost under saturation"
+            );
+        }
+    }
+
+    /// The reserved-id guard of the other runtimes, mirrored here.
+    #[test]
+    #[should_panic(expected = "reserved for the blocking put/get API")]
+    fn reserved_blocking_client_id_is_rejected() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 24);
+        let mut cluster = SocketCluster::start_spec(&spec);
+        Environment::submit_client_request(
+            &mut cluster,
+            u64::MAX,
+            NodeId::new(0),
+            ClientRequest::Get {
+                id: RequestId::new(1, 0),
+                key: Key::from_user_key("collision"),
+                version: None,
+            },
+        );
+    }
+
+    #[test]
+    fn malformed_bytes_on_a_raw_connection_count_wire_rejects() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 29);
+        let cluster = SocketCluster::start_spec(&spec);
+        // Dial node 0's listener directly and write garbage that parses as a
+        // complete frame with an unknown tag.
+        let mut garbage_frame = Vec::new();
+        dataflasks_core::wire::encode_frame(NodeId::new(9), &[], &mut garbage_frame).unwrap();
+        // Rewrite count to 1 and append a bogus tag, fixing up the length.
+        garbage_frame[4 + 8..4 + 12].copy_from_slice(&1u32.to_le_bytes());
+        garbage_frame.push(200);
+        let body_len = (garbage_frame.len() - 4) as u32;
+        garbage_frame[0..4].copy_from_slice(&body_len.to_le_bytes());
+        let mut raw = Stream::connect(&cluster.shared.slots[0].addr).unwrap();
+        raw.write_all(&garbage_frame).unwrap();
+        // The reactor decodes, rejects and closes; poll for the counter.
+        let deadline = Instant::now() + StdDuration::from_secs(5);
+        while cluster.wire_reject_count() == 0 && Instant::now() < deadline {
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+        assert_eq!(cluster.wire_reject_count(), 1);
+        let nodes = cluster.shutdown();
+        assert_eq!(nodes[0].stats().wire_rejects, 1);
+        assert!(nodes[1..].iter().all(|n| n.stats().wire_rejects == 0));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SocketRuntimeError::Timeout
+            .to_string()
+            .contains("timed out"));
+        assert!(SocketRuntimeError::Shutdown
+            .to_string()
+            .contains("shut down"));
+    }
+}

@@ -1,0 +1,219 @@
+//! Socket primitives shared by the TCP and Unix-domain transports.
+//!
+//! The cluster never touches `TcpListener`/`UnixListener` directly: this
+//! module folds both families behind three small enums — a [`Listener`]
+//! accepting non-blockingly, a byte [`Stream`], and the [`PeerAddr`] a
+//! dialer needs — so the reactor and the connection pool are written once.
+
+use std::io::{self, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+
+/// Which socket family carries the cluster's frames.
+///
+/// Both families speak the exact same `dataflasks_core::wire` bytes; they
+/// differ only in the endpoint namespace (loopback ports vs filesystem
+/// paths) and in per-hop cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SocketTransportKind {
+    /// TCP over loopback: every node binds `127.0.0.1` on an ephemeral
+    /// port. Works on every platform.
+    #[default]
+    Tcp,
+    /// Unix-domain stream sockets: every node binds a socket file inside a
+    /// per-cluster temporary directory (removed on shutdown). Unix-only;
+    /// constructing a cluster with this kind panics elsewhere.
+    Unix,
+}
+
+/// The address a peer dials to reach a node's listener.
+#[derive(Debug, Clone)]
+pub(crate) enum PeerAddr {
+    Tcp(SocketAddr),
+    #[cfg_attr(not(unix), allow(dead_code))]
+    Unix(PathBuf),
+}
+
+/// A bound, non-blocking listening socket of either family.
+#[derive(Debug)]
+pub(crate) enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// One established connection of either family.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Listener {
+    /// Binds a node's listener: loopback-ephemeral for TCP, a socket file
+    /// under `uds_dir` for Unix-domain. The listener is non-blocking.
+    pub(crate) fn bind(
+        kind: SocketTransportKind,
+        node_index: usize,
+        uds_dir: Option<&Path>,
+    ) -> io::Result<(Self, PeerAddr)> {
+        match kind {
+            SocketTransportKind::Tcp => {
+                let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0))?;
+                listener.set_nonblocking(true)?;
+                let addr = listener.local_addr()?;
+                Ok((Self::Tcp(listener), PeerAddr::Tcp(addr)))
+            }
+            #[cfg(unix)]
+            SocketTransportKind::Unix => {
+                let dir = uds_dir.expect("unix transport requires a socket directory");
+                let path = dir.join(format!("node-{node_index}.sock"));
+                let listener = UnixListener::bind(&path)?;
+                listener.set_nonblocking(true)?;
+                Ok((Self::Unix(listener), PeerAddr::Unix(path)))
+            }
+            #[cfg(not(unix))]
+            SocketTransportKind::Unix => {
+                let _ = (node_index, uds_dir);
+                panic!("unix-domain sockets are not supported on this platform")
+            }
+        }
+    }
+
+    /// Accepts one pending connection, returning the stream already switched
+    /// to non-blocking mode. `WouldBlock` means no connection is pending.
+    pub(crate) fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Self::Tcp(listener) => {
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Stream::Tcp(stream))
+            }
+            #[cfg(unix)]
+            Self::Unix(listener) => {
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(Stream::Unix(stream))
+            }
+        }
+    }
+}
+
+impl Stream {
+    /// Dials a peer's listener (a blocking connect — loopback and
+    /// Unix-domain connects complete or refuse immediately), returning the
+    /// stream switched to non-blocking mode for the IO loop.
+    pub(crate) fn connect(addr: &PeerAddr) -> io::Result<Self> {
+        match addr {
+            PeerAddr::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)?;
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Self::Tcp(stream))
+            }
+            #[cfg(unix)]
+            PeerAddr::Unix(path) => {
+                let stream = UnixStream::connect(path)?;
+                stream.set_nonblocking(true)?;
+                Ok(Self::Unix(stream))
+            }
+            #[cfg(not(unix))]
+            PeerAddr::Unix(_) => {
+                panic!("unix-domain sockets are not supported on this platform")
+            }
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(stream) => stream.read(buf),
+            #[cfg(unix)]
+            Self::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(stream) => stream.write(buf),
+            #[cfg(unix)]
+            Self::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Tcp(stream) => stream.flush(),
+            #[cfg(unix)]
+            Self::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refused_tcp_dials_error_immediately() {
+        // Bind, learn the port, drop the listener: the address now refuses.
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        let addr = PeerAddr::Tcp(listener.local_addr().unwrap());
+        drop(listener);
+        let start = std::time::Instant::now();
+        assert!(Stream::connect(&addr).is_err(), "dial must be refused");
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(2),
+            "refused loopback dials fail fast (backoff is the pool's job)"
+        );
+    }
+
+    #[test]
+    fn tcp_listener_round_trips_bytes() {
+        let (listener, addr) = Listener::bind(SocketTransportKind::Tcp, 0, None).unwrap();
+        let mut client = Stream::connect(&addr).unwrap();
+        client.write_all(b"ping").unwrap();
+        // Accept may race the connect on a loaded machine; retry briefly.
+        let mut server = loop {
+            match listener.accept() {
+                Ok(stream) => break stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        };
+        let mut got = [0u8; 4];
+        let mut read = 0;
+        while read < got.len() {
+            match server.read(&mut got[read..]) {
+                Ok(n) => read += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        }
+        assert_eq!(&got, b"ping");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_listener_binds_in_a_directory() {
+        let dir = std::env::temp_dir().join(format!("dataflasks-uds-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (listener, addr) = Listener::bind(SocketTransportKind::Unix, 7, Some(&dir)).unwrap();
+        let mut client = Stream::connect(&addr).unwrap();
+        client.write_all(b"x").unwrap();
+        drop(listener);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

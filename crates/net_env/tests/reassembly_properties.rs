@@ -1,0 +1,121 @@
+//! The reassembly contract, exhaustively: any re-chunking of a valid frame
+//! stream — byte by byte, every single split boundary, coalesced pairs,
+//! random splits — decodes to the identical frame sequence with zero
+//! rejects. This is the property a stream transport relies on: read
+//! boundaries are invisible to the protocol.
+
+use dataflasks_core::wire::encode_frame;
+use dataflasks_core::Message;
+use dataflasks_net_env::ReassemblyBuffer;
+use dataflasks_types::{Key, NodeId, StoredObject, Value, Version};
+use proptest::prelude::*;
+
+/// A short stream of frames with varied shapes: an empty batch, a
+/// single-message frame, a multi-object payload frame.
+fn frame_stream() -> (Vec<u8>, Vec<(NodeId, usize)>) {
+    let mut bytes = Vec::new();
+    let mut expected = Vec::new();
+    let frames: Vec<(u64, Vec<Message>)> = vec![
+        (1, vec![]),
+        (
+            2,
+            vec![Message::AntiEntropyPush {
+                objects: vec![StoredObject::new(
+                    Key::from_raw(7),
+                    Version::new(3),
+                    Value::from_bytes(b"alpha"),
+                )]
+                .into(),
+            }],
+        ),
+        (
+            3,
+            vec![
+                Message::AntiEntropyPush {
+                    objects: vec![
+                        StoredObject::new(
+                            Key::from_raw(11),
+                            Version::new(1),
+                            Value::from_bytes(&[0xAB; 64]),
+                        ),
+                        StoredObject::new(
+                            Key::from_raw(12),
+                            Version::new(2),
+                            Value::from_bytes(b""),
+                        ),
+                    ]
+                    .into(),
+                },
+                Message::AntiEntropyPush { objects: [].into() },
+            ],
+        ),
+    ];
+    for (from, messages) in frames {
+        encode_frame(NodeId::new(from), &messages, &mut bytes).unwrap();
+        expected.push((NodeId::new(from), messages.len()));
+    }
+    (bytes, expected)
+}
+
+/// Feeds `stream` to a fresh buffer in the given chunk sizes and returns
+/// every decoded frame, asserting no decode error ever surfaces.
+fn reassemble(stream: &[u8], chunk_sizes: impl IntoIterator<Item = usize>) -> Vec<(NodeId, usize)> {
+    let mut buffer = ReassemblyBuffer::new();
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    for size in chunk_sizes {
+        let end = (offset + size).min(stream.len());
+        buffer.extend_from_slice(&stream[offset..end]);
+        offset = end;
+        while let Some(frame) = buffer.next_frame().expect("valid stream never rejects") {
+            frames.push((frame.from, frame.messages.len()));
+        }
+    }
+    assert_eq!(offset, stream.len(), "the whole stream must be fed");
+    assert!(buffer.is_empty(), "no partial frame may remain");
+    frames
+}
+
+#[test]
+fn every_single_split_boundary_reassembles_identically() {
+    let (stream, expected) = frame_stream();
+    for cut in 0..=stream.len() {
+        let frames = reassemble(&stream, [cut, stream.len() - cut]);
+        assert_eq!(frames, expected, "split at byte {cut}");
+    }
+}
+
+#[test]
+fn byte_by_byte_delivery_reassembles_identically() {
+    let (stream, expected) = frame_stream();
+    let frames = reassemble(&stream, std::iter::repeat_n(1, stream.len()));
+    assert_eq!(frames, expected);
+}
+
+#[test]
+fn coalesced_pairs_reassemble_identically() {
+    // The whole stream in one chunk, and in two-byte pairs.
+    let (stream, expected) = frame_stream();
+    assert_eq!(reassemble(&stream, [stream.len()]), expected);
+    let pairs = std::iter::repeat_n(2, stream.len().div_ceil(2));
+    assert_eq!(reassemble(&stream, pairs), expected);
+}
+
+proptest! {
+    /// Random re-chunkings: any sequence of chunk sizes covering the stream
+    /// yields the identical frames and no rejects.
+    #[test]
+    fn random_splits_reassemble_identically(
+        sizes in proptest::collection::vec(1usize..64, 1..64),
+    ) {
+        let (stream, expected) = frame_stream();
+        // Extend the random sizes so they always cover the whole stream.
+        let covered: usize = sizes.iter().sum();
+        let mut chunks = sizes.clone();
+        if covered < stream.len() {
+            chunks.push(stream.len() - covered);
+        }
+        let frames = reassemble(&stream, chunks);
+        prop_assert_eq!(frames, expected);
+    }
+}

@@ -1,8 +1,9 @@
 //! Environment parity: the same seeded put/get/churn scenario driven through
 //! every [`Environment`] implementation — the discrete-event [`Simulation`],
-//! the one-thread-per-node [`ThreadedCluster`] and the event-driven
-//! [`AsyncCluster`] — produces identical client-visible outcomes and
-//! identical per-node [`NodeStats`].
+//! the one-thread-per-node [`ThreadedCluster`], the event-driven
+//! [`AsyncCluster`] and the socket-backed [`SocketCluster`] (every hop over
+//! real TCP/UDS connections) — produces identical client-visible outcomes
+//! and identical per-node [`NodeStats`].
 //!
 //! All environments materialise the same [`ClusterSpec`] (identical node
 //! seeds, capacities and warm full-mesh membership) and are driven through
@@ -22,8 +23,10 @@
 //! generalises this into cross-environment differential fuzzing: randomly
 //! generated seeded scenarios — puts, gets, slicing-gossip and anti-entropy
 //! rounds, node crashes *and crash→restart rejoins* — are driven through all
-//! three backends and must produce identical client-visible replies and
-//! identical per-node [`NodeStats`]. Restarts make the anti-entropy traffic
+//! four backends and must produce identical client-visible replies and
+//! identical per-node [`NodeStats`]. For the socket backend a restart also
+//! closes and re-establishes the node's connections, so the fuzzer exercises
+//! the dial/re-dial path as a side effect. Restarts make the anti-entropy traffic
 //! meaningful: a rejoined replica has lost its volatile store, so the
 //! incremental per-chunk exchanges must actually repair divergence instead
 //! of comparing identical replicas (see
@@ -48,6 +51,24 @@ fn async_cluster_under_stress(spec: &ClusterSpec) -> AsyncCluster {
             workers: 4,
             mailbox_capacity: 2,
             ..AsyncClusterConfig::default()
+        },
+    )
+}
+
+/// The socket backend under the same stress, plus a real transport: four
+/// workers, tiny bounded mailboxes (saturation propagates to the kernel
+/// socket buffers), every hop dialed and framed over the given family.
+fn socket_cluster_under_stress(
+    spec: &ClusterSpec,
+    transport: SocketTransportKind,
+) -> SocketCluster {
+    SocketCluster::start_spec_with(
+        spec,
+        SocketClusterConfig {
+            workers: 4,
+            mailbox_capacity: 2,
+            transport,
+            ..SocketClusterConfig::default()
         },
     )
 }
@@ -213,7 +234,7 @@ fn assert_backend_parity(
 }
 
 #[test]
-fn all_three_environments_produce_identical_outcomes_and_stats() {
+fn all_four_environments_produce_identical_outcomes_and_stats() {
     let spec = parity_spec();
 
     // --- Discrete-event simulation ---------------------------------------
@@ -250,6 +271,33 @@ fn all_three_environments_produce_identical_outcomes_and_stats() {
         .map(|n| (n.id(), *n.stats()))
         .collect();
 
+    // --- Socket runtime: the same scenario with every hop over real TCP ---
+    let mut socket_cluster = socket_cluster_under_stress(&spec, SocketTransportKind::Tcp);
+    let socket_steps = run_scenario(&mut socket_cluster, &spec, Duration::from_secs(10));
+    assert_eq!(
+        socket_cluster.wire_reject_count(),
+        0,
+        "a healthy loopback cluster never rejects frames"
+    );
+    let socket_stats: HashMap<NodeId, NodeStats> = socket_cluster
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    // --- And over Unix-domain sockets, where the platform has them --------
+    #[cfg(unix)]
+    let uds_results = {
+        let mut uds_cluster = socket_cluster_under_stress(&spec, SocketTransportKind::Unix);
+        let steps = run_scenario(&mut uds_cluster, &spec, Duration::from_secs(10));
+        let stats: HashMap<NodeId, NodeStats> = uds_cluster
+            .shutdown()
+            .into_iter()
+            .map(|n| (n.id(), *n.stats()))
+            .collect();
+        (steps, stats)
+    };
+
     for (step, replies) in sim_steps.iter().enumerate() {
         assert!(
             !replies.is_empty(),
@@ -269,6 +317,21 @@ fn all_three_environments_produce_identical_outcomes_and_stats() {
         &async_steps,
         &sim_stats,
         &async_stats,
+    );
+    assert_backend_parity(
+        "socket runtime (tcp)",
+        &sim_steps,
+        &socket_steps,
+        &sim_stats,
+        &socket_stats,
+    );
+    #[cfg(unix)]
+    assert_backend_parity(
+        "socket runtime (unix)",
+        &sim_steps,
+        &uds_results.0,
+        &sim_stats,
+        &uds_results.1,
     );
 
     // Sanity: the scenario actually exercised the request path.
@@ -507,9 +570,23 @@ proptest! {
             .map(|node| (node.id(), *node.stats()))
             .collect();
 
+        // --- Socket runtime (every hop over a real TCP connection; crashes
+        // and restarts tear connections down and re-dial them) -------------
+        let mut socket_cluster = socket_cluster_under_stress(&spec, SocketTransportKind::Tcp);
+        socket_cluster.set_drain_idle_grace(Duration::from_millis(300));
+        let socket_outcomes =
+            run_random_scenario(&mut socket_cluster, &spec, &steps, Duration::from_secs(10));
+        prop_assert_eq!(socket_cluster.wire_reject_count(), 0);
+        let socket_stats: HashMap<NodeId, NodeStats> = socket_cluster
+            .shutdown()
+            .into_iter()
+            .map(|node| (node.id(), *node.stats()))
+            .collect();
+
         // --- Identical client-visible outcomes ---------------------------
         prop_assert_eq!(sim_outcomes.len(), threaded_outcomes.len());
         prop_assert_eq!(sim_outcomes.len(), async_outcomes.len());
+        prop_assert_eq!(sim_outcomes.len(), socket_outcomes.len());
         for (step, sim_replies) in sim_outcomes.iter().enumerate() {
             prop_assert_eq!(
                 sim_replies,
@@ -525,11 +602,19 @@ proptest! {
                 step,
                 steps[step]
             );
+            prop_assert_eq!(
+                sim_replies,
+                &socket_outcomes[step],
+                "step {} ({:?}): socket runtime disagrees on replies",
+                step,
+                steps[step]
+            );
         }
 
         // --- Identical per-node protocol accounting ----------------------
         prop_assert_eq!(sim_stats.len(), threaded_stats.len());
         prop_assert_eq!(sim_stats.len(), async_stats.len());
+        prop_assert_eq!(sim_stats.len(), socket_stats.len());
         for (id, sim_node_stats) in &sim_stats {
             let threaded_node_stats = threaded_stats.get(id).expect("node survived shutdown");
             prop_assert_eq!(
@@ -543,6 +628,16 @@ proptest! {
                 sim_node_stats,
                 async_node_stats,
                 "node {}: async runtime disagrees on NodeStats",
+                id
+            );
+            // The socket backend's NodeStats must also match exactly: the
+            // transport-only counter it adds (wire_rejects) stays zero on a
+            // healthy loopback cluster, so no masking is needed.
+            let socket_node_stats = socket_stats.get(id).expect("node survived shutdown");
+            prop_assert_eq!(
+                sim_node_stats,
+                socket_node_stats,
+                "node {}: socket runtime disagrees on NodeStats",
                 id
             );
         }
@@ -654,6 +749,11 @@ fn restarted_replica_converges_via_incremental_anti_entropy() {
     let async_outcomes = run(&mut async_cluster, &spec, Duration::from_secs(10));
     let (async_keys, async_stats) = final_state(async_cluster.shutdown());
 
+    let mut socket_cluster = socket_cluster_under_stress(&spec, SocketTransportKind::Tcp);
+    socket_cluster.set_drain_idle_grace(Duration::from_millis(300));
+    let socket_outcomes = run(&mut socket_cluster, &spec, Duration::from_secs(10));
+    let (socket_keys, socket_stats) = final_state(socket_cluster.shutdown());
+
     // --- The stale replica actually converged ------------------------------
     let plan = spec.build_nodes();
     let probe = Key::from_user_key("diverge-0");
@@ -680,14 +780,17 @@ fn restarted_replica_converges_via_incremental_anti_entropy() {
     // --- And every backend agrees on everything ----------------------------
     assert_eq!(sim_outcomes, threaded_outcomes, "threaded replies diverge");
     assert_eq!(sim_outcomes, async_outcomes, "async replies diverge");
+    assert_eq!(sim_outcomes, socket_outcomes, "socket replies diverge");
     assert_eq!(sim_keys, threaded_keys, "threaded stores diverge");
     assert_eq!(sim_keys, async_keys, "async stores diverge");
+    assert_eq!(sim_keys, socket_keys, "socket stores diverge");
     for (id, stats) in &sim_stats {
         assert_eq!(
             stats, &threaded_stats[id],
             "threaded stats diverge for {id}"
         );
         assert_eq!(stats, &async_stats[id], "async stats diverge for {id}");
+        assert_eq!(stats, &socket_stats[id], "socket stats diverge for {id}");
         if *id == victim {
             assert!(
                 stats.objects_repaired > 0,
