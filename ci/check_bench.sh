@@ -1,13 +1,13 @@
 #!/usr/bin/env bash
 # Guard a bench sweep artifact: every expected worker-count row must be
-# present and no row may have recorded zero completed operations.
+# present, every row must have completed every operation it submitted, and
+# the tail-latency columns must be recorded.
 #
 # Usage: ci/check_bench.sh <bench.json> <worker-count>...
 #
 # Shared by the async and socket bench smoke jobs. The bench binaries emit
-# `workers` as a JSON integer (`"workers": 4`) precisely so this check never
-# depends on float formatting; the zero-op pattern still tolerates the older
-# two-decimal rendering of the count metrics.
+# count metrics as JSON integers (`"workers": 4`, `"puts_completed": 150`)
+# precisely so these checks never depend on float formatting.
 set -euo pipefail
 
 if [ "$#" -lt 2 ]; then
@@ -28,6 +28,33 @@ if grep -E '"(puts_completed|gets_answered)": 0(\.00)?,?$' "$file"; then
     exit 1
 fi
 
+# Every row must have finished its full workload: the submitted and completed
+# counters are compared row by row (grep preserves row order on both sides).
+check_all_completed() {
+    local submitted_field="$1" completed_field="$2"
+    local submitted completed
+    submitted=$(grep -oE "\"${submitted_field}\": [0-9]+" "$file" | awk '{print $2}')
+    completed=$(grep -oE "\"${completed_field}\": [0-9]+" "$file" | awk '{print $2}')
+    if [ -z "$submitted" ]; then
+        echo "$file: no ${submitted_field} column found" >&2
+        exit 1
+    fi
+    if [ "$submitted" != "$completed" ]; then
+        echo "$file: ${completed_field} does not equal ${submitted_field} on every row" >&2
+        exit 1
+    fi
+}
+check_all_completed puts_submitted puts_completed
+check_all_completed gets_submitted gets_answered
+
+# The latency distribution must include the p99.9 tail, not just p50/p99.
+for column in put_latency_p999_us get_latency_p999_us; do
+    if ! grep -q "\"${column}\":" "$file"; then
+        echo "$file: ${column} column missing from sweep rows" >&2
+        exit 1
+    fi
+done
+
 for workers in "$@"; do
     if ! grep -Eq "\"workers\": ${workers},?$" "$file"; then
         echo "$file: sweep row for ${workers} workers missing" >&2
@@ -35,4 +62,4 @@ for workers in "$@"; do
     fi
 done
 
-echo "$file: all rows present (workers: $*), every row completed operations"
+echo "$file: all rows present (workers: $*), every row completed all its ops, p99.9 recorded"

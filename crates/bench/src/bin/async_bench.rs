@@ -137,9 +137,9 @@ fn main() {
     write_sweep_json(
         "BENCH_async.json",
         &[
-            ("nodes", format!("{:.2}", args.nodes as f64)),
-            ("slices", format!("{:.2}", f64::from(args.slices))),
-            ("mailbox_capacity", format!("{:.2}", args.mailbox as f64)),
+            ("nodes", args.nodes.to_string()),
+            ("slices", args.slices.to_string()),
+            ("mailbox_capacity", args.mailbox.to_string()),
         ],
         &rows,
     );
@@ -321,8 +321,10 @@ fn run_row(
         ("get_throughput_ops_per_s", get_throughput),
         ("put_latency_p50_us", percentile(&mut put_lat_us, 0.50)),
         ("put_latency_p99_us", percentile(&mut put_lat_us, 0.99)),
+        ("put_latency_p999_us", percentile(&mut put_lat_us, 0.999)),
         ("get_latency_p50_us", percentile(&mut get_lat_us, 0.50)),
         ("get_latency_p99_us", percentile(&mut get_lat_us, 0.99)),
+        ("get_latency_p999_us", percentile(&mut get_lat_us, 0.999)),
         ("mailbox_saturations", saturations as f64),
         ("gossip_messages", gossip_messages as f64),
         ("ae_chunks_skipped", ae_skipped as f64),

@@ -62,16 +62,42 @@ impl ExperimentConfig {
     }
 }
 
+/// Sweep fields that are counts (or identifiers) by construction: they are
+/// emitted as JSON integers (`"dials": 62`), never as decorated floats
+/// (`62.00`), so downstream tooling — and the CI guard's exact greps —
+/// parse them as the integers they are. Every measured quantity (rates,
+/// latencies, per-node ratios) keeps two decimals.
+const INTEGER_FIELDS: &[&str] = &[
+    "workers",
+    "nodes",
+    "slices",
+    "spawn_ms",
+    "spawn_build_ms",
+    "spawn_arm_ms",
+    "puts_submitted",
+    "puts_completed",
+    "gets_submitted",
+    "gets_answered",
+    "get_hits",
+    "mailbox_saturations",
+    "dials",
+    "dial_retries",
+    "wire_rejects",
+    "gossip_messages",
+    "ae_chunks_skipped",
+    "replica_objects_total",
+    "arena_fresh_buffers",
+    "arena_recycled_buffers",
+    "arena_steady_fresh_delta",
+];
+
 /// Renders one metric line of the sweep-JSON schema shared by
-/// `BENCH_async.json` and `BENCH_socket.json`.
-///
-/// Discrete identifiers the CI guard greps for exactly — today only the
-/// sweep key `workers` — are emitted as JSON integers (`"workers": 4`), so
-/// the guard never depends on float formatting; every measured quantity
-/// keeps two decimals.
+/// `BENCH_async.json` and `BENCH_socket.json`: count fields (see
+/// `INTEGER_FIELDS`) as true JSON integers, measured quantities with two
+/// decimals.
 #[must_use]
 pub fn render_sweep_metric(name: &str, value: f64) -> String {
-    if name == "workers" {
+    if INTEGER_FIELDS.contains(&name) {
         format!("\"{name}\": {value:.0}")
     } else {
         format!("\"{name}\": {value:.2}")

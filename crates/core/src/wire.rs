@@ -170,6 +170,42 @@ pub fn encode_output(
     }
 }
 
+/// Encodes one transport unit into a **reusable** buffer: `buf` is cleared
+/// first and afterwards holds exactly one frame. This is the entry point
+/// for pooled-buffer ("arena") senders that recycle encode buffers instead
+/// of allocating per frame; [`encode_frame`] remains the appending variant
+/// for callers batching several frames into one byte stream.
+///
+/// # Errors
+///
+/// Returns [`WireError::FrameTooLarge`] — leaving `buf` empty — if the
+/// encoded body exceeds [`MAX_FRAME_BYTES`]; see [`encode_frame`].
+pub fn encode_frame_into(
+    from: NodeId,
+    messages: &[Message],
+    buf: &mut Vec<u8>,
+) -> Result<(), WireError> {
+    buf.clear();
+    encode_frame(from, messages, buf)
+}
+
+/// Encodes a routed [`Output`] into a **reusable** buffer: `buf` is
+/// cleared first. Semantics otherwise match [`encode_output`] — `Ok(None)`
+/// (with `buf` left empty) for outputs that are not wire traffic.
+///
+/// # Errors
+///
+/// Returns [`WireError::FrameTooLarge`] (leaving `buf` empty) if the unit
+/// exceeds [`MAX_FRAME_BYTES`]; see [`encode_frame`].
+pub fn encode_output_into(
+    from: NodeId,
+    output: &Output,
+    buf: &mut Vec<u8>,
+) -> Result<Option<NodeId>, WireError> {
+    buf.clear();
+    encode_output(from, output, buf)
+}
+
 fn encode_message(message: &Message, out: &mut Vec<u8>) {
     match message {
         Message::Shuffle(request) => {

@@ -112,6 +112,15 @@ pub struct RuntimeOptions {
     /// Socket family of the socket backend (ignored by the others):
     /// TCP on loopback (the portable default) or Unix-domain sockets.
     pub transport: dataflasks_net_env::SocketTransportKind,
+    /// Reactor (readiness-loop) threads of the socket backend (ignored by
+    /// the others). `0` picks one; see
+    /// [`SocketClusterConfig::io_threads`](dataflasks_net_env::SocketClusterConfig).
+    pub io_threads: usize,
+    /// Frame-buffer arena cap of the socket backend (ignored by the
+    /// others; `0` = unbounded). Bounds how many idle encode/reassembly
+    /// buffers the arena keeps warm between bursts; see
+    /// [`SocketClusterConfig::arena_capacity`](dataflasks_net_env::SocketClusterConfig).
+    pub arena_capacity: usize,
 }
 
 impl RuntimeKind {
@@ -166,6 +175,8 @@ impl RuntimeKind {
                     sched: options.sched,
                     mailbox_capacity: options.mailbox_capacity,
                     transport: options.transport,
+                    io_threads: options.io_threads,
+                    arena_capacity: options.arena_capacity,
                     ..dataflasks_net_env::SocketClusterConfig::default()
                 },
             )),

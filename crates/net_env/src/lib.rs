@@ -38,6 +38,24 @@
 //!   the kernel socket buffer, which is TCP/UDS flow control doing the
 //!   deferring the async backend does in user space.
 //!
+//! The hot path is built for scale:
+//!
+//! * **Readiness reactor.** IO threads do not scan sockets for
+//!   `WouldBlock`; they park on an `epoll`/`kqueue` selector
+//!   ([`reactor`](crate) module) that registers every listener, accepted
+//!   connection and pool dial, and wakes only on actual readiness (or a
+//!   wake-pipe nudge from a sender or a worker that just drained a
+//!   saturated mailbox).
+//! * **Vectored writes.** A destination's queued frames are flushed with
+//!   one `writev` per kernel crossing ([`outbound::OutboundQueue`](crate)),
+//!   resuming partial writes at the exact byte across frame and iovec
+//!   boundaries.
+//! * **Zero steady-state allocation.** Encode buffers and reassembly
+//!   buffers come from a pooled [`arena`](crate); once the cluster is warm
+//!   the send/receive path recycles instead of allocating (the arena's
+//!   fresh-allocation counter is asserted zero by `socket_bench
+//!   --assert-steady-alloc`).
+//!
 //! The cluster implements the same [`Environment`] driver surface as the
 //! other three backends, and the four-way differential parity suite holds it
 //! to identical client-visible behaviour, crash→restart included.
@@ -60,21 +78,26 @@
 //! cluster.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` instead of `forbid`: the reactor's per-OS selector backends carry
+// the only `unsafe` in the crate (hand-declared epoll/kqueue syscalls, since
+// the workspace vendors neither mio nor libc) behind scoped allows.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+mod outbound;
+mod reactor;
 mod reassembly;
 mod transport;
 
 pub use reassembly::ReassemblyBuffer;
 pub use transport::SocketTransportKind;
 
-use std::collections::VecDeque;
-use std::io::{ErrorKind, Read, Write};
+use std::io::{ErrorKind, IoSlice, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -82,8 +105,9 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use arena::BufferArena;
 use dataflasks_async_env::wheel::TimerWheel;
-use dataflasks_core::wire::encode_output;
+use dataflasks_core::wire::encode_output_into;
 use dataflasks_core::{
     BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
     DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, Poll, PushOutcome,
@@ -92,6 +116,8 @@ use dataflasks_core::{
 use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, RequestId, SimTime, StoredObject, Value, Version,
 };
+use outbound::{OutboundQueue, MAX_WRITE_VECS};
+use reactor::Interest;
 
 use transport::{Listener, PeerAddr, Stream};
 
@@ -128,6 +154,11 @@ pub struct SocketClusterConfig {
     pub dial_backoff: Duration,
     /// Upper bound on the dial retry delay.
     pub dial_backoff_max: Duration,
+    /// Maximum idle buffers the frame arena keeps pooled (`0` = unbounded).
+    /// The pool is what makes the steady-state send/receive path
+    /// allocation-free; bounding it trades a few re-allocations after
+    /// bursts for a tighter memory ceiling.
+    pub arena_capacity: usize,
 }
 
 impl Default for SocketClusterConfig {
@@ -142,6 +173,7 @@ impl Default for SocketClusterConfig {
             transport: SocketTransportKind::default(),
             dial_backoff: Duration::from_millis(10),
             dial_backoff_max: Duration::from_millis(500),
+            arena_capacity: 0,
         }
     }
 }
@@ -196,6 +228,15 @@ struct InboundConn {
     stream: Stream,
     buffer: ReassemblyBuffer,
     pending: Option<(NodeId, Vec<Message>)>,
+    /// Stable identity within its slot — reactor tokens resolve through it,
+    /// so a swap-removed vector never aliases a token to the wrong stream.
+    id: u64,
+    /// The owning reactor's slab token for this connection's registration.
+    token: reactor::Token,
+    /// Whether read interest is currently armed (dropped while a saturated
+    /// holdover parks the connection, so level-triggered readiness does not
+    /// busy-loop on bytes nobody will read).
+    reading: bool,
 }
 
 /// One hosted node: the sans-io host, its mailbox, its listener and the
@@ -207,6 +248,10 @@ struct NodeSlot {
     addr: PeerAddr,
     listener: Listener,
     conns: Mutex<Vec<InboundConn>>,
+    /// Connections currently parked on a saturated-mailbox holdover (only
+    /// mutated under the `conns` lock; read lock-free by workers deciding
+    /// whether to nudge the reactor after draining the mailbox).
+    blocked_conns: AtomicU64,
 }
 
 /// The outgoing half of the connection pool for one destination node,
@@ -215,21 +260,51 @@ struct NodeSlot {
 /// process).
 struct PoolEntry {
     state: Mutex<PoolState>,
-    /// Lock-free "anything to flush?" probe for the reactor's write pass.
-    has_work: AtomicBool,
+    /// Whether this destination already sits in its reactor's dirty queue
+    /// (senders CAS it so a flood enqueues the destination once, not once
+    /// per frame).
+    enqueued: AtomicBool,
 }
 
 #[derive(Default)]
 struct PoolState {
     conn: Option<Stream>,
-    /// Encoded frames awaiting the wire, in submission order.
-    outbox: VecDeque<Vec<u8>>,
-    /// Bytes of `outbox[0]` already written (a partial write resumes here).
-    write_offset: usize,
+    /// Encoded frames awaiting the wire, in submission order, with
+    /// partial-write resume state.
+    queue: OutboundQueue,
     /// Consecutive failed dials (drives the exponential backoff).
     attempt: u32,
     /// Earliest instant the next dial may be tried.
     next_dial: Option<Instant>,
+    /// The owning reactor's slab token for the dialed connection.
+    token: Option<reactor::Token>,
+    /// Whether write interest is armed (only while a flush is blocked on a
+    /// full socket buffer — a level-triggered selector would otherwise
+    /// report an idle writable socket forever).
+    want_write: bool,
+}
+
+/// Cross-thread mailbox of one reactor thread: the wake handle plus the
+/// work queues senders and crash paths hand it.
+struct ReactorHandle {
+    waker: reactor::Waker,
+    /// Destinations with freshly queued frames awaiting a flush.
+    dirty: Mutex<Vec<usize>>,
+    /// Slab tokens whose sockets a crash path already closed; the reactor
+    /// reclaims them on its next pass (the kernel dropped the closed fds
+    /// from the readiness set on its own).
+    cleanup: Mutex<Vec<reactor::Token>>,
+    /// Dedups wake-pipe writes: only the first nudge between two poll
+    /// returns pays the syscall.
+    wake_flag: AtomicBool,
+}
+
+impl ReactorHandle {
+    fn wake(&self) {
+        if !self.wake_flag.swap(true, Ordering::SeqCst) {
+            self.waker.wake();
+        }
+    }
 }
 
 /// State shared by the driver, the workers, the reactor and the timer
@@ -245,11 +320,13 @@ struct Shared {
     epoch: Instant,
     node_config: NodeConfig,
     stopping: AtomicBool,
-    io_threads: usize,
+    /// Slots and pool destinations are owned by reactor
+    /// `index % reactors.len()`.
+    reactors: Vec<ReactorHandle>,
+    /// Pooled encode/reassembly buffers — the zero-allocation steady state.
+    arena: BufferArena,
     dial_backoff: StdDuration,
     dial_backoff_max: StdDuration,
-    /// Parks idle reactor threads; senders nudge it after enqueuing frames.
-    io_wake: (StdMutex<()>, Condvar),
     /// Times a complete frame was refused by a saturated mailbox (each is
     /// retried from the connection's holdover slot, never lost).
     saturations: AtomicU64,
@@ -260,6 +337,14 @@ struct Shared {
     /// Inbound frames rejected by the wire decoder (also counted per node in
     /// `NodeStats::wire_rejects`).
     wire_rejects: AtomicU64,
+    /// Live reactor slab tokens (registrations minus reclaims), across all
+    /// reactor threads.
+    reactor_tokens: AtomicU64,
+    /// Cumulative reactor registrations (listeners, inbound conns, dials).
+    reactor_registrations: AtomicU64,
+    /// Readiness events whose token no longer resolved to a live socket
+    /// (the socket raced a crash path); tolerated and skipped.
+    reactor_stale_events: AtomicU64,
 }
 
 /// How a decoded frame fared against the destination mailbox.
@@ -286,6 +371,11 @@ impl Shared {
         slot % self.wheels.len()
     }
 
+    /// The reactor thread owning `index` (a slot or a pool destination).
+    fn reactor_of(&self, index: usize) -> &ReactorHandle {
+        &self.reactors[index % self.reactors.len()]
+    }
+
     /// Routes one effect of `from`'s dispatch round: transport units are
     /// encoded once and queued on the destination's pool connection, replies
     /// go to the cluster-wide client inbox, timer re-arms to the emitting
@@ -302,8 +392,8 @@ impl Shared {
                 let _ = self.client_inbox.send((client, reply));
             }
             transport @ (Output::Send { .. } | Output::SendBatch { .. }) => {
-                let mut frame = Vec::new();
-                match encode_output(NodeId::new(from as u64), &transport, &mut frame) {
+                let mut frame = self.arena.take();
+                match encode_output_into(NodeId::new(from as u64), &transport, &mut frame) {
                     Ok(to) => {
                         let to = to.expect("send outputs always frame");
                         self.send_frame(to, frame);
@@ -311,18 +401,23 @@ impl Shared {
                     // A pathological unit exceeding the frame limit is
                     // dropped like a network rejecting an oversized
                     // datagram; the worker survives.
-                    Err(_) => debug_assert!(false, "protocol produced an oversized frame"),
+                    Err(_) => {
+                        debug_assert!(false, "protocol produced an oversized frame");
+                        self.arena.give(frame);
+                    }
                 }
             }
         }
     }
 
-    /// Queues one encoded frame for `to`'s pool connection. Frames to
-    /// failed or unknown destinations are dropped silently (the crash
-    /// semantics every backend shares).
+    /// Queues one encoded frame for `to`'s pool connection and marks the
+    /// destination dirty for its reactor (once per flood, not once per
+    /// frame). Frames to failed or unknown destinations are dropped
+    /// silently (the crash semantics every backend shares).
     fn send_frame(&self, to: NodeId, frame: Vec<u8>) {
         let index = to.as_u64() as usize;
         let Some(slot) = self.slots.get(index) else {
+            self.arena.give(frame);
             return;
         };
         let entry = &self.pool[index];
@@ -334,12 +429,17 @@ impl Shared {
         // pre-crash frame can never slip in between a crash and the
         // restart's un-failing and reach the fresh incarnation.
         if slot.failed.load(Ordering::SeqCst) {
+            drop(state);
+            self.arena.give(frame);
             return;
         }
-        state.outbox.push_back(frame);
+        state.queue.push(frame);
         drop(state);
-        entry.has_work.store(true, Ordering::SeqCst);
-        self.wake_io();
+        if !entry.enqueued.swap(true, Ordering::SeqCst) {
+            let handle = self.reactor_of(index);
+            handle.dirty.lock().push(index);
+            handle.wake();
+        }
     }
 
     /// Offers one decoded frame to `to_slot`'s mailbox, honouring its
@@ -384,20 +484,6 @@ impl Shared {
         if let Some(slot) = self.slots.get(to_slot) {
             slot.host.lock().node_mut().record_wire_reject();
         }
-    }
-
-    fn wake_io(&self) {
-        self.io_wake.1.notify_all();
-    }
-
-    /// Parks a reactor thread for up to `timeout` (woken early by senders).
-    fn io_park(&self, timeout: StdDuration) {
-        let guard = self.io_wake.0.lock().expect("io wake lock poisoned");
-        let _ = self
-            .io_wake
-            .1
-            .wait_timeout(guard, timeout)
-            .expect("io wake lock poisoned");
     }
 }
 
@@ -501,13 +587,14 @@ impl SocketCluster {
                     addr,
                     listener,
                     conns: Mutex::new(Vec::new()),
+                    blocked_conns: AtomicU64::new(0),
                 }
             })
             .collect();
         let pool = (0..slots.len())
             .map(|_| PoolEntry {
                 state: Mutex::new(PoolState::default()),
-                has_work: AtomicBool::new(false),
+                enqueued: AtomicBool::new(false),
             })
             .collect();
         let worker_count = config.effective_workers();
@@ -528,6 +615,21 @@ impl SocketCluster {
                 wheels[index % worker_count].arm(index, kind, deadline);
             }
         }
+        // The selectors exist before the shared state: their wake handles
+        // live in `Shared`, the selectors themselves move into the reactor
+        // threads below.
+        let polls: Vec<reactor::Poll> = (0..io_count)
+            .map(|_| reactor::Poll::new().expect("create the readiness selector"))
+            .collect();
+        let reactors = polls
+            .iter()
+            .map(|poll| ReactorHandle {
+                waker: poll.waker(),
+                dirty: Mutex::new(Vec::new()),
+                cleanup: Mutex::new(Vec::new()),
+                wake_flag: AtomicBool::new(false),
+            })
+            .collect();
         let shared = Arc::new(Shared {
             scheduler: Scheduler::new(slots.len(), worker_count, config.sched),
             slots,
@@ -537,14 +639,17 @@ impl SocketCluster {
             epoch,
             node_config: spec.node_config,
             stopping: AtomicBool::new(false),
-            io_threads: io_count,
+            reactors,
+            arena: BufferArena::new(config.arena_capacity),
             dial_backoff: to_std(config.dial_backoff).max(StdDuration::from_millis(1)),
             dial_backoff_max: to_std(config.dial_backoff_max).max(StdDuration::from_millis(1)),
-            io_wake: (StdMutex::new(()), Condvar::new()),
             saturations: AtomicU64::new(0),
             dials: AtomicU64::new(0),
             dial_retries: AtomicU64::new(0),
             wire_rejects: AtomicU64::new(0),
+            reactor_tokens: AtomicU64::new(0),
+            reactor_registrations: AtomicU64::new(0),
+            reactor_stale_events: AtomicU64::new(0),
         });
         let workers = (0..worker_count)
             .map(|index| {
@@ -555,12 +660,14 @@ impl SocketCluster {
                     .expect("spawn worker thread")
             })
             .collect();
-        let io_workers = (0..io_count)
-            .map(|index| {
+        let io_workers = polls
+            .into_iter()
+            .enumerate()
+            .map(|(index, poll)| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("dataflasks-sock-io-{index}"))
-                    .spawn(move || io_loop(&shared, index))
+                    .spawn(move || Reactor::new(&shared, index, poll).run())
                     .expect("spawn reactor thread")
             })
             .collect();
@@ -636,6 +743,44 @@ impl SocketCluster {
     #[must_use]
     pub fn wire_reject_count(&self) -> u64 {
         self.shared.wire_rejects.load(Ordering::Relaxed)
+    }
+
+    /// Frame buffers the arena had to allocate because its pool was empty.
+    /// Once the cluster is warm this stops moving — the steady-state
+    /// send/receive path recycles buffers instead of allocating
+    /// (`socket_bench --assert-steady-alloc` asserts exactly that).
+    #[must_use]
+    pub fn arena_fresh_buffers(&self) -> u64 {
+        self.shared.arena.fresh_buffers()
+    }
+
+    /// Frame buffers served from the arena's pool (the steady-state case).
+    #[must_use]
+    pub fn arena_recycled_buffers(&self) -> u64 {
+        self.shared.arena.recycled_buffers()
+    }
+
+    /// Live reactor registrations (listeners + inbound connections + pool
+    /// dials) across all reactor threads. Crash/restart churn must return
+    /// this to listeners-plus-live-connections — a monotonic climb would
+    /// mean leaked (stale) tokens.
+    #[must_use]
+    pub fn reactor_live_tokens(&self) -> u64 {
+        self.shared.reactor_tokens.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative reactor registrations since start.
+    #[must_use]
+    pub fn reactor_registration_count(&self) -> u64 {
+        self.shared.reactor_registrations.load(Ordering::Relaxed)
+    }
+
+    /// Readiness events whose token no longer resolved to a live socket
+    /// (the socket raced a crash path and was already closed); these are
+    /// tolerated and skipped, never misrouted.
+    #[must_use]
+    pub fn reactor_stale_event_count(&self) -> u64 {
+        self.shared.reactor_stale_events.load(Ordering::Relaxed)
     }
 
     /// Stores `value` under `key` and waits until at least one replica
@@ -746,7 +891,9 @@ impl SocketCluster {
     pub fn shutdown(mut self) -> Vec<DataFlasksNode<DefaultStore>> {
         self.shared.stopping.store(true, Ordering::SeqCst);
         self.shared.scheduler.shutdown();
-        self.shared.wake_io();
+        for handle in &self.shared.reactors {
+            handle.waker.wake();
+        }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
@@ -864,11 +1011,39 @@ impl Environment for SocketCluster {
         slot.failed.store(true, Ordering::SeqCst);
         slot.inbox.close();
         slot.inbox.clear();
-        slot.conns.lock().clear();
-        let entry = &self.shared.pool[node.as_u64() as usize];
+        let index = node.as_u64() as usize;
+        {
+            // Dropping the streams closes them immediately (peers observe
+            // EOF/reset); the kernel drops closed fds from the readiness set
+            // on its own, so only the reactor's slab tokens remain to be
+            // reclaimed — handed to the owning reactor, which is the sole
+            // slab mutator.
+            let mut conns = slot.conns.lock();
+            let mut stale = Vec::with_capacity(conns.len());
+            for conn in conns.drain(..) {
+                stale.push(conn.token);
+                self.shared.arena.give(conn.buffer.into_buffer());
+            }
+            slot.blocked_conns.store(0, Ordering::SeqCst);
+            drop(conns);
+            if !stale.is_empty() {
+                let handle = self.shared.reactor_of(index);
+                handle.cleanup.lock().extend(stale);
+                handle.wake();
+            }
+        }
+        let entry = &self.shared.pool[index];
         let mut state = entry.state.lock();
+        let pool_token = state.token.take();
+        state.queue.clear(|frame| self.shared.arena.give(frame));
         *state = PoolState::default();
-        entry.has_work.store(false, Ordering::SeqCst);
+        drop(state);
+        entry.enqueued.store(false, Ordering::SeqCst);
+        if let Some(token) = pool_token {
+            let handle = self.shared.reactor_of(index);
+            handle.cleanup.lock().push(token);
+            handle.wake();
+        }
     }
 
     fn restart_node(&mut self, node: NodeId) {
@@ -958,107 +1133,337 @@ fn worker_loop(shared: &Shared, worker: usize) {
         drop(host);
         let still_pending = !slot.inbox.is_empty() && !slot.failed.load(Ordering::SeqCst);
         shared.scheduler.finish(slot_index, still_pending);
+        // Mailbox room may have opened for a connection parked on a
+        // saturated holdover; nudge the reactor so the retry does not wait
+        // for its fallback timeout.
+        if slot.blocked_conns.load(Ordering::Relaxed) > 0 {
+            shared.reactor_of(slot_index).wake();
+        }
     }
 }
 
-/// Longest idle park of a reactor thread (woken earlier by senders).
-const IO_PARK_MAX: StdDuration = StdDuration::from_millis(2);
-/// Shortest idle park, used right after a pass that made progress.
-const IO_PARK_MIN: StdDuration = StdDuration::from_micros(100);
 /// Read scratch size: large enough that one syscall drains a burst of
 /// typical frames.
 const READ_CHUNK: usize = 64 * 1024;
+/// Idle poll timeout: long, because every state change that needs the
+/// reactor (a queued frame, a drained mailbox, shutdown) wakes it
+/// explicitly; the timeout only bounds how late it notices stragglers.
+const IO_IDLE_PARK: StdDuration = StdDuration::from_millis(100);
+/// Fallback retry cadence while any connection is parked on a saturated
+/// holdover (workers nudge earlier; this bounds the worst case).
+const BLOCKED_RETRY: StdDuration = StdDuration::from_millis(1);
+/// Consecutive re-dials one flush call attempts before handing the
+/// destination to the backoff queue (guards against a peer that accepts
+/// and instantly resets).
+const MAX_FLUSH_REDIALS: u32 = 8;
 
-/// The reactor loop: accept pending connections, pump every inbound stream
-/// through its reassembly buffer, flush and lazily dial the outgoing pool —
-/// all non-blocking, sharded over the reactor threads by slot index, with an
-/// adaptive park when a full pass makes no progress.
-fn io_loop(shared: &Shared, io_index: usize) {
-    let mut scratch = vec![0u8; READ_CHUNK];
-    let mut idle_streak: u32 = 0;
-    while !shared.stopping.load(Ordering::SeqCst) {
-        let mut progress = false;
-        let stride = shared.io_threads;
-        for slot_index in (io_index..shared.slots.len()).step_by(stride) {
-            progress |= pump_node(shared, slot_index, &mut scratch);
-        }
-        for dest in (io_index..shared.pool.len()).step_by(stride) {
-            progress |= flush_pool_entry(shared, dest);
-        }
-        if progress {
-            idle_streak = 0;
-            continue;
-        }
-        // Adaptive park: hot right after traffic, backing off to the cap
-        // when the cluster is quiet. Senders cut the park short via the
-        // condvar.
-        idle_streak = idle_streak.saturating_add(1);
-        let park = (IO_PARK_MIN * idle_streak.min(20)).min(IO_PARK_MAX);
-        shared.io_park(park);
-    }
+/// What one registered descriptor means. The reactor keeps these in a
+/// per-thread slab; the slab index is the `reactor::Token`.
+#[derive(Debug, Clone, Copy)]
+enum Registration {
+    /// A node's listener (registered once at startup, lives forever — the
+    /// OS endpoint survives crash/restart).
+    Listener(usize),
+    /// An accepted connection: slot index plus the connection's stable id
+    /// (the conns vector reorders on removal, ids do not).
+    Inbound { slot: usize, conn: u64 },
+    /// The pool's dialed connection to a destination.
+    Pool(usize),
+    /// Free slab entry.
+    Free,
 }
 
-/// Accepts and reads for one node. Returns `true` if any byte or connection
-/// moved.
-fn pump_node(shared: &Shared, slot_index: usize, scratch: &mut [u8]) -> bool {
-    let slot = &shared.slots[slot_index];
-    let mut progress = false;
-    // Accept every pending connection (cheap when none is pending).
-    loop {
-        match slot.listener.accept() {
-            Ok(stream) => {
-                // Connections to a failed node are accepted and then starve:
-                // frames decoded from them are dropped at the closed
-                // mailbox, the shared crash semantics. The streams
-                // themselves are discarded with the next fail/restart.
-                slot.conns.lock().push(InboundConn {
-                    stream,
-                    buffer: ReassemblyBuffer::new(),
-                    pending: None,
-                });
-                progress = true;
-            }
-            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
-            Err(_) => break,
+/// What handling one inbound connection concluded.
+enum ConnVerdict {
+    Keep,
+    /// EOF, reset or corrupt bytes: remove the connection.
+    Remove,
+}
+
+/// One reactor thread: owns a selector, the slab resolving its tokens, and
+/// every slot/destination with `index % io_threads == io_index`.
+struct Reactor<'a> {
+    shared: &'a Shared,
+    io_index: usize,
+    poll: reactor::Poll,
+    slab: Vec<Registration>,
+    free: Vec<reactor::Token>,
+    /// Monotonic id source for accepted connections.
+    next_conn_id: u64,
+    /// Read scratch shared by every connection this thread pumps.
+    scratch: Vec<u8>,
+    /// Destinations waiting out a dial backoff: (earliest retry, dest).
+    backoffs: Vec<(Instant, usize)>,
+    events: Vec<reactor::Event>,
+}
+
+impl<'a> Reactor<'a> {
+    fn new(shared: &'a Shared, io_index: usize, poll: reactor::Poll) -> Self {
+        Self {
+            shared,
+            io_index,
+            poll,
+            slab: Vec::new(),
+            free: Vec::new(),
+            next_conn_id: 0,
+            scratch: vec![0u8; READ_CHUNK],
+            backoffs: Vec::new(),
+            events: Vec::new(),
         }
     }
-    let mut conns = slot.conns.lock();
-    conns.retain_mut(|conn| {
+
+    fn stride(&self) -> usize {
+        self.shared.reactors.len()
+    }
+
+    fn handle(&self) -> &ReactorHandle {
+        &self.shared.reactors[self.io_index]
+    }
+
+    fn alloc_token(&mut self, registration: Registration) -> reactor::Token {
+        self.shared
+            .reactor_registrations
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.reactor_tokens.fetch_add(1, Ordering::Relaxed);
+        if let Some(token) = self.free.pop() {
+            self.slab[token] = registration;
+            token
+        } else {
+            self.slab.push(registration);
+            self.slab.len() - 1
+        }
+    }
+
+    fn free_token(&mut self, token: reactor::Token) {
+        debug_assert!(!matches!(self.slab[token], Registration::Free));
+        self.slab[token] = Registration::Free;
+        self.free.push(token);
+        self.shared.reactor_tokens.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// The reactor loop: park on the selector, then work through dirty
+    /// destinations, readiness events, parked holdovers and due re-dials.
+    fn run(mut self) {
+        let shared = self.shared;
+        // Register every owned listener once; the registration lives for
+        // the whole cluster (restart reuses the bound endpoint).
+        for slot_index in (self.io_index..shared.slots.len()).step_by(self.stride()) {
+            let token = self.alloc_token(Registration::Listener(slot_index));
+            self.poll
+                .register(
+                    shared.slots[slot_index].listener.sys_fd(),
+                    token,
+                    Interest::READ,
+                )
+                .expect("register a listener");
+        }
+        let mut dirty: Vec<usize> = Vec::new();
+        let mut cleanup: Vec<reactor::Token> = Vec::new();
+        while !shared.stopping.load(Ordering::SeqCst) {
+            let timeout = self.next_timeout();
+            let mut events = std::mem::take(&mut self.events);
+            if self.poll.wait(&mut events, timeout).is_err() {
+                events.clear();
+            }
+            // Clearing the wake flag *before* draining the queues pairs
+            // with senders pushing *before* swapping the flag: a nudge is
+            // either seen by this drain or re-raises the flag for the next
+            // wait.
+            self.handle().wake_flag.store(false, Ordering::SeqCst);
+            if shared.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            // Tokens whose sockets a crash path closed: reclaim.
+            cleanup.clear();
+            cleanup.append(&mut self.handle().cleanup.lock());
+            for token in cleanup.drain(..) {
+                self.free_token(token);
+            }
+            // Destinations with freshly queued frames.
+            dirty.clear();
+            dirty.append(&mut self.handle().dirty.lock());
+            for &dest in &dirty {
+                shared.pool[dest].enqueued.store(false, Ordering::SeqCst);
+                self.flush_pool(dest);
+            }
+            // Kernel readiness.
+            for &event in &events {
+                self.dispatch(event);
+            }
+            self.events = events;
+            // Parked holdovers: workers nudge on mailbox room, the timeout
+            // bounds the worst case, and a wasted probe is cheap.
+            self.retry_blocked();
+            // Due dial backoffs.
+            self.retry_backoffs();
+        }
+    }
+
+    /// How long the next selector wait may sleep, given parked connections
+    /// and pending dial backoffs.
+    fn next_timeout(&self) -> StdDuration {
+        let mut timeout = IO_IDLE_PARK;
+        let shared = self.shared;
+        let any_blocked = (self.io_index..shared.slots.len())
+            .step_by(self.stride())
+            .any(|slot| shared.slots[slot].blocked_conns.load(Ordering::Relaxed) > 0);
+        if any_blocked {
+            timeout = timeout.min(BLOCKED_RETRY);
+        }
+        if let Some(&(earliest, _)) = self.backoffs.iter().min_by_key(|(at, _)| *at) {
+            let now = Instant::now();
+            timeout = timeout.min(if earliest > now {
+                earliest - now
+            } else {
+                StdDuration::ZERO
+            });
+        }
+        timeout
+    }
+
+    fn dispatch(&mut self, event: reactor::Event) {
+        let Some(&registration) = self.slab.get(event.token) else {
+            self.shared
+                .reactor_stale_events
+                .fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match registration {
+            Registration::Listener(slot) => self.accept_conns(slot),
+            Registration::Inbound { slot, conn } => self.pump_conn(slot, conn),
+            Registration::Pool(dest) => {
+                if event.writable {
+                    self.flush_pool(dest);
+                }
+                if event.readable {
+                    self.probe_pool_read(dest);
+                }
+            }
+            Registration::Free => {
+                // The socket died (crash path) with this event already
+                // harvested; tolerated and skipped.
+                self.shared
+                    .reactor_stale_events
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Accepts every pending connection at `slot`'s listener and registers
+    /// it for read readiness.
+    fn accept_conns(&mut self, slot_index: usize) {
+        let shared = self.shared;
+        let slot = &shared.slots[slot_index];
+        loop {
+            match slot.listener.accept() {
+                Ok(stream) => {
+                    // Connections to a failed node are accepted and then
+                    // starve: frames decoded from them are dropped at the
+                    // closed mailbox, the shared crash semantics. The
+                    // streams themselves are discarded with the next
+                    // fail/restart.
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let token = self.alloc_token(Registration::Inbound {
+                        slot: slot_index,
+                        conn: id,
+                    });
+                    if self
+                        .poll
+                        .register(stream.sys_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        self.free_token(token);
+                        continue;
+                    }
+                    slot.conns.lock().push(InboundConn {
+                        stream,
+                        buffer: ReassemblyBuffer::with_buffer(shared.arena.take()),
+                        pending: None,
+                        id,
+                        token,
+                        reading: true,
+                    });
+                }
+                Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Pumps one inbound connection: retry its holdover, decode buffered
+    /// frames, then read until `WouldBlock` — parking (read interest off)
+    /// when the mailbox saturates, removing the connection on EOF/corrupt
+    /// bytes.
+    fn pump_conn(&mut self, slot_index: usize, conn_id: u64) {
+        let shared = self.shared;
+        let slot = &shared.slots[slot_index];
+        let mut conns = slot.conns.lock();
+        let Some(position) = conns.iter().position(|conn| conn.id == conn_id) else {
+            // Crash path already dropped it; its token arrives via cleanup.
+            shared.reactor_stale_events.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let conn = &mut conns[position];
         // A frame held over from a saturated mailbox blocks this connection
         // until it lands: per-connection FIFO is preserved and the unread
         // socket applies transport backpressure to the sender.
         if let Some((from, messages)) = conn.pending.take() {
             match shared.offer_input(slot_index, from, messages) {
-                Delivery::Delivered | Delivery::Dropped => progress = true,
+                Delivery::Delivered | Delivery::Dropped => {
+                    slot.blocked_conns.fetch_sub(1, Ordering::Relaxed);
+                }
                 Delivery::Saturated(held) => {
                     conn.pending = Some(held);
-                    return true;
+                    return; // still parked; read interest stays off
                 }
             }
         }
+        let verdict = self.drive_conn(slot_index, position, &mut conns);
+        if matches!(verdict, ConnVerdict::Remove) {
+            self.remove_conn(slot, &mut conns, position);
+        }
+    }
+
+    /// Decodes buffered frames and reads fresh bytes for the connection at
+    /// `position`, managing its read-interest and the slot's blocked count.
+    fn drive_conn(
+        &mut self,
+        slot_index: usize,
+        position: usize,
+        conns: &mut [InboundConn],
+    ) -> ConnVerdict {
+        let shared = self.shared;
+        let slot = &shared.slots[slot_index];
+        let conn = &mut conns[position];
         // Decode whatever already sits in the reassembly buffer *before*
         // reading: a saturation can park a holdover with complete frames
         // still buffered behind it, and those must not wait for the peer to
         // send more bytes.
-        match drain_frames(shared, slot_index, conn, &mut progress) {
-            FrameDrain::Blocked => return true,
-            FrameDrain::Corrupt => return false,
+        match drain_frames(shared, slot_index, conn) {
+            FrameDrain::Blocked => {
+                self.park_conn(slot, conn);
+                return ConnVerdict::Keep;
+            }
+            FrameDrain::Corrupt => return ConnVerdict::Remove,
             FrameDrain::Drained => {}
         }
         loop {
-            match conn.stream.read(scratch) {
+            match conn.stream.read(&mut self.scratch) {
                 // EOF: the peer closed (or crashed — a partial frame in the
                 // buffer is exactly the mid-frame connection drop case, and
                 // is discarded with the buffer).
-                Ok(0) => return false,
+                Ok(0) => return ConnVerdict::Remove,
                 Ok(read) => {
-                    progress = true;
-                    conn.buffer.extend_from_slice(&scratch[..read]);
-                    match drain_frames(shared, slot_index, conn, &mut progress) {
+                    conn.buffer.extend_from_slice(&self.scratch[..read]);
+                    match drain_frames(shared, slot_index, conn) {
                         // Stop decoding and stop reading: the backlog waits
-                        // on the socket.
-                        FrameDrain::Blocked => return true,
-                        FrameDrain::Corrupt => return false,
+                        // on the socket (kernel-buffer flow control).
+                        FrameDrain::Blocked => {
+                            self.park_conn(slot, conn);
+                            return ConnVerdict::Keep;
+                        }
+                        FrameDrain::Corrupt => return ConnVerdict::Remove,
                         FrameDrain::Drained => {}
                     }
                 }
@@ -1066,12 +1471,298 @@ fn pump_node(shared: &Shared, slot_index: usize, scratch: &mut [u8]) -> bool {
                 Err(error) if error.kind() == ErrorKind::Interrupted => continue,
                 // Reset/broken pipe: the peer vanished; partial bytes are
                 // dropped with the connection.
-                Err(_) => return false,
+                Err(_) => return ConnVerdict::Remove,
             }
         }
-        true
-    });
-    progress
+        // Fully drained and delivered: make sure read interest is armed.
+        if !conn.reading {
+            conn.reading = true;
+            let _ = self
+                .poll
+                .reregister(conn.stream.sys_fd(), conn.token, Interest::READ);
+        }
+        ConnVerdict::Keep
+    }
+
+    /// Parks a connection that just took a saturated-mailbox holdover:
+    /// drops its read interest (level-triggered readiness would busy-loop)
+    /// and counts it for the worker nudge / fallback retry.
+    fn park_conn(&mut self, slot: &NodeSlot, conn: &mut InboundConn) {
+        slot.blocked_conns.fetch_add(1, Ordering::Relaxed);
+        if conn.reading {
+            conn.reading = false;
+            let _ = self
+                .poll
+                .reregister(conn.stream.sys_fd(), conn.token, Interest::NONE);
+        }
+    }
+
+    /// Removes one inbound connection: frees its token, returns its buffer
+    /// to the arena, closes the stream (which deregisters it in the
+    /// kernel).
+    fn remove_conn(&mut self, slot: &NodeSlot, conns: &mut Vec<InboundConn>, position: usize) {
+        let conn = conns.swap_remove(position);
+        if conn.pending.is_some() {
+            slot.blocked_conns.fetch_sub(1, Ordering::Relaxed);
+        }
+        self.poll.deregister(conn.stream.sys_fd());
+        self.free_token(conn.token);
+        self.shared.arena.give(conn.buffer.into_buffer());
+    }
+
+    /// Retries every owned connection parked on a holdover (cheap when none
+    /// is).
+    fn retry_blocked(&mut self) {
+        let shared = self.shared;
+        for slot_index in (self.io_index..shared.slots.len()).step_by(self.stride()) {
+            if shared.slots[slot_index]
+                .blocked_conns
+                .load(Ordering::Relaxed)
+                == 0
+            {
+                continue;
+            }
+            // Collect ids first: pump_conn re-locks and re-validates.
+            let ids: Vec<u64> = {
+                let conns = shared.slots[slot_index].conns.lock();
+                conns
+                    .iter()
+                    .filter(|conn| conn.pending.is_some())
+                    .map(|conn| conn.id)
+                    .collect()
+            };
+            for id in ids {
+                self.pump_conn(slot_index, id);
+            }
+        }
+    }
+
+    /// A pool connection became readable: the peer never sends on this
+    /// direction, so readable means EOF/reset (or stray bytes, discarded).
+    fn probe_pool_read(&mut self, dest: usize) {
+        let shared = self.shared;
+        let entry = &shared.pool[dest];
+        let mut state = entry.state.lock();
+        let Some(conn) = state.conn.as_mut() else {
+            return;
+        };
+        loop {
+            match conn.read(&mut self.scratch) {
+                Ok(0) => {
+                    // Peer closed (typically a crash): drop the connection;
+                    // a half-written frame cannot be resumed elsewhere.
+                    let token = state.token.take();
+                    state.conn = None;
+                    state.want_write = false;
+                    let PoolState { queue, .. } = &mut *state;
+                    queue.drop_partial_front(|frame| shared.arena.give(frame));
+                    let pending = !queue.is_empty();
+                    drop(state);
+                    if let Some(token) = token {
+                        self.free_token(token);
+                    }
+                    if pending {
+                        self.flush_pool(dest); // re-dial for the rest
+                    }
+                    return;
+                }
+                Ok(_) => continue, // protocol violation; discard the bytes
+                Err(error) if error.kind() == ErrorKind::WouldBlock => return,
+                Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    let token = state.token.take();
+                    state.conn = None;
+                    state.want_write = false;
+                    let PoolState { queue, .. } = &mut *state;
+                    queue.drop_partial_front(|frame| shared.arena.give(frame));
+                    let pending = !queue.is_empty();
+                    drop(state);
+                    if let Some(token) = token {
+                        self.free_token(token);
+                    }
+                    if pending {
+                        self.flush_pool(dest);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Flushes (and, when necessary, dials) the pool connection to `dest`,
+    /// coalescing every queued frame into vectored writes.
+    fn flush_pool(&mut self, dest: usize) {
+        let shared = self.shared;
+        let entry = &shared.pool[dest];
+        let mut state = entry.state.lock();
+        if shared.slots[dest].failed.load(Ordering::SeqCst) {
+            // Crash semantics: queued frames to a dead node are dropped.
+            // (`fail_node` usually beat us to it; this covers the race.)
+            let token = state.token.take();
+            state.queue.clear(|frame| shared.arena.give(frame));
+            state.conn = None;
+            state.want_write = false;
+            state.attempt = 0;
+            state.next_dial = None;
+            drop(state);
+            if let Some(token) = token {
+                self.free_token(token);
+            }
+            return;
+        }
+        let mut redials = 0u32;
+        loop {
+            if state.queue.is_empty() {
+                // Nothing to write: disarm write interest so the idle
+                // writable socket stops waking the selector.
+                if state.want_write {
+                    state.want_write = false;
+                    if let (Some(conn), Some(token)) = (&state.conn, state.token) {
+                        let _ = self.poll.reregister(conn.sys_fd(), token, Interest::READ);
+                    }
+                }
+                return;
+            }
+            if state.conn.is_none() {
+                if let Some(earliest) = state.next_dial {
+                    if Instant::now() < earliest {
+                        // Still backing off; poll timeout covers the retry.
+                        self.backoffs.push((earliest, dest));
+                        return;
+                    }
+                }
+                match Stream::connect(&shared.slots[dest].addr) {
+                    Ok(stream) => {
+                        // Read interest from the start: the only inbound
+                        // traffic on a pool connection is EOF/reset, which
+                        // must be noticed promptly to re-dial.
+                        let token = self.alloc_token(Registration::Pool(dest));
+                        if self
+                            .poll
+                            .register(stream.sys_fd(), token, Interest::READ)
+                            .is_err()
+                        {
+                            self.free_token(token);
+                            return;
+                        }
+                        state.conn = Some(stream);
+                        state.token = Some(token);
+                        state.attempt = 0;
+                        state.next_dial = None;
+                        state.want_write = false;
+                        shared.dials.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        // Refused (or otherwise failed) dial: exponential
+                        // backoff, capped; the queued frames wait.
+                        state.attempt = state.attempt.saturating_add(1);
+                        let exponent = state.attempt.saturating_sub(1).min(16);
+                        let backoff = shared
+                            .dial_backoff
+                            .saturating_mul(1u32 << exponent)
+                            .min(shared.dial_backoff_max);
+                        let earliest = Instant::now() + backoff;
+                        state.next_dial = Some(earliest);
+                        shared.dial_retries.fetch_add(1, Ordering::Relaxed);
+                        self.backoffs.push((earliest, dest));
+                        return;
+                    }
+                }
+            }
+            // Vectored flush: every queued frame (up to the iovec cap) in
+            // one syscall, resuming partial writes mid-frame and mid-iovec.
+            let mut conn_died = false;
+            {
+                let PoolState { conn, queue, .. } = &mut *state;
+                let stream = conn.as_mut().expect("dialed above");
+                loop {
+                    let mut slices = [IoSlice::new(&[]); MAX_WRITE_VECS];
+                    let count = queue.fill_io_slices(&mut slices);
+                    if count == 0 {
+                        break;
+                    }
+                    match stream.write_vectored(&slices[..count]) {
+                        Ok(0) => {
+                            conn_died = true;
+                            break;
+                        }
+                        Ok(written) => {
+                            queue.advance(written, |frame| shared.arena.give(frame));
+                        }
+                        Err(error) if error.kind() == ErrorKind::WouldBlock => break,
+                        Err(error) if error.kind() == ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            conn_died = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            if conn_died {
+                // Reset/broken pipe (typically the destination crashed): a
+                // frame already partially on the wire cannot be resumed on
+                // a new connection; drop it and re-dial for the rest.
+                let token = state.token.take();
+                state.conn = None;
+                state.want_write = false;
+                state
+                    .queue
+                    .drop_partial_front(|frame| shared.arena.give(frame));
+                if let Some(token) = token {
+                    self.free_token(token);
+                }
+                redials += 1;
+                if redials >= MAX_FLUSH_REDIALS {
+                    let earliest = Instant::now() + shared.dial_backoff;
+                    state.next_dial = Some(earliest);
+                    self.backoffs.push((earliest, dest));
+                    return;
+                }
+                continue; // re-dial and keep flushing
+            }
+            if state.queue.is_empty() {
+                if state.want_write {
+                    state.want_write = false;
+                    if let (Some(conn), Some(token)) = (&state.conn, state.token) {
+                        let _ = self.poll.reregister(conn.sys_fd(), token, Interest::READ);
+                    }
+                }
+            } else if !state.want_write {
+                // Blocked on a full socket buffer: arm write interest so
+                // the selector reports the drain.
+                state.want_write = true;
+                if let (Some(conn), Some(token)) = (&state.conn, state.token) {
+                    let _ =
+                        self.poll
+                            .reregister(conn.sys_fd(), token, Interest::READ.with_write(true));
+                }
+            }
+            return;
+        }
+    }
+
+    /// Re-flushes destinations whose dial backoff expired.
+    fn retry_backoffs(&mut self) {
+        if self.backoffs.is_empty() {
+            return;
+        }
+        let now = Instant::now();
+        let due: Vec<usize> = {
+            let mut due = Vec::new();
+            self.backoffs.retain(|&(earliest, dest)| {
+                if earliest <= now {
+                    due.push(dest);
+                    false
+                } else {
+                    true
+                }
+            });
+            due
+        };
+        for dest in due {
+            self.flush_pool(dest);
+        }
+    }
 }
 
 /// What draining a connection's reassembly buffer concluded.
@@ -1088,24 +1779,16 @@ enum FrameDrain {
 }
 
 /// Cuts and delivers every complete frame currently buffered on `conn`.
-fn drain_frames(
-    shared: &Shared,
-    slot_index: usize,
-    conn: &mut InboundConn,
-    progress: &mut bool,
-) -> FrameDrain {
+fn drain_frames(shared: &Shared, slot_index: usize, conn: &mut InboundConn) -> FrameDrain {
     loop {
         match conn.buffer.next_frame() {
-            Ok(Some(frame)) => {
-                *progress = true;
-                match shared.offer_input(slot_index, frame.from, frame.messages) {
-                    Delivery::Delivered | Delivery::Dropped => {}
-                    Delivery::Saturated(held) => {
-                        conn.pending = Some(held);
-                        return FrameDrain::Blocked;
-                    }
+            Ok(Some(frame)) => match shared.offer_input(slot_index, frame.from, frame.messages) {
+                Delivery::Delivered | Delivery::Dropped => {}
+                Delivery::Saturated(held) => {
+                    conn.pending = Some(held);
+                    return FrameDrain::Blocked;
                 }
-            }
+            },
             Ok(None) => return FrameDrain::Drained, // mid-frame: read more
             Err(_) => {
                 // Malformed or oversized: count the reject on the receiving
@@ -1115,104 +1798,6 @@ fn drain_frames(
             }
         }
     }
-}
-
-/// Flushes (and, when necessary, dials) the pool connection to `dest`.
-/// Returns `true` if any byte moved or a connection was established.
-fn flush_pool_entry(shared: &Shared, dest: usize) -> bool {
-    let entry = &shared.pool[dest];
-    if !entry.has_work.load(Ordering::SeqCst) {
-        return false;
-    }
-    let mut state = entry.state.lock();
-    if state.outbox.is_empty() {
-        entry.has_work.store(false, Ordering::SeqCst);
-        return false;
-    }
-    if shared.slots[dest].failed.load(Ordering::SeqCst) {
-        // Crash semantics: queued frames to a dead node are dropped.
-        *state = PoolState::default();
-        entry.has_work.store(false, Ordering::SeqCst);
-        return true;
-    }
-    let mut progress = false;
-    if state.conn.is_none() {
-        if state
-            .next_dial
-            .is_some_and(|earliest| Instant::now() < earliest)
-        {
-            return false; // still backing off
-        }
-        match Stream::connect(&shared.slots[dest].addr) {
-            Ok(stream) => {
-                state.conn = Some(stream);
-                state.attempt = 0;
-                state.next_dial = None;
-                shared.dials.fetch_add(1, Ordering::Relaxed);
-                progress = true;
-            }
-            Err(_) => {
-                // Refused (or otherwise failed) dial: exponential backoff,
-                // capped; the queued frames wait.
-                state.attempt = state.attempt.saturating_add(1);
-                let exponent = state.attempt.saturating_sub(1).min(16);
-                let backoff = shared
-                    .dial_backoff
-                    .saturating_mul(1u32 << exponent)
-                    .min(shared.dial_backoff_max);
-                state.next_dial = Some(Instant::now() + backoff);
-                shared.dial_retries.fetch_add(1, Ordering::Relaxed);
-                return false;
-            }
-        }
-    }
-    // Write frames front to back: one frame per write call (one SendBatch =
-    // one write), resuming partial writes at the recorded offset.
-    let PoolState {
-        conn,
-        outbox,
-        write_offset,
-        ..
-    } = &mut *state;
-    while let Some(front) = outbox.front() {
-        let stream = conn.as_mut().expect("dialed above");
-        match stream.write(&front[*write_offset..]) {
-            Ok(0) => {
-                // The connection died mid-frame: the receiver discards the
-                // partial bytes, we discard the unfinishable frame and
-                // re-dial for the rest.
-                outbox.pop_front();
-                *write_offset = 0;
-                *conn = None;
-                break;
-            }
-            Ok(written) => {
-                progress = true;
-                *write_offset += written;
-                if *write_offset == front.len() {
-                    outbox.pop_front();
-                    *write_offset = 0;
-                }
-            }
-            Err(error) if error.kind() == ErrorKind::WouldBlock => break,
-            Err(error) if error.kind() == ErrorKind::Interrupted => continue,
-            Err(_) => {
-                // Reset/broken pipe (typically the destination crashed): a
-                // frame already partially on the wire cannot be resumed on a
-                // new connection; drop it and re-dial for the rest.
-                if *write_offset > 0 {
-                    outbox.pop_front();
-                    *write_offset = 0;
-                }
-                *conn = None;
-                break;
-            }
-        }
-    }
-    if state.outbox.is_empty() {
-        entry.has_work.store(false, Ordering::SeqCst);
-    }
-    progress
 }
 
 /// The timer thread: advances every worker's wheel once per tick and mails
@@ -1482,6 +2067,108 @@ mod tests {
                 "burst-{sequence} was lost under saturation"
             );
         }
+    }
+
+    #[test]
+    fn fail_restart_cycles_do_not_leak_reactor_tokens() {
+        let spec = ClusterSpec::new(fast_config(4, 1), vec![400, 300, 200, 100], 35);
+        let mut cluster = SocketCluster::start_spec(&spec);
+        std::thread::sleep(StdDuration::from_millis(400)); // let the mesh form
+        let victim = NodeId::new(2);
+        for cycle in 0..5u32 {
+            let dials = cluster.dial_count();
+            cluster.restart_node(victim);
+            let key = Key::from_user_key(&format!("cycle-{cycle}"));
+            cluster
+                .put(
+                    key,
+                    Version::new(1),
+                    Value::from_bytes(b"x"),
+                    Duration::from_secs(10),
+                )
+                .expect("cluster must stay writable across restart cycles");
+            // Replication and gossip traffic to the restarted node must
+            // re-dial the connection its crash closed.
+            let deadline = Instant::now() + StdDuration::from_secs(5);
+            while cluster.dial_count() == dials && Instant::now() < deadline {
+                std::thread::sleep(StdDuration::from_millis(5));
+            }
+            assert!(
+                cluster.dial_count() > dials,
+                "cycle {cycle}: the re-dial after restart was never observed"
+            );
+        }
+        std::thread::sleep(StdDuration::from_millis(200)); // cleanup lists drain
+                                                           // Every legitimate registration in this 4-node cluster: one listener
+                                                           // per node, one pooled dial per destination, and the matching
+                                                           // accepted connection at that destination — plus slack for a
+                                                           // re-dial racing an unreaped predecessor. Tokens a crash failed to
+                                                           // free would accumulate per cycle and push the live count past this.
+        let ceiling = (4 + 4 + 4 + 4) as u64;
+        let live = cluster.reactor_live_tokens();
+        assert!(
+            live <= ceiling,
+            "stale reactor tokens leaked across restarts: {live} live registrations"
+        );
+        assert!(
+            cluster.reactor_registration_count() > live,
+            "five crash cycles must have registered and freed extra tokens"
+        );
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn saturated_connections_park_and_resume_without_frame_loss() {
+        let spec = ClusterSpec::new(NodeConfig::for_system_size(3, 1), vec![300, 200, 100], 33);
+        let cluster = SocketCluster::start_spec_with(
+            &spec,
+            SocketClusterConfig {
+                workers: 1,
+                mailbox_capacity: 1,
+                ..SocketClusterConfig::default()
+            },
+        );
+        // Blast one raw connection with valid frames far faster than a
+        // single worker drains a one-slot mailbox: the reactor must park the
+        // connection (dropping read interest), wait for the worker's nudge,
+        // and deliver the holdover — every frame exactly once.
+        let mut frame = Vec::new();
+        dataflasks_core::wire::encode_frame(
+            NodeId::new(9),
+            &[Message::AntiEntropyPush { objects: [].into() }],
+            &mut frame,
+        )
+        .unwrap();
+        let total = 200u64;
+        let mut raw = Stream::connect(&cluster.shared.slots[0].addr).unwrap();
+        for _ in 0..total {
+            raw.write_all(&frame).unwrap();
+        }
+        let deadline = Instant::now() + StdDuration::from_secs(5);
+        while cluster.saturation_events() == 0 && Instant::now() < deadline {
+            std::thread::sleep(StdDuration::from_millis(1));
+        }
+        assert!(
+            cluster.saturation_events() > 0,
+            "a one-slot mailbox under a 200-frame burst must saturate"
+        );
+        // Give the park/nudge/re-arm pipeline time to drain the burst.
+        std::thread::sleep(StdDuration::from_millis(1500));
+        let nodes = cluster.shutdown();
+        let received = nodes[0].stats().total_received();
+        assert!(
+            received >= total,
+            "saturation holdover lost frames: {received}/{total} delivered"
+        );
+        assert!(
+            received <= total + 50,
+            "saturation holdover duplicated frames: {received}/{total} delivered"
+        );
+        assert_eq!(cluster_wire_rejects(&nodes), 0);
+    }
+
+    fn cluster_wire_rejects(nodes: &[DataFlasksNode<DefaultStore>]) -> u64 {
+        nodes.iter().map(|n| n.stats().wire_rejects).sum()
     }
 
     /// The reserved-id guard of the other runtimes, mirrored here.

@@ -1,0 +1,307 @@
+//! Per-destination outbound frame queue with vectored-write flushing.
+//!
+//! The pool used to write one frame per syscall; under an epidemic flood a
+//! destination's queue holds many small frames, so the flush now gathers
+//! them into an `IoSlice` array and hands the whole batch to
+//! `write_vectored` (`writev`) in one syscall. The kernel may accept any
+//! byte count — mid-frame, mid-length-prefix, mid-iovec — so the queue
+//! tracks a byte offset into its front frame and [`OutboundQueue::advance`]
+//! resumes exactly where the previous write stopped, returning fully
+//! written buffers to the arena via the caller's `reclaim` hook.
+//!
+//! The resume logic is property-tested (`tests/outbound_properties.rs`):
+//! any sequence of partial writes must put exactly the original frame
+//! stream on the wire, byte for byte.
+
+use std::collections::VecDeque;
+use std::io::IoSlice;
+
+/// Upper bound on iovecs per `write_vectored` call; matches the typical
+/// kernel `UIO_MAXIOV`-friendly batch without allocating.
+pub(crate) const MAX_WRITE_VECS: usize = 64;
+
+/// Frames queued for one destination, with partial-write resume state.
+#[derive(Debug, Default)]
+pub(crate) struct OutboundQueue {
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written to the socket.
+    written: usize,
+}
+
+impl OutboundQueue {
+    /// Queues one encoded frame (ownership moves to the queue until the
+    /// flush returns the buffer through `advance`'s reclaim hook).
+    pub(crate) fn push(&mut self, frame: Vec<u8>) {
+        debug_assert!(!frame.is_empty(), "wire frames are never empty");
+        self.frames.push_back(frame);
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Number of queued frames (test observability).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Fills `slices` with the unwritten tail of the queue — the front
+    /// frame from its resume offset, then whole following frames — and
+    /// returns how many slices are valid. Zero-length slices are never
+    /// produced.
+    pub(crate) fn fill_io_slices<'a>(&'a self, slices: &mut [IoSlice<'a>]) -> usize {
+        let mut count = 0;
+        for (index, frame) in self.frames.iter().enumerate() {
+            if count == slices.len() {
+                break;
+            }
+            let tail = if index == 0 {
+                &frame[self.written..]
+            } else {
+                &frame[..]
+            };
+            if tail.is_empty() {
+                continue;
+            }
+            slices[count] = IoSlice::new(tail);
+            count += 1;
+        }
+        count
+    }
+
+    /// Records that the socket accepted `count` bytes: pops every frame the
+    /// write completed (handing its buffer to `reclaim`) and remembers the
+    /// offset into the first unfinished one.
+    pub(crate) fn advance(&mut self, mut count: usize, mut reclaim: impl FnMut(Vec<u8>)) {
+        while count > 0 {
+            let front_len = self
+                .frames
+                .front()
+                .expect("advance past the end of the queue")
+                .len();
+            let remaining = front_len - self.written;
+            if count >= remaining {
+                count -= remaining;
+                self.written = 0;
+                reclaim(self.frames.pop_front().expect("front exists"));
+            } else {
+                self.written += count;
+                return;
+            }
+        }
+    }
+
+    /// Drops the half-written front frame (a connection died mid-frame; the
+    /// peer cannot finish decoding it, and redelivering a prefix would
+    /// corrupt the stream). No-op when the front frame is untouched —
+    /// unwritten frames survive to the re-dial.
+    pub(crate) fn drop_partial_front(&mut self, mut reclaim: impl FnMut(Vec<u8>)) {
+        if self.written > 0 {
+            self.written = 0;
+            if let Some(frame) = self.frames.pop_front() {
+                reclaim(frame);
+            }
+        }
+    }
+
+    /// Drains every queued frame into `reclaim` (crash/teardown path).
+    pub(crate) fn clear(&mut self, mut reclaim: impl FnMut(Vec<u8>)) {
+        self.written = 0;
+        for frame in self.frames.drain(..) {
+            reclaim(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn written_bytes(queue: &OutboundQueue, budget: usize) -> Vec<u8> {
+        let mut slices = [IoSlice::new(&[]); MAX_WRITE_VECS];
+        let count = queue.fill_io_slices(&mut slices);
+        let mut out = Vec::new();
+        for slice in &slices[..count] {
+            out.extend_from_slice(slice);
+        }
+        out.truncate(budget);
+        out
+    }
+
+    #[test]
+    fn partial_writes_resume_across_frame_boundaries() {
+        let mut queue = OutboundQueue::default();
+        queue.push(vec![1, 2, 3]);
+        queue.push(vec![4, 5]);
+        queue.push(vec![6]);
+
+        let mut wire = Vec::new();
+        let mut reclaimed = 0;
+        // Write 4 bytes: finishes frame one, leaves frame two mid-way.
+        wire.extend_from_slice(&written_bytes(&queue, 4));
+        queue.advance(4, |_| reclaimed += 1);
+        assert_eq!(reclaimed, 1);
+        assert_eq!(queue.len(), 2);
+        // Write the rest.
+        let rest = written_bytes(&queue, usize::MAX);
+        let rest_len = rest.len();
+        wire.extend_from_slice(&rest);
+        queue.advance(rest_len, |_| reclaimed += 1);
+        assert_eq!(reclaimed, 3);
+        assert!(queue.is_empty());
+        assert_eq!(wire, vec![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn drop_partial_front_only_drops_touched_frames() {
+        let mut queue = OutboundQueue::default();
+        queue.push(vec![1, 2, 3]);
+        queue.push(vec![4, 5]);
+        // Untouched front: nothing to drop.
+        queue.drop_partial_front(|_| panic!("no frame was touched"));
+        assert_eq!(queue.len(), 2);
+        // One byte in: the front frame is poisoned.
+        queue.advance(1, |_| panic!("frame is unfinished"));
+        let mut dropped = Vec::new();
+        queue.drop_partial_front(|frame| dropped.push(frame));
+        assert_eq!(dropped, vec![vec![1, 2, 3]]);
+        assert_eq!(queue.len(), 1);
+    }
+
+    #[test]
+    fn io_slices_skip_nothing_and_cap_at_the_array() {
+        let mut queue = OutboundQueue::default();
+        for i in 0..(MAX_WRITE_VECS + 10) {
+            queue.push(vec![i as u8]);
+        }
+        let mut slices = [IoSlice::new(&[]); MAX_WRITE_VECS];
+        let count = queue.fill_io_slices(&mut slices);
+        assert_eq!(count, MAX_WRITE_VECS);
+    }
+}
+
+/// The vectored-flush contract, end to end against the real wire format:
+/// whatever byte counts the kernel accepts per `writev` — one byte at a
+/// time, mid-length-prefix, mid-frame, across iovec boundaries — the bytes
+/// that reach the wire are exactly the original frame stream, and a
+/// [`ReassemblyBuffer`](crate::ReassemblyBuffer) on the receiving end
+/// decodes the identical frames with zero rejects.
+#[cfg(test)]
+mod wire_properties {
+    use super::*;
+    use crate::ReassemblyBuffer;
+    use dataflasks_core::wire::encode_frame;
+    use dataflasks_core::Message;
+    use dataflasks_types::{Key, NodeId, StoredObject, Value, Version};
+    use proptest::prelude::*;
+
+    /// Encodes `count` frames with varied payload sizes and returns the
+    /// queue plus the expected `(from, message_count)` sequence.
+    fn queued_frames(count: usize) -> (OutboundQueue, Vec<(NodeId, usize)>) {
+        let mut queue = OutboundQueue::default();
+        let mut expected = Vec::new();
+        for index in 0..count {
+            let from = NodeId::new(index as u64 + 1);
+            let messages = if index % 3 == 0 {
+                vec![]
+            } else {
+                vec![Message::AntiEntropyPush {
+                    objects: vec![StoredObject::new(
+                        Key::from_raw(index as u64),
+                        Version::new(1),
+                        Value::from_bytes(&vec![0xC3u8; (index * 17) % 96]),
+                    )]
+                    .into(),
+                }]
+            };
+            let mut frame = Vec::new();
+            encode_frame(from, &messages, &mut frame).unwrap();
+            queue.push(frame);
+            expected.push((from, messages.len()));
+        }
+        (queue, expected)
+    }
+
+    /// Drains `queue` through `fill_io_slices`/`advance` with the given
+    /// per-write byte budgets (cycled until the queue empties), collecting
+    /// the bytes "the socket accepted" in order.
+    fn flush_with_budgets(queue: &mut OutboundQueue, budgets: &[usize]) -> Vec<u8> {
+        let mut wire = Vec::new();
+        let mut turn = 0;
+        while !queue.is_empty() {
+            let budget = budgets[turn % budgets.len()].max(1);
+            turn += 1;
+            let mut slices = [IoSlice::new(&[]); MAX_WRITE_VECS];
+            let count = queue.fill_io_slices(&mut slices);
+            let mut accepted = 0;
+            for slice in &slices[..count] {
+                if accepted == budget {
+                    break;
+                }
+                let take = slice.len().min(budget - accepted);
+                wire.extend_from_slice(&slice[..take]);
+                accepted += take;
+            }
+            queue.advance(accepted, |_| {});
+        }
+        wire
+    }
+
+    /// Feeds the flushed bytes to a reassembler and asserts the decoded
+    /// frames match, with no wire error ever surfacing.
+    fn assert_reassembles(wire: &[u8], expected: &[(NodeId, usize)]) {
+        let mut buffer = ReassemblyBuffer::new();
+        buffer.extend_from_slice(wire);
+        let mut frames = Vec::new();
+        while let Some(frame) = buffer.next_frame().expect("valid stream never rejects") {
+            frames.push((frame.from, frame.messages.len()));
+        }
+        assert!(buffer.is_empty(), "no partial frame may remain");
+        assert_eq!(frames, expected);
+    }
+
+    #[test]
+    fn byte_by_byte_writes_decode_identically() {
+        let (mut queue, expected) = queued_frames(5);
+        let wire = flush_with_budgets(&mut queue, &[1]);
+        assert_reassembles(&wire, &expected);
+    }
+
+    #[test]
+    fn every_resume_offset_decodes_identically() {
+        // Two writes: the first accepts exactly `cut` bytes (landing
+        // mid-length-prefix, mid-frame, or on a frame boundary), the second
+        // accepts the rest. Every cut must be invisible to the receiver.
+        let (reference, expected) = queued_frames(4);
+        let mut reference_queue = reference;
+        let full = flush_with_budgets(&mut reference_queue, &[usize::MAX]);
+        for cut in 1..full.len() {
+            let (mut queue, _) = queued_frames(4);
+            let wire = flush_with_budgets(&mut queue, &[cut, usize::MAX]);
+            assert_eq!(wire, full, "cut at byte {cut} altered the stream");
+        }
+        assert_reassembles(&full, &expected);
+    }
+
+    proptest! {
+        /// Random per-write budgets: any partial-write schedule puts the
+        /// identical byte stream on the wire and decodes cleanly.
+        #[test]
+        fn random_partial_writes_decode_identically(
+            budgets in proptest::collection::vec(1usize..200, 1..32),
+            frames in 1usize..12,
+        ) {
+            let (mut queue, expected) = queued_frames(frames);
+            let wire = flush_with_budgets(&mut queue, &budgets);
+            let mut buffer = ReassemblyBuffer::new();
+            buffer.extend_from_slice(&wire);
+            let mut decoded = Vec::new();
+            while let Some(frame) = buffer.next_frame().expect("no rejects") {
+                decoded.push((frame.from, frame.messages.len()));
+            }
+            prop_assert!(buffer.is_empty());
+            prop_assert_eq!(decoded, expected);
+        }
+    }
+}

@@ -59,6 +59,26 @@ impl ReassemblyBuffer {
         Self::default()
     }
 
+    /// Creates an empty buffer on top of a recycled allocation (cleared
+    /// first). Pairs with [`ReassemblyBuffer::into_buffer`] so a buffer
+    /// arena can recirculate reassembly storage across connection churn.
+    #[must_use]
+    pub fn with_buffer(mut buffer: Vec<u8>) -> Self {
+        buffer.clear();
+        Self {
+            bytes: buffer,
+            start: 0,
+        }
+    }
+
+    /// Consumes the reassembler and hands its backing allocation back (for
+    /// return to a buffer arena). Any pending partial frame is discarded —
+    /// callers only do this when the connection is gone.
+    #[must_use]
+    pub fn into_buffer(self) -> Vec<u8> {
+        self.bytes
+    }
+
     /// Appends one read's worth of bytes.
     pub fn extend_from_slice(&mut self, chunk: &[u8]) {
         self.bytes.extend_from_slice(chunk);

@@ -5,12 +5,16 @@
 //! accepting non-blockingly, a byte [`Stream`], and the [`PeerAddr`] a
 //! dialer needs — so the reactor and the connection pool are written once.
 
-use std::io::{self, Read, Write};
+use std::io::{self, IoSlice, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 
 #[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+#[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
+
+use crate::reactor::SysFd;
 
 /// Which socket family carries the cluster's frames.
 ///
@@ -84,6 +88,19 @@ impl Listener {
         }
     }
 
+    /// The descriptor the reactor registers for accept readiness.
+    pub(crate) fn sys_fd(&self) -> SysFd {
+        #[cfg(unix)]
+        match self {
+            Self::Tcp(listener) => listener.as_raw_fd(),
+            Self::Unix(listener) => listener.as_raw_fd(),
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
+    }
+
     /// Accepts one pending connection, returning the stream already switched
     /// to non-blocking mode. `WouldBlock` means no connection is pending.
     pub(crate) fn accept(&self) -> io::Result<Stream> {
@@ -128,6 +145,19 @@ impl Stream {
             }
         }
     }
+
+    /// The descriptor the reactor registers for read/write readiness.
+    pub(crate) fn sys_fd(&self) -> SysFd {
+        #[cfg(unix)]
+        match self {
+            Self::Tcp(stream) => stream.as_raw_fd(),
+            Self::Unix(stream) => stream.as_raw_fd(),
+        }
+        #[cfg(not(unix))]
+        {
+            0
+        }
+    }
 }
 
 impl Read for Stream {
@@ -146,6 +176,17 @@ impl Write for Stream {
             Self::Tcp(stream) => stream.write(buf),
             #[cfg(unix)]
             Self::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    /// Forwards to the OS `writev` — both `TcpStream` and `UnixStream`
+    /// implement this with a true vectored syscall, which is what lets the
+    /// pool flush a whole queue of frames in one kernel crossing.
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+        match self {
+            Self::Tcp(stream) => stream.write_vectored(bufs),
+            #[cfg(unix)]
+            Self::Unix(stream) => stream.write_vectored(bufs),
         }
     }
 

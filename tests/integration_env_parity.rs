@@ -21,8 +21,9 @@
 //!
 //! Beyond the scripted scenario, `random_scenarios_agree_across_environments`
 //! generalises this into cross-environment differential fuzzing: randomly
-//! generated seeded scenarios — puts, gets, slicing-gossip and anti-entropy
-//! rounds, node crashes *and crash→restart rejoins* — are driven through all
+//! generated seeded scenarios — puts, gets, multi-put saturation bursts,
+//! slicing-gossip and anti-entropy rounds, node crashes *and crash→restart
+//! rejoins* — are driven through all
 //! four backends and must produce identical client-visible replies and
 //! identical per-node [`NodeStats`]. For the socket backend a restart also
 //! closes and re-establishes the node's connections, so the fuzzer exercises
@@ -392,12 +393,36 @@ fn scenario_outcomes_are_reply_complete() {
 ///   making later anti-entropy rounds repair *real* divergence.
 #[derive(Debug, Clone)]
 enum Step {
-    Put { key_tag: u8, contact: u8 },
-    Get { key_tag: u8, contact: u8 },
-    SliceGossipRound { node: u8 },
-    AntiEntropyRound { node: u8 },
-    Crash { node: u8 },
-    Restart { node: u8 },
+    Put {
+        key_tag: u8,
+        contact: u8,
+    },
+    Get {
+        key_tag: u8,
+        contact: u8,
+    },
+    SliceGossipRound {
+        node: u8,
+    },
+    AntiEntropyRound {
+        node: u8,
+    },
+    Crash {
+        node: u8,
+    },
+    Restart {
+        node: u8,
+    },
+    /// Four puts with distinct keys submitted back to back and drained as
+    /// one step: the concurrent floods overrun the tiny (capacity-2)
+    /// mailboxes of the stressed backends, so the async deferred-delivery
+    /// path and the socket reactor's park/nudge/re-arm wake path both run
+    /// under real saturation. Distinct keys and a disjoint request-id
+    /// namespace keep the step order-independent.
+    Burst {
+        key_tag: u8,
+        contact: u8,
+    },
 }
 
 /// Strategy: steps are decoded from small integer tuples (the vendored
@@ -420,7 +445,11 @@ fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
         7 => Step::SliceGossipRound { node: b },
         8 => Step::AntiEntropyRound { node: b },
         9 => Step::Crash { node: b },
-        _ => Step::Restart { node: b },
+        10 => Step::Restart { node: b },
+        _ => Step::Burst {
+            key_tag: a,
+            contact: b,
+        },
     }
 }
 
@@ -511,6 +540,25 @@ fn run_random_scenario<E: Environment>(
             }
             Step::Restart { node } => {
                 env.restart_node(NodeId::new(u64::from(node % n)));
+            }
+            Step::Burst { key_tag, contact } => {
+                // All four puts are in flight before the first drain: with
+                // fanout ≥ cluster size every node sees four concurrent
+                // floods, overrunning capacity-2 mailboxes. The request ids
+                // live in a namespace no other step uses (sequence < 1000).
+                for k in 0..4u64 {
+                    let key = Key::from_user_key(&format!("fuzz-burst-{key_tag}-{k}"));
+                    env.submit_client_request(
+                        CLIENT,
+                        responsible_contact(key, contact.wrapping_add(k as u8)),
+                        ClientRequest::Put {
+                            id: RequestId::new(CLIENT, 1000 + sequence as u64 * 4 + k),
+                            key,
+                            version: Version::new(sequence as u64 + 1),
+                            value: Value::from_bytes(format!("burst-{sequence}-{k}").as_bytes()),
+                        },
+                    );
+                }
             }
         }
         outcomes.push(normalise(env.drain_effects(budget)));
