@@ -1,17 +1,24 @@
 #!/usr/bin/env bash
-# Guard a bench sweep artifact: every expected worker-count row must be
-# present, every row must have completed every operation it submitted, and
-# the tail-latency columns must be recorded.
+# Guard a bench sweep artifact: every expected sweep row must be present,
+# every row must have completed every operation it submitted, and the
+# schema-specific throughput/latency columns must be recorded.
 #
-# Usage: ci/check_bench.sh <bench.json> <worker-count>...
+# Usage: ci/check_bench.sh <bench.json> <row-size>...
 #
-# Shared by the async and socket bench smoke jobs. The bench binaries emit
-# count metrics as JSON integers (`"workers": 4`, `"puts_completed": 150`)
-# precisely so these checks never depend on float formatting.
+# Two artifact schemas are understood, detected from the artifact itself:
+#
+#   * worker sweeps (BENCH_async.json, BENCH_socket.json): rows are keyed
+#     by `"workers": N` and must record p99.9 latency tails;
+#   * simulator sweeps (BENCH_sim.json): rows are keyed by `"nodes": N`
+#     and must record a positive `events_per_s` throughput figure.
+#
+# Shared by the async, socket and sim bench smoke jobs. The bench binaries
+# emit count metrics as JSON integers (`"workers": 4`, `"puts_completed":
+# 150`) precisely so these checks never depend on float formatting.
 set -euo pipefail
 
 if [ "$#" -lt 2 ]; then
-    echo "usage: $0 <bench.json> <worker-count>..." >&2
+    echo "usage: $0 <bench.json> <row-size>..." >&2
     exit 2
 fi
 
@@ -21,6 +28,16 @@ shift
 if [ ! -f "$file" ]; then
     echo "$file: bench artifact missing" >&2
     exit 1
+fi
+
+# Schema detection: simulator sweeps carry an events-per-second throughput
+# column that worker sweeps do not have.
+if grep -q '"events_per_s":' "$file"; then
+    schema=sim
+    row_key=nodes
+else
+    schema=workers
+    row_key=workers
 fi
 
 if grep -E '"(puts_completed|gets_answered)": 0(\.00)?,?$' "$file"; then
@@ -47,19 +64,40 @@ check_all_completed() {
 check_all_completed puts_submitted puts_completed
 check_all_completed gets_submitted gets_answered
 
-# The latency distribution must include the p99.9 tail, not just p50/p99.
-for column in put_latency_p999_us get_latency_p999_us; do
-    if ! grep -q "\"${column}\":" "$file"; then
-        echo "$file: ${column} column missing from sweep rows" >&2
+if [ "$schema" = sim ]; then
+    # Count columns must be plain integers (no scientific notation, no
+    # floats) so diffs of the tracked artifact stay meaningful.
+    for column in events_dispatched timer_fires messages_delivered alive_end; do
+        if ! grep -Eq "\"${column}\": [0-9]+,?$" "$file"; then
+            echo "$file: ${column} missing or not an integer" >&2
+            exit 1
+        fi
+    done
+    # Throughput must be present and positive on every row: an events_per_s
+    # of zero means the event loop never ran.
+    if grep -E '"events_per_s": (0(\.0+)?|-[0-9.]+),?$' "$file"; then
+        echo "$file: a sweep row recorded non-positive events_per_s" >&2
+        exit 1
+    fi
+    if ! grep -q '"events_per_s":' "$file"; then
+        echo "$file: events_per_s column missing from sweep rows" >&2
+        exit 1
+    fi
+else
+    # The latency distribution must include the p99.9 tail, not just p50/p99.
+    for column in put_latency_p999_us get_latency_p999_us; do
+        if ! grep -q "\"${column}\":" "$file"; then
+            echo "$file: ${column} column missing from sweep rows" >&2
+            exit 1
+        fi
+    done
+fi
+
+for size in "$@"; do
+    if ! grep -Eq "\"${row_key}\": ${size},?$" "$file"; then
+        echo "$file: sweep row for ${size} ${row_key} missing" >&2
         exit 1
     fi
 done
 
-for workers in "$@"; do
-    if ! grep -Eq "\"workers\": ${workers},?$" "$file"; then
-        echo "$file: sweep row for ${workers} workers missing" >&2
-        exit 1
-    fi
-done
-
-echo "$file: all rows present (workers: $*), every row completed all its ops, p99.9 recorded"
+echo "$file: all rows present (${row_key}: $*), every row completed all its ops, ${schema} columns recorded"

@@ -61,7 +61,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod wheel;
+/// The shared hashed timer wheel, re-exported from its home in `core` (the
+/// simulator drives the same implementation with virtual time).
+pub use dataflasks_core::wheel;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -84,7 +86,7 @@ use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, RequestId, SimTime, StoredObject, Value, Version,
 };
 
-use wheel::TimerWheel;
+use wheel::{DueTimer, TimerWheel};
 
 /// Errors returned by the blocking client API (the shared
 /// [`dataflasks_core::gateway`] error type).
@@ -237,7 +239,7 @@ struct Shared {
     /// `i % workers` — the same home mapping as the scheduler shards, so
     /// timer re-arms of concurrent dispatch rounds spread over the pool
     /// instead of convoying on one wheel lock.
-    wheels: Vec<Mutex<TimerWheel>>,
+    wheels: Vec<Mutex<TimerWheel<Instant>>>,
     client_inbox: Sender<(ClientId, ClientReply)>,
     epoch: Instant,
     node_config: NodeConfig,
@@ -424,7 +426,7 @@ impl AsyncCluster {
         let worker_count = config.effective_workers();
         let (client_tx, client_rx) = mpsc::channel();
         let wheel_tick = to_std(config.wheel_tick).max(std::time::Duration::from_millis(1));
-        let mut wheels: Vec<TimerWheel> = (0..worker_count)
+        let mut wheels: Vec<TimerWheel<Instant>> = (0..worker_count)
             .map(|_| TimerWheel::new(config.wheel_slots.max(1), wheel_tick, epoch))
             .collect();
         // Seed the first round of each protocol timer with a deterministic
@@ -881,7 +883,7 @@ fn flush_deferred(shared: &Shared, deferred: &mut DeferredFrames) {
 /// thread's brief per-wheel locks never convoy with the whole pool at once.
 fn timer_loop(shared: &Shared) {
     let tick = shared.wheels[0].lock().tick();
-    let mut due: Vec<(usize, TimerKind)> = Vec::new();
+    let mut due: Vec<DueTimer<Instant>> = Vec::new();
     while !shared.stopping.load(Ordering::SeqCst) {
         std::thread::sleep(tick);
         due.clear();
@@ -889,13 +891,13 @@ fn timer_loop(shared: &Shared) {
         for wheel in &shared.wheels {
             wheel.lock().advance(now, &mut due);
         }
-        for &(slot_index, kind) in &due {
-            let slot = &shared.slots[slot_index];
+        for timer in &due {
+            let slot = &shared.slots[timer.host];
             if slot.failed.load(Ordering::SeqCst) {
                 continue;
             }
-            if slot.inbox.push(AsyncInput::Timer { kind }) {
-                shared.scheduler.mark_ready(slot_index);
+            if slot.inbox.push(AsyncInput::Timer { kind: timer.kind }) {
+                shared.scheduler.mark_ready(timer.host);
             }
         }
     }

@@ -89,6 +89,16 @@ const INTEGER_FIELDS: &[&str] = &[
     "arena_fresh_buffers",
     "arena_recycled_buffers",
     "arena_steady_fresh_delta",
+    "sim_seconds",
+    "run_wall_ms",
+    "events_dispatched",
+    "timer_fires",
+    "messages_delivered",
+    "messages_dropped",
+    "crashes",
+    "joins",
+    "alive_end",
+    "peak_rss_kb",
 ];
 
 /// Renders one metric line of the sweep-JSON schema shared by

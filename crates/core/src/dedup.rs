@@ -1,8 +1,8 @@
 //! Bounded duplicate-suppression cache for request identifiers.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::VecDeque;
 
-use dataflasks_types::RequestId;
+use dataflasks_types::{FastHashSet, RequestId};
 
 /// A bounded first-in-first-out set of request identifiers.
 ///
@@ -25,12 +25,16 @@ use dataflasks_types::RequestId;
 #[derive(Debug, Clone)]
 pub struct DedupCache {
     capacity: usize,
-    seen: HashSet<RequestId>,
+    seen: FastHashSet<RequestId>,
     order: VecDeque<RequestId>,
 }
 
 impl DedupCache {
     /// Creates a cache remembering at most `capacity` request identifiers.
+    ///
+    /// Storage grows with actual use rather than being reserved up front:
+    /// a simulated cluster hosts one cache per node, and pre-sizing every
+    /// one of them for the worst case dominated large-scale memory.
     ///
     /// # Panics
     ///
@@ -40,23 +44,24 @@ impl DedupCache {
         assert!(capacity > 0, "dedup cache needs a non-zero capacity");
         Self {
             capacity,
-            seen: HashSet::with_capacity(capacity),
-            order: VecDeque::with_capacity(capacity),
+            seen: FastHashSet::default(),
+            order: VecDeque::new(),
         }
     }
 
     /// Records `id` and returns `true` if it had not been seen before.
     pub fn first_sighting(&mut self, id: RequestId) -> bool {
-        if self.seen.contains(&id) {
+        // One hashed operation on the hot (duplicate) path: the insert's
+        // return value doubles as the membership test.
+        if !self.seen.insert(id) {
             return false;
         }
-        if self.order.len() == self.capacity {
+        self.order.push_back(id);
+        if self.order.len() > self.capacity {
             if let Some(evicted) = self.order.pop_front() {
                 self.seen.remove(&evicted);
             }
         }
-        self.order.push_back(id);
-        self.seen.insert(id);
         true
     }
 

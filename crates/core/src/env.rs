@@ -80,7 +80,17 @@ pub struct EffectBuffer {
     /// so merging stays linear in the number of sends times the number of
     /// *distinct destinations* (not the whole effect list).
     dest_slots: Vec<(NodeId, usize)>,
+    /// Recycled batch vectors: delivered [`Output::SendBatch`] buffers come
+    /// back through [`Self::recycle_batch`] and are reused by
+    /// [`Self::coalesce_sends`], so a warmed node emits batches without
+    /// allocating.
+    batch_pool: Vec<Vec<Message>>,
 }
+
+/// Upper bound on pooled batch vectors per buffer; beyond this, returned
+/// batches are dropped (a node rarely addresses more destinations per
+/// dispatch than its fanout).
+const BATCH_POOL_LIMIT: usize = 32;
 
 impl EffectBuffer {
     /// Creates an empty buffer.
@@ -96,6 +106,18 @@ impl EffectBuffer {
             effects: Vec::with_capacity(capacity),
             coalesce_scratch: Vec::new(),
             dest_slots: Vec::new(),
+            batch_pool: Vec::new(),
+        }
+    }
+
+    /// Returns a spent [`Output::SendBatch`] vector to this buffer's pool so
+    /// the next [`Self::coalesce_sends`] reuses its allocation. Environments
+    /// call this after draining a delivered batch; vectors beyond the pool
+    /// limit are dropped.
+    pub fn recycle_batch(&mut self, mut batch: Vec<Message>) {
+        if self.batch_pool.len() < BATCH_POOL_LIMIT && batch.capacity() > 0 {
+            batch.clear();
+            self.batch_pool.push(batch);
         }
     }
 
@@ -180,7 +202,10 @@ impl EffectBuffer {
             };
             let mut messages = match mem::replace(slot, placeholder) {
                 Output::Send { message, .. } => {
-                    let mut messages = Vec::with_capacity(4);
+                    let mut messages = self
+                        .batch_pool
+                        .pop()
+                        .unwrap_or_else(|| Vec::with_capacity(4));
                     messages.push(message);
                     messages
                 }
@@ -251,6 +276,12 @@ impl<S: DataStore> NodeHost<S> {
     #[must_use]
     pub fn into_node(self) -> DataFlasksNode<S> {
         self.node
+    }
+
+    /// Returns a spent batch vector to the host's effect buffer pool (see
+    /// [`EffectBuffer::recycle_batch`]).
+    pub fn recycle_batch(&mut self, batch: Vec<Message>) {
+        self.effects.recycle_batch(batch);
     }
 
     /// Delivers a protocol message and routes the resulting effects.
@@ -485,10 +516,23 @@ impl ClusterSpec {
         BootstrapRounds(self.build_rounds().1)
     }
 
-    fn build_rounds(&self) -> (Vec<DataFlasksNode<DefaultStore>>, Vec<Vec<NodeDescriptor>>) {
+    /// Materialises the cluster **cold**: the node state machines are
+    /// constructed (across the thread pool for large clusters) but not
+    /// bootstrapped — views start empty, exactly as if each node had been
+    /// created individually. Environments that warm membership through their
+    /// own bootstrap-contact sampling and live gossip (the simulator's
+    /// `spawn_cluster`) use this to keep spawn O(n); the warm
+    /// [`Self::build_nodes`] path's all-to-all observation rounds are O(n²)
+    /// and infeasible at very large scales.
+    #[must_use]
+    pub fn build_cold_nodes(&self) -> Vec<DataFlasksNode<DefaultStore>> {
+        self.build_bare_nodes()
+    }
+
+    fn build_bare_nodes(&self) -> Vec<DataFlasksNode<DefaultStore>> {
         let shards = self.node_config.effective_store_shards();
         let threads = Self::build_threads(self.capacities.len());
-        let mut nodes: Vec<DataFlasksNode<DefaultStore>> = if threads > 1 {
+        if threads > 1 {
             // Node construction is independent per node (each derives its own
             // seed), so large clusters materialise across the thread pool.
             let mut nodes = Vec::with_capacity(self.capacities.len());
@@ -534,7 +578,12 @@ impl ClusterSpec {
                     )
                 })
                 .collect()
-        };
+        }
+    }
+
+    fn build_rounds(&self) -> (Vec<DataFlasksNode<DefaultStore>>, Vec<Vec<NodeDescriptor>>) {
+        let threads = Self::build_threads(self.capacities.len());
+        let mut nodes = self.build_bare_nodes();
         let mut rounds = Vec::with_capacity(2);
         for _ in 0..2 {
             let descriptors: Vec<NodeDescriptor> = nodes

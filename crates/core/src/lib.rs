@@ -71,6 +71,7 @@ pub mod message;
 pub mod node;
 pub mod sched;
 pub mod stats;
+pub mod wheel;
 pub mod wire;
 
 pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, OperationOutcome};
@@ -86,4 +87,5 @@ pub use message::{
 pub use node::DataFlasksNode;
 pub use sched::{Inbox, Poll, PushOutcome, RecvOutcome, Scheduler, SchedulerConfig, StealPolicy};
 pub use stats::{MessageKind, NodeStats};
+pub use wheel::{DueTimer, TimerWheel, WheelInstant};
 pub use wire::{decode_frame, encode_frame, encode_output, DecodedFrame, WireError};

@@ -106,7 +106,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use arena::BufferArena;
-use dataflasks_async_env::wheel::TimerWheel;
+use dataflasks_async_env::wheel::{DueTimer, TimerWheel};
 use dataflasks_core::wire::encode_output_into;
 use dataflasks_core::{
     BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
@@ -315,7 +315,7 @@ struct Shared {
     scheduler: Scheduler,
     /// One timer wheel per worker; node `i` is armed on wheel `i % workers`
     /// — the same home mapping as the scheduler shards.
-    wheels: Vec<Mutex<TimerWheel>>,
+    wheels: Vec<Mutex<TimerWheel<Instant>>>,
     client_inbox: Sender<(ClientId, ClientReply)>,
     epoch: Instant,
     node_config: NodeConfig,
@@ -601,7 +601,7 @@ impl SocketCluster {
         let io_count = config.effective_io_threads();
         let (client_tx, client_rx) = mpsc::channel();
         let wheel_tick = to_std(config.wheel_tick).max(StdDuration::from_millis(1));
-        let mut wheels: Vec<TimerWheel> = (0..worker_count)
+        let mut wheels: Vec<TimerWheel<Instant>> = (0..worker_count)
             .map(|_| TimerWheel::new(config.wheel_slots.max(1), wheel_tick, epoch))
             .collect();
         // Deterministic per-node stagger of the first timer round, exactly
@@ -1804,7 +1804,7 @@ fn drain_frames(shared: &Shared, slot_index: usize, conn: &mut InboundConn) -> F
 /// due firings to their hosts (mark-exempt, like driver injections).
 fn timer_loop(shared: &Shared) {
     let tick = shared.wheels[0].lock().tick();
-    let mut due: Vec<(usize, TimerKind)> = Vec::new();
+    let mut due: Vec<DueTimer<Instant>> = Vec::new();
     while !shared.stopping.load(Ordering::SeqCst) {
         std::thread::sleep(tick);
         due.clear();
@@ -1812,13 +1812,13 @@ fn timer_loop(shared: &Shared) {
         for wheel in &shared.wheels {
             wheel.lock().advance(now, &mut due);
         }
-        for &(slot_index, kind) in &due {
-            let slot = &shared.slots[slot_index];
+        for timer in &due {
+            let slot = &shared.slots[timer.host];
             if slot.failed.load(Ordering::SeqCst) {
                 continue;
             }
-            if slot.inbox.push(SocketInput::Timer { kind }) {
-                shared.scheduler.mark_ready(slot_index);
+            if slot.inbox.push(SocketInput::Timer { kind: timer.kind }) {
+                shared.scheduler.mark_ready(timer.host);
             }
         }
     }

@@ -86,17 +86,20 @@ pub enum EventPayload {
         /// The messages, delivered in order.
         messages: Vec<Message>,
     },
-    /// A periodic protocol timer fires on a node.
+    /// An out-of-band timer firing injected through the `Environment`
+    /// interface. Periodic protocol timers never travel through the event
+    /// heap — they live in the simulation's timer wheel — so this payload
+    /// only carries injected firings, keeping them FIFO-ordered with other
+    /// injected inputs.
     Timer {
         /// Node whose timer fires.
         node: NodeId,
         /// Which protocol activity runs.
         kind: TimerKind,
-        /// Arming generation of the `(node, kind)` timer chain. Exactly one
-        /// chain is live per node and kind: re-arming or injecting a firing
-        /// bumps the generation, and events stamped with an older generation
-        /// are dropped on dispatch (the queue-based equivalent of the
-        /// threaded runtime overwriting its single deadline entry).
+        /// Generation stamp drawn from the wheel when the firing was
+        /// injected (superseding the pending deadline). Exactly one chain is
+        /// live per node and kind: events stamped with an older generation
+        /// are dropped on dispatch.
         generation: u64,
     },
     /// A client operation is submitted through an explicit contact node
@@ -141,10 +144,9 @@ pub enum EventPayload {
         /// The crashing node.
         node: NodeId,
     },
-    /// A fresh node joins the system (or a crashed one restarts empty).
+    /// A fresh node joins the system. Its identity is allocated when the
+    /// event dispatches, so ids stay dense and deterministic.
     NodeJoin {
-        /// Identity of the joining node.
-        node: NodeId,
         /// Storage capacity attribute of the joining node.
         capacity: u64,
     },

@@ -1,11 +1,12 @@
 //! The discrete-event simulation driving a whole DataFlasks cluster.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::mem;
 
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
+use dataflasks_core::wheel::{DueTimer, TimerWheel};
 use dataflasks_core::Message;
 use dataflasks_core::{
     ClientId, ClientLibrary, ClientReply, ClientRequest, ClusterSpec, CompletedOperation,
@@ -24,6 +25,16 @@ use crate::network::{EventPayload, EventQueue, NetworkConfig};
 /// Number of bootstrap contacts handed to a node when it is created or
 /// restarts.
 const BOOTSTRAP_CONTACTS: usize = 8;
+
+/// Slot count of the per-simulation timer wheel. With the 1 ms tick this
+/// covers 8.192 s per rotation — longer than every default protocol period,
+/// so steady-state re-arms land in the current rotation.
+const WHEEL_SLOTS: usize = 8192;
+
+/// Cluster size from which [`Simulation::spawn_cluster`] materialises nodes
+/// across the thread pool instead of one at a time (matches the spec
+/// builder's own parallelism threshold).
+const PARALLEL_SPAWN_THRESHOLD: usize = 256;
 
 /// Top-level simulation parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -51,44 +62,24 @@ struct SimNode {
     alive: bool,
 }
 
-/// Per-`(node, kind)` timer-chain generations: arming bumps the generation,
-/// and dispatch drops events stamped with a stale one, so exactly one chain
-/// is live per node and timer kind — matching the threaded runtime's single
-/// deadline-table entry.
-type TimerGenerations = HashMap<(NodeId, TimerKind), u64>;
-
-/// Supersedes any pending `(node, kind)` timer event and schedules the next
-/// firing at `at`.
-fn arm_timer(
-    queue: &mut EventQueue,
-    timers: &mut TimerGenerations,
-    node: NodeId,
-    kind: TimerKind,
-    at: SimTime,
-) {
-    let generation = timers.entry((node, kind)).or_insert(0);
-    *generation += 1;
-    queue.schedule(
-        at,
-        EventPayload::Timer {
-            node,
-            kind,
-            generation: *generation,
-        },
-    );
+/// A client library plus the epoch of the alive set its load balancer last
+/// saw, so contacts are refreshed only when membership actually changed.
+struct SimClient {
+    library: ClientLibrary,
+    contacts_epoch: u64,
 }
 
 /// The queue-side state needed to route one node effect: sends and replies
-/// travel through the simulated network, timer re-arms supersede the pending
-/// timer chain. This is the simulator half of the shared [`Environment`]
-/// pipeline — the threaded runtime routes the very same [`Output`] values
-/// over channels.
+/// travel through the simulated network, timer re-arms go to the timer
+/// wheel (superseding the pending deadline). This is the simulator half of
+/// the shared [`Environment`] pipeline — the threaded runtime routes the
+/// very same [`Output`] values over channels.
 struct Routing<'a> {
     queue: &'a mut EventQueue,
     rng: &'a mut StdRng,
     network: &'a NetworkConfig,
     messages_dropped: &'a mut u64,
-    timers: &'a mut TimerGenerations,
+    wheel: &'a mut TimerWheel<SimTime>,
     now: SimTime,
 }
 
@@ -127,7 +118,11 @@ impl Routing<'_> {
                 );
             }
             Output::Timer { kind, after } => {
-                arm_timer(self.queue, self.timers, from, kind, self.now + after);
+                // Arming supersedes the pending (node, kind) deadline:
+                // exactly one chain is live per pair, like the threaded
+                // runtime's single deadline-table entry.
+                self.wheel
+                    .arm(from.as_u64() as usize, kind, self.now + after);
             }
         }
     }
@@ -139,6 +134,12 @@ impl Routing<'_> {
 /// `dataflasks-core`), the client libraries, a virtual clock and a simulated
 /// network with configurable latency and loss. This is the substitution for
 /// the Minha simulator used by the paper (see DESIGN.md §1).
+///
+/// Node state lives in a dense slab indexed by the (sequentially allocated)
+/// node id, with a swap-remove alive list beside it, and periodic protocol
+/// timers live in a hashed timer wheel rather than the event heap — the
+/// steady-state event loop indexes, it does not hash, and a warmed run
+/// allocates nothing per dispatch.
 ///
 /// # Example
 ///
@@ -160,11 +161,25 @@ pub struct Simulation {
     now: SimTime,
     queue: EventQueue,
     rng: StdRng,
-    nodes: HashMap<NodeId, SimNode>,
-    node_order: Vec<NodeId>,
-    clients: HashMap<ClientId, ClientLibrary>,
+    /// Every node ever spawned, indexed by its id (ids are dense and never
+    /// reused; a crashed node keeps its slot, inspectable, and a restart
+    /// rebuilds the slot in place).
+    nodes: Vec<SimNode>,
+    /// Ids of the currently alive nodes (swap-remove order).
+    alive: Vec<NodeId>,
+    /// Position of each node in [`Self::alive`], `usize::MAX` when dead.
+    alive_pos: Vec<usize>,
+    /// Bumped on every membership change; lets clients skip refreshing their
+    /// contact lists while the alive set is unchanged.
+    alive_epoch: u64,
+    /// Periodic protocol timers: one live deadline per (node, kind).
+    wheel: TimerWheel<SimTime>,
+    /// Scratch for collecting due timers (reused across dispatches).
+    timer_scratch: Vec<DueTimer<SimTime>>,
+    /// Scratch for bootstrap contact sampling (reused across joins).
+    contacts_scratch: Vec<NodeDescriptor>,
+    clients: BTreeMap<ClientId, SimClient>,
     next_client_id: ClientId,
-    next_node_id: u64,
     completed: Vec<CompletedOperation>,
     /// Replies to operations injected through the [`Environment`] interface;
     /// drained by [`Environment::drain_effects`].
@@ -176,7 +191,8 @@ pub struct Simulation {
     env_clients: std::collections::HashSet<ClientId>,
     messages_delivered: u64,
     messages_dropped: u64,
-    timer_generations: TimerGenerations,
+    events_dispatched: u64,
+    timer_fires: u64,
     default_node_config: NodeConfig,
     client_policy: LoadBalancerPolicy,
     /// The spec this simulation was materialised from (if any): the recipe
@@ -197,17 +213,22 @@ impl Simulation {
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(config.seed),
-            nodes: HashMap::new(),
-            node_order: Vec::new(),
-            clients: HashMap::new(),
+            nodes: Vec::new(),
+            alive: Vec::new(),
+            alive_pos: Vec::new(),
+            alive_epoch: 0,
+            wheel: TimerWheel::new(WHEEL_SLOTS, Duration::from_millis(1), SimTime::ZERO),
+            timer_scratch: Vec::new(),
+            contacts_scratch: Vec::new(),
+            clients: BTreeMap::new(),
             next_client_id: 1,
-            next_node_id: 0,
             completed: Vec::new(),
             reply_log: Vec::new(),
             env_clients: std::collections::HashSet::new(),
             messages_delivered: 0,
             messages_dropped: 0,
-            timer_generations: TimerGenerations::new(),
+            events_dispatched: 0,
+            timer_fires: 0,
             default_node_config: NodeConfig::default(),
             client_policy: LoadBalancerPolicy::Random,
             spec: None,
@@ -229,17 +250,14 @@ impl Simulation {
     /// Number of nodes currently alive.
     #[must_use]
     pub fn alive_count(&self) -> usize {
-        self.nodes.values().filter(|n| n.alive).count()
+        self.alive.len()
     }
 
-    /// Identifiers of the nodes currently alive.
+    /// Identifiers of the nodes currently alive (membership order, not
+    /// spawn order: crashes swap-remove). Borrowed — no per-call allocation.
     #[must_use]
-    pub fn alive_nodes(&self) -> Vec<NodeId> {
-        self.node_order
-            .iter()
-            .copied()
-            .filter(|id| self.nodes.get(id).is_some_and(|n| n.alive))
-            .collect()
+    pub fn alive_nodes(&self) -> &[NodeId] {
+        &self.alive
     }
 
     /// Messages delivered by the network so far.
@@ -254,6 +272,21 @@ impl Simulation {
         self.messages_dropped
     }
 
+    /// Events the simulation loop has dispatched so far (network deliveries,
+    /// timer firings, client traffic and churn): the denominator-free
+    /// throughput counter `sim_bench` divides by wall time.
+    #[must_use]
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    /// Protocol timer firings actually handled by a live node so far
+    /// (superseded and dead-node deadlines excluded).
+    #[must_use]
+    pub fn timer_fires(&self) -> u64 {
+        self.timer_fires
+    }
+
     /// Read access to a node (panics if the identifier is unknown).
     ///
     /// # Panics
@@ -261,7 +294,11 @@ impl Simulation {
     /// Panics if no node with this identifier was ever added.
     #[must_use]
     pub fn node(&self, id: NodeId) -> &DataFlasksNode<DefaultStore> {
-        self.nodes.get(&id).expect("unknown node id").host.node()
+        self.nodes
+            .get(id.as_u64() as usize)
+            .expect("unknown node id")
+            .host
+            .node()
     }
 
     /// Operations completed by all clients so far (in completion order).
@@ -273,7 +310,7 @@ impl Simulation {
     /// Client statistics, by client identifier.
     #[must_use]
     pub fn client(&self, id: ClientId) -> Option<&ClientLibrary> {
-        self.clients.get(&id)
+        self.clients.get(&id).map(|c| &c.library)
     }
 
     // ------------------------------------------------------------------
@@ -283,34 +320,58 @@ impl Simulation {
     /// Spawns `count` nodes sharing `node_config`, with capacities drawn
     /// uniformly from `100..=10_000` (the heterogeneous capacity attribute
     /// the slicing protocol partitions by), and bootstraps their views.
+    ///
+    /// Large clusters spawned into an empty simulation are materialised
+    /// cold across the thread pool ([`ClusterSpec::build_cold_nodes`]) and
+    /// then bootstrapped serially in id order, keeping spawn O(n) — the
+    /// observable behaviour matches the serial loop (each node bootstraps
+    /// from contacts among its predecessors), though the seeded random
+    /// stream differs from the one-at-a-time path.
     pub fn spawn_cluster(&mut self, count: usize, node_config: NodeConfig) {
         self.default_node_config = node_config;
-        for _ in 0..count {
-            let capacity = self.rng.gen_range(100..=10_000);
-            self.spawn_node(node_config, capacity);
+        if !self.nodes.is_empty() || count < PARALLEL_SPAWN_THRESHOLD {
+            for _ in 0..count {
+                let capacity = self.rng.gen_range(100..=10_000);
+                self.spawn_node(node_config, capacity);
+            }
+            return;
+        }
+        let capacities: Vec<u64> = (0..count)
+            .map(|_| self.rng.gen_range(100..=10_000))
+            .collect();
+        let spec = ClusterSpec::new(node_config, capacities, self.rng.gen());
+        for mut node in spec.build_cold_nodes() {
+            let id = node.id();
+            debug_assert_eq!(id.as_u64() as usize, self.nodes.len());
+            self.fill_bootstrap_contacts();
+            node.bootstrap(self.contacts_scratch.drain(..));
+            self.register_alive(NodeHost::new(node));
+            self.schedule_node_timers(id, node_config);
         }
     }
 
     /// Spawns a single node with an explicit capacity attribute, returning
     /// its identity.
     pub fn spawn_node(&mut self, node_config: NodeConfig, capacity: u64) -> NodeId {
-        let id = NodeId::new(self.next_node_id);
-        self.next_node_id += 1;
+        let id = NodeId::new(self.nodes.len() as u64);
         let profile = NodeProfile::with_capacity_and_tie_break(capacity, id.as_u64());
         let seed = self.rng.gen();
         let store = ShardedStore::new(node_config.effective_store_shards());
         let mut node = DataFlasksNode::new(id, node_config, profile, store, seed);
-        node.bootstrap(self.bootstrap_contacts(id));
-        self.nodes.insert(
-            id,
-            SimNode {
-                host: NodeHost::new(node),
-                alive: true,
-            },
-        );
-        self.node_order.push(id);
+        self.fill_bootstrap_contacts();
+        node.bootstrap(self.contacts_scratch.drain(..));
+        self.register_alive(NodeHost::new(node));
         self.schedule_node_timers(id, node_config);
         id
+    }
+
+    /// Appends a freshly built host to the slab and the alive set.
+    fn register_alive(&mut self, host: NodeHost<DefaultStore>) {
+        let index = self.nodes.len();
+        self.nodes.push(SimNode { host, alive: true });
+        self.alive_pos.push(self.alive.len());
+        self.alive.push(NodeId::new(index as u64));
+        self.alive_epoch += 1;
     }
 
     /// Materialises a [`ClusterSpec`] into this (empty) simulation: the same
@@ -327,18 +388,11 @@ impl Simulation {
             "spawn_spec requires an empty simulation"
         );
         self.default_node_config = spec.node_config;
-        self.next_node_id = spec.len() as u64;
         self.spec = Some(spec.clone());
         for node in spec.build_nodes() {
             let id = node.id();
-            self.nodes.insert(
-                id,
-                SimNode {
-                    host: NodeHost::new(node),
-                    alive: true,
-                },
-            );
-            self.node_order.push(id);
+            debug_assert_eq!(id.as_u64() as usize, self.nodes.len());
+            self.register_alive(NodeHost::new(node));
             self.schedule_node_timers(id, spec.node_config);
         }
     }
@@ -356,8 +410,14 @@ impl Simulation {
         self.next_client_id += 1;
         let partition =
             dataflasks_types::SlicePartition::new(self.default_node_config.slicing.slice_count);
-        let lb = LoadBalancer::new(self.client_policy, self.alive_nodes(), partition);
-        self.clients.insert(id, ClientLibrary::new(id, lb));
+        let lb = LoadBalancer::new(self.client_policy, self.alive.clone(), partition);
+        self.clients.insert(
+            id,
+            SimClient {
+                library: ClientLibrary::new(id, lb),
+                contacts_epoch: self.alive_epoch,
+            },
+        );
         id
     }
 
@@ -371,13 +431,7 @@ impl Simulation {
     pub fn schedule_join(&mut self, at: SimTime, capacity: u64) {
         // The node id is allocated when the event fires so that ids stay
         // dense and deterministic.
-        self.queue.schedule(
-            at,
-            EventPayload::NodeJoin {
-                node: NodeId::new(u64::MAX),
-                capacity,
-            },
-        );
+        self.queue.schedule(at, EventPayload::NodeJoin { capacity });
     }
 
     /// Schedules uniform churn between `start` and `end`: `crashes` node
@@ -385,10 +439,11 @@ impl Simulation {
     /// window.
     pub fn schedule_churn(&mut self, start: SimTime, end: SimTime, crashes: usize, joins: usize) {
         let window = end.saturating_since(start).as_millis().max(1);
-        for _ in 0..crashes {
-            let offset = self.rng.gen_range(0..window);
-            let at = start + Duration::from_millis(offset);
-            if let Some(&victim) = self.node_order.choose(&mut self.rng) {
+        if !self.nodes.is_empty() {
+            for _ in 0..crashes {
+                let offset = self.rng.gen_range(0..window);
+                let at = start + Duration::from_millis(offset);
+                let victim = NodeId::new(self.rng.gen_range(0..self.nodes.len() as u64));
                 self.queue
                     .schedule(at, EventPayload::NodeCrash { node: victim });
             }
@@ -397,13 +452,7 @@ impl Simulation {
             let offset = self.rng.gen_range(0..window);
             let at = start + Duration::from_millis(offset);
             let capacity = self.rng.gen_range(100..=10_000);
-            self.queue.schedule(
-                at,
-                EventPayload::NodeJoin {
-                    node: NodeId::new(u64::MAX),
-                    capacity,
-                },
-            );
+            self.queue.schedule(at, EventPayload::NodeJoin { capacity });
         }
     }
 
@@ -485,17 +534,86 @@ impl Simulation {
     }
 
     /// Runs the simulation until the virtual clock reaches `deadline`.
+    ///
+    /// Wheel deadlines strictly earlier than the next heap event fire
+    /// first; at equal instants the heap event wins, which keeps injected
+    /// inputs (which travel on the heap, including injected timer firings)
+    /// in FIFO submission order relative to each other.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(next) = self.queue.next_time() {
-            if next > deadline {
+        loop {
+            let heap_next = self.queue.next_time().filter(|&t| t <= deadline);
+            let wheel_limit = match heap_next {
+                // Scheduled times are whole milliseconds (latencies and
+                // periods are built from millis), so "strictly before the
+                // heap event" is exactly one tick less.
+                Some(t) if t == SimTime::ZERO => None,
+                Some(t) => Some(SimTime::from_millis(t.as_millis() - 1)),
+                None => Some(deadline),
+            };
+            if let Some(limit) = wheel_limit {
+                if self.fire_due_timers(limit) {
+                    continue;
+                }
+            }
+            if heap_next.is_none() {
                 break;
             }
             let event = self.queue.pop().expect("peeked event exists");
             self.now = event.at;
+            self.events_dispatched += 1;
             self.dispatch(event.payload);
         }
         self.now = deadline;
         self.expire_clients();
+    }
+
+    /// Advances the wheel to the first tick with due deadlines at or before
+    /// `limit` and fires them. Returns `true` if anything fired.
+    fn fire_due_timers(&mut self, limit: SimTime) -> bool {
+        let mut due = mem::take(&mut self.timer_scratch);
+        due.clear();
+        let fired = self.wheel.advance_next(limit, &mut due);
+        if fired {
+            let Self {
+                nodes,
+                queue,
+                rng,
+                config,
+                messages_dropped,
+                wheel,
+                timer_fires,
+                events_dispatched,
+                now,
+                ..
+            } = self;
+            for timer in &due {
+                let Some(entry) = nodes.get_mut(timer.host) else {
+                    continue;
+                };
+                // Dead nodes cancel their deadlines, so this only guards
+                // against a crash handled earlier in this same batch.
+                if !entry.alive {
+                    continue;
+                }
+                *now = (*now).max(timer.at);
+                *events_dispatched += 1;
+                *timer_fires += 1;
+                let mut routing = Routing {
+                    queue: &mut *queue,
+                    rng: &mut *rng,
+                    network: &config.network,
+                    messages_dropped: &mut *messages_dropped,
+                    wheel: &mut *wheel,
+                    now: *now,
+                };
+                let node = NodeId::new(timer.host as u64);
+                entry
+                    .host
+                    .fire_timer(timer.kind, *now, |output| routing.route(node, output));
+            }
+        }
+        self.timer_scratch = due;
+        fired
     }
 
     fn dispatch(&mut self, payload: EventPayload) {
@@ -503,14 +621,30 @@ impl Simulation {
             EventPayload::Deliver { from, to, message } => {
                 self.deliver_to_node(from, to, std::iter::once(message));
             }
-            EventPayload::DeliverBatch { from, to, messages } => {
-                self.deliver_to_node(from, to, messages.into_iter());
+            EventPayload::DeliverBatch {
+                from,
+                to,
+                mut messages,
+            } => {
+                self.deliver_to_node(from, to, messages.drain(..));
+                // The spent buffer goes back to the receiver's batch pool:
+                // a warmed event loop recycles rather than allocates.
+                if let Some(entry) = self.nodes.get_mut(to.as_u64() as usize) {
+                    entry.host.recycle_batch(messages);
+                }
             }
             EventPayload::Timer {
                 node,
                 kind,
                 generation,
             } => {
+                // An injected firing (periodic timers never travel on the
+                // heap). Superseded by a later arm or injection: drop it,
+                // there is exactly one live chain per (node, kind).
+                let index = node.as_u64() as usize;
+                if !self.wheel.is_current(index, kind, generation) {
+                    return;
+                }
                 let now = self.now;
                 let Self {
                     nodes,
@@ -518,27 +652,23 @@ impl Simulation {
                     rng,
                     config,
                     messages_dropped,
-                    timer_generations,
+                    wheel,
+                    timer_fires,
                     ..
                 } = self;
-                // A stale chain was superseded by a re-arm or an injected
-                // firing: drop it, there is exactly one live chain per
-                // (node, kind).
-                if timer_generations.get(&(node, kind)) != Some(&generation) {
-                    return;
-                }
-                let Some(entry) = nodes.get_mut(&node) else {
+                let Some(entry) = nodes.get_mut(index) else {
                     return;
                 };
                 // A dead node's timer is simply not re-armed (the re-arm is
                 // an effect of handling the timer, which dead nodes never do).
                 if entry.alive {
+                    *timer_fires += 1;
                     let mut routing = Routing {
                         queue,
                         rng,
                         network: &config.network,
                         messages_dropped,
-                        timers: timer_generations,
+                        wheel,
                         now,
                     };
                     entry
@@ -558,8 +688,8 @@ impl Simulation {
                     // Environment-injected traffic: surfaced raw through
                     // drain_effects, never absorbed by a client library.
                     self.reply_log.push(reply);
-                } else if let Some(library) = self.clients.get_mut(&client) {
-                    if let Some(done) = library.on_reply(&reply, self.now) {
+                } else if let Some(entry) = self.clients.get_mut(&client) {
+                    if let Some(done) = entry.library.on_reply(&reply, self.now) {
                         self.completed.push(done);
                     }
                 } else {
@@ -572,40 +702,80 @@ impl Simulation {
                 version,
                 value,
             } => {
-                let Some(library) = self.clients.get_mut(&client) else {
+                let Some(issued) = self.client_issue(client, |library, now, rng| {
+                    library.put(key, version, value, now, rng)
+                }) else {
                     return;
                 };
-                library
-                    .load_balancer_mut()
-                    .set_contacts(Self::alive_of(&self.node_order, &self.nodes));
-                if let Some(issued) = library.put(key, version, value, self.now, &mut self.rng) {
-                    self.deliver_client_request(client, issued.contact, issued.request);
-                }
+                self.deliver_client_request(client, issued.contact, issued.request);
             }
             EventPayload::ClientGet {
                 client,
                 key,
                 version,
             } => {
-                let Some(library) = self.clients.get_mut(&client) else {
+                let Some(issued) = self.client_issue(client, |library, now, rng| {
+                    library.get(key, version, now, rng)
+                }) else {
                     return;
                 };
-                library
-                    .load_balancer_mut()
-                    .set_contacts(Self::alive_of(&self.node_order, &self.nodes));
-                if let Some(issued) = library.get(key, version, self.now, &mut self.rng) {
-                    self.deliver_client_request(client, issued.contact, issued.request);
-                }
+                self.deliver_client_request(client, issued.contact, issued.request);
             }
             EventPayload::NodeCrash { node } => {
-                if let Some(entry) = self.nodes.get_mut(&node) {
-                    entry.alive = false;
-                }
+                self.kill(node);
             }
-            EventPayload::NodeJoin { capacity, .. } => {
+            EventPayload::NodeJoin { capacity } => {
                 let config = self.default_node_config;
                 let _ = self.spawn_node(config, capacity);
             }
+        }
+    }
+
+    /// Refreshes `client`'s contacts if membership changed since it last
+    /// issued, then runs `issue` against its library.
+    fn client_issue<T>(
+        &mut self,
+        client: ClientId,
+        issue: impl FnOnce(&mut ClientLibrary, SimTime, &mut StdRng) -> Option<T>,
+    ) -> Option<T> {
+        let Self {
+            clients,
+            alive,
+            alive_epoch,
+            rng,
+            now,
+            ..
+        } = self;
+        let entry = clients.get_mut(&client)?;
+        if entry.contacts_epoch != *alive_epoch {
+            entry
+                .library
+                .load_balancer_mut()
+                .set_contacts(alive.clone());
+            entry.contacts_epoch = *alive_epoch;
+        }
+        issue(&mut entry.library, *now, rng)
+    }
+
+    /// Marks `node` dead: out of the alive set, wheel deadlines cancelled.
+    fn kill(&mut self, node: NodeId) {
+        let index = node.as_u64() as usize;
+        let Some(entry) = self.nodes.get_mut(index) else {
+            return;
+        };
+        if !entry.alive {
+            return;
+        }
+        entry.alive = false;
+        let pos = self.alive_pos[index];
+        self.alive.swap_remove(pos);
+        if let Some(&moved) = self.alive.get(pos) {
+            self.alive_pos[moved.as_u64() as usize] = pos;
+        }
+        self.alive_pos[index] = usize::MAX;
+        self.alive_epoch += 1;
+        for kind in TimerKind::ALL {
+            self.wheel.cancel(index, kind);
         }
     }
 
@@ -625,10 +795,10 @@ impl Simulation {
             config,
             messages_dropped,
             messages_delivered,
-            timer_generations,
+            wheel,
             ..
         } = self;
-        let Some(entry) = nodes.get_mut(&to) else {
+        let Some(entry) = nodes.get_mut(to.as_u64() as usize) else {
             return;
         };
         if !entry.alive {
@@ -640,7 +810,7 @@ impl Simulation {
             rng,
             network: &config.network,
             messages_dropped,
-            timers: timer_generations,
+            wheel,
             now,
         };
         entry
@@ -664,10 +834,10 @@ impl Simulation {
             rng,
             config,
             messages_dropped,
-            timer_generations,
+            wheel,
             ..
         } = self;
-        let Some(entry) = nodes.get_mut(&contact) else {
+        let Some(entry) = nodes.get_mut(contact.as_u64() as usize) else {
             return;
         };
         if !entry.alive {
@@ -678,7 +848,7 @@ impl Simulation {
             rng,
             network: &config.network,
             messages_dropped,
-            timers: timer_generations,
+            wheel,
             now,
         };
         entry
@@ -691,8 +861,9 @@ impl Simulation {
     fn expire_clients(&mut self) {
         let timeout = self.config.client_timeout;
         let now = self.now;
-        for library in self.clients.values_mut() {
-            self.completed.extend(library.expire_pending(now, timeout));
+        for entry in self.clients.values_mut() {
+            self.completed
+                .extend(entry.library.expire_pending(now, timeout));
         }
     }
 
@@ -700,58 +871,60 @@ impl Simulation {
     /// every subsequent round is re-armed by the node itself (an
     /// [`Output::Timer`] effect).
     fn schedule_node_timers(&mut self, node: NodeId, config: NodeConfig) {
+        let index = node.as_u64() as usize;
         for kind in TimerKind::ALL {
             let period = kind.period(&config);
             let jitter = Duration::from_millis(self.rng.gen_range(0..period.as_millis().max(1)));
-            arm_timer(
-                &mut self.queue,
-                &mut self.timer_generations,
-                node,
-                kind,
-                self.now + jitter,
-            );
+            self.wheel.arm(index, kind, self.now + jitter);
         }
     }
 
-    fn bootstrap_contacts(&mut self, joining: NodeId) -> Vec<NodeDescriptor> {
-        let mut alive: Vec<NodeId> = self
-            .node_order
-            .iter()
-            .copied()
-            .filter(|id| *id != joining && self.nodes.get(id).is_some_and(|n| n.alive))
-            .collect();
-        alive.shuffle(&mut self.rng);
-        alive
-            .into_iter()
-            .take(BOOTSTRAP_CONTACTS)
-            .map(|id| {
-                let node = self.nodes[&id].host.node();
-                NodeDescriptor::new(id, node.profile()).with_slice(node.slice())
-            })
-            .collect()
-    }
-
-    fn alive_of(order: &[NodeId], nodes: &HashMap<NodeId, SimNode>) -> Vec<NodeId> {
-        order
-            .iter()
-            .copied()
-            .filter(|id| nodes.get(id).is_some_and(|n| n.alive))
-            .collect()
+    /// Fills [`Self::contacts_scratch`] with up to [`BOOTSTRAP_CONTACTS`]
+    /// distinct alive nodes, sampled by rejection off the alive list —
+    /// O(contacts) per join, never O(cluster).
+    fn fill_bootstrap_contacts(&mut self) {
+        let Self {
+            rng,
+            alive,
+            nodes,
+            contacts_scratch,
+            ..
+        } = self;
+        contacts_scratch.clear();
+        let describe = |nodes: &[SimNode], id: NodeId| {
+            let node = nodes[id.as_u64() as usize].host.node();
+            NodeDescriptor::new(id, node.profile()).with_slice(node.slice())
+        };
+        if alive.len() <= BOOTSTRAP_CONTACTS {
+            for &id in alive.iter() {
+                contacts_scratch.push(describe(nodes, id));
+            }
+            return;
+        }
+        let mut chosen = [usize::MAX; BOOTSTRAP_CONTACTS];
+        let mut count = 0;
+        while count < BOOTSTRAP_CONTACTS {
+            let pick = rng.gen_range(0..alive.len());
+            if chosen[..count].contains(&pick) {
+                continue;
+            }
+            chosen[count] = pick;
+            count += 1;
+            contacts_scratch.push(describe(nodes, alive[pick]));
+        }
     }
 
     // ------------------------------------------------------------------
     // Measurements
     // ------------------------------------------------------------------
 
-    /// Per-node statistics of every alive node.
+    /// Per-node statistics of every alive node, in spawn order.
     #[must_use]
     pub fn node_stats(&self) -> Vec<NodeStats> {
-        self.node_order
+        self.nodes
             .iter()
-            .filter_map(|id| {
-                let entry = self.nodes.get(id)?;
-                entry.alive.then(|| *entry.host.node().stats())
-            })
+            .filter(|entry| entry.alive)
+            .map(|entry| *entry.host.node().stats())
             .collect()
     }
 
@@ -765,29 +938,41 @@ impl Simulation {
     #[must_use]
     pub fn replication_factor(&self, key: Key) -> usize {
         self.nodes
-            .values()
+            .iter()
             .filter(|entry| entry.alive && entry.host.node().store().get_latest(key).is_some())
             .count()
     }
 
-    /// The slice every alive node currently believes it belongs to.
-    #[must_use]
-    pub fn slice_assignment(&self) -> HashMap<NodeId, SliceId> {
+    /// The slice every alive node currently believes it belongs to, in
+    /// spawn order. Borrowed iterator — no per-call allocation.
+    pub fn slice_assignment(&self) -> impl Iterator<Item = (NodeId, SliceId)> + '_ {
         self.nodes
             .iter()
-            .filter(|(_, entry)| entry.alive)
-            .filter_map(|(&id, entry)| entry.host.node().slice().map(|slice| (id, slice)))
-            .collect()
+            .filter(|entry| entry.alive)
+            .filter_map(|entry| {
+                let node = entry.host.node();
+                node.slice().map(|slice| (node.id(), slice))
+            })
     }
 
-    /// Number of alive members per slice.
+    /// Number of alive members per populated slice, ordered by slice index.
     #[must_use]
-    pub fn slice_populations(&self) -> HashMap<SliceId, usize> {
-        let mut populations: HashMap<SliceId, usize> = HashMap::new();
-        for slice in self.slice_assignment().values() {
-            *populations.entry(*slice).or_default() += 1;
+    pub fn slice_populations(&self) -> Vec<(SliceId, usize)> {
+        let configured = self.default_node_config.slicing.slice_count as usize;
+        let mut counts: Vec<usize> = vec![0; configured];
+        for (_, slice) in self.slice_assignment() {
+            let index = slice.index() as usize;
+            if index >= counts.len() {
+                counts.resize(index + 1, 0);
+            }
+            counts[index] += 1;
         }
-        populations
+        counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &count)| count > 0)
+            .map(|(index, &count)| (SliceId::new(index as u32), count))
+            .collect()
     }
 
     /// Fraction of the submitted operations that completed successfully
@@ -819,15 +1004,19 @@ impl Environment for Simulation {
     }
 
     fn fire_timer(&mut self, node: NodeId, kind: TimerKind) {
-        // Arming supersedes the pending chain, exactly like the threaded
-        // runtime overwriting its single deadline entry: the injected firing
-        // replaces the scheduled one instead of spawning a second chain.
-        arm_timer(
-            &mut self.queue,
-            &mut self.timer_generations,
-            node,
-            kind,
+        // Superseding kills the pending wheel deadline, exactly like the
+        // threaded runtime overwriting its single deadline entry; the
+        // injected firing travels on the heap so it keeps FIFO order with
+        // other injected inputs, carrying the fresh stamp as proof of
+        // currency at dispatch time.
+        let generation = self.wheel.supersede(node.as_u64() as usize, kind);
+        self.queue.schedule(
             self.now,
+            EventPayload::Timer {
+                node,
+                kind,
+                generation,
+            },
         );
     }
 
@@ -852,9 +1041,7 @@ impl Environment for Simulation {
     }
 
     fn fail_node(&mut self, node: NodeId) {
-        if let Some(entry) = self.nodes.get_mut(&node) {
-            entry.alive = false;
-        }
+        self.kill(node);
     }
 
     fn restart_node(&mut self, node: NodeId) {
@@ -874,7 +1061,7 @@ impl Environment for Simulation {
         // The restart implies the crash: in-flight deliveries and client
         // submissions addressed to the pre-crash incarnation are lost with
         // it, exactly like the concurrent runtimes clearing the victim's
-        // inbox. (Pending timer events are superseded by generation below.)
+        // inbox. (Pending timer deadlines are superseded by the arms below.)
         self.queue.discard(|payload| {
             matches!(
                 payload,
@@ -884,22 +1071,22 @@ impl Environment for Simulation {
         });
         let entry = self
             .nodes
-            .get_mut(&node)
+            .get_mut(index)
             .expect("spec nodes are registered");
         entry.host = NodeHost::new(fresh);
-        entry.alive = true;
+        if !entry.alive {
+            entry.alive = true;
+            self.alive_pos[index] = self.alive.len();
+            self.alive.push(node);
+            self.alive_epoch += 1;
+        }
         // Re-seed the periodic timers deterministically (no spawn jitter):
         // one full period from the restart instant, exactly like the
-        // concurrent runtimes arming a fresh deadline table. Arming bumps the
-        // chain generation, so pre-crash timer events are superseded.
+        // concurrent runtimes arming a fresh deadline table. Arming
+        // supersedes the chain, so pre-crash deadlines (and injected
+        // firings still in the heap) are dead on arrival.
         for kind in TimerKind::ALL {
-            arm_timer(
-                &mut self.queue,
-                &mut self.timer_generations,
-                node,
-                kind,
-                self.now + kind.period(&config),
-            );
+            self.wheel.arm(index, kind, self.now + kind.period(&config));
         }
     }
 
@@ -932,14 +1119,13 @@ mod tests {
     fn gossip_fills_views_and_assigns_slices() {
         let mut sim = small_sim(30, 3);
         sim.run_for(Duration::from_secs(30));
-        let assignment = sim.slice_assignment();
-        assert_eq!(assignment.len(), 30);
+        assert_eq!(sim.slice_assignment().count(), 30);
         let populations = sim.slice_populations();
         assert!(
             populations.len() >= 2,
             "expected at least two populated slices, got {populations:?}"
         );
-        for id in sim.alive_nodes() {
+        for &id in sim.alive_nodes() {
             assert!(sim.node(id).view_len() > 0, "node {id} has an empty view");
         }
         assert!(sim.messages_delivered() > 0);
@@ -1033,6 +1219,43 @@ mod tests {
             1,
             "five injected firings must collapse into one live timer chain"
         );
+    }
+
+    #[test]
+    fn crash_then_restart_supersedes_precrash_timer_chains() {
+        use dataflasks_core::MessageKind;
+        // Short, distinct periods: the pre-crash chain (armed with spawn
+        // jitter inside the first period) and the post-restart chain (armed
+        // exactly one period after the restart) are distinguishable by when
+        // shuffles resume.
+        let mut config = NodeConfig::for_system_size(4, 1);
+        config.pss.shuffle_period = Duration::from_secs(2);
+        config.slicing.gossip_period = Duration::from_secs(3_600);
+        config.replication.anti_entropy_period = Duration::from_secs(3_600);
+        let spec = ClusterSpec::new(config, vec![400, 300, 200, 100], 41);
+        let mut sim = Simulation::new(SimConfig {
+            seed: spec.seed,
+            ..SimConfig::default()
+        });
+        sim.spawn_spec(&spec);
+        let victim = NodeId::new(2);
+        Environment::fail_node(&mut sim, victim);
+        // A dead node's deadlines are cancelled: nothing fires while down.
+        let fires_at_crash = sim.timer_fires();
+        sim.run_for(Duration::from_secs(10));
+        let victim_sent = sim.node(victim).stats().sent(MessageKind::Membership);
+        assert_eq!(victim_sent, 0, "a dead node must not shuffle");
+        Environment::restart_node(&mut sim, victim);
+        // The fresh incarnation shuffles again — from one full period after
+        // the restart, on a chain that superseded the pre-crash one (no
+        // double firing at the old phase).
+        sim.run_for(Duration::from_secs(2));
+        let resumed = sim.node(victim).stats().sent(MessageKind::Membership);
+        assert_eq!(
+            resumed, 1,
+            "exactly one post-restart shuffle within the first period"
+        );
+        assert!(sim.timer_fires() > fires_at_crash);
     }
 
     #[test]
@@ -1180,5 +1403,29 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn parallel_cold_spawn_matches_cluster_invariants() {
+        // Above the parallelism threshold the cold-build path kicks in; the
+        // cluster must still converge, keep dense ids and stay deterministic.
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            let config = NodeConfig::for_system_size(300, 4);
+            sim.spawn_cluster(300, config);
+            assert_eq!(sim.alive_count(), 300);
+            for (index, &id) in sim.alive_nodes().iter().enumerate() {
+                assert_eq!(id.as_u64() as usize, index, "spawn ids must be dense");
+            }
+            sim.run_for(Duration::from_secs(20));
+            (sim.messages_delivered(), sim.slice_populations())
+        };
+        let (delivered, populations) = run(11);
+        assert!(delivered > 0);
+        assert_eq!(populations.iter().map(|(_, n)| n).sum::<usize>(), 300);
+        assert_eq!(run(11), run(11));
     }
 }

@@ -10,12 +10,9 @@
 //! paper requires from its slicing substrate (and which the hash baseline
 //! lacks).
 
-use std::collections::{BTreeSet, HashMap};
-
-use rand::seq::SliceRandom;
 use rand::Rng;
 
-use dataflasks_types::{NodeId, NodeProfile, SliceId, SlicePartition, SlicingConfig};
+use dataflasks_types::{FastHashMap, NodeId, NodeProfile, SliceId, SlicePartition, SlicingConfig};
 
 use crate::sample::AttributeSample;
 use crate::Slicer;
@@ -54,14 +51,28 @@ pub struct OrderedSlicer {
     config: SlicingConfig,
     partition: SlicePartition,
     round: u64,
-    samples: HashMap<NodeId, AttributeSample>,
-    /// Staleness index over `samples`, ordered by `(round, node)`: the first
-    /// entry is always the eviction victim, making the buffer-full path
-    /// O(log n) instead of a full scan per insert. (Bootstrapping a node feeds
-    /// it the whole cluster's descriptors; with a linear eviction scan that
-    /// path alone dominated multi-thousand-node spawn time.)
-    staleness: BTreeSet<(u64, u64)>,
+    /// The sample buffer, dense: iteration, selection and eviction scans
+    /// touch one contiguous run of ≤ `sample_buffer_size` copies. Order is
+    /// insertion/swap-remove order — deterministic under a seeded driver,
+    /// unlike hash-map iteration, so exchanges need no pre-sort.
+    entries: Vec<AttributeSample>,
+    /// `node → position in entries`, through the deterministic fast hasher.
+    /// This is the gossip hot path's only hashed lookup.
+    index: FastHashMap<NodeId, u32>,
+    /// The local node's ordering key (cached; changes only with the profile).
+    own_key: (u64, u64, u64),
+    /// How many buffered samples order strictly below `own_key`, maintained
+    /// incrementally so the rank estimate is O(1) instead of a buffer scan
+    /// per query.
+    below: usize,
     exchanges: u64,
+    /// Scratch positions for sample selection (reused across exchanges).
+    select_scratch: Vec<u32>,
+    /// Eviction hand: where the next staleness sweep resumes. In a large
+    /// cluster nearly every incoming sample is a new node, so eviction runs
+    /// on almost every merge — a full min-scan per insert is quadratic in
+    /// the buffer size. The hand amortises it to O(1) per eviction.
+    evict_hand: usize,
 }
 
 impl OrderedSlicer {
@@ -79,10 +90,22 @@ impl OrderedSlicer {
             config,
             partition,
             round: 0,
-            samples: HashMap::new(),
-            staleness: BTreeSet::new(),
+            entries: Vec::new(),
+            index: FastHashMap::default(),
+            own_key: Self::key_of(node, profile),
+            below: 0,
             exchanges: 0,
+            select_scratch: Vec::new(),
+            evict_hand: 0,
         }
+    }
+
+    /// The total-order key of `node` advertising `profile` (attribute with
+    /// the identity as final tie-breaker, like
+    /// [`AttributeSample::ordering_key`]).
+    fn key_of(node: NodeId, profile: NodeProfile) -> (u64, u64, u64) {
+        let (capacity, tie) = profile.slicing_attribute();
+        (capacity, tie, node.as_u64())
     }
 
     /// The node this slicer instance runs on.
@@ -100,6 +123,12 @@ impl OrderedSlicer {
     /// Updates the locally measured profile (e.g. the capacity changed).
     pub fn set_profile(&mut self, profile: NodeProfile) {
         self.profile = profile;
+        self.own_key = Self::key_of(self.node, profile);
+        self.below = self
+            .entries
+            .iter()
+            .filter(|s| s.ordering_key() < self.own_key)
+            .count();
     }
 
     /// Number of gossip exchanges this node took part in.
@@ -112,7 +141,7 @@ impl OrderedSlicer {
     /// buffer.
     #[must_use]
     pub fn sample_count(&self) -> usize {
-        self.samples.len()
+        self.entries.len()
     }
 
     /// The current local gossip round.
@@ -133,8 +162,20 @@ impl OrderedSlicer {
 
     /// Forgets everything known about `node` (suspected dead).
     pub fn purge(&mut self, node: NodeId) {
-        if let Some(sample) = self.samples.remove(&node) {
-            self.staleness.remove(&(sample.round(), node.as_u64()));
+        if let Some(pos) = self.index.remove(&node) {
+            self.remove_at(pos as usize);
+        }
+    }
+
+    /// Removes the entry at `pos` by swap-remove, fixing the displaced
+    /// entry's index slot and the rank counter.
+    fn remove_at(&mut self, pos: usize) {
+        let removed = self.entries.swap_remove(pos);
+        if removed.ordering_key() < self.own_key {
+            self.below -= 1;
+        }
+        if let Some(moved) = self.entries.get(pos) {
+            self.index.insert(moved.node(), pos as u32);
         }
     }
 
@@ -145,14 +186,15 @@ impl OrderedSlicer {
         let horizon = self
             .round
             .saturating_sub(u64::from(self.config.sample_ttl_rounds));
-        // The staleness index is ordered by round, so the expired prefix is a
-        // range query instead of a full-buffer retain.
-        while let Some(&(round, id)) = self.staleness.first() {
-            if round >= horizon {
-                break;
+        // One sweep over the (small, dense) buffer per round.
+        let mut pos = 0;
+        while pos < self.entries.len() {
+            if self.entries[pos].round() < horizon {
+                self.index.remove(&self.entries[pos].node());
+                self.remove_at(pos);
+            } else {
+                pos += 1;
             }
-            self.staleness.remove(&(round, id));
-            self.samples.remove(&NodeId::new(id));
         }
         self.round
     }
@@ -191,31 +233,31 @@ impl OrderedSlicer {
     /// attribute orders strictly below its own.
     #[must_use]
     pub fn estimated_rank(&self) -> f64 {
-        let own_key = (
-            self.profile.slicing_attribute().0,
-            self.profile.slicing_attribute().1,
-            self.node.as_u64(),
-        );
-        let below = self
-            .samples
-            .values()
-            .filter(|s| s.ordering_key() < own_key)
-            .count();
-        let total = self.samples.len() + 1;
-        below as f64 / total as f64
+        // `below` is maintained on every buffer mutation: the estimate is a
+        // division, not a scan.
+        self.below as f64 / (self.entries.len() + 1) as f64
     }
 
-    fn select_samples<R: Rng>(&self, rng: &mut R) -> Vec<AttributeSample> {
-        let mut pool: Vec<AttributeSample> = self.samples.values().copied().collect();
-        // HashMap iteration order is random per process; fix it before the
-        // seeded shuffle so identical seeds give identical exchanges across
-        // runs.
-        pool.sort_unstable_by_key(AttributeSample::node);
-        pool.shuffle(rng);
-        pool.truncate(self.config.samples_per_exchange.saturating_sub(1));
-        let mut samples = Vec::with_capacity(pool.len() + 1);
+    fn select_samples<R: Rng>(&mut self, rng: &mut R) -> Vec<AttributeSample> {
+        // Partial Fisher–Yates over reusable positions: drawing `want` of
+        // the buffered samples costs `want` swaps, not a sort plus a full
+        // shuffle. Buffer order is already deterministic (insertion/swap
+        // order under the seeded driver), so no pre-sort is needed for
+        // run-to-run reproducibility.
+        let want = self
+            .config
+            .samples_per_exchange
+            .saturating_sub(1)
+            .min(self.entries.len());
+        let mut samples = Vec::with_capacity(want + 1);
         samples.push(AttributeSample::new(self.node, self.profile, self.round));
-        samples.extend(pool);
+        self.select_scratch.clear();
+        self.select_scratch.extend(0..self.entries.len() as u32);
+        for chosen in 0..want {
+            let pick = rng.gen_range(chosen..self.select_scratch.len());
+            self.select_scratch.swap(chosen, pick);
+            samples.push(self.entries[self.select_scratch[chosen] as usize]);
+        }
         samples
     }
 
@@ -231,33 +273,51 @@ impl OrderedSlicer {
     }
 
     fn merge_sample(&mut self, sample: AttributeSample) {
-        let id = sample.node().as_u64();
-        match self.samples.entry(sample.node()) {
-            std::collections::hash_map::Entry::Occupied(mut entry) => {
-                let existing = entry.get_mut();
-                if sample.is_newer_than(existing) || sample.round() == existing.round() {
-                    self.staleness.remove(&(existing.round(), id));
-                    *existing = sample;
-                    self.staleness.insert((sample.round(), id));
+        if let Some(&pos) = self.index.get(&sample.node()) {
+            let existing = &mut self.entries[pos as usize];
+            if sample.is_newer_than(existing) || sample.round() == existing.round() {
+                let was_below = existing.ordering_key() < self.own_key;
+                *existing = sample;
+                let now_below = sample.ordering_key() < self.own_key;
+                match (was_below, now_below) {
+                    (false, true) => self.below += 1,
+                    (true, false) => self.below -= 1,
+                    _ => {}
                 }
             }
-            std::collections::hash_map::Entry::Vacant(entry) => {
-                entry.insert(sample);
-                self.staleness.insert((sample.round(), id));
-            }
+            return;
         }
-        if self.samples.len() > self.config.sample_buffer_size {
+        if self.entries.len() >= self.config.sample_buffer_size {
             self.evict_stalest();
         }
+        if sample.ordering_key() < self.own_key {
+            self.below += 1;
+        }
+        self.index.insert(sample.node(), self.entries.len() as u32);
+        self.entries.push(sample);
     }
 
     fn evict_stalest(&mut self) {
-        // The index's first entry is exactly the `min_by_key((round, id))`
-        // victim a full scan would pick.
-        if let Some(&(round, id)) = self.staleness.first() {
-            self.staleness.remove(&(round, id));
-            self.samples.remove(&NodeId::new(id));
+        // CLOCK-style sweep: advance the hand, skipping entries refreshed in
+        // the current round, and evict the first stale one. When every entry
+        // is fresh (tiny cluster, everything re-heard this round), evict at
+        // the hand anyway — any victim is equally current. Deterministic:
+        // the hand is plain state, no randomness involved.
+        let len = self.entries.len();
+        if len == 0 {
+            return;
         }
+        let mut victim = self.evict_hand % len;
+        for _ in 0..len {
+            let pos = self.evict_hand % len;
+            self.evict_hand = (self.evict_hand + 1) % len;
+            if self.entries[pos].round() < self.round {
+                victim = pos;
+                break;
+            }
+        }
+        self.index.remove(&self.entries[victim].node());
+        self.remove_at(victim);
     }
 }
 

@@ -189,6 +189,14 @@ impl NodeConfig {
             },
             slicing: SlicingConfig {
                 slice_count,
+                // The rank estimator can only distinguish `buffer + 1` rank
+                // levels, so the buffer must exceed the slice count or entire
+                // slices become unclaimable (no node's quantised rank ever
+                // lands in them, and every key hashing there is unservable).
+                // Two samples per slice keeps every slice claimable while
+                // bounding per-node memory at large `k`.
+                sample_buffer_size: (2 * slice_count as usize)
+                    .max(SlicingConfig::default().sample_buffer_size),
                 ..SlicingConfig::default()
             },
             dissemination: DisseminationConfig {

@@ -47,6 +47,56 @@ pub fn splitmix64(value: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// A fast, deterministic [`std::hash::Hasher`] for integer-keyed tables.
+///
+/// Protocol state keyed by node or request identifiers lives on the hot
+/// path of every gossip exchange; the default SipHash spends more time
+/// hashing an 8-byte id than the table spends probing. This hasher runs the
+/// SplitMix64 finaliser over integer writes and FNV-1a over byte writes —
+/// both already the crate's stable primitives — so maps stay deterministic
+/// across platforms and process runs (unlike `RandomState`), which seeded
+/// simulations require.
+///
+/// Not DoS-resistant; use only for keys an attacker does not choose.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FastHasher(u64);
+
+impl std::hash::Hasher for FastHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        self.0 = splitmix64(self.0 ^ fnv1a_64(bytes));
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.0 = splitmix64(self.0 ^ value);
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_u8(&mut self, value: u8) {
+        self.write_u64(u64::from(value));
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.write_u64(value as u64);
+    }
+}
+
+/// Deterministic build-state for [`FastHasher`]-backed tables.
+pub type FastHashState = std::hash::BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` keyed through [`FastHasher`] (deterministic, cheap on
+/// integer ids).
+pub type FastHashMap<K, V> = std::collections::HashMap<K, V, FastHashState>;
+
+/// A `HashSet` keyed through [`FastHasher`].
+pub type FastHashSet<K> = std::collections::HashSet<K, FastHashState>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +127,23 @@ mod tests {
     #[test]
     fn splitmix_zero_is_not_zero() {
         assert_ne!(splitmix64(0), 0);
+    }
+
+    #[test]
+    fn fast_hash_maps_are_deterministic_across_instances() {
+        use crate::NodeId;
+        let build = |seed: u64| {
+            let mut map: FastHashMap<NodeId, u64> = FastHashMap::default();
+            for i in 0..64u64 {
+                map.insert(NodeId::new(i * 7 + seed), i);
+            }
+            map.iter()
+                .map(|(k, v)| (k.as_u64(), *v))
+                .fold(0u64, |acc, (k, v)| acc ^ splitmix64(k ^ v))
+        };
+        // Same content → same (order-independent) digest, and two instances
+        // never disagree the way RandomState-backed maps can.
+        assert_eq!(build(1), build(1));
     }
 
     #[test]

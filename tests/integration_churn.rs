@@ -111,7 +111,7 @@ fn new_nodes_join_their_slice_and_receive_state() {
         "replication shrank after joins: {replication_before} -> {replication_after}"
     );
     // Newcomers have slices assigned.
-    for id in sim.alive_nodes() {
+    for &id in sim.alive_nodes() {
         assert!(sim.node(id).slice().is_some());
     }
 }

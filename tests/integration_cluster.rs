@@ -20,9 +20,8 @@ fn converged_sim(seed: u64) -> Simulation {
 fn gossip_converges_to_balanced_slices_and_full_views() {
     let sim = converged_sim(1);
     // Every node has a slice and a reasonably filled view.
-    let assignment = sim.slice_assignment();
-    assert_eq!(assignment.len(), NODES);
-    for id in sim.alive_nodes() {
+    assert_eq!(sim.slice_assignment().count(), NODES);
+    for &id in sim.alive_nodes() {
         assert!(sim.node(id).view_len() >= 3, "node {id} has a thin view");
     }
     // All slices are populated and none dominates excessively.
@@ -32,8 +31,8 @@ fn gossip_converges_to_balanced_slices_and_full_views() {
         SLICES as usize,
         "every slice must be populated: {populations:?}"
     );
-    let max = populations.values().copied().max().unwrap();
-    let min = populations.values().copied().min().unwrap();
+    let max = populations.iter().map(|&(_, n)| n).max().unwrap();
+    let min = populations.iter().map(|&(_, n)| n).min().unwrap();
     assert!(
         max <= min * 4,
         "slice populations too skewed: {populations:?}"
