@@ -5,12 +5,17 @@
 #
 # Usage: ci/check_bench.sh <bench.json> <row-size>...
 #
-# Two artifact schemas are understood, detected from the artifact itself:
+# Three artifact schemas are understood, detected from the artifact itself:
 #
 #   * worker sweeps (BENCH_async.json, BENCH_socket.json): rows are keyed
 #     by `"workers": N` and must record p99.9 latency tails;
 #   * simulator sweeps (BENCH_sim.json): rows are keyed by `"nodes": N`
-#     and must record a positive `events_per_s` throughput figure.
+#     and must record a positive `events_per_s` throughput figure;
+#   * open-loop sweeps (BENCH_openloop.json): rows are keyed by
+#     `"offered_ops_per_s": N` (per backend, the offered-load column must be
+#     strictly increasing), counts are integers, every row completed at
+#     least one operation, and the coordinated-omission-free latency
+#     distribution must include the p99.9 tail.
 #
 # Shared by the async, socket and sim bench smoke jobs. The bench binaries
 # emit count metrics as JSON integers (`"workers": 4`, `"puts_completed":
@@ -31,22 +36,28 @@ if [ ! -f "$file" ]; then
 fi
 
 # Schema detection: simulator sweeps carry an events-per-second throughput
-# column that worker sweeps do not have.
+# column, open-loop sweeps an offered-load column; worker sweeps have
+# neither.
 if grep -q '"events_per_s":' "$file"; then
     schema=sim
     row_key=nodes
+elif grep -q '"offered_ops_per_s":' "$file"; then
+    schema=openloop
+    row_key=offered_ops_per_s
 else
     schema=workers
     row_key=workers
 fi
 
-if grep -E '"(puts_completed|gets_answered)": 0(\.00)?,?$' "$file"; then
+if grep -E '"(puts_completed|gets_answered|ops_completed)": 0(\.00)?,?$' "$file"; then
     echo "$file: a sweep row recorded zero completed operations" >&2
     exit 1
 fi
 
 # Every row must have finished its full workload: the submitted and completed
 # counters are compared row by row (grep preserves row order on both sides).
+# Open-loop rows are exempt by design: overload sheds arrivals (submitted <
+# scheduled) and completions can time out — that visibility is the point.
 check_all_completed() {
     local submitted_field="$1" completed_field="$2"
     local submitted completed
@@ -61,8 +72,51 @@ check_all_completed() {
         exit 1
     fi
 }
-check_all_completed puts_submitted puts_completed
-check_all_completed gets_submitted gets_answered
+if [ "$schema" != openloop ]; then
+    check_all_completed puts_submitted puts_completed
+    check_all_completed gets_submitted gets_answered
+fi
+
+if [ "$schema" = openloop ]; then
+    # Count columns must be plain JSON integers.
+    for column in ops_scheduled ops_submitted ops_completed op_timeouts \
+        openloop_sheds inflight_cap inflight_high_water completions_routed; do
+        if ! grep -Eq "\"${column}\": [0-9]+,?$" "$file"; then
+            echo "$file: ${column} missing or not an integer" >&2
+            exit 1
+        fi
+    done
+    # The coordinated-omission-free latency distribution must include the
+    # p99.9 tail on every row.
+    for column in latency_p50_us latency_p99_us latency_p999_us; do
+        if ! grep -q "\"${column}\":" "$file"; then
+            echo "$file: ${column} column missing from sweep rows" >&2
+            exit 1
+        fi
+    done
+    # The closed-loop blocking baselines the sweep is compared against must
+    # be preserved in the history header.
+    if ! grep -q '"closed_loop_blocking_baseline":' "$file"; then
+        echo "$file: closed_loop_blocking_baseline history missing" >&2
+        exit 1
+    fi
+    # Within each backend the offered-load column must be strictly
+    # increasing in file order: a shuffled or duplicated sweep would make
+    # the knee meaningless.
+    if ! awk '
+        /"backend":/ { gsub(/[",]/, ""); backend = $2 }
+        /"offered_ops_per_s":/ {
+            gsub(/,/, "")
+            rate = $2 + 0
+            if (backend in last && rate <= last[backend]) bad = 1
+            last[backend] = rate
+        }
+        END { exit bad }
+    ' "$file"; then
+        echo "$file: offered_ops_per_s is not strictly increasing per backend" >&2
+        exit 1
+    fi
+fi
 
 if [ "$schema" = sim ]; then
     # Count columns must be plain integers (no scientific notation, no
@@ -83,7 +137,7 @@ if [ "$schema" = sim ]; then
         echo "$file: events_per_s column missing from sweep rows" >&2
         exit 1
     fi
-else
+elif [ "$schema" = workers ]; then
     # The latency distribution must include the p99.9 tail, not just p50/p99.
     for column in put_latency_p999_us get_latency_p999_us; do
         if ! grep -q "\"${column}\":" "$file"; then
@@ -93,8 +147,10 @@ else
     done
 fi
 
+# Offered-load values render with decimals ("offered_ops_per_s": 600.00);
+# row sizes may be given as integers.
 for size in "$@"; do
-    if ! grep -Eq "\"${row_key}\": ${size},?$" "$file"; then
+    if ! grep -Eq "\"${row_key}\": ${size}(\.[0-9]+)?,?$" "$file"; then
         echo "$file: sweep row for ${size} ${row_key} missing" >&2
         exit 1
     fi

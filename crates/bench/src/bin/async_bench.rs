@@ -137,6 +137,10 @@ fn main() {
     write_sweep_json(
         "BENCH_async.json",
         &[
+            // Closed-loop: each blocking operation waits out the previous
+            // one, so the sweep measures latency under light load, not
+            // capacity — BENCH_openloop.json carries the capacity numbers.
+            ("workload_mode", "\"closed_loop_latency_bound\"".to_string()),
             ("nodes", args.nodes.to_string()),
             ("slices", args.slices.to_string()),
             ("mailbox_capacity", args.mailbox.to_string()),

@@ -205,6 +205,10 @@ fn main() {
     write_sweep_json(
         "BENCH_socket.json",
         &[
+            // Closed-loop: each blocking operation waits out the previous
+            // one, so the sweep measures latency under light load, not
+            // capacity — BENCH_openloop.json carries the capacity numbers.
+            ("workload_mode", "\"closed_loop_latency_bound\"".to_string()),
             // The header keeps the historical 220-node shape (every row
             // also records its own node count).
             ("nodes", args.nodes.to_string()),

@@ -99,6 +99,14 @@ const INTEGER_FIELDS: &[&str] = &[
     "joins",
     "alive_end",
     "peak_rss_kb",
+    "ops_scheduled",
+    "ops_submitted",
+    "ops_completed",
+    "op_timeouts",
+    "openloop_sheds",
+    "inflight_cap",
+    "inflight_high_water",
+    "completions_routed",
 ];
 
 /// Renders one metric line of the sweep-JSON schema shared by
@@ -148,6 +156,208 @@ pub fn write_sweep_json(path: &str, header: &[(&str, String)], rows: &[SweepRow]
     json.push_str("  ]\n}\n");
     std::fs::write(path, &json).unwrap_or_else(|error| panic!("write {path}: {error}"));
     println!("wrote {path}");
+}
+
+/// One row of a mixed-type sweep: metric name → pre-rendered JSON value
+/// (`"12"`, `"3.50"`, `"\"socket\""`). Used by artifacts whose rows carry
+/// non-numeric columns (the open-loop sweep tags every row with its
+/// backend).
+pub type RawSweepRow = Vec<(&'static str, String)>;
+
+/// Like [`write_sweep_json`], but the row values are inserted verbatim, so
+/// rows can mix integers, floats and strings. Render numeric fields through
+/// [`render_sweep_metric`] to keep the integer/decimal convention.
+///
+/// # Panics
+///
+/// Panics if the artifact cannot be written.
+pub fn write_raw_sweep_json(path: &str, header: &[(&str, String)], rows: &[RawSweepRow]) {
+    let mut json = String::from("{\n");
+    for (name, value) in header {
+        json.push_str(&format!("  \"{name}\": {value},\n"));
+    }
+    json.push_str("  \"sweep\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        json.push_str("    {\n");
+        for (j, (name, value)) in row.iter().enumerate() {
+            let comma = if j + 1 == row.len() { "" } else { "," };
+            json.push_str(&format!("      \"{name}\": {value}{comma}\n"));
+        }
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        json.push_str(&format!("    }}{comma}\n"));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, &json).unwrap_or_else(|error| panic!("write {path}: {error}"));
+    println!("wrote {path}");
+}
+
+/// What one open-loop run produced (see [`run_open_loop`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopOutcome {
+    /// Operations in the schedule.
+    pub scheduled: usize,
+    /// Operations actually submitted (scheduled minus sheds and submit
+    /// failures).
+    pub submitted: usize,
+    /// Operations that completed (acked puts, answered gets — a definitive
+    /// miss counts as an answer).
+    pub completed: usize,
+    /// Operations whose ticket expired without any reply.
+    pub timeouts: usize,
+    /// Arrivals dropped because the in-flight cap was reached — the
+    /// overload signal of an open-loop run (a closed-loop harness would
+    /// silently stretch the schedule instead).
+    pub shed: usize,
+    /// Per-completion latency in microseconds, measured from each
+    /// operation's **scheduled arrival** (not its submission), so time an
+    /// operation spent waiting behind a stalled pipeline is charged to it —
+    /// the coordinated-omission-free convention.
+    pub latencies_us: Vec<f64>,
+    /// Wall-clock span from the first scheduled arrival to the last
+    /// harvested completion.
+    pub wall: std::time::Duration,
+}
+
+impl OpenLoopOutcome {
+    /// Achieved throughput: completions over the measured wall span.
+    #[must_use]
+    pub fn achieved_ops_per_s(&self) -> f64 {
+        self.completed as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Drives one [`OpenLoopSchedule`] through a pipelined client: submits each
+/// operation at (or as soon as possible after) its scheduled arrival via
+/// `submit_put`/`submit_get` to the contact `contact_for` picks, harvests
+/// completions with `poll_completions` between arrivals, and sheds arrivals
+/// that find `inflight_cap` operations already in flight (counted, never
+/// queued — queueing would back-pressure the schedule and hide overload).
+/// After the last arrival, waits up to `op_timeout` plus a grace for the
+/// stragglers.
+pub fn run_open_loop<C: PipelinedClient + ?Sized>(
+    client: &C,
+    schedule: &dataflasks::workload::OpenLoopSchedule,
+    inflight_cap: usize,
+    op_timeout: Duration,
+    mut contact_for: impl FnMut(&dataflasks::workload::OpenLoopOp) -> NodeId,
+) -> OpenLoopOutcome {
+    let mut arrivals: std::collections::HashMap<RequestId, u64> =
+        std::collections::HashMap::with_capacity(schedule.ops().len());
+    let mut outcome = OpenLoopOutcome {
+        scheduled: schedule.ops().len(),
+        submitted: 0,
+        completed: 0,
+        timeouts: 0,
+        shed: 0,
+        latencies_us: Vec::with_capacity(schedule.ops().len()),
+        wall: std::time::Duration::ZERO,
+    };
+    let epoch = std::time::Instant::now();
+    let mut last_completion = std::time::Duration::ZERO;
+    let mut harvest: Vec<dataflasks::core::Completion> = Vec::new();
+    fn absorb(
+        harvest: &mut Vec<dataflasks::core::Completion>,
+        arrivals: &mut std::collections::HashMap<RequestId, u64>,
+        outcome: &mut OpenLoopOutcome,
+        last_completion: &mut std::time::Duration,
+        now_micros: u64,
+    ) {
+        for completion in harvest.drain(..) {
+            let Some(arrival) = arrivals.remove(&completion.ticket.request_id()) else {
+                continue;
+            };
+            match completion.outcome {
+                TicketOutcome::Acked(_) | TicketOutcome::Hit(_) | TicketOutcome::Miss => {
+                    outcome.completed += 1;
+                    outcome
+                        .latencies_us
+                        .push(now_micros.saturating_sub(arrival) as f64);
+                    *last_completion = std::time::Duration::from_micros(now_micros);
+                }
+                TicketOutcome::TimedOut => outcome.timeouts += 1,
+            }
+        }
+    }
+
+    for op in schedule.ops() {
+        // Pace to the schedule, harvesting while we wait. Waits are spent
+        // sleeping in sub-millisecond slices (bounding both the harvest
+        // granularity and the pacing error), never spinning: on a
+        // single-core host a spinning submitter would starve the very
+        // workers it is trying to measure.
+        loop {
+            let now = epoch.elapsed();
+            let now_micros = now.as_micros() as u64;
+            if now_micros >= op.arrival_micros {
+                break;
+            }
+            client.poll_completions(&mut harvest);
+            absorb(
+                &mut harvest,
+                &mut arrivals,
+                &mut outcome,
+                &mut last_completion,
+                now_micros,
+            );
+            let remaining = op.arrival_micros - now_micros;
+            if remaining > 200 {
+                std::thread::sleep(std::time::Duration::from_micros(remaining.min(500)));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        if client.inflight() >= inflight_cap {
+            client.note_shed();
+            outcome.shed += 1;
+            continue;
+        }
+        let submitted = match op.kind {
+            OperationKind::Read => {
+                client.submit_get(Some(contact_for(op)), op.key, None, op_timeout)
+            }
+            OperationKind::Update | OperationKind::Insert => client.submit_put(
+                Some(contact_for(op)),
+                op.key,
+                op.version.unwrap_or(Version::new(1)),
+                op.value.clone(),
+                op_timeout,
+            ),
+        };
+        if let Ok(ticket) = submitted {
+            arrivals.insert(ticket.request_id(), op.arrival_micros);
+            outcome.submitted += 1;
+        }
+    }
+
+    // Post-schedule drain: stragglers get their full timeout plus a grace.
+    let drain_deadline = std::time::Instant::now()
+        + std::time::Duration::from_millis(op_timeout.as_millis())
+        + std::time::Duration::from_secs(2);
+    while client.inflight() > 0 && std::time::Instant::now() < drain_deadline {
+        client.poll_completions(&mut harvest);
+        let now_micros = epoch.elapsed().as_micros() as u64;
+        absorb(
+            &mut harvest,
+            &mut arrivals,
+            &mut outcome,
+            &mut last_completion,
+            now_micros,
+        );
+        if client.inflight() > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+    client.poll_completions(&mut harvest);
+    let now_micros = epoch.elapsed().as_micros() as u64;
+    absorb(
+        &mut harvest,
+        &mut arrivals,
+        &mut outcome,
+        &mut last_completion,
+        now_micros,
+    );
+    outcome.wall = last_completion.max(std::time::Duration::from_millis(1));
+    outcome
 }
 
 /// Prints a sweep's combined put+get throughput per row, relative to the

@@ -78,7 +78,9 @@ pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, 
 pub use env::{
     BootstrapRounds, ClusterSpec, DefaultStore, EffectBuffer, Effects, Environment, NodeHost,
 };
-pub use gateway::{ClientGateway, GatewayError};
+pub use gateway::{
+    ClientGateway, Completion, GatewayError, PipelinedClient, Ticket, TicketKind, TicketOutcome,
+};
 pub use load_balancer::{LoadBalancer, LoadBalancerPolicy};
 pub use message::{
     ClientId, ClientReply, ClientRequest, DisseminationPhase, GetRequest, Message, Output,

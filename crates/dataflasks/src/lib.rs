@@ -190,9 +190,10 @@ pub mod prelude {
     pub use dataflasks_async_env::{AsyncCluster, AsyncClusterConfig};
     pub use dataflasks_baseline::DhtCluster;
     pub use dataflasks_core::{
-        ClientLibrary, ClientRequest, ClusterSpec, DataFlasksNode, DefaultStore, EffectBuffer,
-        Effects, Environment, LoadBalancer, LoadBalancerPolicy, MessageKind, NodeHost, NodeStats,
-        OperationOutcome, Output, TimerKind,
+        ClientLibrary, ClientRequest, ClusterSpec, Completion, DataFlasksNode, DefaultStore,
+        EffectBuffer, Effects, Environment, LoadBalancer, LoadBalancerPolicy, MessageKind,
+        NodeHost, NodeStats, OperationOutcome, Output, PipelinedClient, Ticket, TicketKind,
+        TicketOutcome, TimerKind,
     };
     pub use dataflasks_core::{SchedulerConfig, StealPolicy};
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
@@ -208,6 +209,7 @@ pub mod prelude {
         SlicePartition, StoredObject, Value, Version,
     };
     pub use dataflasks_workload::{
-        KeyDistribution, Operation, OperationKind, WorkloadGenerator, WorkloadSpec,
+        KeyDistribution, OpenLoopOp, OpenLoopSchedule, OpenLoopSpec, Operation, OperationKind,
+        WorkloadGenerator, WorkloadSpec,
     };
 }

@@ -109,9 +109,9 @@ use arena::BufferArena;
 use dataflasks_async_env::wheel::{DueTimer, TimerWheel};
 use dataflasks_core::wire::encode_output_into;
 use dataflasks_core::{
-    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
+    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec, Completion,
     DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, Poll, PushOutcome,
-    Scheduler, SchedulerConfig, TimerKind,
+    Scheduler, SchedulerConfig, Ticket, TicketKind, TicketOutcome, TimerKind,
 };
 use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, RequestId, SimTime, StoredObject, Value, Version,
@@ -124,6 +124,7 @@ use transport::{Listener, PeerAddr, Stream};
 /// Errors returned by the blocking client API (the shared
 /// [`dataflasks_core::gateway`] error type).
 pub use dataflasks_core::GatewayError as SocketRuntimeError;
+pub use dataflasks_core::PipelinedClient;
 
 /// Tuning knobs of the socket runtime.
 #[derive(Debug, Clone, Copy)]
@@ -797,17 +798,8 @@ impl SocketCluster {
         value: Value,
         timeout: Duration,
     ) -> Result<(), SocketRuntimeError> {
-        let id = self.next_request_id();
-        self.submit_blocking(
-            None,
-            ClientRequest::Put {
-                id,
-                key,
-                version,
-                value,
-            },
-        )?;
-        self.gate.await_reply(id, timeout).map(|_| ())
+        let ticket = self.submit_put(None, key, version, value, timeout)?;
+        self.gate.await_ticket(ticket, timeout).map(|_| ())
     }
 
     /// Like [`Self::put`], but through an explicit contact node.
@@ -825,17 +817,8 @@ impl SocketCluster {
         value: Value,
         timeout: Duration,
     ) -> Result<(), SocketRuntimeError> {
-        let id = self.next_request_id();
-        self.submit_blocking(
-            Some(contact),
-            ClientRequest::Put {
-                id,
-                key,
-                version,
-                value,
-            },
-        )?;
-        self.gate.await_reply(id, timeout).map(|_| ())
+        let ticket = self.submit_put(Some(contact), key, version, value, timeout)?;
+        self.gate.await_ticket(ticket, timeout).map(|_| ())
     }
 
     /// Reads `key` (a specific version or the latest). Semantics match the
@@ -879,9 +862,31 @@ impl SocketCluster {
         version: Option<Version>,
         timeout: Duration,
     ) -> Result<Option<StoredObject>, SocketRuntimeError> {
-        let id = self.next_request_id();
-        self.submit_blocking(contact, ClientRequest::Get { id, key, version })?;
-        self.gate.await_get(id, timeout)
+        let ticket = self.submit_get(contact, key, version, timeout)?;
+        match self.gate.await_ticket(ticket, timeout)? {
+            TicketOutcome::Hit(object) => Ok(Some(object)),
+            TicketOutcome::Miss => Ok(None),
+            outcome => unreachable!("get ticket resolved to {outcome:?}"),
+        }
+    }
+
+    /// Highest number of simultaneously in-flight pipelined requests since
+    /// start.
+    #[must_use]
+    pub fn inflight_high_water(&self) -> u64 {
+        self.gate.inflight_high_water()
+    }
+
+    /// Replies delivered into pipelined completion slots since start.
+    #[must_use]
+    pub fn completions_routed(&self) -> u64 {
+        self.gate.completions_routed()
+    }
+
+    /// Open-loop arrivals shed at the in-flight cap since start.
+    #[must_use]
+    pub fn openloop_sheds(&self) -> u64 {
+        self.gate.openloop_sheds()
     }
 
     /// Stops the workers, the reactor and the timer thread, closes every
@@ -963,6 +968,69 @@ impl SocketCluster {
         let sequence = self.request_sequence.get();
         self.request_sequence.set(sequence + 1);
         RequestId::new(0, sequence)
+    }
+}
+
+impl PipelinedClient for SocketCluster {
+    fn submit_put(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<Ticket, SocketRuntimeError> {
+        let id = self.next_request_id();
+        // Register before submitting so the reply cannot race the slot.
+        let ticket = self.gate.register_ticket(id, TicketKind::Put, timeout);
+        let request = ClientRequest::Put {
+            id,
+            key,
+            version,
+            value,
+        };
+        if let Err(err) = self.submit_blocking(contact, request) {
+            self.gate.cancel_ticket(ticket);
+            return Err(err);
+        }
+        Ok(ticket)
+    }
+
+    fn submit_get(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Ticket, SocketRuntimeError> {
+        let id = self.next_request_id();
+        let ticket = self.gate.register_ticket(id, TicketKind::Get, timeout);
+        let request = ClientRequest::Get { id, key, version };
+        if let Err(err) = self.submit_blocking(contact, request) {
+            self.gate.cancel_ticket(ticket);
+            return Err(err);
+        }
+        Ok(ticket)
+    }
+
+    fn await_ticket(
+        &self,
+        ticket: Ticket,
+        timeout: Duration,
+    ) -> Result<TicketOutcome, SocketRuntimeError> {
+        self.gate.await_ticket(ticket, timeout)
+    }
+
+    fn poll_completions(&self, out: &mut Vec<Completion>) {
+        self.gate.poll_completions(out);
+    }
+
+    fn inflight(&self) -> usize {
+        self.gate.inflight()
+    }
+
+    fn note_shed(&self) {
+        self.gate.note_shed();
     }
 }
 

@@ -56,10 +56,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use dataflasks_core::{
-    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec,
+    BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec, Completion,
     DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, RecvOutcome,
-    SchedulerConfig, TimerKind,
+    SchedulerConfig, Ticket, TicketKind, TicketOutcome, TimerKind,
 };
+
+pub use dataflasks_core::PipelinedClient;
 use dataflasks_membership::NodeDescriptor;
 use dataflasks_store::ShardedStore;
 use dataflasks_types::{
@@ -294,15 +296,8 @@ impl ThreadedCluster {
         value: Value,
         timeout: Duration,
     ) -> Result<(), RuntimeError> {
-        let id = self.next_request_id();
-        let request = ClientRequest::Put {
-            id,
-            key,
-            version,
-            value,
-        };
-        self.submit(request)?;
-        self.gate.await_reply(id, timeout).map(|_| ())
+        let ticket = self.submit_put(None, key, version, value, timeout)?;
+        self.gate.await_ticket(ticket, timeout).map(|_| ())
     }
 
     /// Reads `key` (a specific version or the latest).
@@ -323,10 +318,31 @@ impl ThreadedCluster {
         version: Option<Version>,
         timeout: Duration,
     ) -> Result<Option<StoredObject>, RuntimeError> {
-        let id = self.next_request_id();
-        let request = ClientRequest::Get { id, key, version };
-        self.submit(request)?;
-        self.gate.await_get(id, timeout)
+        let ticket = self.submit_get(None, key, version, timeout)?;
+        match self.gate.await_ticket(ticket, timeout)? {
+            TicketOutcome::Hit(object) => Ok(Some(object)),
+            TicketOutcome::Miss => Ok(None),
+            outcome => unreachable!("get ticket resolved to {outcome:?}"),
+        }
+    }
+
+    /// Highest number of simultaneously in-flight pipelined requests since
+    /// start.
+    #[must_use]
+    pub fn inflight_high_water(&self) -> u64 {
+        self.gate.inflight_high_water()
+    }
+
+    /// Replies delivered into pipelined completion slots since start.
+    #[must_use]
+    pub fn completions_routed(&self) -> u64 {
+        self.gate.completions_routed()
+    }
+
+    /// Open-loop arrivals shed at the in-flight cap since start.
+    #[must_use]
+    pub fn openloop_sheds(&self) -> u64 {
+        self.gate.openloop_sheds()
     }
 
     /// Stops every node thread and returns the final node states for
@@ -358,22 +374,32 @@ impl ThreadedCluster {
             .collect()
     }
 
-    fn submit(&self, request: ClientRequest) -> Result<(), RuntimeError> {
+    fn submit(&self, contact: Option<NodeId>, request: ClientRequest) -> Result<(), RuntimeError> {
         let guard = self.router.nodes.read();
-        // Contacts are drawn from the nodes still routable, so operations
-        // keep succeeding after failures as long as any node is alive.
-        let live: Vec<NodeId> = self
-            .node_ids
-            .iter()
-            .copied()
-            .filter(|id| guard.contains_key(id))
-            .collect();
-        if live.is_empty() {
-            return Err(RuntimeError::Shutdown);
-        }
-        let contact = {
-            let mut rng = self.rng.borrow_mut();
-            live[rng.gen_range(0..live.len())]
+        let contact = match contact {
+            // An explicit contact must still be routable (not failed).
+            Some(node) => {
+                if !guard.contains_key(&node) {
+                    return Err(RuntimeError::Shutdown);
+                }
+                node
+            }
+            None => {
+                // Contacts are drawn from the nodes still routable, so
+                // operations keep succeeding after failures as long as any
+                // node is alive.
+                let live: Vec<NodeId> = self
+                    .node_ids
+                    .iter()
+                    .copied()
+                    .filter(|id| guard.contains_key(id))
+                    .collect();
+                if live.is_empty() {
+                    return Err(RuntimeError::Shutdown);
+                }
+                let mut rng = self.rng.borrow_mut();
+                live[rng.gen_range(0..live.len())]
+            }
         };
         let inbox = guard.get(&contact).ok_or(RuntimeError::Shutdown)?;
         if inbox.push(Envelope::FromClient {
@@ -390,6 +416,69 @@ impl ThreadedCluster {
         let sequence = self.request_sequence.get();
         self.request_sequence.set(sequence + 1);
         RequestId::new(0, sequence)
+    }
+}
+
+impl PipelinedClient for ThreadedCluster {
+    fn submit_put(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Version,
+        value: Value,
+        timeout: Duration,
+    ) -> Result<Ticket, RuntimeError> {
+        let id = self.next_request_id();
+        // Register before submitting so the reply cannot race the slot.
+        let ticket = self.gate.register_ticket(id, TicketKind::Put, timeout);
+        let request = ClientRequest::Put {
+            id,
+            key,
+            version,
+            value,
+        };
+        if let Err(err) = self.submit(contact, request) {
+            self.gate.cancel_ticket(ticket);
+            return Err(err);
+        }
+        Ok(ticket)
+    }
+
+    fn submit_get(
+        &self,
+        contact: Option<NodeId>,
+        key: Key,
+        version: Option<Version>,
+        timeout: Duration,
+    ) -> Result<Ticket, RuntimeError> {
+        let id = self.next_request_id();
+        let ticket = self.gate.register_ticket(id, TicketKind::Get, timeout);
+        let request = ClientRequest::Get { id, key, version };
+        if let Err(err) = self.submit(contact, request) {
+            self.gate.cancel_ticket(ticket);
+            return Err(err);
+        }
+        Ok(ticket)
+    }
+
+    fn await_ticket(
+        &self,
+        ticket: Ticket,
+        timeout: Duration,
+    ) -> Result<TicketOutcome, RuntimeError> {
+        self.gate.await_ticket(ticket, timeout)
+    }
+
+    fn poll_completions(&self, out: &mut Vec<Completion>) {
+        self.gate.poll_completions(out);
+    }
+
+    fn inflight(&self) -> usize {
+        self.gate.inflight()
+    }
+
+    fn note_shed(&self) {
+        self.gate.note_shed();
     }
 }
 

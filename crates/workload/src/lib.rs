@@ -31,8 +31,10 @@
 
 pub mod distribution;
 pub mod generator;
+pub mod openloop;
 pub mod spec;
 
 pub use distribution::{KeyDistribution, ZipfianGenerator};
 pub use generator::{Operation, OperationKind, WorkloadGenerator};
+pub use openloop::{OpenLoopOp, OpenLoopSchedule, OpenLoopSpec};
 pub use spec::WorkloadSpec;

@@ -1,0 +1,307 @@
+//! Open-loop load generation: a deterministic arrival schedule at a
+//! configured offered rate.
+//!
+//! The closed-loop [`WorkloadGenerator`] submits
+//! its next operation only after the previous one completed, so a slow
+//! server silently slows the *client* down and every latency number it
+//! produces is a round-trip time, never a capacity measurement. Open-loop
+//! load inverts the coupling: operations arrive on a schedule fixed *before
+//! the run* (a seeded Poisson process at `offered_ops_per_s`), and each
+//! operation's latency is measured from its **scheduled arrival time** —
+//! an operation that had to wait behind a stalled predecessor is charged
+//! that wait. This is the standard correction for coordinated omission.
+//!
+//! The schedule is a pure function of `(spec, seed)`: the same inputs
+//! produce a byte-identical operation sequence (arrival times, keys, kinds,
+//! versions, payloads), so sweeps over offered load replay exactly the same
+//! per-operation work and rows differ only in pacing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dataflasks_types::{Key, Value, Version};
+
+use crate::distribution::{KeyDistribution, ZipfianGenerator};
+use crate::generator::{OperationKind, WorkloadGenerator};
+
+/// Parameters of an open-loop run: how fast operations arrive, how many,
+/// and what they do.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSpec {
+    /// Offered load: mean arrival rate of the Poisson schedule, in
+    /// operations per second.
+    pub offered_ops_per_s: f64,
+    /// Number of operations in the schedule.
+    pub operations: usize,
+    /// Fraction of operations that are reads in `[0, 1]`; the rest are
+    /// version-increment writes.
+    pub read_fraction: f64,
+    /// Number of records addressed. The schedule assumes records
+    /// `0..key_space` were preloaded at version 1, so its writes start at
+    /// version 2.
+    pub key_space: usize,
+    /// How keys are picked (uniform, Zipfian, latest, sequential).
+    pub distribution: KeyDistribution,
+    /// Payload size of writes, in bytes.
+    pub value_size: usize,
+}
+
+impl OpenLoopSpec {
+    /// A read-mostly preset (95% reads, Zipfian 0.99 — YCSB workload B's
+    /// mix) at the given rate.
+    #[must_use]
+    pub fn read_mostly(offered_ops_per_s: f64, operations: usize, key_space: usize) -> Self {
+        Self {
+            offered_ops_per_s,
+            operations,
+            read_fraction: 0.95,
+            key_space,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            value_size: 128,
+        }
+    }
+}
+
+/// One scheduled operation of an open-loop run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenLoopOp {
+    /// When the operation arrives, in microseconds from the start of the
+    /// run. Latency is measured from this instant, not from submission.
+    pub arrival_micros: u64,
+    /// [`OperationKind::Read`] or [`OperationKind::Update`].
+    pub kind: OperationKind,
+    /// Record number the operation addresses (`0..key_space`).
+    pub record: usize,
+    /// The record's key on the DataFlasks key space.
+    pub key: Key,
+    /// Version to write; `None` for reads (latest).
+    pub version: Option<Version>,
+    /// Payload for writes; empty for reads.
+    pub value: Value,
+}
+
+impl OpenLoopOp {
+    /// Returns `true` for write operations.
+    #[must_use]
+    pub fn is_write(&self) -> bool {
+        self.kind == OperationKind::Update
+    }
+}
+
+/// A fully materialised open-loop schedule: the deterministic product of an
+/// [`OpenLoopSpec`] and a seed.
+///
+/// # Example
+///
+/// ```
+/// use dataflasks_workload::{OpenLoopSchedule, OpenLoopSpec};
+///
+/// let spec = OpenLoopSpec::read_mostly(1000.0, 100, 50);
+/// let schedule = OpenLoopSchedule::generate(&spec, 7);
+/// assert_eq!(schedule.ops().len(), 100);
+/// // Same inputs, same schedule — byte for byte.
+/// assert_eq!(schedule, OpenLoopSchedule::generate(&spec, 7));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenLoopSchedule {
+    spec: OpenLoopSpec,
+    ops: Vec<OpenLoopOp>,
+}
+
+impl OpenLoopSchedule {
+    /// Materialises the schedule for `spec`: Poisson arrivals at the offered
+    /// rate, keys from the configured distribution, reads and writes
+    /// interleaved by the read fraction, write versions strictly increasing
+    /// per record (starting at 2, after the preload's version 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rate is not positive and finite, the key space is
+    /// empty, or the read fraction is outside `[0, 1]`.
+    #[must_use]
+    pub fn generate(spec: &OpenLoopSpec, seed: u64) -> Self {
+        assert!(
+            spec.offered_ops_per_s.is_finite() && spec.offered_ops_per_s > 0.0,
+            "offered rate must be positive, got {}",
+            spec.offered_ops_per_s
+        );
+        assert!(spec.key_space > 0, "open-loop schedule needs records");
+        assert!(
+            (0.0..=1.0).contains(&spec.read_fraction),
+            "read fraction must be in [0, 1], got {}",
+            spec.read_fraction
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let zipfian = match spec.distribution {
+            KeyDistribution::Zipfian { theta } => {
+                Some(ZipfianGenerator::new(spec.key_space as u64, theta))
+            }
+            KeyDistribution::Latest => Some(ZipfianGenerator::new(spec.key_space as u64, 0.99)),
+            KeyDistribution::Uniform | KeyDistribution::Sequential => None,
+        };
+        let mean_gap_micros = 1_000_000.0 / spec.offered_ops_per_s;
+        let mut clock_micros = 0.0f64;
+        let mut versions = vec![1u64; spec.key_space];
+        let mut ops = Vec::with_capacity(spec.operations);
+        for sequence in 0..spec.operations {
+            // Exponential inter-arrival times make the schedule a Poisson
+            // process; `1 - u` keeps ln's argument away from zero.
+            let u: f64 = rng.gen();
+            clock_micros += -mean_gap_micros * (1.0 - u).ln();
+            let record = match spec.distribution {
+                KeyDistribution::Uniform => rng.gen_range(0..spec.key_space),
+                KeyDistribution::Zipfian { .. } => {
+                    let zipf = zipfian.as_ref().expect("zipfian initialised");
+                    (zipf.next_value(&mut rng) as usize).min(spec.key_space - 1)
+                }
+                KeyDistribution::Latest => {
+                    // Popularity decays with distance from the newest record.
+                    let zipf = zipfian.as_ref().expect("zipfian initialised");
+                    let offset = (zipf.next_value(&mut rng) as usize).min(spec.key_space - 1);
+                    spec.key_space - 1 - offset
+                }
+                KeyDistribution::Sequential => sequence % spec.key_space,
+            };
+            let user_key = WorkloadGenerator::user_key(record);
+            let key = Key::from_user_key(&user_key);
+            let is_read = rng.gen::<f64>() < spec.read_fraction;
+            let op = if is_read {
+                OpenLoopOp {
+                    arrival_micros: clock_micros as u64,
+                    kind: OperationKind::Read,
+                    record,
+                    key,
+                    version: None,
+                    value: Value::default(),
+                }
+            } else {
+                versions[record] += 1;
+                OpenLoopOp {
+                    arrival_micros: clock_micros as u64,
+                    kind: OperationKind::Update,
+                    record,
+                    key,
+                    version: Some(Version::new(versions[record])),
+                    value: Value::filled(spec.value_size, (record % 251) as u8),
+                }
+            };
+            ops.push(op);
+        }
+        Self {
+            spec: spec.clone(),
+            ops,
+        }
+    }
+
+    /// The spec the schedule was generated from.
+    #[must_use]
+    pub fn spec(&self) -> &OpenLoopSpec {
+        &self.spec
+    }
+
+    /// The scheduled operations, in arrival order.
+    #[must_use]
+    pub fn ops(&self) -> &[OpenLoopOp] {
+        &self.ops
+    }
+
+    /// Scheduled duration of the run: the last arrival offset, in
+    /// microseconds.
+    #[must_use]
+    pub fn span_micros(&self) -> u64 {
+        self.ops.last().map_or(0, |op| op.arrival_micros)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(rate: f64, operations: usize) -> OpenLoopSpec {
+        OpenLoopSpec {
+            offered_ops_per_s: rate,
+            operations,
+            read_fraction: 0.5,
+            key_space: 200,
+            distribution: KeyDistribution::Zipfian { theta: 0.99 },
+            value_size: 64,
+        }
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_match_the_offered_rate() {
+        let schedule = OpenLoopSchedule::generate(&spec(10_000.0, 20_000), 3);
+        let ops = schedule.ops();
+        assert!(ops
+            .windows(2)
+            .all(|w| w[0].arrival_micros <= w[1].arrival_micros));
+        // 20k arrivals at 10k/s should span ~2 s; Poisson noise at this
+        // sample size stays well within ±10%.
+        let span_s = schedule.span_micros() as f64 / 1e6;
+        assert!((1.8..=2.2).contains(&span_s), "span {span_s}");
+    }
+
+    #[test]
+    fn writes_version_strictly_per_record_and_reads_carry_none() {
+        let schedule = OpenLoopSchedule::generate(&spec(5_000.0, 5_000), 11);
+        let mut last_version = vec![1u64; 200];
+        for op in schedule.ops() {
+            match op.kind {
+                OperationKind::Read => {
+                    assert!(op.version.is_none());
+                    assert!(op.value.is_empty());
+                }
+                OperationKind::Update => {
+                    let v = op.version.unwrap().as_u64();
+                    assert_eq!(v, last_version[op.record] + 1);
+                    last_version[op.record] = v;
+                    assert_eq!(op.value.len(), 64);
+                }
+                OperationKind::Insert => panic!("open-loop schedules never insert"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_fraction_is_respected_roughly() {
+        let schedule = OpenLoopSchedule::generate(&spec(5_000.0, 10_000), 17);
+        let reads = schedule
+            .ops()
+            .iter()
+            .filter(|op| op.kind == OperationKind::Read)
+            .count();
+        let fraction = reads as f64 / 10_000.0;
+        assert!(
+            (0.47..=0.53).contains(&fraction),
+            "read fraction {fraction}"
+        );
+    }
+
+    #[test]
+    fn sequential_and_uniform_distributions_cover_the_key_space() {
+        let mut sequential = spec(1_000.0, 400);
+        sequential.distribution = KeyDistribution::Sequential;
+        let schedule = OpenLoopSchedule::generate(&sequential, 1);
+        for (i, op) in schedule.ops().iter().enumerate() {
+            assert_eq!(op.record, i % 200);
+        }
+        let mut uniform = spec(1_000.0, 4_000);
+        uniform.distribution = KeyDistribution::Uniform;
+        let schedule = OpenLoopSchedule::generate(&uniform, 1);
+        let distinct: std::collections::HashSet<_> =
+            schedule.ops().iter().map(|op| op.record).collect();
+        assert!(distinct.len() > 150, "uniform covered {}", distinct.len());
+    }
+
+    #[test]
+    fn latest_distribution_prefers_the_newest_records() {
+        let mut latest = spec(1_000.0, 4_000);
+        latest.distribution = KeyDistribution::Latest;
+        let schedule = OpenLoopSchedule::generate(&latest, 5);
+        let newest_decile = schedule.ops().iter().filter(|op| op.record >= 180).count();
+        assert!(
+            newest_decile as f64 / 4_000.0 > 0.5,
+            "newest decile got {newest_decile}"
+        );
+    }
+}

@@ -35,11 +35,15 @@
 
 use std::collections::HashMap;
 
-use dataflasks::core::ClientReply;
+use dataflasks::core::{ClientReply, ReplyBody};
 use dataflasks::prelude::*;
 use proptest::prelude::*;
 
 const CLIENT: u64 = 42;
+
+/// Client id of the simulator side of pipelined-burst steps: a dedicated
+/// environment client, so its replies never mix with `CLIENT`'s drains.
+const PIPELINE_CLIENT: u64 = 43;
 
 /// The async backend is exercised in its most concurrent configuration: four
 /// workers over a handful of nodes (so stealing and cross-worker routing are
@@ -207,6 +211,97 @@ fn normalise(replies: Vec<ClientReply>) -> Vec<String> {
     rendered
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined-burst parity: the ticket API versus the raw Environment
+// ---------------------------------------------------------------------------
+
+/// One pipelined put of a burst: `(contact, id, key, version, value)`. The
+/// id is used by the simulator side only — the ticket backends mint their
+/// own ids from the gateway's private namespace.
+type BurstPut = (NodeId, RequestId, Key, Version, Value);
+
+/// The per-operation rendering of a pipelined put, responder-independent:
+/// the first replica to ack a put differs across backends, so the outcome
+/// is rendered from what was submitted, not from who answered.
+fn acked_render(key: Key, version: Version) -> String {
+    format!("Acked {{ key: {key:?}, version: {version:?} }}")
+}
+
+/// Backend-specific half of the pipelined-burst parity step: all puts are
+/// in flight *before* the first await. The concurrent backends run it on
+/// the pipelined submit/await ticket API (the surface this step exists to
+/// test); the simulator has no ticket API, so it submits through the
+/// `Environment` and reduces the drained replies to the same rendering.
+/// A dead contact renders "Unavailable" everywhere: the ticket backends
+/// refuse the submit, the simulator's flood never happens.
+trait PipelinedParity: Environment {
+    fn pipelined_burst(&mut self, puts: &[BurstPut], budget: Duration) -> Vec<String>;
+}
+
+impl PipelinedParity for Simulation {
+    fn pipelined_burst(&mut self, puts: &[BurstPut], budget: Duration) -> Vec<String> {
+        for (contact, id, key, version, value) in puts {
+            self.submit_client_request(
+                PIPELINE_CLIENT,
+                *contact,
+                ClientRequest::Put {
+                    id: *id,
+                    key: *key,
+                    version: *version,
+                    value: value.clone(),
+                },
+            );
+        }
+        let replies = self.drain_effects(budget);
+        puts.iter()
+            .map(|(_, id, key, version, _)| {
+                let acked = replies
+                    .iter()
+                    .any(|r| r.request == *id && matches!(r.body, ReplyBody::PutAck { .. }));
+                if acked {
+                    acked_render(*key, *version)
+                } else {
+                    "Unavailable".to_string()
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! pipelined_parity_via_tickets {
+    ($cluster:ty) => {
+        impl PipelinedParity for $cluster {
+            fn pipelined_burst(&mut self, puts: &[BurstPut], budget: Duration) -> Vec<String> {
+                // Submit everything first: every put is in flight before the
+                // first await, so the completion router must route replies
+                // arriving for *other* tickets while one is being awaited.
+                let tickets: Vec<Option<Ticket>> = puts
+                    .iter()
+                    .map(|(contact, _, key, version, value)| {
+                        self.submit_put(Some(*contact), *key, *version, value.clone(), budget)
+                            .ok()
+                    })
+                    .collect();
+                tickets
+                    .iter()
+                    .zip(puts)
+                    .map(|(ticket, (_, _, key, version, _))| match ticket {
+                        Some(ticket) => match self.await_ticket(*ticket, budget) {
+                            Ok(TicketOutcome::Acked(_)) => acked_render(*key, *version),
+                            other => format!("unexpected pipelined outcome: {other:?}"),
+                        },
+                        None => "Unavailable".to_string(),
+                    })
+                    .collect()
+            }
+        }
+    };
+}
+
+pipelined_parity_via_tickets!(ThreadedCluster);
+pipelined_parity_via_tickets!(AsyncCluster);
+pipelined_parity_via_tickets!(SocketCluster);
+
 /// Asserts two backends produced identical per-step replies and stats.
 fn assert_backend_parity(
     label: &str,
@@ -372,6 +467,194 @@ fn scenario_outcomes_are_reply_complete() {
     assert!(steps[4].iter().all(|r| r.contains("GetHit")));
 }
 
+/// The pipelined ticket path, scripted and deterministic (the fuzzer only
+/// reaches its `PipelinedBurst` step by chance): a burst across both
+/// slices, an overwrite burst through different contacts, then — after a
+/// crash — a burst whose first put names the dead node as contact. Every
+/// backend must agree on the per-operation outcomes (including the
+/// "Unavailable") and on every node's protocol accounting.
+#[test]
+fn pipelined_tickets_agree_across_environments() {
+    let spec = parity_spec();
+
+    fn script<E: PipelinedParity>(
+        env: &mut E,
+        spec: &ClusterSpec,
+        budget: Duration,
+    ) -> Vec<Vec<String>> {
+        let plan = spec.build_nodes();
+        let member = |key: Key, choice: usize| -> NodeId {
+            let target = plan[0].partition().slice_of(key);
+            let members: Vec<NodeId> = plan
+                .iter()
+                .filter(|node| node.slice() == Some(target))
+                .map(DataFlasksNode::id)
+                .collect();
+            members[choice % members.len()]
+        };
+        let keys: Vec<Key> = (0..4)
+            .map(|k| Key::from_user_key(&format!("pipe-{k}")))
+            .collect();
+        let victim = member(keys[0], 0);
+        // A contact for `key` that survives the crash below.
+        let live_member = |key: Key, choice: usize| -> NodeId {
+            let contact = member(key, choice);
+            if contact == victim {
+                member(key, choice + 1)
+            } else {
+                contact
+            }
+        };
+        let mut outcomes = Vec::new();
+        let mut burst = |env: &mut E, puts: Vec<BurstPut>| {
+            let mut rendered = env.pipelined_burst(&puts, budget);
+            rendered.sort();
+            rendered.extend(normalise(env.drain_effects(budget)));
+            outcomes.push(rendered);
+        };
+
+        // Burst 1: four pipelined puts spread over both slices, all in
+        // flight before the first await.
+        burst(
+            env,
+            keys.iter()
+                .enumerate()
+                .map(|(k, &key)| {
+                    (
+                        member(key, k),
+                        RequestId::new(PIPELINE_CLIENT, k as u64),
+                        key,
+                        Version::new(1),
+                        Value::from_bytes(format!("v1-{k}").as_bytes()),
+                    )
+                })
+                .collect(),
+        );
+
+        // Burst 2: overwrite everything at version 2 via other contacts.
+        burst(
+            env,
+            keys.iter()
+                .enumerate()
+                .map(|(k, &key)| {
+                    (
+                        member(key, k + 1),
+                        RequestId::new(PIPELINE_CLIENT, 4 + k as u64),
+                        key,
+                        Version::new(2),
+                        Value::from_bytes(format!("v2-{k}").as_bytes()),
+                    )
+                })
+                .collect(),
+        );
+
+        // Burst 3: crash the first burst's contact, then put through it
+        // anyway — that operation is Unavailable on every backend, the
+        // other three proceed through surviving contacts.
+        env.fail_node(victim);
+        burst(
+            env,
+            keys.iter()
+                .enumerate()
+                .map(|(k, &key)| {
+                    let contact = if k == 0 { victim } else { live_member(key, k) };
+                    (
+                        contact,
+                        RequestId::new(PIPELINE_CLIENT, 8 + k as u64),
+                        key,
+                        Version::new(3),
+                        Value::from_bytes(format!("v3-{k}").as_bytes()),
+                    )
+                })
+                .collect(),
+        );
+        outcomes
+    }
+
+    let mut sim = Simulation::new(SimConfig {
+        seed: spec.seed,
+        ..SimConfig::default()
+    });
+    sim.spawn_spec(&spec);
+    let sim_steps = script(&mut sim, &spec, Duration::from_secs(20));
+    let sim_stats: HashMap<NodeId, NodeStats> = spec
+        .node_ids()
+        .map(|id| (id, *sim.node(id).stats()))
+        .collect();
+
+    // The scripted semantics, checked on the simulator's ground truth: all
+    // four acked on the first two bursts, exactly one unavailable on the
+    // third.
+    assert_eq!(sim_steps[0].len(), 4);
+    assert!(sim_steps[0].iter().all(|s| s.starts_with("Acked")));
+    assert!(sim_steps[1].iter().all(|s| s.starts_with("Acked")));
+    assert_eq!(
+        sim_steps[2]
+            .iter()
+            .filter(|s| s.as_str() == "Unavailable")
+            .count(),
+        1,
+        "the dead contact's put must be unavailable: {:?}",
+        sim_steps[2]
+    );
+    assert_eq!(
+        sim_steps[2]
+            .iter()
+            .filter(|s| s.starts_with("Acked"))
+            .count(),
+        3
+    );
+
+    let mut threaded = ThreadedCluster::start_spec(&spec);
+    threaded.set_drain_idle_grace(Duration::from_millis(300));
+    let threaded_steps = script(&mut threaded, &spec, Duration::from_secs(10));
+    let threaded_stats: HashMap<NodeId, NodeStats> = threaded
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    let mut async_cluster = async_cluster_under_stress(&spec);
+    async_cluster.set_drain_idle_grace(Duration::from_millis(300));
+    let async_steps = script(&mut async_cluster, &spec, Duration::from_secs(10));
+    let async_stats: HashMap<NodeId, NodeStats> = async_cluster
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    let mut socket_cluster = socket_cluster_under_stress(&spec, SocketTransportKind::Tcp);
+    socket_cluster.set_drain_idle_grace(Duration::from_millis(300));
+    let socket_steps = script(&mut socket_cluster, &spec, Duration::from_secs(10));
+    let socket_stats: HashMap<NodeId, NodeStats> = socket_cluster
+        .shutdown()
+        .into_iter()
+        .map(|n| (n.id(), *n.stats()))
+        .collect();
+
+    assert_backend_parity(
+        "threaded runtime (pipelined)",
+        &sim_steps,
+        &threaded_steps,
+        &sim_stats,
+        &threaded_stats,
+    );
+    assert_backend_parity(
+        "async runtime (pipelined)",
+        &sim_steps,
+        &async_steps,
+        &sim_stats,
+        &async_stats,
+    );
+    assert_backend_parity(
+        "socket runtime (pipelined)",
+        &sim_steps,
+        &socket_steps,
+        &sim_stats,
+        &socket_stats,
+    );
+}
+
 // ---------------------------------------------------------------------------
 // Cross-environment differential fuzzing
 // ---------------------------------------------------------------------------
@@ -423,13 +706,24 @@ enum Step {
         key_tag: u8,
         contact: u8,
     },
+    /// Four puts submitted through the pipelined *ticket* API — all four
+    /// tickets registered and in flight before the first await — on the
+    /// concurrent backends, and through raw `Environment` submission on the
+    /// simulator. Outcomes are rendered responder-independently, so the
+    /// completion router's reply routing (and its refusal to steal the
+    /// Environment drain's replies) is differentially checked against the
+    /// simulator's ground truth.
+    PipelinedBurst {
+        key_tag: u8,
+        contact: u8,
+    },
 }
 
 /// Strategy: steps are decoded from small integer tuples (the vendored
 /// proptest stub has no `prop_oneof`), with crashes rare so most scenarios
 /// keep several live replicas.
 fn arb_step() -> impl Strategy<Value = (u8, u8, u8)> {
-    (0u8..12, 0u8..6, 0u8..16)
+    (0u8..13, 0u8..6, 0u8..16)
 }
 
 fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
@@ -446,7 +740,11 @@ fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
         8 => Step::AntiEntropyRound { node: b },
         9 => Step::Crash { node: b },
         10 => Step::Restart { node: b },
-        _ => Step::Burst {
+        11 => Step::Burst {
+            key_tag: a,
+            contact: b,
+        },
+        _ => Step::PipelinedBurst {
             key_tag: a,
             contact: b,
         },
@@ -478,7 +776,7 @@ fn random_spec(capacities: &[u64], seed: u64) -> ClusterSpec {
 /// is what keeps per-copy TTLs (and therefore forward-vs-expire decisions on
 /// nodes outside the slice) independent of message arrival order. The
 /// contact member is still chosen by the fuzzer.
-fn run_random_scenario<E: Environment>(
+fn run_random_scenario<E: PipelinedParity>(
     env: &mut E,
     spec: &ClusterSpec,
     steps: &[Step],
@@ -559,6 +857,33 @@ fn run_random_scenario<E: Environment>(
                         },
                     );
                 }
+            }
+            Step::PipelinedBurst { key_tag, contact } => {
+                // Distinct keys keep the step order-independent; the
+                // simulator-side ids live in their own namespace
+                // (PIPELINE_CLIENT, sequence ≥ 2000).
+                let puts: Vec<BurstPut> = (0..4u64)
+                    .map(|k| {
+                        let key = Key::from_user_key(&format!("fuzz-pipe-{key_tag}-{k}"));
+                        (
+                            responsible_contact(key, contact.wrapping_add(k as u8)),
+                            RequestId::new(PIPELINE_CLIENT, 2000 + sequence as u64 * 4 + k),
+                            key,
+                            Version::new(sequence as u64 + 1),
+                            Value::from_bytes(format!("pipe-{sequence}-{k}").as_bytes()),
+                        )
+                    })
+                    .collect();
+                let mut rendered = env.pipelined_burst(&puts, budget);
+                rendered.sort();
+                // Awaiting the tickets returns at the *first* ack per put;
+                // drain the rest of the epidemic before the next step so the
+                // backends stay in lockstep. Anything this drain surfaces
+                // (it should surface nothing — late duplicates die slotless
+                // inside the gateway) is part of the compared outcome.
+                rendered.extend(normalise(env.drain_effects(budget)));
+                outcomes.push(rendered);
+                continue;
             }
         }
         outcomes.push(normalise(env.drain_effects(budget)));
