@@ -15,7 +15,10 @@
 #     `"offered_ops_per_s": N` (per backend, the offered-load column must be
 #     strictly increasing), counts are integers, every row completed at
 #     least one operation, and the coordinated-omission-free latency
-#     distribution must include the p99.9 tail.
+#     distribution must include the p99.9 tail;
+#   * nemesis sweeps (BENCH_nemesis.json): rows are keyed by `"nodes": N`,
+#     the fault/convergence counters are integers, and every row must
+#     record zero invariant violations.
 #
 # Shared by the async, socket and sim bench smoke jobs. The bench binaries
 # emit count metrics as JSON integers (`"workers": 4`, `"puts_completed":
@@ -35,10 +38,13 @@ if [ ! -f "$file" ]; then
     exit 1
 fi
 
-# Schema detection: simulator sweeps carry an events-per-second throughput
-# column, open-loop sweeps an offered-load column; worker sweeps have
-# neither.
-if grep -q '"events_per_s":' "$file"; then
+# Schema detection: nemesis sweeps carry a convergence-rounds column,
+# simulator sweeps an events-per-second throughput column, open-loop sweeps
+# an offered-load column; worker sweeps have none of them.
+if grep -q '"convergence_rounds":' "$file"; then
+    schema=nemesis
+    row_key=nodes
+elif grep -q '"events_per_s":' "$file"; then
     schema=sim
     row_key=nodes
 elif grep -q '"offered_ops_per_s":' "$file"; then
@@ -58,6 +64,8 @@ fi
 # counters are compared row by row (grep preserves row order on both sides).
 # Open-loop rows are exempt by design: overload sheds arrivals (submitted <
 # scheduled) and completions can time out — that visibility is the point.
+# Nemesis rows are exempt too: they measure a cluster *under fault
+# injection*, where timed-out operations are the signal, not a failure.
 check_all_completed() {
     local submitted_field="$1" completed_field="$2"
     local submitted completed
@@ -72,9 +80,32 @@ check_all_completed() {
         exit 1
     fi
 }
-if [ "$schema" != openloop ]; then
+if [ "$schema" != openloop ] && [ "$schema" != nemesis ]; then
     check_all_completed puts_submitted puts_completed
     check_all_completed gets_submitted gets_answered
+fi
+
+if [ "$schema" = nemesis ]; then
+    # Fault and convergence counters must be plain JSON integers.
+    for column in acked_puts convergence_rounds rounds_budget invariant_checks \
+        invariant_violations frames_dropped_injected frames_duplicated_injected \
+        partition_refusals corrupt_injected wire_rejects replayed_identically \
+        wall_ms; do
+        if ! grep -Eq "\"${column}\": [0-9]+,?$" "$file"; then
+            echo "$file: ${column} missing or not an integer" >&2
+            exit 1
+        fi
+    done
+    # The pass criterion: zero invariant violations on every row.
+    if grep -Eq '"invariant_violations": [1-9][0-9]*,?$' "$file"; then
+        echo "$file: a nemesis row recorded invariant violations" >&2
+        exit 1
+    fi
+    # The availability-under-fault column must be present on every row.
+    if ! grep -q '"availability_under_fault":' "$file"; then
+        echo "$file: availability_under_fault column missing" >&2
+        exit 1
+    fi
 fi
 
 if [ "$schema" = openloop ]; then

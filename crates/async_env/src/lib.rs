@@ -76,6 +76,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dataflasks_core::fault::{FaultPlan, InjectedCounters, LinkVerdict};
 use dataflasks_core::wire::{decode_frame, encode_frame, encode_output};
 use dataflasks_core::{
     BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec, Completion,
@@ -247,6 +248,12 @@ struct Shared {
     /// Times a worker-offered frame was refused by a saturated mailbox (the
     /// backpressure observable; each refusal is later retried, never lost).
     saturations: AtomicU64,
+    /// Shared fault-injection plan, consulted per transport unit on the
+    /// frame boundary — after the verdict a surviving frame may additionally
+    /// be bit-flipped ([`FaultPlan::should_corrupt`]), which the receiver
+    /// absorbs as a wire reject. Driver injections and client replies
+    /// bypass it, as in every backend.
+    faults: Arc<FaultPlan>,
 }
 
 impl Shared {
@@ -266,8 +273,17 @@ impl Shared {
     /// Routes one effect of `from`'s dispatch round: transport units are
     /// framed and offered to the destination mailbox (deferring on
     /// saturation), replies go to the cluster-wide client inbox, timer
-    /// re-arms go to the emitting node's home wheel.
-    fn route(&self, from: usize, output: Output, deferred: &mut DeferredFrames) {
+    /// re-arms go to the emitting node's home wheel. Each transport unit is
+    /// one fault-injection decision: injected drops and duplicates are
+    /// tallied into `injected`, which the worker folds into the sender's
+    /// statistics after the flush.
+    fn route(
+        &self,
+        from: usize,
+        output: Output,
+        deferred: &mut DeferredFrames,
+        injected: &mut InjectedCounters,
+    ) {
         match output {
             Output::Timer { kind, after } => {
                 let deadline = Instant::now() + to_std(after);
@@ -279,30 +295,25 @@ impl Shared {
                 let _ = self.client_inbox.send((client, reply));
             }
             transport @ (Output::Send { .. } | Output::SendBatch { .. }) => {
+                let (to, unit_messages) = match &transport {
+                    Output::Send { to, .. } => (*to, 1),
+                    Output::SendBatch { to, messages } => (*to, messages.len() as u64),
+                    _ => unreachable!("the transport arm matched"),
+                };
+                let from_id = NodeId::new(from as u64);
+                let verdict = self.faults.link_verdict(from_id, to);
+                injected.record_messages(verdict, unit_messages);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 let mut frame = Vec::new();
-                match encode_output(NodeId::new(from as u64), &transport, &mut frame) {
-                    Ok(to) => {
-                        let to = to.expect("send outputs always frame");
-                        // Frames already deferred for `to` must stay ahead of
-                        // this one (per-destination FIFO), so a blocked
-                        // destination queues everything behind the backlog —
-                        // unless the worker's backlog hit its memory cap, in
-                        // which case the destination's frames spill through
-                        // mark-exempt, in order.
-                        if deferred.has_backlog(to) {
-                            if deferred.total >= DEFER_LIMIT {
-                                for queued in deferred.take_backlog(to) {
-                                    self.mail_frame(to, queued);
-                                }
-                                self.mail_frame(to, frame);
-                            } else {
-                                deferred.push(to, frame);
-                            }
-                            return;
+                match encode_output(from_id, &transport, &mut frame) {
+                    Ok(dest) => {
+                        debug_assert_eq!(dest, Some(to), "send outputs always frame");
+                        if matches!(verdict, LinkVerdict::Duplicate) {
+                            self.dispatch_frame(to, self.maybe_corrupt(frame.clone()), deferred);
                         }
-                        if let MailOutcome::Saturated(frame) = self.offer_frame(to, frame) {
-                            deferred.push(to, frame);
-                        }
+                        self.dispatch_frame(to, self.maybe_corrupt(frame), deferred);
                     }
                     // A pathological unit (e.g. an unbounded client value)
                     // exceeding the frame limit is dropped like a network
@@ -310,6 +321,41 @@ impl Shared {
                     Err(_) => debug_assert!(false, "protocol produced an oversized frame"),
                 }
             }
+        }
+    }
+
+    /// Spends one unit of armed corruption budget, if any, by flipping a bit
+    /// inside the frame's first message tag — a corruption the receiver's
+    /// decoder is guaranteed to reject (and count), never to misparse.
+    fn maybe_corrupt(&self, mut frame: Vec<u8>) -> Vec<u8> {
+        if frame.len() > 16 && self.faults.should_corrupt() {
+            frame[16] ^= 0x80;
+        }
+        frame
+    }
+
+    /// Hands one encoded frame to the delivery machinery: behind any
+    /// existing backlog for `to` (per-destination FIFO), deferring on
+    /// saturation, spilling mark-exempt past the memory cap.
+    fn dispatch_frame(&self, to: NodeId, frame: Vec<u8>, deferred: &mut DeferredFrames) {
+        // Frames already deferred for `to` must stay ahead of this one
+        // (per-destination FIFO), so a blocked destination queues everything
+        // behind the backlog — unless the worker's backlog hit its memory
+        // cap, in which case the destination's frames spill through
+        // mark-exempt, in order.
+        if deferred.has_backlog(to) {
+            if deferred.total >= DEFER_LIMIT {
+                for queued in deferred.take_backlog(to) {
+                    self.mail_frame(to, queued);
+                }
+                self.mail_frame(to, frame);
+            } else {
+                deferred.push(to, frame);
+            }
+            return;
+        }
+        if let MailOutcome::Saturated(frame) = self.offer_frame(to, frame) {
+            deferred.push(to, frame);
         }
     }
 
@@ -452,6 +498,11 @@ impl AsyncCluster {
             node_config: spec.node_config,
             stopping: AtomicBool::new(false),
             saturations: AtomicU64::new(0),
+            faults: {
+                let faults = Arc::new(FaultPlan::new());
+                faults.set_seed(spec.seed ^ 0x4E45_4D45_5349_5321);
+                faults
+            },
         });
         let workers = (0..worker_count)
             .map(|index| {
@@ -516,6 +567,14 @@ impl AsyncCluster {
     #[must_use]
     pub fn saturation_events(&self) -> u64 {
         self.shared.saturations.load(Ordering::Relaxed)
+    }
+
+    /// The shared fault-injection plan. Faults staged on it take effect on
+    /// the next frame routed between nodes; armed corruption budget is spent
+    /// one frame at a time and surfaces at the receiver as wire rejects.
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        Arc::clone(&self.shared.faults)
     }
 
     /// Stores `value` under `key` and waits until at least one replica
@@ -901,11 +960,17 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
             match input {
                 AsyncInput::Frame(bytes) => {
-                    // In-process frames are produced by our own encoder; a
-                    // decode failure is a bug, not a peer problem.
-                    let frame = decode_frame(&bytes).expect("self-encoded frame decodes");
-                    for message in frame.messages {
-                        host.enqueue_message(frame.from, message, now);
+                    // In-process frames are produced by our own encoder, but
+                    // the fault plan may have bit-flipped one in transit: a
+                    // frame that fails to decode is counted and discarded —
+                    // injected corruption must never take a worker down.
+                    match decode_frame(&bytes) {
+                        Ok(frame) => {
+                            for message in frame.messages {
+                                host.enqueue_message(frame.from, message, now);
+                            }
+                        }
+                        Err(_) => host.node_mut().record_wire_reject(),
                     }
                 }
                 AsyncInput::Client { client, request } => {
@@ -916,7 +981,11 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 }
             }
         }
-        host.flush_effects(|output| shared.route(slot_index, output, &mut deferred));
+        let mut injected = InjectedCounters::default();
+        host.flush_effects(|output| shared.route(slot_index, output, &mut deferred, &mut injected));
+        if !injected.is_empty() {
+            host.node_mut().record_injected_faults(&injected);
+        }
         drop(host);
         let still_pending = !slot.inbox.is_empty() && !slot.failed.load(Ordering::SeqCst);
         shared.scheduler.finish(slot_index, still_pending);
@@ -1187,6 +1256,40 @@ mod tests {
         let restarted = nodes.iter().find(|n| n.id() == victim).unwrap();
         assert_eq!(restarted.store().len(), 0, "volatile state must be lost");
         assert!(restarted.slice().is_some(), "membership rejoins warm");
+    }
+
+    /// Armed frame corruption must be fully absorbed: every corrupted frame
+    /// is rejected by the receiver's decoder (and counted), no worker
+    /// panics, and the cluster keeps serving requests.
+    #[test]
+    fn injected_corruption_surfaces_as_wire_rejects() {
+        let spec = ClusterSpec::new(fast_config(4, 1), vec![400, 300, 200, 100], 33);
+        let cluster = AsyncCluster::start_spec(&spec);
+        let plan = cluster.fault_plan();
+        let budget = 8;
+        plan.arm_corruption(budget);
+        // Gossip traffic spends the budget; wait until it is gone, then give
+        // the corrupted frames time to be dispatched (and rejected).
+        let deadline = Instant::now() + std::time::Duration::from_secs(10);
+        while plan.corrupted_frames() < budget && Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(plan.corrupted_frames(), budget, "traffic spends the budget");
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        cluster
+            .put(
+                Key::from_user_key("after-corruption"),
+                Version::new(1),
+                Value::from_bytes(b"still alive"),
+                Duration::from_secs(5),
+            )
+            .expect("the cluster must survive injected corruption");
+        let nodes = cluster.shutdown();
+        let rejects: u64 = nodes.iter().map(|n| n.stats().wire_rejects).sum();
+        assert_eq!(
+            rejects, budget,
+            "every corrupted frame is rejected exactly once"
+        );
     }
 
     /// The reserved-id guard of the threaded runtime, mirrored here: an

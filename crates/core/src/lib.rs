@@ -65,6 +65,7 @@
 pub mod client;
 pub mod dedup;
 pub mod env;
+pub mod fault;
 pub mod gateway;
 pub mod load_balancer;
 pub mod message;
@@ -78,6 +79,7 @@ pub use client::{ClientLibrary, ClientStats, CompletedOperation, IssuedRequest, 
 pub use env::{
     BootstrapRounds, ClusterSpec, DefaultStore, EffectBuffer, Effects, Environment, NodeHost,
 };
+pub use fault::{FaultPlan, InjectedCounters, LinkVerdict};
 pub use gateway::{
     ClientGateway, Completion, GatewayError, PipelinedClient, Ticket, TicketKind, TicketOutcome,
 };

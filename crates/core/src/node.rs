@@ -171,6 +171,17 @@ impl<S: DataStore> DataFlasksNode<S> {
         self.stats.wire_rejects += 1;
     }
 
+    /// Folds injected-fault accounting into this node's counters
+    /// ([`NodeStats::frames_dropped_injected`] and friends). Backends call
+    /// this after flushing a node's effects through a routing path that
+    /// consulted a [`FaultPlan`](crate::fault::FaultPlan); the node state
+    /// machine itself never observes the faults.
+    pub fn record_injected_faults(&mut self, injected: &crate::fault::InjectedCounters) {
+        self.stats.frames_dropped_injected += injected.frames_dropped;
+        self.stats.frames_duplicated_injected += injected.frames_duplicated;
+        self.stats.partition_refusals += injected.partition_refusals;
+    }
+
     /// Read access to the backing data store.
     #[must_use]
     pub fn store(&self) -> &S {

@@ -88,6 +88,22 @@ pub struct NodeStats {
     /// backend counts each rejected frame here and closes the offending
     /// connection.
     pub wire_rejects: u64,
+    /// Outbound protocol messages dropped by injected fault loss (nemesis
+    /// `Loss` windows). Counted per message, not per frame — a dropped
+    /// frame carrying a batch counts every message it carried — so the
+    /// tally is a pure function of the deterministic message flow and
+    /// compares exactly across backends whose frame boundaries differ.
+    /// Zero outside fault-injection runs; benches and the invariant
+    /// checker audit injected-fault accounting against it.
+    pub frames_dropped_injected: u64,
+    /// Outbound protocol messages delivered twice by injected duplication
+    /// (nemesis `Duplicate` windows). Per-message, like
+    /// `frames_dropped_injected`.
+    pub frames_duplicated_injected: u64,
+    /// Outbound protocol messages refused because the destination was
+    /// across an active injected partition or blocked directed link.
+    /// Per-message, like `frames_dropped_injected`.
+    pub partition_refusals: u64,
     /// Number of times the node changed slice.
     pub slice_changes: u64,
 }
@@ -166,6 +182,9 @@ impl NodeStats {
         self.objects_repaired += other.objects_repaired;
         self.ae_chunks_skipped += other.ae_chunks_skipped;
         self.wire_rejects += other.wire_rejects;
+        self.frames_dropped_injected += other.frames_dropped_injected;
+        self.frames_duplicated_injected += other.frames_duplicated_injected;
+        self.partition_refusals += other.partition_refusals;
         self.slice_changes += other.slice_changes;
     }
 }

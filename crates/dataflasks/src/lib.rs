@@ -12,6 +12,7 @@
 //! | [`core`] | The DataFlasks node, client library, load balancer |
 //! | [`sim`] | Deterministic discrete-event cluster simulation |
 //! | [`workload`] | YCSB-style workload generation |
+//! | [`nemesis`] | Seeded fault schedules and the cross-backend invariant checker |
 //! | [`baseline`] | Structured DHT baseline for comparison experiments |
 //! | [`runtime`] | Threaded in-process runtime (one thread per node) |
 //! | [`async_env`] | Event-driven runtime (thousands of nodes on a worker pool) |
@@ -49,6 +50,7 @@ pub use dataflasks_async_env as async_env;
 pub use dataflasks_baseline as baseline;
 pub use dataflasks_core as core;
 pub use dataflasks_membership as membership;
+pub use dataflasks_nemesis as nemesis;
 pub use dataflasks_net_env as net_env;
 pub use dataflasks_runtime as runtime;
 pub use dataflasks_sim as sim;
@@ -195,8 +197,13 @@ pub mod prelude {
         NodeHost, NodeStats, OperationOutcome, Output, PipelinedClient, Ticket, TicketKind,
         TicketOutcome, TimerKind,
     };
+    pub use dataflasks_core::{FaultPlan, InjectedCounters, LinkVerdict};
     pub use dataflasks_core::{SchedulerConfig, StealPolicy};
     pub use dataflasks_membership::{CyclonProtocol, NodeDescriptor, PeerSampling};
+    pub use dataflasks_nemesis::{
+        InvariantChecker, InvariantViolation, LatencyShape, NemesisEvent, NemesisOp,
+        NemesisSchedule, NemesisSpec,
+    };
     pub use dataflasks_net_env::{
         ReassemblyBuffer, SocketCluster, SocketClusterConfig, SocketTransportKind,
     };

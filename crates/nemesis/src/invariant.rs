@@ -1,0 +1,191 @@
+//! The cross-backend invariant checker.
+//!
+//! Fault injection is only useful if something audits the cluster
+//! afterwards. The [`InvariantChecker`] consumes plain observables —
+//! replication factors, alive counts, reject counters — after each
+//! nemesis phase and records every violation of the four invariants the
+//! robustness suite enforces. It holds no backend handles, so the same
+//! checker audits the simulator and the socket cluster alike.
+
+use std::fmt;
+
+/// One recorded invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvariantViolation {
+    /// Which nemesis phase the violation was observed after.
+    pub phase: String,
+    /// Short name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}: {}", self.phase, self.invariant, self.detail)
+    }
+}
+
+/// Collects invariant checks over a nemesis run; zero recorded violations
+/// at the end is the pass criterion.
+#[derive(Debug, Default)]
+pub struct InvariantChecker {
+    violations: Vec<InvariantViolation>,
+    checks: u64,
+}
+
+impl InvariantChecker {
+    /// Creates an empty checker.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Invariant 1 — replication bounds: a stored key's replica count must
+    /// stay within `1..=alive_slice_population` (a key cannot be on more
+    /// nodes than its slice has alive, and a key the cluster claims to
+    /// hold must be somewhere).
+    pub fn check_replication_bounds(
+        &mut self,
+        phase: &str,
+        key: &str,
+        replicas: usize,
+        alive_slice_population: usize,
+    ) {
+        self.checks += 1;
+        if replicas == 0 || replicas > alive_slice_population {
+            self.record(
+                phase,
+                "replication-bounds",
+                format!("key {key}: {replicas} replicas outside 1..={alive_slice_population}"),
+            );
+        }
+    }
+
+    /// Invariant 2 — acked durability: an acknowledged put may never
+    /// vanish while a majority of its slice is alive. Call with the number
+    /// of alive replicas holding the key and whether the slice majority
+    /// survived the phase.
+    pub fn check_acked_durability(
+        &mut self,
+        phase: &str,
+        key: &str,
+        alive_replicas: usize,
+        slice_majority_alive: bool,
+    ) {
+        self.checks += 1;
+        if slice_majority_alive && alive_replicas == 0 {
+            self.record(
+                phase,
+                "acked-durability",
+                format!("acked key {key} lost with its slice majority alive"),
+            );
+        }
+    }
+
+    /// Invariant 3 — bounded convergence: after a heal, all live replicas
+    /// must converge within the anti-entropy round budget. Pass the rounds
+    /// it actually took (`None` if the run gave up).
+    pub fn check_convergence(&mut self, phase: &str, rounds_used: Option<usize>, budget: usize) {
+        self.checks += 1;
+        match rounds_used {
+            Some(rounds) if rounds <= budget => {}
+            Some(rounds) => self.record(
+                phase,
+                "bounded-convergence",
+                format!("converged in {rounds} anti-entropy rounds, budget {budget}"),
+            ),
+            None => self.record(
+                phase,
+                "bounded-convergence",
+                format!("did not converge within budget {budget}"),
+            ),
+        }
+    }
+
+    /// Invariant 4 — corruption accounting: every injected frame
+    /// corruption must surface as exactly one transport-level wire reject
+    /// (and therefore never as a panic or a silent mis-decode).
+    pub fn check_corruption_accounting(&mut self, phase: &str, injected: u64, wire_rejects: u64) {
+        self.checks += 1;
+        if injected != wire_rejects {
+            self.record(
+                phase,
+                "corruption-accounting",
+                format!("{injected} corruptions injected, {wire_rejects} wire rejects observed"),
+            );
+        }
+    }
+
+    /// Number of checks run so far (violating or not).
+    #[must_use]
+    pub fn checks_run(&self) -> u64 {
+        self.checks
+    }
+
+    /// The violations recorded so far.
+    #[must_use]
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.violations
+    }
+
+    /// Returns `true` if every check passed.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One line per violation, for logs and bench output.
+    #[must_use]
+    pub fn report(&self) -> String {
+        self.violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    fn record(&mut self, phase: &str, invariant: &'static str, detail: String) {
+        self.violations.push(InvariantViolation {
+            phase: phase.to_string(),
+            invariant,
+            detail,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_runs_record_checks_but_no_violations() {
+        let mut checker = InvariantChecker::new();
+        checker.check_replication_bounds("phase-0", "k1", 3, 5);
+        checker.check_acked_durability("phase-0", "k1", 2, true);
+        checker.check_convergence("phase-0", Some(4), 10);
+        checker.check_corruption_accounting("phase-0", 8, 8);
+        assert!(checker.is_clean());
+        assert_eq!(checker.checks_run(), 4);
+        assert!(checker.report().is_empty());
+    }
+
+    #[test]
+    fn each_invariant_detects_its_violation() {
+        let mut checker = InvariantChecker::new();
+        checker.check_replication_bounds("p", "k", 0, 5);
+        checker.check_replication_bounds("p", "k", 6, 5);
+        checker.check_acked_durability("p", "k", 0, true);
+        checker.check_acked_durability("p", "k", 0, false); // minority alive: allowed
+        checker.check_convergence("p", Some(11), 10);
+        checker.check_convergence("p", None, 10);
+        checker.check_corruption_accounting("p", 8, 7);
+        assert_eq!(checker.violations().len(), 6);
+        assert_eq!(checker.checks_run(), 7);
+        let report = checker.report();
+        assert!(report.contains("replication-bounds"));
+        assert!(report.contains("acked-durability"));
+        assert!(report.contains("bounded-convergence"));
+        assert!(report.contains("corruption-accounting"));
+    }
+}

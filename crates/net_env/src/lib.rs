@@ -107,6 +107,7 @@ use rand::{Rng, SeedableRng};
 
 use arena::BufferArena;
 use dataflasks_async_env::wheel::{DueTimer, TimerWheel};
+use dataflasks_core::fault::{FaultPlan, InjectedCounters, LinkVerdict};
 use dataflasks_core::wire::encode_output_into;
 use dataflasks_core::{
     BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec, Completion,
@@ -346,6 +347,13 @@ struct Shared {
     /// Readiness events whose token no longer resolved to a live socket
     /// (the socket raced a crash path); tolerated and skipped.
     reactor_stale_events: AtomicU64,
+    /// Shared fault-injection plan, consulted per encoded frame *before* it
+    /// reaches the outbound queue — injected drops never touch a socket,
+    /// duplicates are written twice, and armed corruption bit-flips the
+    /// frame so the receiving decoder rejects it (closing that connection,
+    /// as any corrupt byte stream would). Driver injections and client
+    /// replies bypass it, as in every backend.
+    faults: Arc<FaultPlan>,
 }
 
 /// How a decoded frame fared against the destination mailbox.
@@ -380,8 +388,11 @@ impl Shared {
     /// Routes one effect of `from`'s dispatch round: transport units are
     /// encoded once and queued on the destination's pool connection, replies
     /// go to the cluster-wide client inbox, timer re-arms to the emitting
-    /// node's home wheel.
-    fn route(&self, from: usize, output: Output) {
+    /// node's home wheel. Each transport unit is one fault-injection
+    /// decision, taken at the frame boundary *before* the outbound queue:
+    /// injected drops and duplicates are tallied into `injected`, which the
+    /// worker folds into the sender's statistics after the flush.
+    fn route(&self, from: usize, output: Output, injected: &mut InjectedCounters) {
         match output {
             Output::Timer { kind, after } => {
                 let deadline = Instant::now() + to_std(after);
@@ -393,10 +404,27 @@ impl Shared {
                 let _ = self.client_inbox.send((client, reply));
             }
             transport @ (Output::Send { .. } | Output::SendBatch { .. }) => {
+                let (to, unit_messages) = match &transport {
+                    Output::Send { to, .. } => (*to, 1),
+                    Output::SendBatch { to, messages } => (*to, messages.len() as u64),
+                    _ => unreachable!("the transport arm matched"),
+                };
+                let verdict = self.faults.link_verdict(NodeId::new(from as u64), to);
+                injected.record_messages(verdict, unit_messages);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 let mut frame = self.arena.take();
                 match encode_output_into(NodeId::new(from as u64), &transport, &mut frame) {
-                    Ok(to) => {
-                        let to = to.expect("send outputs always frame");
+                    Ok(dest) => {
+                        debug_assert_eq!(dest, Some(to), "send outputs always frame");
+                        if matches!(verdict, LinkVerdict::Duplicate) {
+                            let mut copy = self.arena.take();
+                            copy.extend_from_slice(&frame);
+                            self.maybe_corrupt(&mut copy);
+                            self.send_frame(to, copy);
+                        }
+                        self.maybe_corrupt(&mut frame);
                         self.send_frame(to, frame);
                     }
                     // A pathological unit exceeding the frame limit is
@@ -408,6 +436,16 @@ impl Shared {
                     }
                 }
             }
+        }
+    }
+
+    /// Spends one unit of armed corruption budget, if any, by flipping a bit
+    /// inside the frame's first message tag: the framing (length prefix)
+    /// stays intact, so the receiver cuts the frame normally and its decoder
+    /// rejects it — counted as a wire reject, never misparsed.
+    fn maybe_corrupt(&self, frame: &mut [u8]) {
+        if frame.len() > 16 && self.faults.should_corrupt() {
+            frame[16] ^= 0x80;
         }
     }
 
@@ -651,6 +689,11 @@ impl SocketCluster {
             reactor_tokens: AtomicU64::new(0),
             reactor_registrations: AtomicU64::new(0),
             reactor_stale_events: AtomicU64::new(0),
+            faults: {
+                let faults = Arc::new(FaultPlan::new());
+                faults.set_seed(spec.seed ^ 0x4E45_4D45_5349_5321);
+                faults
+            },
         });
         let workers = (0..worker_count)
             .map(|index| {
@@ -744,6 +787,17 @@ impl SocketCluster {
     #[must_use]
     pub fn wire_reject_count(&self) -> u64 {
         self.shared.wire_rejects.load(Ordering::Relaxed)
+    }
+
+    /// The shared fault-injection plan. Faults staged on it take effect on
+    /// the next frame routed between nodes — before the outbound socket
+    /// queue, so injected drops never reach a kernel buffer; armed
+    /// corruption is spent one frame at a time and surfaces at the receiver
+    /// as wire rejects (closing the corrupted connection, which the pool
+    /// re-dials).
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        Arc::clone(&self.shared.faults)
     }
 
     /// Frame buffers the arena had to allocate because its pool was empty.
@@ -1197,7 +1251,11 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 }
             }
         }
-        host.flush_effects(|output| shared.route(slot_index, output));
+        let mut injected = InjectedCounters::default();
+        host.flush_effects(|output| shared.route(slot_index, output, &mut injected));
+        if !injected.is_empty() {
+            host.node_mut().record_injected_faults(&injected);
+        }
         drop(host);
         let still_pending = !slot.inbox.is_empty() && !slot.failed.load(Ordering::SeqCst);
         shared.scheduler.finish(slot_index, still_pending);

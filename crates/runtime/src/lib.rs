@@ -55,6 +55,7 @@ use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dataflasks_core::fault::{FaultPlan, InjectedCounters, LinkVerdict};
 use dataflasks_core::{
     BootstrapRounds, ClientGateway, ClientId, ClientReply, ClientRequest, ClusterSpec, Completion,
     DataFlasksNode, DefaultStore, Environment, Inbox, Message, NodeHost, Output, RecvOutcome,
@@ -101,6 +102,11 @@ struct Router {
     nodes: RwLock<HashMap<NodeId, Arc<Inbox<Envelope>>>>,
     client_inbox: Sender<(ClientId, ClientReply)>,
     epoch: Instant,
+    /// Shared fault-injection plan: every protocol hop between nodes asks it
+    /// for a verdict before the inbox push (the threaded-runtime analogue of
+    /// the simulator's routing gate). Client replies and driver injections
+    /// bypass it, exactly as in the other backends.
+    faults: Arc<FaultPlan>,
 }
 
 impl Router {
@@ -110,19 +116,47 @@ impl Router {
 
     /// Routes one send/reply effect. Timer re-arms never reach the router:
     /// the node thread intercepts them and updates its deadline table.
-    fn route_one(&self, from: NodeId, output: Output) {
+    /// Injected drops and duplicates are tallied into `injected`, which the
+    /// node thread folds into the sender's statistics after the flush.
+    fn route_one(&self, from: NodeId, output: Output, injected: &mut InjectedCounters) {
         match output {
             Output::Send { to, message } => {
+                let verdict = self.faults.link_verdict(from, to);
+                injected.record(verdict);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 let guard = self.nodes.read();
                 if let Some(inbox) = guard.get(&to) {
+                    if matches!(verdict, LinkVerdict::Duplicate) {
+                        inbox.push(Envelope::FromNode {
+                            from,
+                            message: message.clone(),
+                        });
+                    }
                     inbox.push(Envelope::FromNode { from, message });
                 }
             }
             Output::SendBatch { to, messages } => {
                 // The whole per-destination batch travels as one inbox push
-                // (and one routing-table lookup).
+                // (and one routing-table lookup) — and is therefore one
+                // transport unit for fault injection, matching the one
+                // frame the wire backends encode it into. The counters tally
+                // per message (batch boundaries are scheduling-dependent;
+                // the message flow is not).
+                let verdict = self.faults.link_verdict(from, to);
+                injected.record_messages(verdict, messages.len() as u64);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 let guard = self.nodes.read();
                 if let Some(inbox) = guard.get(&to) {
+                    if matches!(verdict, LinkVerdict::Duplicate) {
+                        inbox.push(Envelope::Batch {
+                            from,
+                            messages: messages.clone(),
+                        });
+                    }
                     inbox.push(Envelope::Batch { from, messages });
                 }
             }
@@ -228,10 +262,13 @@ impl ThreadedCluster {
         seed: u64,
     ) -> Self {
         let (client_tx, client_rx) = mpsc::channel();
+        let faults = Arc::new(FaultPlan::new());
+        faults.set_seed(seed ^ 0x4E45_4D45_5349_5321);
         let router = Arc::new(Router {
             nodes: RwLock::new(HashMap::new()),
             client_inbox: client_tx,
             epoch: Instant::now(),
+            faults,
         });
         let sched = SchedulerConfig::default();
         let mut cluster = Self {
@@ -280,6 +317,15 @@ impl ThreadedCluster {
     #[must_use]
     pub fn node_ids(&self) -> &[NodeId] {
         &self.node_ids
+    }
+
+    /// The shared fault-injection plan. Faults staged on it (partitions,
+    /// blocked links, loss, duplication) take effect on the next protocol
+    /// hop; injected drops and duplicates are tallied on the sender's
+    /// [`NodeStats`](dataflasks_core::NodeStats).
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        Arc::clone(&self.router.faults)
     }
 
     /// Stores `value` under `key` and waits until at least one replica
@@ -628,9 +674,13 @@ fn node_thread(
                         pending = rx.try_pop();
                     }
                 }
+                let mut injected = InjectedCounters::default();
                 host.flush_effects(|output| {
-                    route_thread_output(&router, id, &mut deadlines, output);
+                    route_thread_output(&router, id, &mut deadlines, output, &mut injected);
                 });
+                if !injected.is_empty() {
+                    host.node_mut().record_injected_faults(&injected);
+                }
                 if stopping {
                     break 'running;
                 }
@@ -647,9 +697,13 @@ fn node_thread(
             if deadline <= reached {
                 deadlines[index].1 = reached + to_std(kind.period(&config));
                 let now = router.now();
+                let mut injected = InjectedCounters::default();
                 host.fire_timer(kind, now, |output| {
-                    route_thread_output(&router, id, &mut deadlines, output);
+                    route_thread_output(&router, id, &mut deadlines, output, &mut injected);
                 });
+                if !injected.is_empty() {
+                    host.node_mut().record_injected_faults(&injected);
+                }
             }
         }
     }
@@ -663,6 +717,7 @@ fn route_thread_output(
     from: NodeId,
     deadlines: &mut [(TimerKind, Instant)],
     output: Output,
+    injected: &mut InjectedCounters,
 ) {
     match output {
         Output::Timer { kind, after } => {
@@ -670,7 +725,7 @@ fn route_thread_output(
                 entry.1 = Instant::now() + to_std(after);
             }
         }
-        other => router.route_one(from, other),
+        other => router.route_one(from, other, injected),
     }
 }
 
@@ -846,6 +901,48 @@ mod tests {
                 version: None,
             },
         );
+    }
+
+    /// A partition staged on the shared [`FaultPlan`] must isolate the two
+    /// sides completely: an object written on one side never appears on the
+    /// other, and every refused hop is tallied on the sender's statistics.
+    #[test]
+    fn partition_isolates_sides_and_counts_refusals() {
+        let spec = ClusterSpec::new(fast_config(4, 1), vec![400, 300, 200, 100], 31);
+        let mut cluster = ThreadedCluster::start_spec(&spec);
+        cluster.fault_plan().set_partition(&[
+            vec![NodeId::new(0), NodeId::new(1)],
+            vec![NodeId::new(2), NodeId::new(3)],
+        ]);
+        let key = Key::from_user_key("split-brain");
+        Environment::submit_client_request(
+            &mut cluster,
+            9,
+            NodeId::new(0),
+            ClientRequest::Put {
+                id: RequestId::new(9, 0),
+                key,
+                version: Version::new(1),
+                value: Value::from_bytes(b"one side only"),
+            },
+        );
+        let replies = cluster.drain_effects(Duration::from_secs(5));
+        assert!(!replies.is_empty(), "the partitioned side still acks");
+        // Let gossip and anti-entropy hammer the partition for a while.
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        let nodes = cluster.shutdown();
+        let holders: Vec<u64> = nodes
+            .iter()
+            .filter(|n| dataflasks_store::DataStore::get_latest(n.store(), key).is_some())
+            .map(|n| n.id().as_u64())
+            .collect();
+        assert!(!holders.is_empty(), "the writing side must hold the object");
+        assert!(
+            holders.iter().all(|&id| id < 2),
+            "the object leaked across the partition to {holders:?}"
+        );
+        let refusals: u64 = nodes.iter().map(|n| n.stats().partition_refusals).sum();
+        assert!(refusals > 0, "gossip across the cut must be refused");
     }
 
     #[test]

@@ -37,5 +37,5 @@ pub mod network;
 pub mod simulation;
 
 pub use metrics::{ClusterReport, Distribution};
-pub use network::{EventPayload, EventQueue, NetworkConfig};
+pub use network::{EventPayload, EventQueue, FaultyNetwork, LatencyModel, NetworkConfig};
 pub use simulation::{SimConfig, Simulation};

@@ -63,6 +63,122 @@ impl NetworkConfig {
     }
 }
 
+/// A latency distribution the [`FaultyNetwork`] interposer can swap in over
+/// the configured uniform baseline — the simulator half of the nemesis
+/// `LatencySwap` op.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LatencyModel {
+    /// Uniform latency in `[min, max]`.
+    Uniform {
+        /// Minimum one-way latency.
+        min: Duration,
+        /// Maximum one-way latency.
+        max: Duration,
+    },
+    /// Log-normal latency: heavy-tailed around a median (the shape WAN
+    /// paths exhibit), clamped to `[1 ms, 10 s]`.
+    LogNormal {
+        /// Median one-way latency.
+        median: Duration,
+        /// Log-space standard deviation.
+        sigma: f64,
+    },
+    /// Mostly-fast latency with occasional spikes.
+    Spike {
+        /// Latency of the common case.
+        base: Duration,
+        /// Latency of a spike.
+        spike: Duration,
+        /// Probability a given delivery hits the spike.
+        spike_probability: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws a one-way latency from the model.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Duration {
+        match *self {
+            Self::Uniform { min, max } => {
+                let lo = min.as_millis();
+                let hi = max.as_millis().max(lo);
+                if lo == hi {
+                    Duration::from_millis(lo)
+                } else {
+                    Duration::from_millis(rng.gen_range(lo..=hi))
+                }
+            }
+            Self::LogNormal { median, sigma } => {
+                // Box–Muller from two uniforms; exp(sigma·z) scales the
+                // median multiplicatively, so half the draws land below it.
+                // `1 - u` keeps ln's argument in (0, 1].
+                let u1: f64 = 1.0 - rng.gen::<f64>();
+                let u2: f64 = rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let millis = (median.as_millis() as f64 * (sigma * z).exp()).round();
+                Duration::from_millis((millis as u64).clamp(1, 10_000))
+            }
+            Self::Spike {
+                base,
+                spike,
+                spike_probability,
+            } => {
+                if rng.gen::<f64>() < spike_probability {
+                    spike
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// The simulator's nemesis interposer for the faults that are *timing*,
+/// not link verdicts: latency-distribution swaps and probabilistic
+/// reordering. Link-level faults (partitions, loss, duplication) live in
+/// the shared [`FaultPlan`](dataflasks_core::fault::FaultPlan) so they
+/// replay on every backend; these two are simulator-only because only
+/// virtual time can be bent deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultyNetwork {
+    /// Latency model overriding the configured uniform baseline, if any.
+    pub latency: Option<LatencyModel>,
+    /// Probability a delivery is delayed past later traffic.
+    pub reorder_probability: f64,
+    /// Upper bound of the extra reordering delay.
+    pub reorder_max_delay: Duration,
+}
+
+impl FaultyNetwork {
+    /// Returns `true` when no interposition is configured (the default).
+    #[must_use]
+    pub fn is_inert(&self) -> bool {
+        self.latency.is_none() && self.reorder_probability <= 0.0
+    }
+
+    /// Restores the baseline: no latency override, no reordering.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Draws the delivery latency for one transport unit: the override
+    /// model (or `base`'s uniform range), plus the reordering delay when
+    /// that fault fires.
+    pub fn sample_latency<R: Rng>(&self, base: &NetworkConfig, rng: &mut R) -> Duration {
+        let mut latency = match &self.latency {
+            Some(model) => model.sample(rng),
+            None => base.sample_latency(rng),
+        };
+        if self.reorder_probability > 0.0
+            && self.reorder_max_delay > Duration::ZERO
+            && rng.gen::<f64>() < self.reorder_probability
+        {
+            let extra = rng.gen_range(0..=self.reorder_max_delay.as_millis());
+            latency = Duration::from_millis(latency.as_millis() + extra);
+        }
+        latency
+    }
+}
+
 /// Everything that can happen inside the simulation.
 #[derive(Debug, Clone)]
 pub enum EventPayload {
@@ -293,6 +409,83 @@ mod tests {
         let half = NetworkConfig::lossy(0.5);
         let dropped = (0..10_000).filter(|_| half.drops(&mut rng)).count();
         assert!((4_000..6_000).contains(&dropped));
+    }
+
+    #[test]
+    fn inert_faulty_network_passes_the_baseline_through() {
+        let cfg = NetworkConfig {
+            min_latency: Duration::from_millis(10),
+            max_latency: Duration::from_millis(20),
+            drop_probability: 0.0,
+        };
+        let faulty = FaultyNetwork::default();
+        assert!(faulty.is_inert());
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let latency = faulty.sample_latency(&cfg, &mut rng);
+            assert!(latency >= Duration::from_millis(10));
+            assert!(latency <= Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn lognormal_latency_centres_on_the_median_and_stays_clamped() {
+        let model = LatencyModel::LogNormal {
+            median: Duration::from_millis(80),
+            sigma: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<u64> = (0..4_000)
+            .map(|_| model.sample(&mut rng).as_millis())
+            .collect();
+        assert!(samples.iter().all(|&ms| (1..=10_000).contains(&ms)));
+        let below = samples.iter().filter(|&&ms| ms < 80).count();
+        let fraction = below as f64 / samples.len() as f64;
+        assert!((0.45..=0.55).contains(&fraction), "below-median {fraction}");
+        // Heavy tail: some samples far above the median.
+        assert!(samples.iter().any(|&ms| ms > 400));
+    }
+
+    #[test]
+    fn spike_latency_hits_the_spike_at_roughly_its_probability() {
+        let model = LatencyModel::Spike {
+            base: Duration::from_millis(10),
+            spike: Duration::from_millis(500),
+            spike_probability: 0.1,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let spikes = (0..10_000)
+            .filter(|_| model.sample(&mut rng) == Duration::from_millis(500))
+            .count();
+        assert!((800..=1_200).contains(&spikes), "spikes {spikes}");
+    }
+
+    #[test]
+    fn reorder_adds_a_bounded_extra_delay() {
+        let cfg = NetworkConfig {
+            min_latency: Duration::from_millis(5),
+            max_latency: Duration::from_millis(5),
+            drop_probability: 0.0,
+        };
+        let mut faulty = FaultyNetwork {
+            reorder_probability: 0.5,
+            reorder_max_delay: Duration::from_millis(100),
+            ..FaultyNetwork::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut delayed = 0;
+        for _ in 0..2_000 {
+            let latency = faulty.sample_latency(&cfg, &mut rng);
+            assert!(latency <= Duration::from_millis(105));
+            if latency > Duration::from_millis(5) {
+                delayed += 1;
+            }
+        }
+        // ~half the deliveries drew an extra delay (a delay of exactly 0 ms
+        // is indistinguishable from no delay, so the count sits just below).
+        assert!((850..=1_150).contains(&delayed), "delayed {delayed}");
+        faulty.reset();
+        assert!(faulty.is_inert());
     }
 
     #[test]

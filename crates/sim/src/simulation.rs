@@ -2,10 +2,12 @@
 
 use std::collections::BTreeMap;
 use std::mem;
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use dataflasks_core::fault::{FaultPlan, InjectedCounters, LinkVerdict};
 use dataflasks_core::wheel::{DueTimer, TimerWheel};
 use dataflasks_core::Message;
 use dataflasks_core::{
@@ -14,13 +16,14 @@ use dataflasks_core::{
     NodeStats, Output, TimerKind,
 };
 use dataflasks_membership::NodeDescriptor;
+use dataflasks_nemesis::{LatencyShape, NemesisOp};
 use dataflasks_store::{DataStore, ShardedStore};
 use dataflasks_types::{
     Duration, Key, NodeConfig, NodeId, NodeProfile, SimTime, SliceId, Value, Version,
 };
 
 use crate::metrics::ClusterReport;
-use crate::network::{EventPayload, EventQueue, NetworkConfig};
+use crate::network::{EventPayload, EventQueue, FaultyNetwork, LatencyModel, NetworkConfig};
 
 /// Number of bootstrap contacts handed to a node when it is created or
 /// restarts.
@@ -78,6 +81,14 @@ struct Routing<'a> {
     queue: &'a mut EventQueue,
     rng: &'a mut StdRng,
     network: &'a NetworkConfig,
+    /// Shared nemesis link verdicts (partition/loss/duplication); inert by
+    /// default, one relaxed load on the hot path.
+    faults: &'a FaultPlan,
+    /// Simulator-only nemesis timing faults (latency swaps, reordering).
+    faulty: &'a FaultyNetwork,
+    /// Injected-fault accounting for this dispatch; folded into the sender
+    /// node's stats after the flush (its host is borrowed right now).
+    injected: &'a mut InjectedCounters,
     messages_dropped: &'a mut u64,
     wheel: &'a mut TimerWheel<SimTime>,
     now: SimTime,
@@ -87,31 +98,70 @@ impl Routing<'_> {
     fn route(&mut self, from: NodeId, output: Output) {
         match output {
             Output::Send { to, message } => {
+                let verdict = self.faults.link_verdict(from, to);
+                self.injected.record(verdict);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 if self.network.drops(self.rng) {
                     *self.messages_dropped += 1;
                     return;
                 }
-                let latency = self.network.sample_latency(self.rng);
+                if verdict == LinkVerdict::Duplicate {
+                    let extra = self.faulty.sample_latency(self.network, self.rng);
+                    self.queue.schedule(
+                        self.now + extra,
+                        EventPayload::Deliver {
+                            from,
+                            to,
+                            message: message.clone(),
+                        },
+                    );
+                }
+                let latency = self.faulty.sample_latency(self.network, self.rng);
                 self.queue.schedule(
                     self.now + latency,
                     EventPayload::Deliver { from, to, message },
                 );
             }
             Output::SendBatch { to, messages } => {
-                // One transport unit: one loss decision, one latency sample
-                // and one queue entry for the whole per-destination batch.
+                // One transport unit: one verdict, one loss decision, one
+                // latency sample and one queue entry for the whole
+                // per-destination batch. The injected counters tally per
+                // message so they stay comparable across backends whose
+                // batch boundaries differ.
+                let verdict = self.faults.link_verdict(from, to);
+                self.injected
+                    .record_messages(verdict, messages.len() as u64);
+                if matches!(verdict, LinkVerdict::DropPartition | LinkVerdict::DropLoss) {
+                    return;
+                }
                 if self.network.drops(self.rng) {
                     *self.messages_dropped += messages.len() as u64;
                     return;
                 }
-                let latency = self.network.sample_latency(self.rng);
+                if verdict == LinkVerdict::Duplicate {
+                    let extra = self.faulty.sample_latency(self.network, self.rng);
+                    self.queue.schedule(
+                        self.now + extra,
+                        EventPayload::DeliverBatch {
+                            from,
+                            to,
+                            messages: messages.clone(),
+                        },
+                    );
+                }
+                let latency = self.faulty.sample_latency(self.network, self.rng);
                 self.queue.schedule(
                     self.now + latency,
                     EventPayload::DeliverBatch { from, to, messages },
                 );
             }
             Output::Reply { client, reply } => {
-                let latency = self.network.sample_latency(self.rng);
+                // Client links are outside the nemesis blast radius: only
+                // the latency model applies (a partitioned contact still
+                // answers its own clients).
+                let latency = self.faulty.sample_latency(self.network, self.rng);
                 self.queue.schedule(
                     self.now + latency,
                     EventPayload::ClientDeliver { client, reply },
@@ -161,6 +211,12 @@ pub struct Simulation {
     now: SimTime,
     queue: EventQueue,
     rng: StdRng,
+    /// Shared nemesis fault plan, consulted on every routed transport unit
+    /// (inert unless a fault is configured). Shared so a nemesis driver can
+    /// mutate it mid-run through [`Self::fault_plan`].
+    faults: Arc<FaultPlan>,
+    /// Simulator-only nemesis timing faults (latency swaps, reordering).
+    faulty: FaultyNetwork,
     /// Every node ever spawned, indexed by its id (ids are dense and never
     /// reused; a crashed node keeps its slot, inspectable, and a restart
     /// rebuilds the slot in place).
@@ -208,11 +264,15 @@ impl Simulation {
     /// Creates an empty simulation.
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
+        let faults = Arc::new(FaultPlan::new());
+        faults.set_seed(config.seed ^ 0x4E45_4D45_5349_5321);
         Self {
             config,
             now: SimTime::ZERO,
             queue: EventQueue::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            faults,
+            faulty: FaultyNetwork::default(),
             nodes: Vec::new(),
             alive: Vec::new(),
             alive_pos: Vec::new(),
@@ -457,6 +517,76 @@ impl Simulation {
     }
 
     // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    /// The shared nemesis fault plan every routed transport unit consults.
+    /// Mutate it (directly or via [`NemesisOp::apply_to_plan`]) to impose
+    /// partitions, blocked links and loss/duplication windows mid-run.
+    #[must_use]
+    pub fn fault_plan(&self) -> Arc<FaultPlan> {
+        Arc::clone(&self.faults)
+    }
+
+    /// The simulator-only timing faults currently in force.
+    #[must_use]
+    pub fn faulty_network(&self) -> &FaultyNetwork {
+        &self.faulty
+    }
+
+    /// Replaces the simulator-only timing faults (latency model override,
+    /// reordering) wholesale.
+    pub fn set_faulty_network(&mut self, faulty: FaultyNetwork) {
+        self.faulty = faulty;
+    }
+
+    /// Applies one nemesis operation at the current virtual time: the
+    /// link-fault subset lands on the shared [`FaultPlan`], timing faults
+    /// reshape the [`FaultyNetwork`] interposer, and churn storms schedule
+    /// crashes/joins over their window. [`NemesisOp::CorruptFrames`] arms
+    /// the plan's budget but is a physical no-op here — the simulator
+    /// delivers typed messages, not bytes, so there is no frame to flip a
+    /// bit in (the socket and async backends exercise that path).
+    pub fn apply_nemesis_op(&mut self, op: &NemesisOp) {
+        if op.apply_to_plan(&self.faults) {
+            return;
+        }
+        match op {
+            NemesisOp::Reorder { p, max_delay } => {
+                self.faulty.reorder_probability = *p;
+                self.faulty.reorder_max_delay = *max_delay;
+            }
+            NemesisOp::LatencySwap(shape) => {
+                self.faulty.latency = match *shape {
+                    LatencyShape::Baseline => None,
+                    LatencyShape::Uniform { min, max } => Some(LatencyModel::Uniform { min, max }),
+                    LatencyShape::LogNormal { median, sigma } => {
+                        Some(LatencyModel::LogNormal { median, sigma })
+                    }
+                    LatencyShape::Spike {
+                        base,
+                        spike,
+                        spike_probability,
+                    } => Some(LatencyModel::Spike {
+                        base,
+                        spike,
+                        spike_probability,
+                    }),
+                };
+            }
+            NemesisOp::ChurnStorm {
+                crashes,
+                joins,
+                duration,
+            } => {
+                let start = self.now;
+                self.schedule_churn(start, start + *duration, *crashes, *joins);
+            }
+            _ => unreachable!("plan-expressible ops are handled by apply_to_plan"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Workload submission
     // ------------------------------------------------------------------
 
@@ -579,6 +709,8 @@ impl Simulation {
                 queue,
                 rng,
                 config,
+                faults,
+                faulty,
                 messages_dropped,
                 wheel,
                 timer_fires,
@@ -598,10 +730,14 @@ impl Simulation {
                 *now = (*now).max(timer.at);
                 *events_dispatched += 1;
                 *timer_fires += 1;
+                let mut injected = InjectedCounters::default();
                 let mut routing = Routing {
                     queue: &mut *queue,
                     rng: &mut *rng,
                     network: &config.network,
+                    faults,
+                    faulty,
+                    injected: &mut injected,
                     messages_dropped: &mut *messages_dropped,
                     wheel: &mut *wheel,
                     now: *now,
@@ -610,6 +746,9 @@ impl Simulation {
                 entry
                     .host
                     .fire_timer(timer.kind, *now, |output| routing.route(node, output));
+                if !injected.is_empty() {
+                    entry.host.node_mut().record_injected_faults(&injected);
+                }
             }
         }
         self.timer_scratch = due;
@@ -651,6 +790,8 @@ impl Simulation {
                     queue,
                     rng,
                     config,
+                    faults,
+                    faulty,
                     messages_dropped,
                     wheel,
                     timer_fires,
@@ -663,10 +804,14 @@ impl Simulation {
                 // an effect of handling the timer, which dead nodes never do).
                 if entry.alive {
                     *timer_fires += 1;
+                    let mut injected = InjectedCounters::default();
                     let mut routing = Routing {
                         queue,
                         rng,
                         network: &config.network,
+                        faults,
+                        faulty,
+                        injected: &mut injected,
                         messages_dropped,
                         wheel,
                         now,
@@ -674,6 +819,9 @@ impl Simulation {
                     entry
                         .host
                         .fire_timer(kind, now, |output| routing.route(node, output));
+                    if !injected.is_empty() {
+                        entry.host.node_mut().record_injected_faults(&injected);
+                    }
                 }
             }
             EventPayload::ClientSubmit {
@@ -793,6 +941,8 @@ impl Simulation {
             queue,
             rng,
             config,
+            faults,
+            faulty,
             messages_dropped,
             messages_delivered,
             wheel,
@@ -805,10 +955,14 @@ impl Simulation {
             return;
         }
         *messages_delivered += messages.len() as u64;
+        let mut injected = InjectedCounters::default();
         let mut routing = Routing {
             queue,
             rng,
             network: &config.network,
+            faults,
+            faulty,
+            injected: &mut injected,
             messages_dropped,
             wheel,
             now,
@@ -816,6 +970,9 @@ impl Simulation {
         entry
             .host
             .deliver_batch(from, messages, now, |output| routing.route(to, output));
+        if !injected.is_empty() {
+            entry.host.node_mut().record_injected_faults(&injected);
+        }
     }
 
     fn deliver_client_request(
@@ -833,6 +990,8 @@ impl Simulation {
             queue,
             rng,
             config,
+            faults,
+            faulty,
             messages_dropped,
             wheel,
             ..
@@ -843,10 +1002,14 @@ impl Simulation {
         if !entry.alive {
             return;
         }
+        let mut injected = InjectedCounters::default();
         let mut routing = Routing {
             queue,
             rng,
             network: &config.network,
+            faults,
+            faulty,
+            injected: &mut injected,
             messages_dropped,
             wheel,
             now,
@@ -856,6 +1019,9 @@ impl Simulation {
             .submit_client_request(client, request, now, |output| {
                 routing.route(contact, output)
             });
+        if !injected.is_empty() {
+            entry.host.node_mut().record_injected_faults(&injected);
+        }
     }
 
     fn expire_clients(&mut self) {
@@ -1375,6 +1541,111 @@ mod tests {
         // Either it timed out (likely) or a lucky contact answered a miss; in
         // both cases the operation is accounted for.
         assert_eq!(sim.completed_operations().len(), 1);
+    }
+
+    #[test]
+    fn partition_refuses_cross_group_traffic_and_heals() {
+        let mut sim = small_sim(16, 2);
+        sim.run_for(Duration::from_secs(20));
+        // Split even against odd ids: gossip across the cut is refused at
+        // the sender and accounted on its stats.
+        let plan = sim.fault_plan();
+        let (evens, odds): (Vec<NodeId>, Vec<NodeId>) = (0..16u64)
+            .map(NodeId::new)
+            .partition(|id| id.as_u64() % 2 == 0);
+        sim.apply_nemesis_op(&NemesisOp::Partition {
+            groups: vec![evens, odds],
+        });
+        let delivered_before = sim.messages_delivered();
+        sim.run_for(Duration::from_secs(20));
+        let refusals: u64 = sim.node_stats().iter().map(|s| s.partition_refusals).sum();
+        assert!(refusals > 0, "cross-partition sends must be refused");
+        // Same-side traffic still flows.
+        assert!(sim.messages_delivered() > delivered_before);
+        sim.apply_nemesis_op(&NemesisOp::Heal);
+        assert!(!plan.is_active());
+        let refusals_at_heal: u64 = sim.node_stats().iter().map(|s| s.partition_refusals).sum();
+        sim.run_for(Duration::from_secs(10));
+        let refusals_after: u64 = sim.node_stats().iter().map(|s| s.partition_refusals).sum();
+        assert_eq!(
+            refusals_after, refusals_at_heal,
+            "healed links refuse nothing"
+        );
+    }
+
+    #[test]
+    fn injected_loss_and_duplication_are_accounted_on_sender_stats() {
+        let mut sim = small_sim(12, 2);
+        sim.run_for(Duration::from_secs(10));
+        sim.apply_nemesis_op(&NemesisOp::Loss {
+            links: None,
+            p: 0.5,
+        });
+        sim.run_for(Duration::from_secs(10));
+        let dropped: u64 = sim
+            .node_stats()
+            .iter()
+            .map(|s| s.frames_dropped_injected)
+            .sum();
+        assert!(dropped > 0, "a 50% loss window must drop transport units");
+        sim.apply_nemesis_op(&NemesisOp::Loss {
+            links: None,
+            p: 0.0,
+        });
+        sim.apply_nemesis_op(&NemesisOp::Duplicate {
+            links: None,
+            p: 1.0,
+        });
+        sim.run_for(Duration::from_secs(5));
+        let duplicated: u64 = sim
+            .node_stats()
+            .iter()
+            .map(|s| s.frames_duplicated_injected)
+            .sum();
+        assert!(
+            duplicated > 0,
+            "a certain-duplication window must duplicate"
+        );
+        sim.apply_nemesis_op(&NemesisOp::Duplicate {
+            links: None,
+            p: 0.0,
+        });
+        assert!(!sim.fault_plan().is_active());
+    }
+
+    #[test]
+    fn timing_and_churn_ops_reshape_the_simulator() {
+        let mut sim = small_sim(20, 2);
+        sim.run_for(Duration::from_secs(5));
+        sim.apply_nemesis_op(&NemesisOp::LatencySwap(LatencyShape::LogNormal {
+            median: Duration::from_millis(80),
+            sigma: 1.0,
+        }));
+        sim.apply_nemesis_op(&NemesisOp::Reorder {
+            p: 0.2,
+            max_delay: Duration::from_millis(200),
+        });
+        assert!(!sim.faulty_network().is_inert());
+        sim.run_for(Duration::from_secs(10));
+        sim.apply_nemesis_op(&NemesisOp::LatencySwap(LatencyShape::Baseline));
+        sim.apply_nemesis_op(&NemesisOp::Reorder {
+            p: 0.0,
+            max_delay: Duration::ZERO,
+        });
+        assert!(sim.faulty_network().is_inert());
+        // A churn storm schedules its crashes and joins over the window.
+        sim.apply_nemesis_op(&NemesisOp::ChurnStorm {
+            crashes: 4,
+            joins: 2,
+            duration: Duration::from_secs(10),
+        });
+        sim.run_for(Duration::from_secs(20));
+        assert!(sim.alive_count() >= 16);
+        assert!(sim.alive_count() <= 22);
+        // The cluster keeps making progress after the whole sequence.
+        let delivered = sim.messages_delivered();
+        sim.run_for(Duration::from_secs(5));
+        assert!(sim.messages_delivered() > delivered);
     }
 
     #[test]

@@ -23,9 +23,12 @@
 //! generalises this into cross-environment differential fuzzing: randomly
 //! generated seeded scenarios — puts, gets, multi-put saturation bursts,
 //! slicing-gossip and anti-entropy rounds, node crashes *and crash→restart
-//! rejoins* — are driven through all
+//! rejoins*, plus nemesis fault windows (partition/heal, total-loss,
+//! asymmetric blocked links — the subset of [`FaultPlan`] faults that is a
+//! pure function of `(from, to)` and therefore replayable on concurrent
+//! runtimes) — are driven through all
 //! four backends and must produce identical client-visible replies and
-//! identical per-node [`NodeStats`]. For the socket backend a restart also
+//! identical per-node [`NodeStats`], including the injected-fault counters. For the socket backend a restart also
 //! closes and re-establishes the node's connections, so the fuzzer exercises
 //! the dial/re-dial path as a side effect. Restarts make the anti-entropy traffic
 //! meaningful: a rejoined replica has lost its volatile store, so the
@@ -34,6 +37,7 @@
 //! `restarted_replica_converges_via_incremental_anti_entropy`).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use dataflasks::core::{ClientReply, ReplyBody};
 use dataflasks::prelude::*;
@@ -301,6 +305,32 @@ macro_rules! pipelined_parity_via_tickets {
 pipelined_parity_via_tickets!(ThreadedCluster);
 pipelined_parity_via_tickets!(AsyncCluster);
 pipelined_parity_via_tickets!(SocketCluster);
+
+/// Uniform access to each backend's shared [`FaultPlan`], so the fuzzer's
+/// nemesis windows (partition / heal / loss / asymmetric block) drive the
+/// same fault state through every environment. Only faults that are pure
+/// functions of `(from, to)` — partitions, blocked links, loss at
+/// `p ∈ {0, 1}` — are replayable across backends; fractional probabilities,
+/// duplication, reordering and corruption stay in the sim-only nemesis
+/// tests.
+trait FaultControl {
+    fn nemesis_plan(&self) -> Arc<FaultPlan>;
+}
+
+macro_rules! fault_control_via_plan {
+    ($env:ty) => {
+        impl FaultControl for $env {
+            fn nemesis_plan(&self) -> Arc<FaultPlan> {
+                self.fault_plan()
+            }
+        }
+    };
+}
+
+fault_control_via_plan!(Simulation);
+fault_control_via_plan!(ThreadedCluster);
+fault_control_via_plan!(AsyncCluster);
+fault_control_via_plan!(SocketCluster);
 
 /// Asserts two backends produced identical per-step replies and stats.
 fn assert_backend_parity(
@@ -717,13 +747,39 @@ enum Step {
         key_tag: u8,
         contact: u8,
     },
+    /// A nemesis partition window: split the cluster into even-id and
+    /// odd-id halves, put through a slice member, drain, then heal and
+    /// drain again. The cut is a pure function of `(from, to)`, so every
+    /// backend refuses exactly the same messages: only the replicas on the
+    /// contact's side ack, and the per-message `partition_refusals` tally
+    /// matches across backends regardless of how each one frames batches.
+    PartitionWindow {
+        key_tag: u8,
+        contact: u8,
+    },
+    /// A nemesis loss window at `p = 1` on every link: the contact still
+    /// stores and acks its own client (client links are outside the blast
+    /// radius), but no replication frame leaves any node, and every backend
+    /// counts the same `frames_dropped_injected`. Closed with a full
+    /// `clear()` before the next step.
+    LossWindow {
+        key_tag: u8,
+        contact: u8,
+    },
+    /// An asymmetrically blocked directed link (`a → b` refused, `b → a`
+    /// untouched) around one put — the fault shape that distinguishes the
+    /// blocked-link gate from the symmetric partition cut.
+    AsymmetricWindow {
+        key_tag: u8,
+        link: u8,
+    },
 }
 
 /// Strategy: steps are decoded from small integer tuples (the vendored
 /// proptest stub has no `prop_oneof`), with crashes rare so most scenarios
 /// keep several live replicas.
 fn arb_step() -> impl Strategy<Value = (u8, u8, u8)> {
-    (0u8..13, 0u8..6, 0u8..16)
+    (0u8..16, 0u8..6, 0u8..16)
 }
 
 fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
@@ -744,9 +800,21 @@ fn decode_step((selector, a, b): (u8, u8, u8)) -> Step {
             key_tag: a,
             contact: b,
         },
-        _ => Step::PipelinedBurst {
+        12 => Step::PipelinedBurst {
             key_tag: a,
             contact: b,
+        },
+        13 => Step::PartitionWindow {
+            key_tag: a,
+            contact: b,
+        },
+        14 => Step::LossWindow {
+            key_tag: a,
+            contact: b,
+        },
+        _ => Step::AsymmetricWindow {
+            key_tag: a,
+            link: b,
         },
     }
 }
@@ -776,7 +844,7 @@ fn random_spec(capacities: &[u64], seed: u64) -> ClusterSpec {
 /// is what keeps per-copy TTLs (and therefore forward-vs-expire decisions on
 /// nodes outside the slice) independent of message arrival order. The
 /// contact member is still chosen by the fuzzer.
-fn run_random_scenario<E: PipelinedParity>(
+fn run_random_scenario<E: PipelinedParity + FaultControl>(
     env: &mut E,
     spec: &ClusterSpec,
     steps: &[Step],
@@ -881,6 +949,86 @@ fn run_random_scenario<E: PipelinedParity>(
                 // backends stay in lockstep. Anything this drain surfaces
                 // (it should surface nothing — late duplicates die slotless
                 // inside the gateway) is part of the compared outcome.
+                rendered.extend(normalise(env.drain_effects(budget)));
+                outcomes.push(rendered);
+                continue;
+            }
+            Step::PartitionWindow { key_tag, contact } => {
+                // Even ids versus odd ids: a cut that is a pure function of
+                // (from, to), so every backend drops exactly the same
+                // messages at its own frame boundary. The put's replies are
+                // the acks of the contact-side replicas only; the window is
+                // self-contained (heal + drain before the next step).
+                let plan = env.nemesis_plan();
+                let (evens, odds): (Vec<NodeId>, Vec<NodeId>) =
+                    spec.node_ids().partition(|id| id.as_u64() % 2 == 0);
+                plan.set_partition(&[evens, odds]);
+                let key = Key::from_user_key(&format!("fuzz-part-{key_tag}"));
+                env.submit_client_request(
+                    CLIENT,
+                    responsible_contact(key, *contact),
+                    ClientRequest::Put {
+                        id: RequestId::new(CLIENT, 3000 + sequence as u64),
+                        key,
+                        version: Version::new(sequence as u64 + 1),
+                        value: Value::from_bytes(format!("part-{sequence}").as_bytes()),
+                    },
+                );
+                let mut rendered = normalise(env.drain_effects(budget));
+                plan.heal();
+                // Nothing retransmits after the heal (the flood is over);
+                // the second drain must be empty everywhere, and is part of
+                // the compared outcome.
+                rendered.extend(normalise(env.drain_effects(budget)));
+                outcomes.push(rendered);
+                continue;
+            }
+            Step::LossWindow { key_tag, contact } => {
+                // Total loss on every inter-node link: replayable across
+                // backends because p = 1 leaves nothing to chance. The
+                // contact still stores and acks (client links are outside
+                // the blast radius); every replication frame is counted
+                // into frames_dropped_injected, per message.
+                let plan = env.nemesis_plan();
+                plan.set_loss(None, 1.0);
+                let key = Key::from_user_key(&format!("fuzz-loss-{key_tag}"));
+                env.submit_client_request(
+                    CLIENT,
+                    responsible_contact(key, *contact),
+                    ClientRequest::Put {
+                        id: RequestId::new(CLIENT, 3000 + sequence as u64),
+                        key,
+                        version: Version::new(sequence as u64 + 1),
+                        value: Value::from_bytes(format!("loss-{sequence}").as_bytes()),
+                    },
+                );
+                let mut rendered = normalise(env.drain_effects(budget));
+                plan.clear();
+                rendered.extend(normalise(env.drain_effects(budget)));
+                outcomes.push(rendered);
+                continue;
+            }
+            Step::AsymmetricWindow { key_tag, link } => {
+                // One directed link refused, its reverse untouched — the
+                // shape that distinguishes the blocked-link gate from the
+                // symmetric partition cut.
+                let plan = env.nemesis_plan();
+                let blocked_from = NodeId::new(u64::from(link % n));
+                let blocked_to = NodeId::new(u64::from(link.wrapping_mul(5).wrapping_add(1) % n));
+                plan.block_link(blocked_from, blocked_to);
+                let key = Key::from_user_key(&format!("fuzz-asym-{key_tag}"));
+                env.submit_client_request(
+                    CLIENT,
+                    responsible_contact(key, *key_tag),
+                    ClientRequest::Put {
+                        id: RequestId::new(CLIENT, 3000 + sequence as u64),
+                        key,
+                        version: Version::new(sequence as u64 + 1),
+                        value: Value::from_bytes(format!("asym-{sequence}").as_bytes()),
+                    },
+                );
+                let mut rendered = normalise(env.drain_effects(budget));
+                plan.heal();
                 rendered.extend(normalise(env.drain_effects(budget)));
                 outcomes.push(rendered);
                 continue;
